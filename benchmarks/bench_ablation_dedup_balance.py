@@ -1,0 +1,85 @@
+"""Ablation: load balance of the two dedup grouping strategies.
+
+Sec. V-A: "grouping-on-both-strings achieves better load balancing.  In
+case there exists a small set of strings, each of which is potentially
+similar to numerous strings, all these candidate pairs would be spread
+out among multiple workers."  This bench measures the dedup stage's skew
+(max worker load / mean worker load) under both strategies on a corpus
+with a hub record similar to many others.
+"""
+
+from __future__ import annotations
+
+from conftest import DEFAULT_THRESHOLD, PAPER_COST, run_tsj, write_table
+
+from repro.data import FraudRingGenerator, NameGenerator
+from repro.tokenize import tokenize
+
+
+def build_hub_corpus(n_background: int = 600, hub_variants: int = 120):
+    """Background names plus one 'hub' name with many near-duplicates --
+    the adversarial load-balance case the paper describes."""
+    names = NameGenerator(seed=3).generate(n_background)
+    fraud = FraudRingGenerator(seed=4, max_edits=1, allow_structural=False)
+    names += fraud.make_ring("maximilian aurelius vanderbilt", hub_variants)
+    return [tokenize(name) for name in names]
+
+
+def test_ablation_dedup_balance(benchmark):
+    records = build_hub_corpus()
+
+    def experiment():
+        one = run_tsj(
+            records,
+            threshold=DEFAULT_THRESHOLD,
+            max_token_frequency=None,
+            dedup="one",
+        )
+        both = run_tsj(
+            records,
+            threshold=DEFAULT_THRESHOLD,
+            max_token_frequency=None,
+            dedup="both",
+        )
+        return one, both
+
+    one, both = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    assert one.pairs == both.pairs
+
+    def dedup_stage(result):
+        return next(
+            stage for stage in result.pipeline.stages
+            if stage.name == "tsj-dedup-filter"
+        )
+
+    rows = []
+    skews = {}
+    for label, result in (("group-on-one", one), ("group-on-both", both)):
+        stage = dedup_stage(result).rebin(25)
+        skews[label] = stage.skew()
+        seconds = result.pipeline.rebin(25).simulated_seconds(PAPER_COST)
+        rows.append(
+            f"{label:>14s} {stage.total_reduce_tasks:>8d} "
+            f"{stage.skew():>6.2f} {seconds:>10.1f}"
+        )
+
+    write_table(
+        "ablation_dedup_balance.txt",
+        [
+            "Ablation -- dedup grouping strategies on a hub-heavy corpus "
+            "(Sec. V-A)",
+            f"corpus: {len(records)} names incl. one hub with 120 "
+            f"near-duplicates, T = {DEFAULT_THRESHOLD}, "
+            f"pairs = {len(one.pairs)}",
+            "",
+            f"{'strategy':>14s} {'tasks':>8s} {'skew':>6s} {'sim sec':>10s}",
+            *rows,
+            "",
+            "paper: grouping-on-both spreads a hub's pairs across workers "
+            "(lower skew), grouping-on-one remains faster overall.",
+        ],
+    )
+
+    assert skews["group-on-both"] < skews["group-on-one"], (
+        "grouping-on-both must balance the hub's load better (Sec. V-A)"
+    )

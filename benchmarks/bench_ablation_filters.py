@@ -1,0 +1,80 @@
+"""Ablation: the two low-cost candidate filters (Sec. III-E).
+
+The paper asserts that relying on Theorem 3 alone "results in a large
+proportion of spurious candidates" and motivates the length filter
+(Lemma 6) and the histogram lower-bound filter (Lemma 10).  This bench
+runs TSJ with each filter configuration and reports how many candidate
+pairs survive to verification and what the verification stage costs --
+results must be identical in all configurations (the filters are
+lossless).
+"""
+
+from __future__ import annotations
+
+from conftest import (
+    DEFAULT_MAX_FREQUENCY,
+    DEFAULT_THRESHOLD,
+    PAPER_COST,
+    run_tsj,
+    write_table,
+)
+
+CONFIGS = [
+    ("no filters", dict(use_length_filter=False, use_histogram_filter=False)),
+    ("length only", dict(use_length_filter=True, use_histogram_filter=False)),
+    ("histogram only", dict(use_length_filter=False, use_histogram_filter=True)),
+    ("both filters", dict(use_length_filter=True, use_histogram_filter=True)),
+]
+
+
+def test_ablation_filters(benchmark, scalability_corpus):
+    records = scalability_corpus
+
+    def experiment():
+        return {
+            label: run_tsj(
+                records,
+                threshold=DEFAULT_THRESHOLD,
+                max_token_frequency=DEFAULT_MAX_FREQUENCY,
+                **kwargs,
+            )
+            for label, kwargs in CONFIGS
+        }
+
+    results = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    reference_pairs = results["both filters"].pairs
+    rows = []
+    verified_counts = {}
+    for label, result in results.items():
+        assert result.pairs == reference_pairs, "filters must be lossless"
+        counters = result.counters()
+        verified = counters.get("candidates-verified", 0)
+        verified_counts[label] = verified
+        verify_stage = result.pipeline.stages[-1]
+        verify_ops = sum(verify_stage.reduce_ops)
+        seconds = result.pipeline.rebin(25).simulated_seconds(PAPER_COST)
+        rows.append(
+            f"{label:>15s} {verified:>10d} {verify_ops:>12d} {seconds:>10.1f}"
+        )
+
+    write_table(
+        "ablation_filters.txt",
+        [
+            "Ablation -- candidate filters (Sec. III-E), lossless by design",
+            f"corpus: {len(records)} names, T = {DEFAULT_THRESHOLD}, "
+            f"M = {DEFAULT_MAX_FREQUENCY}, pairs = {len(reference_pairs)}",
+            "",
+            f"{'config':>15s} {'verified':>10s} {'verify ops':>12s} "
+            f"{'sim sec':>10s}",
+            *rows,
+        ],
+    )
+
+    assert verified_counts["both filters"] <= verified_counts["length only"]
+    assert verified_counts["length only"] < verified_counts["no filters"], (
+        "the length filter must prune spurious candidates (Sec. III-E.1)"
+    )
+    assert verified_counts["histogram only"] < verified_counts["no filters"], (
+        "the histogram filter must prune spurious candidates (Sec. III-E.2)"
+    )

@@ -1,0 +1,88 @@
+"""Ablation: string-join algorithms on the token NLD-join (Sec. IV).
+
+TSJ's similar-token phase is an NLD self-join of the token space.  This
+bench compares the building-block options on that exact workload --
+brute force, Pass-Join (with the Lemma 8/9 NLD adaptation), PassJoinK,
+and MapReduce MassJoin -- in real wall-clock time (pytest-benchmark
+timings) and candidate volume.  All must return identical pairs.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import DEFAULT_THRESHOLD, write_table
+
+from repro.joins import MassJoin, PassJoinK, passjoin_nld_self_join
+from repro.joins.naive import naive_nld_self_join
+from repro.mapreduce import ClusterConfig, MapReduceEngine
+
+
+@pytest.fixture(scope="module")
+def token_space(sweep_corpus):
+    tokens = sorted({token for record in sweep_corpus for token in record.tokens})
+    return tokens
+
+
+@pytest.fixture(scope="module")
+def reference_pairs(token_space):
+    return naive_nld_self_join(token_space, DEFAULT_THRESHOLD)
+
+
+class TestTokenJoinAlgorithms:
+    def test_brute_force(self, benchmark, token_space, reference_pairs):
+        benchmark.group = "token-nld-join"
+        result = benchmark.pedantic(
+            lambda: naive_nld_self_join(token_space, DEFAULT_THRESHOLD),
+            rounds=1,
+            iterations=1,
+        )
+        assert result == reference_pairs
+
+    def test_passjoin(self, benchmark, token_space, reference_pairs):
+        benchmark.group = "token-nld-join"
+        result = benchmark.pedantic(
+            lambda: passjoin_nld_self_join(token_space, DEFAULT_THRESHOLD),
+            rounds=3,
+            iterations=1,
+        )
+        assert result == reference_pairs
+
+    def test_massjoin(self, benchmark, token_space, reference_pairs):
+        benchmark.group = "token-nld-join"
+        engine = MapReduceEngine(ClusterConfig(n_machines=10))
+        joiner = MassJoin(engine, DEFAULT_THRESHOLD, mode="nld")
+        result = benchmark.pedantic(
+            lambda: joiner.self_join(token_space), rounds=1, iterations=1
+        )
+        assert result.pairs == reference_pairs
+        write_table(
+            "ablation_string_joins.txt",
+            [
+                "Ablation -- token NLD-join building blocks (Sec. IV)",
+                f"token space: {len(token_space)} distinct tokens, "
+                f"T = {DEFAULT_THRESHOLD}, similar token pairs = "
+                f"{len(reference_pairs)}",
+                "",
+                "wall-clock comparison: see the pytest-benchmark table "
+                "(group 'token-nld-join').",
+                f"MassJoin raw candidates: "
+                f"{result.pipeline.counters().get('candidates-raw', 0)}, "
+                f"distinct: "
+                f"{result.pipeline.counters().get('candidates-distinct', 0)}, "
+                f"verified similar: "
+                f"{result.pipeline.counters().get('similar', 0)}",
+            ],
+        )
+
+    def test_passjoin_k_on_ld_variant(self, benchmark, token_space):
+        """PassJoinK handles the LD flavour of the token join (U = 1)."""
+        benchmark.group = "token-ld-join"
+        from repro.joins import PassJoin
+
+        expected = PassJoin(1).self_join(token_space)
+        result = benchmark.pedantic(
+            lambda: PassJoinK(1, 2).self_join(token_space),
+            rounds=3,
+            iterations=1,
+        )
+        assert result == expected

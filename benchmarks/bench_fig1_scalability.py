@@ -1,0 +1,82 @@
+"""Fig. 1: TSJ runtime vs cluster size, by dedup strategy.
+
+Paper series: runtime of TSJ over 100 -> 1000 machines for the
+grouping-on-one-string and grouping-on-both-strings dedup strategies.
+Paper findings to reproduce in shape:
+
+* both strategies scale out well, with ~3.8x speedup per 10x machines;
+* grouping-on-one-string is consistently faster (13-32% in the paper),
+  attributed to per-task instantiation overhead;
+* grouping-on-both-strings balances load better (more, smaller tasks).
+"""
+
+from __future__ import annotations
+
+from conftest import (
+    DEFAULT_MAX_FREQUENCY,
+    DEFAULT_THRESHOLD,
+    MACHINE_SWEEP,
+    PAPER_COST,
+    run_tsj,
+    write_table,
+)
+
+
+def test_fig1_scalability(benchmark, scalability_corpus):
+    records = scalability_corpus
+
+    def experiment():
+        one = run_tsj(
+            records,
+            threshold=DEFAULT_THRESHOLD,
+            max_token_frequency=DEFAULT_MAX_FREQUENCY,
+            dedup="one",
+        )
+        both = run_tsj(
+            records,
+            threshold=DEFAULT_THRESHOLD,
+            max_token_frequency=DEFAULT_MAX_FREQUENCY,
+            dedup="both",
+        )
+        return one, both
+
+    one, both = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    assert one.pairs == both.pairs  # strategies agree on results
+
+    rows = []
+    ratios = []
+    for machines in MACHINE_SWEEP:
+        seconds_one = one.pipeline.rebin(machines).simulated_seconds(PAPER_COST)
+        seconds_both = both.pipeline.rebin(machines).simulated_seconds(PAPER_COST)
+        ratios.append(seconds_both / seconds_one)
+        rows.append(
+            f"{machines:>9d} {seconds_one:>14.1f} {seconds_both:>15.1f} "
+            f"{(seconds_both / seconds_one - 1) * 100:>11.1f}%"
+        )
+
+    first = one.pipeline.rebin(MACHINE_SWEEP[0]).simulated_seconds(PAPER_COST)
+    last = one.pipeline.rebin(MACHINE_SWEEP[-1]).simulated_seconds(PAPER_COST)
+    speedup = first / last
+
+    write_table(
+        "fig1_scalability.txt",
+        [
+            "Fig. 1 -- TSJ runtime (simulated seconds) vs machines, by dedup "
+            "strategy",
+            f"corpus: {len(records)} tokenized names, T = {DEFAULT_THRESHOLD}, "
+            f"M = {DEFAULT_MAX_FREQUENCY}, pairs = {len(one.pairs)}",
+            "",
+            f"{'machines':>9s} {'group-on-one':>14s} {'group-on-both':>15s} "
+            f"{'both vs one':>12s}",
+            *rows,
+            "",
+            f"speedup of grouping-on-one at 10x machines: {speedup:.2f}x "
+            "(paper: 3.8x)",
+        ],
+    )
+
+    # Shape assertions (loose -- shapes, not absolute numbers).
+    assert 2.0 < speedup < 7.0, "speedup per 10x machines out of paper shape"
+    assert all(ratio > 1.0 for ratio in ratios), (
+        "grouping-on-one should be consistently faster (Fig. 1)"
+    )

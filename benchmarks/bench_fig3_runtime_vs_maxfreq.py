@@ -1,0 +1,96 @@
+"""Fig. 3: TSJ runtime vs the max-frequency cut-off M, by matching variant.
+
+Paper series: runtime over M in 100 -> 1000 for the three matcher
+variants at T = 0.1.  Paper findings to reproduce in shape:
+
+* runtime increases (mildly) with M -- more popular tokens survive, so
+  more candidates are generated;
+* the savings of both approximations are fairly stable across M
+  (paper: greedy ~9%, exact ~33%).
+"""
+
+from __future__ import annotations
+
+from conftest import (
+    DEFAULT_THRESHOLD,
+    MATCHER_VARIANTS,
+    MAX_FREQUENCY_SWEEP,
+    PAPER_COST,
+    run_tsj,
+    write_table,
+)
+
+REPORT_MACHINES = 25
+
+
+def compute_maxfreq_sweep(records):
+    """All (variant, M) runs for Figs. 3 and 5."""
+    results = {}
+    for label, kwargs in MATCHER_VARIANTS:
+        for max_frequency in MAX_FREQUENCY_SWEEP:
+            results[(label, max_frequency)] = run_tsj(
+                records,
+                threshold=DEFAULT_THRESHOLD,
+                max_token_frequency=max_frequency,
+                **kwargs,
+            )
+    return results
+
+
+def test_fig3_runtime_vs_maxfreq(benchmark, sweep_corpus, sweep_cache):
+    records = sweep_corpus
+    results = benchmark.pedantic(
+        lambda: sweep_cache.get(
+            "maxfreq-sweep", lambda: compute_maxfreq_sweep(records)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    def seconds(label, max_frequency):
+        pipeline = results[(label, max_frequency)].pipeline
+        return pipeline.rebin(REPORT_MACHINES).simulated_seconds(PAPER_COST)
+
+    rows = []
+    for max_frequency in MAX_FREQUENCY_SWEEP:
+        fuzzy = seconds("fuzzy-token-matching", max_frequency)
+        greedy = seconds("greedy-token-aligning", max_frequency)
+        exact = seconds("exact-token-matching", max_frequency)
+        rows.append(
+            f"{max_frequency:>6d} {fuzzy:>9.1f} {greedy:>9.1f} {exact:>9.1f} "
+            f"{(1 - greedy / fuzzy) * 100:>9.1f}% {(1 - exact / fuzzy) * 100:>9.1f}%"
+        )
+
+    greedy_savings = [
+        1 - seconds("greedy-token-aligning", m) / seconds("fuzzy-token-matching", m)
+        for m in MAX_FREQUENCY_SWEEP
+    ]
+    exact_savings = [
+        1 - seconds("exact-token-matching", m) / seconds("fuzzy-token-matching", m)
+        for m in MAX_FREQUENCY_SWEEP
+    ]
+    mean_greedy = sum(greedy_savings) / len(greedy_savings)
+    mean_exact = sum(exact_savings) / len(exact_savings)
+    fuzzy_curve = [seconds("fuzzy-token-matching", m) for m in MAX_FREQUENCY_SWEEP]
+
+    write_table(
+        "fig3_runtime_vs_maxfreq.txt",
+        [
+            "Fig. 3 -- TSJ runtime (simulated seconds) vs max-frequency M, "
+            f"by matcher ({REPORT_MACHINES} machines)",
+            f"corpus: {len(records)} tokenized names, T = {DEFAULT_THRESHOLD}",
+            "",
+            f"{'M':>6s} {'fuzzy':>9s} {'greedy':>9s} {'exact':>9s} "
+            f"{'greedySav':>10s} {'exactSav':>10s}",
+            *rows,
+            "",
+            f"mean saving: greedy {mean_greedy * 100:.1f}% (paper: 9%), "
+            f"exact {mean_exact * 100:.1f}% (paper: 33%)",
+        ],
+    )
+
+    assert mean_exact > mean_greedy > 0, "saving order must match Fig. 3"
+    # Runtime grows (weakly) with M for the exact algorithm.
+    assert fuzzy_curve[-1] >= fuzzy_curve[0]
+    # Savings are fairly stable across M (no sign flips).
+    assert max(exact_savings) - min(exact_savings) < 0.4

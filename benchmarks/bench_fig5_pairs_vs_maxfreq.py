@@ -1,0 +1,74 @@
+"""Fig. 5: discovered pairs (and recall) vs the max-frequency cut-off M.
+
+Paper series: pairs found by the three matcher variants over M in
+100 -> 1000 at T = 0.1, recall measured against fuzzy-token-matching.
+Paper findings to reproduce in shape:
+
+* pair counts grow with M, but less aggressively than with T (Fig. 4);
+* greedy-token-aligning recall is stable and near-perfect
+  (paper: ~0.999999 across all M);
+* exact-token-matching recall is stable in a band below greedy
+  (paper: 0.974 - 0.985) -- M barely affects the approximation gap
+  because popular tokens are exactly shared anyway.
+"""
+
+from __future__ import annotations
+
+from bench_fig3_runtime_vs_maxfreq import compute_maxfreq_sweep
+from conftest import DEFAULT_THRESHOLD, MAX_FREQUENCY_SWEEP, write_table
+
+from repro.analysis import pair_recall
+
+
+def test_fig5_pairs_vs_maxfreq(benchmark, sweep_corpus, sweep_cache):
+    records = sweep_corpus
+    results = benchmark.pedantic(
+        lambda: sweep_cache.get(
+            "maxfreq-sweep", lambda: compute_maxfreq_sweep(records)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = []
+    greedy_recalls = []
+    exact_recalls = []
+    pair_counts = []
+    for max_frequency in MAX_FREQUENCY_SWEEP:
+        fuzzy = results[("fuzzy-token-matching", max_frequency)].pairs
+        greedy = results[("greedy-token-aligning", max_frequency)].pairs
+        exact = results[("exact-token-matching", max_frequency)].pairs
+        greedy_recall = pair_recall(greedy, fuzzy)
+        exact_recall = pair_recall(exact, fuzzy)
+        greedy_recalls.append(greedy_recall)
+        exact_recalls.append(exact_recall)
+        pair_counts.append(len(fuzzy))
+        rows.append(
+            f"{max_frequency:>6d} {len(fuzzy):>8d} {len(greedy):>8d} "
+            f"{len(exact):>8d} {greedy_recall:>10.5f} {exact_recall:>10.5f}"
+        )
+
+    write_table(
+        "fig5_pairs_vs_maxfreq.txt",
+        [
+            "Fig. 5 -- similar pairs found vs max-frequency M, by matcher",
+            f"corpus: {len(records)} tokenized names, T = {DEFAULT_THRESHOLD}",
+            "",
+            f"{'M':>6s} {'fuzzy':>8s} {'greedy':>8s} {'exact':>8s} "
+            f"{'recall(g)':>10s} {'recall(e)':>10s}",
+            *rows,
+            "",
+            "paper: greedy recall ~0.999999 across M; exact 0.974 - 0.985",
+        ],
+    )
+
+    # Shape assertions.
+    assert pair_counts == sorted(pair_counts), "pairs must not shrink with M"
+    assert all(recall > 0.99 for recall in greedy_recalls), (
+        "greedy-token-aligning recall should be near-perfect across M"
+    )
+    assert all(recall <= g for recall, g in zip(exact_recalls, greedy_recalls)), (
+        "exact-token-matching recall sits below greedy everywhere"
+    )
+    # Exact recall moves in a band, not a cliff (Fig. 5 vs Fig. 4 contrast).
+    assert max(exact_recalls) - min(exact_recalls) < 0.1

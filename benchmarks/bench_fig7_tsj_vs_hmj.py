@@ -1,0 +1,80 @@
+"""Fig. 7: TSJ vs the Hybrid Metric Joiner across cluster sizes.
+
+Paper series: runtime of TSJ and HMJ over 100 -> 1000 machines.  Paper
+findings to reproduce in shape:
+
+* HMJ is an order of magnitude slower (12-15x in the paper) at every
+  cluster size -- name data forms dense clusters in the metric space, so
+  Voronoi partitions are replicated heavily and compared quadratically,
+  whereas TSJ works in the far smaller token domain;
+* the gap is worst at the smallest cluster (the paper's HMJ "did not
+  finish in a reasonable amount of time" on 100 machines).
+"""
+
+from __future__ import annotations
+
+from conftest import (
+    DEFAULT_MAX_FREQUENCY,
+    DEFAULT_THRESHOLD,
+    MACHINE_SWEEP,
+    PAPER_COST,
+    run_tsj,
+    write_table,
+)
+
+
+def test_fig7_tsj_vs_hmj(benchmark, scalability_corpus):
+    from repro.mapreduce import ClusterConfig, MapReduceEngine
+    from repro.metricspace import HMJ
+
+    records = scalability_corpus
+
+    def experiment():
+        tsj = run_tsj(
+            records,
+            threshold=DEFAULT_THRESHOLD,
+            max_token_frequency=DEFAULT_MAX_FREQUENCY,
+        )
+        engine = MapReduceEngine(ClusterConfig(n_machines=10))
+        hmj = HMJ(engine, DEFAULT_THRESHOLD, seed=1).self_join(records)
+        return tsj, hmj
+
+    tsj, hmj = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    # M drops a few popular tokens, so TSJ may legitimately return a few
+    # fewer pairs than the exact metric-space join; never extra ones.
+    assert tsj.pairs <= hmj.pairs
+    missed = len(hmj.pairs) - len(tsj.pairs)
+
+    rows = []
+    ratios = []
+    for machines in MACHINE_SWEEP:
+        tsj_seconds = tsj.pipeline.rebin(machines).simulated_seconds(PAPER_COST)
+        hmj_seconds = hmj.pipeline.rebin(machines).simulated_seconds(PAPER_COST)
+        ratios.append(hmj_seconds / tsj_seconds)
+        rows.append(
+            f"{machines:>9d} {tsj_seconds:>10.1f} {hmj_seconds:>10.1f} "
+            f"{hmj_seconds / tsj_seconds:>7.1f}x"
+        )
+
+    write_table(
+        "fig7_tsj_vs_hmj.txt",
+        [
+            "Fig. 7 -- TSJ vs Hybrid Metric Joiner (simulated seconds) vs "
+            "machines",
+            f"corpus: {len(records)} tokenized names, T = {DEFAULT_THRESHOLD}, "
+            f"M = {DEFAULT_MAX_FREQUENCY}",
+            f"pairs: TSJ = {len(tsj.pairs)}, HMJ = {len(hmj.pairs)} "
+            f"(TSJ misses {missed} via dropped popular tokens)",
+            "",
+            f"{'machines':>9s} {'TSJ':>10s} {'HMJ':>10s} {'HMJ/TSJ':>8s}",
+            *rows,
+            "",
+            "paper: TSJ 12-15x faster on 250-1000 machines; HMJ timed out "
+            "on 100.",
+        ],
+    )
+
+    assert all(ratio > 5.0 for ratio in ratios), (
+        "HMJ should be an order of magnitude slower (Fig. 7)"
+    )

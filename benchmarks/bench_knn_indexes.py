@@ -1,0 +1,113 @@
+"""Microbenchmark: metric-index k-NN queries vs linear scan.
+
+Sec. II motivates proving NSLD a metric partly so it can power "all
+flavors of K-nearest-neighbor queries on metric spaces".  This bench
+measures the BK-tree (SLD) and VP-tree (NSLD) against brute-force scans
+on an account-name corpus, in real wall-clock time, and reports the
+distance-evaluation savings.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import write_table
+
+from repro.data import NameGenerator
+from repro.distances import nsld, sld
+from repro.knn import BKTree, VPTree
+from repro.tokenize import tokenize
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    names = NameGenerator(seed=31).generate(1500)
+    return [tokenize(name) for name in names]
+
+
+@pytest.fixture(scope="module")
+def queries(corpus):
+    return corpus[:20]
+
+
+class TestKnnIndexes:
+    def test_linear_scan_range(self, benchmark, corpus, queries):
+        benchmark.group = "range-query"
+
+        def scan():
+            return sum(
+                1
+                for q in queries
+                for record in corpus
+                if sld(q, record) <= 2
+            )
+
+        hits = benchmark.pedantic(scan, rounds=1, iterations=1)
+        assert hits >= len(queries)  # each query matches itself
+
+    def test_bktree_range(self, benchmark, corpus, queries):
+        benchmark.group = "range-query"
+        tree = BKTree()
+        tree.extend(corpus)
+
+        def query_all():
+            total, evaluations = 0, 0
+            for q in queries:
+                total += len(tree.within(q, 2))
+                evaluations += tree.last_query_evaluations
+            return total, evaluations
+
+        hits, evaluations = benchmark.pedantic(query_all, rounds=1, iterations=1)
+        brute = len(queries) * len(corpus)
+        write_table(
+            "knn_indexes.txt",
+            [
+                "Metric-index queries over the NSLD/SLD space",
+                f"corpus: {len(corpus)} names, {len(queries)} queries",
+                "",
+                f"BK-tree SLD<=2 range: {hits} hits, {evaluations} distance "
+                f"evaluations vs {brute} brute ({evaluations / brute:.0%}).",
+                "wall-clock: see pytest-benchmark groups 'range-query' and "
+                "'knn-query'.",
+            ],
+        )
+        assert evaluations < brute * 0.6
+
+    def test_linear_scan_knn(self, benchmark, corpus, queries):
+        benchmark.group = "knn-query"
+
+        def scan():
+            return [
+                sorted(nsld(q, record) for record in corpus)[:5]
+                for q in queries
+            ]
+
+        results = benchmark.pedantic(scan, rounds=1, iterations=1)
+        assert len(results) == len(queries)
+
+    def test_vptree_knn(self, benchmark, corpus, queries):
+        benchmark.group = "knn-query"
+        tree = VPTree(corpus, seed=3)
+
+        def query_all():
+            return [tree.nearest(q, 5) for q in queries]
+
+        results = benchmark.pedantic(query_all, rounds=1, iterations=1)
+        # Cross-check against the brute-force distances for one query.
+        brute = sorted(nsld(queries[0], record) for record in corpus)[:5]
+        assert [d for _, d in results[0]] == pytest.approx(brute)
+
+    def test_fuzzymatch_knn(self, benchmark, corpus, queries):
+        """The FMS-based related-work retriever on the same workload."""
+        benchmark.group = "knn-query"
+        from repro.knn import FuzzyMatchIndex
+
+        index = FuzzyMatchIndex(
+            [list(record.tokens) for record in corpus], cache_size=0
+        )
+
+        def query_all():
+            return [index.query(list(q.tokens), 5) for q in queries]
+
+        results = benchmark.pedantic(query_all, rounds=1, iterations=1)
+        # Each query record is in the corpus, so its own FMS is 1.0.
+        assert all(hits and hits[0][1] == 1.0 for hits in results)

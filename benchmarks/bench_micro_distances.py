@@ -1,0 +1,79 @@
+"""Microbenchmarks of the distance kernels (real wall-clock).
+
+The verification workhorses of the whole system: full-matrix vs banded
+thresholded Levenshtein, and Hungarian vs greedy NSLD verification
+(Sec. III-F vs III-G.5).  Real timings via pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import NameGenerator
+from repro.distances import (
+    levenshtein,
+    levenshtein_within,
+    nsld,
+    nsld_greedy,
+    nsld_within,
+)
+from repro.tokenize import tokenize
+
+
+@pytest.fixture(scope="module")
+def name_pairs():
+    generator = NameGenerator(seed=5)
+    names = generator.generate(200)
+    return list(zip(names[:100], names[100:]))
+
+
+@pytest.fixture(scope="module")
+def record_pairs(name_pairs):
+    return [(tokenize(a), tokenize(b)) for a, b in name_pairs]
+
+
+class TestLevenshteinKernels:
+    def test_full_matrix(self, benchmark, name_pairs):
+        benchmark.group = "levenshtein"
+        total = benchmark(
+            lambda: sum(levenshtein(a, b) for a, b in name_pairs)
+        )
+        assert total > 0
+
+    def test_banded_threshold(self, benchmark, name_pairs):
+        """The banded DP does strictly less work at tight thresholds."""
+        benchmark.group = "levenshtein"
+        found = benchmark(
+            lambda: sum(
+                1
+                for a, b in name_pairs
+                if levenshtein_within(a, b, 2) is not None
+            )
+        )
+        assert found >= 0
+
+
+class TestNsldKernels:
+    def test_hungarian_verification(self, benchmark, record_pairs):
+        benchmark.group = "nsld"
+        total = benchmark(lambda: sum(nsld(a, b) for a, b in record_pairs))
+        assert total > 0
+
+    def test_greedy_verification(self, benchmark, record_pairs):
+        benchmark.group = "nsld"
+        total = benchmark(
+            lambda: sum(nsld_greedy(a, b) for a, b in record_pairs)
+        )
+        assert total > 0
+
+    def test_thresholded_verification(self, benchmark, record_pairs):
+        """nsld_within exits early via Lemma 6 for most far pairs."""
+        benchmark.group = "nsld"
+        found = benchmark(
+            lambda: sum(
+                1
+                for a, b in record_pairs
+                if nsld_within(a, b, 0.1) is not None
+            )
+        )
+        assert found >= 0

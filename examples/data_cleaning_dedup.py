@@ -1,0 +1,80 @@
+"""Record deduplication for data cleaning (Sec. I: "well-established
+applications of data integration and cleaning").
+
+A warehouse holds customer records whose names arrive from multiple
+sources with typos, shuffles and abbreviations.  The example deduplicates
+with the *exact-token-matching* approximation -- the configuration the
+paper recommends for data cleaning, "where missing some similar records
+does not have a significant financial impact, and the computational
+resources are scarce" (Sec. V-C) -- and contrasts its recall and cost with
+the full fuzzy join.
+
+Run:  python examples/data_cleaning_dedup.py
+"""
+
+from repro.analysis import cluster_pairs, join_quality
+from repro.mapreduce import ClusterConfig, MapReduceEngine
+from repro.tokenize import tokenize
+from repro.tsj import TSJ, TSJConfig
+
+#: Customer records from three "sources" with characteristic noise.
+CUSTOMERS = [
+    # source A: clean
+    "jonathan a williamson",
+    "elizabeth garcia",
+    "mohammed al farsi",
+    "katherine o brien",
+    "christopher nolan",
+    "maria fernanda lopez",
+    # source B: shuffles and punctuation
+    "williamson, jonathan a",
+    "garcia, elizabeth",
+    "al farsi, mohammed",
+    # source C: typos and abbreviations
+    "jonathan a willamson",      # dropped letter
+    "jonathon j williamsom",     # every token edited: no shared token
+    "elizabet garcia",           # dropped letter
+    "katherine obrien",          # merged token
+    "kristopher nolan",          # phonetic respelling
+    "maria f lopez",             # abbreviated middle name
+    # genuinely distinct people that look superficially close
+    "jonathan b wilson",
+    "elisabeth gracia lund",
+    "nolan christopher james",   # different person, shuffled tokens
+]
+
+
+def run(matching: str):
+    records = [tokenize(name) for name in CUSTOMERS]
+    config = TSJConfig(
+        threshold=0.15, max_token_frequency=None, matching=matching
+    )
+    engine = MapReduceEngine(ClusterConfig(n_machines=4))
+    return TSJ(config, engine).self_join(records)
+
+
+def main() -> None:
+    fuzzy = run("fuzzy")
+    exact = run("exact")
+
+    print(f"fuzzy matching : {len(fuzzy.pairs)} duplicate pairs, "
+          f"{fuzzy.simulated_seconds():.1f}s simulated")
+    print(f"exact matching : {len(exact.pairs)} duplicate pairs, "
+          f"{exact.simulated_seconds():.1f}s simulated")
+    quality = join_quality(exact.pairs, fuzzy.pairs)
+    print(f"exact-matching recall vs fuzzy: {quality.recall:.3f} "
+          f"(precision {quality.precision:.1f})")
+
+    print("\nduplicate groups (fuzzy join):")
+    for cluster in cluster_pairs(fuzzy.pairs):
+        print("  " + " | ".join(sorted(CUSTOMERS[i] for i in cluster)))
+
+    missed = fuzzy.pairs - exact.pairs
+    if missed:
+        print("\npairs only the fuzzy join finds (every token edited):")
+        for a, b in sorted(missed):
+            print(f"  {CUSTOMERS[a]}  ~  {CUSTOMERS[b]}")
+
+
+if __name__ == "__main__":
+    main()

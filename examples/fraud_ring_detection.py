@@ -1,0 +1,66 @@
+"""Fraud-ring detection: the paper's motivating application (Sec. I-A).
+
+Plants adversarial account rings in a synthetic name corpus, runs the TSJ
+NSLD self-join, clusters the similarity graph, and scores how many planted
+rings the pipeline recovers.
+
+Run:  python examples/fraud_ring_detection.py [corpus_size]
+"""
+
+import sys
+
+from repro.analysis import cluster_pairs, ring_detection_report
+from repro.data import corpus_with_rings
+from repro.mapreduce import ClusterConfig, MapReduceEngine
+from repro.tokenize import tokenize
+from repro.tsj import TSJ, TSJConfig
+
+
+def main(corpus_size: int = 600) -> None:
+    # ------------------------------------------------------------------
+    # 1. Build a labelled corpus: innocent accounts + planted rings of
+    #    slightly-edited names (the adversary of Sec. I-A).
+    # ------------------------------------------------------------------
+    n_rings = max(corpus_size // 60, 1)
+    ring_size = 6
+    n_background = corpus_size - n_rings * ring_size
+    names, rings = corpus_with_rings(
+        n_background, n_rings, ring_size, seed=7, max_edits=2
+    )
+    print(f"corpus: {len(names)} accounts, {n_rings} planted rings of {ring_size}")
+    print("example ring:", " | ".join(names[i] for i in sorted(rings[0])))
+
+    # ------------------------------------------------------------------
+    # 2. Self-join under NSLD with the paper's default parameters.
+    # ------------------------------------------------------------------
+    records = [tokenize(name) for name in names]
+    config = TSJConfig(threshold=0.15, max_token_frequency=1000)
+    engine = MapReduceEngine(ClusterConfig(n_machines=10))
+    result = TSJ(config, engine).self_join(records)
+    print(
+        f"\njoin: {len(result.pairs)} similar pairs, "
+        f"{result.simulated_seconds():.1f}s simulated on 10 machines"
+    )
+
+    # ------------------------------------------------------------------
+    # 3. Cluster the similarity graph and score ring recovery.
+    # ------------------------------------------------------------------
+    clusters = cluster_pairs(result.pairs, min_size=2)
+    report = ring_detection_report(clusters, rings)
+    print(f"\nclusters found: {report.clusters}")
+    print(
+        f"rings detected: {report.rings_detected}/{report.rings_total} "
+        f"(ring recall {report.ring_recall:.2f})"
+    )
+    print(
+        f"ring members recovered: {report.members_recovered}/"
+        f"{report.members_total} (member recall {report.member_recall:.2f})"
+    )
+
+    print("\nlargest detected clusters:")
+    for cluster in clusters[:5]:
+        print("  " + " | ".join(sorted(names[i] for i in cluster)))
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 600)

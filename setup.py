@@ -1,0 +1,9 @@
+"""Shim so `pip install -e .` works without the `wheel` package.
+
+All metadata lives in pyproject.toml; this file only enables the legacy
+editable-install path in environments lacking PEP 660 wheel support.
+"""
+
+from setuptools import setup
+
+setup()

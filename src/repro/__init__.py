@@ -1,0 +1,63 @@
+"""Reproduction of *Scalable Similarity Joins of Tokenized Strings*
+(Metwally & Huang, ICDE 2019).
+
+Public API highlights
+---------------------
+
+Distances (Sec. II):
+
+* :func:`repro.distances.nsld` / :func:`repro.distances.sld` -- the paper's
+  Normalized Setwise Levenshtein Distance and its unnormalised form.
+* :func:`repro.distances.nld` / :func:`repro.distances.levenshtein` -- the
+  underlying string distances.
+
+Joining (Sec. III):
+
+* :class:`repro.tsj.TSJ` -- the Tokenized-String Joiner framework.
+* :class:`repro.tsj.TSJConfig` -- thresholds, approximations, dedup
+  strategy.
+
+Substrates and baselines:
+
+* :mod:`repro.mapreduce` -- the simulated MapReduce cluster.
+* :mod:`repro.joins` -- PassJoin / PassJoinK / MassJoin / prefix-filter /
+  Vernica string-join algorithms.
+* :mod:`repro.metricspace` -- ClusterJoin / MR-MAPSS / HMJ metric-space
+  joins.
+* :mod:`repro.data` -- synthetic name corpora and the fraud-ring model.
+* :mod:`repro.analysis` -- ROC, recall and similarity-graph clustering.
+"""
+
+from repro.core import JoinReport, compare_names, nsld_join
+from repro.distances import (
+    levenshtein,
+    nld,
+    nsld,
+    nsld_greedy,
+    nsld_within,
+    sld,
+    sld_greedy,
+)
+from repro.tokenize import TokenizedString, Tokenizer, tokenize
+from repro.tsj import TSJ, TSJConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "TokenizedString",
+    "Tokenizer",
+    "tokenize",
+    "levenshtein",
+    "nld",
+    "sld",
+    "sld_greedy",
+    "nsld",
+    "nsld_greedy",
+    "nsld_within",
+    "TSJ",
+    "TSJConfig",
+    "nsld_join",
+    "compare_names",
+    "JoinReport",
+    "__version__",
+]

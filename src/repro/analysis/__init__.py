@@ -1,0 +1,23 @@
+"""Evaluation analytics: ROC curves, join recall, and ring clustering.
+
+* :mod:`repro.analysis.roc` -- ROC curves and AUC for distance-based fraud
+  prediction (Sec. V-D / Fig. 6).
+* :mod:`repro.analysis.recall` -- precision/recall of a join result
+  against an oracle or a reference run (Sec. V-B / Figs. 4-5).
+* :mod:`repro.analysis.graphs` -- the similarity-graph clustering of
+  Sec. I-A: similar-pair edges, connected components, ring detection
+  quality.
+"""
+
+from repro.analysis.graphs import cluster_pairs, ring_detection_report
+from repro.analysis.recall import join_quality, pair_recall
+from repro.analysis.roc import auc, roc_curve
+
+__all__ = [
+    "roc_curve",
+    "auc",
+    "pair_recall",
+    "join_quality",
+    "cluster_pairs",
+    "ring_detection_report",
+]

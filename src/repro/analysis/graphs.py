@@ -1,0 +1,141 @@
+"""Similarity-graph clustering: from similar pairs to fraud rings.
+
+Sec. I-A's pipeline: similar account pairs become edges of a similarity
+graph; the graph is clustered; clusters flag potential rings.  We cluster
+with connected components (union-find) -- the natural choice when edges
+already encode "suspiciously similar" -- and report how well the detected
+clusters recover planted ground-truth rings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+class _UnionFind:
+    """Path-halving union-find over integer ids."""
+
+    def __init__(self) -> None:
+        self.parent: dict[int, int] = {}
+
+    def find(self, item: int) -> int:
+        parent = self.parent.setdefault(item, item)
+        while parent != item:
+            grandparent = self.parent[parent]
+            self.parent[item] = grandparent
+            item, parent = parent, self.parent.setdefault(grandparent, grandparent)
+        return item
+
+    def union(self, a: int, b: int) -> None:
+        root_a, root_b = self.find(a), self.find(b)
+        if root_a != root_b:
+            # Attach the larger root id under the smaller for determinism.
+            if root_a < root_b:
+                self.parent[root_b] = root_a
+            else:
+                self.parent[root_a] = root_b
+
+
+def cluster_pairs(
+    pairs: Iterable[tuple[int, int]], min_size: int = 2
+) -> list[set[int]]:
+    """Connected components of the similarity graph.
+
+    Parameters
+    ----------
+    pairs:
+        Similar-pair edges (unordered).
+    min_size:
+        Smallest cluster to report (2 keeps every non-trivial component).
+
+    Returns clusters sorted by (descending size, smallest member) for
+    deterministic output.
+
+    Examples
+    --------
+    >>> cluster_pairs([(0, 1), (1, 2), (5, 6)])
+    [{0, 1, 2}, {5, 6}]
+    """
+    uf = _UnionFind()
+    for a, b in pairs:
+        uf.union(a, b)
+    components: dict[int, set[int]] = {}
+    for node in list(uf.parent):
+        components.setdefault(uf.find(node), set()).add(node)
+    clusters = [nodes for nodes in components.values() if len(nodes) >= min_size]
+    return sorted(clusters, key=lambda nodes: (-len(nodes), min(nodes)))
+
+
+@dataclass(frozen=True)
+class RingDetectionReport:
+    """How well detected clusters recover planted rings."""
+
+    rings_total: int
+    rings_detected: int
+    members_total: int
+    members_recovered: int
+    clusters: int
+
+    @property
+    def ring_recall(self) -> float:
+        """Fraction of planted rings with >= 2 members in one cluster."""
+        if self.rings_total == 0:
+            return 1.0
+        return self.rings_detected / self.rings_total
+
+    @property
+    def member_recall(self) -> float:
+        if self.members_total == 0:
+            return 1.0
+        return self.members_recovered / self.members_total
+
+
+def to_networkx(pairs: Iterable[tuple[int, int]], distances=None):
+    """Export the similarity graph to a ``networkx.Graph``.
+
+    Edges carry a ``distance`` attribute when ``distances`` (a mapping
+    from unordered pairs) is supplied.  Useful for plugging richer
+    clustering algorithms than connected components into the Sec. I-A
+    pipeline.  Requires the optional ``networkx`` dependency.
+    """
+    import networkx as nx
+
+    graph = nx.Graph()
+    for a, b in pairs:
+        key = (a, b) if a < b else (b, a)
+        if distances is not None and key in distances:
+            graph.add_edge(a, b, distance=distances[key])
+        else:
+            graph.add_edge(a, b)
+    return graph
+
+
+def ring_detection_report(
+    clusters: Sequence[set[int]], rings: Sequence[set[int]]
+) -> RingDetectionReport:
+    """Score detected ``clusters`` against planted ground-truth ``rings``.
+
+    A ring counts as *detected* when at least two of its members land in
+    the same cluster (one similar pair suffices to link accounts for
+    manual investigation); *recovered members* counts ring members placed
+    in a cluster containing at least one other member of their ring.
+    """
+    detected = 0
+    recovered = 0
+    for ring in rings:
+        best_overlap = 0
+        for cluster in clusters:
+            overlap = len(ring & cluster)
+            if overlap > best_overlap:
+                best_overlap = overlap
+        if best_overlap >= 2:
+            detected += 1
+            recovered += best_overlap
+    return RingDetectionReport(
+        rings_total=len(rings),
+        rings_detected=detected,
+        members_total=sum(len(ring) for ring in rings),
+        members_recovered=recovered,
+        clusters=len(clusters),
+    )

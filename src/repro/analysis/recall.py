@@ -1,0 +1,73 @@
+"""Join-quality metrics: precision and recall of discovered pairs.
+
+Sec. V-B measures approximation quality as *recall*: "the ratio between
+the number of the discovered pairs to the number of pairs discovered by
+fuzzy-token-matching" -- precision stays 1.0 by construction because every
+approximation only loses candidates before an exact verification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+
+def _normalise(pairs: Iterable[tuple[int, int]]) -> set[tuple[int, int]]:
+    return {(a, b) if a < b else (b, a) for a, b in pairs}
+
+
+def pair_recall(
+    found: Iterable[tuple[int, int]], reference: Iterable[tuple[int, int]]
+) -> float:
+    """``|found ∩ reference| / |reference|`` over unordered pairs.
+
+    Returns 1.0 when the reference is empty (nothing to miss).
+
+    Examples
+    --------
+    >>> pair_recall([(1, 0)], [(0, 1), (2, 3)])
+    0.5
+    """
+    reference_set = _normalise(reference)
+    if not reference_set:
+        return 1.0
+    return len(_normalise(found) & reference_set) / len(reference_set)
+
+
+@dataclass(frozen=True)
+class JoinQuality:
+    """Precision/recall summary of one join run against a reference."""
+
+    precision: float
+    recall: float
+    found: int
+    reference: int
+
+    @property
+    def f1(self) -> float:
+        if self.precision + self.recall == 0:
+            return 0.0
+        return 2 * self.precision * self.recall / (self.precision + self.recall)
+
+
+def join_quality(
+    found: Iterable[tuple[int, int]], reference: Iterable[tuple[int, int]]
+) -> JoinQuality:
+    """Full precision/recall report of ``found`` vs ``reference``.
+
+    Examples
+    --------
+    >>> join_quality([(0, 1)], [(0, 1), (2, 3)])
+    JoinQuality(precision=1.0, recall=0.5, found=1, reference=2)
+    """
+    found_set = _normalise(found)
+    reference_set = _normalise(reference)
+    intersection = len(found_set & reference_set)
+    precision = intersection / len(found_set) if found_set else 1.0
+    recall = intersection / len(reference_set) if reference_set else 1.0
+    return JoinQuality(
+        precision=precision,
+        recall=recall,
+        found=len(found_set),
+        reference=len(reference_set),
+    )

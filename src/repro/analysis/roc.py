@@ -1,0 +1,85 @@
+"""ROC curves for distance-based fraud prediction (Sec. V-D / Fig. 6).
+
+Accounts are scored by the distance between their old and new names;
+larger distances indicate fraud ("assuming the correlation between the
+magnitude of the name change and the likelihood of fraud").  Sweeping the
+decision threshold over the observed scores traces the ROC curve; the area
+under it summarises how well a distance measure separates the classes.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def roc_curve(
+    scores: Sequence[float], labels: Sequence[bool]
+) -> tuple[list[float], list[float], list[float]]:
+    """ROC curve of a score that is *higher for positives*.
+
+    Parameters
+    ----------
+    scores:
+        Predicted scores (here: name-change distances).
+    labels:
+        ``True`` for positive (fraudulent) instances.
+
+    Returns
+    -------
+    (fpr, tpr, thresholds):
+        Parallel lists tracing the curve from (0, 0) to (1, 1), one point
+        per distinct score threshold (descending).
+
+    Examples
+    --------
+    >>> fpr, tpr, _ = roc_curve([0.9, 0.8, 0.3, 0.1], [True, True, False, False])
+    >>> (fpr[-1], tpr[-1])
+    (1.0, 1.0)
+    """
+    if len(scores) != len(labels):
+        raise ValueError("scores and labels must align")
+    if not scores:
+        return [0.0], [0.0], [float("inf")]
+    n_positive = sum(1 for label in labels if label)
+    n_negative = len(labels) - n_positive
+    if n_positive == 0 or n_negative == 0:
+        raise ValueError("need both classes for a ROC curve")
+
+    ranked = sorted(zip(scores, labels), key=lambda item: -item[0])
+    fpr = [0.0]
+    tpr = [0.0]
+    thresholds = [float("inf")]
+    true_positives = false_positives = 0
+    index = 0
+    while index < len(ranked):
+        threshold = ranked[index][0]
+        # Consume all instances tied at this score before emitting a point.
+        while index < len(ranked) and ranked[index][0] == threshold:
+            if ranked[index][1]:
+                true_positives += 1
+            else:
+                false_positives += 1
+            index += 1
+        fpr.append(false_positives / n_negative)
+        tpr.append(true_positives / n_positive)
+        thresholds.append(threshold)
+    return fpr, tpr, thresholds
+
+
+def auc(fpr: Sequence[float], tpr: Sequence[float]) -> float:
+    """Area under a ROC curve by the trapezoid rule.
+
+    Examples
+    --------
+    >>> auc([0.0, 0.0, 1.0], [0.0, 1.0, 1.0])
+    1.0
+    >>> auc([0.0, 1.0], [0.0, 1.0])
+    0.5
+    """
+    if len(fpr) != len(tpr) or len(fpr) < 2:
+        raise ValueError("need at least two aligned curve points")
+    area = 0.0
+    for i in range(1, len(fpr)):
+        width = fpr[i] - fpr[i - 1]
+        area += width * (tpr[i] + tpr[i - 1]) / 2.0
+    return area

@@ -1,0 +1,192 @@
+"""Command-line interface: ``repro-tsj`` (or ``python -m repro``).
+
+Subcommands
+-----------
+
+``generate``  Write a synthetic name corpus (optionally with planted fraud
+              rings) to a file, one name per line.
+``join``      NSLD-self-join a file of names with TSJ and print the similar
+              pairs and detected clusters.
+``compare``   Print the NSLD between two names.
+``roc``       Run the Fig. 6 name-change ROC comparison and print AUCs.
+``knn``       Query a file of names for the nearest neighbours of a name
+              (VP-tree over NSLD).
+``tune``      Coordinate-descent search for (T, M) against a corpus with
+              planted rings (footnote 5 of the paper).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.analysis import auc, roc_curve
+from repro.core import compare_names, nsld_join
+from repro.data import evaluation_corpus, name_change_dataset
+from repro.distances import fuzzy_cosine, fuzzy_dice, fuzzy_jaccard
+from repro.tokenize import tokenize
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    names, rings = evaluation_corpus(
+        args.size,
+        ring_fraction=args.ring_fraction,
+        ring_size=args.ring_size,
+        seed=args.seed,
+    )
+    with open(args.output, "w", encoding="utf-8") as handle:
+        for name in names:
+            handle.write(name + "\n")
+    print(f"wrote {len(names)} names ({len(rings)} planted rings) to {args.output}")
+    return 0
+
+
+def _cmd_join(args: argparse.Namespace) -> int:
+    with open(args.input, encoding="utf-8") as handle:
+        names = [line.strip() for line in handle if line.strip()]
+    report = nsld_join(
+        names,
+        threshold=args.threshold,
+        max_token_frequency=args.max_frequency,
+        n_machines=args.machines,
+        matching=args.matching,
+        aligning=args.aligning,
+    )
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            for name_a, name_b, distance in report.pairs:
+                handle.write(f"{distance:.6f}\t{name_a}\t{name_b}\n")
+    print(f"# {len(report.pairs)} similar pairs (T = {args.threshold})")
+    for name_a, name_b, distance in report.pairs[: args.limit]:
+        print(f"{distance:.4f}\t{name_a}\t{name_b}")
+    print(f"# {len(report.clusters)} clusters")
+    for cluster in report.clusters[: args.limit]:
+        print("  " + " | ".join(sorted(cluster)))
+    print(f"# simulated runtime: {report.simulated_seconds:.1f}s "
+          f"on {args.machines} machines")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    print(f"{compare_names(args.name_a, args.name_b):.6f}")
+    return 0
+
+
+def _cmd_roc(args: argparse.Namespace) -> int:
+    triples = name_change_dataset(args.size, seed=args.seed)
+    labels = [is_fraud for _, _, is_fraud in triples]
+    measures = {
+        "NSLD": lambda old, new: compare_names(old, new),
+        "1-FJaccard": lambda old, new: 1.0
+        - fuzzy_jaccard(tokenize(old).tokens, tokenize(new).tokens, 0.8),
+        "1-FCosine": lambda old, new: 1.0
+        - fuzzy_cosine(tokenize(old).tokens, tokenize(new).tokens, 0.8),
+        "1-FDice": lambda old, new: 1.0
+        - fuzzy_dice(tokenize(old).tokens, tokenize(new).tokens, 0.8),
+    }
+    for label, measure in measures.items():
+        scores = [measure(old, new) for old, new, _ in triples]
+        fpr, tpr, _ = roc_curve(scores, labels)
+        print(f"{label:12s} AUC = {auc(fpr, tpr):.4f}")
+    return 0
+
+
+def _cmd_knn(args: argparse.Namespace) -> int:
+    from repro.knn import VPTree
+
+    with open(args.input, encoding="utf-8") as handle:
+        names = [line.strip() for line in handle if line.strip()]
+    tree = VPTree([tokenize(name) for name in names])
+    for item, distance in tree.nearest(tokenize(args.query), args.k):
+        print(f"{distance:.4f}\t{item}")
+    return 0
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    from repro.analysis.tuning import tune_parameters
+    from repro.data import corpus_with_rings
+
+    names, rings = corpus_with_rings(
+        args.background, args.rings, args.ring_size, seed=args.seed
+    )
+    records = [tokenize(name) for name in names]
+    truth = {
+        (a, b)
+        for ring in rings
+        for a in ring
+        for b in ring
+        if a < b
+    }
+    result = tune_parameters(records, truth, beta=args.beta)
+    print(
+        f"best: T = {result.threshold}, M = {result.max_token_frequency}, "
+        f"F{args.beta:g} = {result.score:.3f} "
+        f"({result.evaluations} evaluations)"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-tsj",
+        description="Scalable similarity joins of tokenized strings "
+        "(Metwally & Huang, ICDE 2019 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    generate = sub.add_parser("generate", help="write a synthetic corpus")
+    generate.add_argument("output")
+    generate.add_argument("--size", type=int, default=1000)
+    generate.add_argument("--ring-fraction", type=float, default=0.3)
+    generate.add_argument("--ring-size", type=int, default=5)
+    generate.add_argument("--seed", type=int, default=0)
+    generate.set_defaults(func=_cmd_generate)
+
+    join = sub.add_parser("join", help="NSLD-self-join a file of names")
+    join.add_argument("input")
+    join.add_argument("--threshold", type=float, default=0.1)
+    join.add_argument("--max-frequency", type=int, default=1000)
+    join.add_argument("--machines", type=int, default=10)
+    join.add_argument("--matching", choices=["fuzzy", "exact"], default="fuzzy")
+    join.add_argument(
+        "--aligning", choices=["hungarian", "greedy"], default="hungarian"
+    )
+    join.add_argument("--limit", type=int, default=50)
+    join.add_argument("--output", help="also write all pairs to a TSV file")
+    join.set_defaults(func=_cmd_join)
+
+    compare = sub.add_parser("compare", help="NSLD between two names")
+    compare.add_argument("name_a")
+    compare.add_argument("name_b")
+    compare.set_defaults(func=_cmd_compare)
+
+    roc = sub.add_parser("roc", help="Fig. 6 distance-measure ROC comparison")
+    roc.add_argument("--size", type=int, default=1000)
+    roc.add_argument("--seed", type=int, default=0)
+    roc.set_defaults(func=_cmd_roc)
+
+    knn = sub.add_parser("knn", help="nearest neighbours of a name")
+    knn.add_argument("input", help="file of names, one per line")
+    knn.add_argument("query")
+    knn.add_argument("-k", type=int, default=5)
+    knn.set_defaults(func=_cmd_knn)
+
+    tune = sub.add_parser("tune", help="search (T, M) on a ring corpus")
+    tune.add_argument("--background", type=int, default=100)
+    tune.add_argument("--rings", type=int, default=5)
+    tune.add_argument("--ring-size", type=int, default=4)
+    tune.add_argument("--beta", type=float, default=1.0)
+    tune.add_argument("--seed", type=int, default=0)
+    tune.set_defaults(func=_cmd_tune)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,16 @@
+"""High-level convenience API over the TSJ framework.
+
+For users who just want to join raw name strings without touching the
+tokenizer, engine or config machinery::
+
+    from repro.core import nsld_join
+
+    report = nsld_join(["barak obama", "borak obama", "john smith"],
+                       threshold=0.15)
+    report.pairs            # [("barak obama", "borak obama", 0.09...)]
+    report.clusters         # [{"barak obama", "borak obama"}]
+"""
+
+from repro.core.api import JoinReport, compare_names, nsld_join
+
+__all__ = ["nsld_join", "compare_names", "JoinReport"]

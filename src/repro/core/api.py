@@ -1,0 +1,109 @@
+"""The front-door API: join raw strings, get back similar pairs and rings.
+
+These helpers wrap the full pipeline -- tokenization (whitespace +
+punctuation, as in the paper's evaluation), the TSJ join, and the
+similarity-graph clustering of Sec. I-A -- behind two calls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.analysis.graphs import cluster_pairs
+from repro.distances import nsld
+from repro.mapreduce import ClusterConfig, MapReduceEngine
+from repro.tokenize import Tokenizer
+from repro.tsj import TSJ, TSJConfig
+
+
+@dataclass
+class JoinReport:
+    """Human-oriented result of :func:`nsld_join`."""
+
+    #: ``(name_a, name_b, distance)`` triples, ascending by distance.
+    pairs: list[tuple[str, str, float]]
+    #: Clusters of mutually-linked names (potential rings), largest first.
+    clusters: list[set[str]]
+    #: Index pairs into the input list, for positional bookkeeping.
+    index_pairs: set[tuple[int, int]]
+    #: Simulated cluster runtime of the join (seconds).
+    simulated_seconds: float
+
+
+def nsld_join(
+    names: Sequence[str],
+    threshold: float = 0.1,
+    max_token_frequency: int | None = 1000,
+    n_machines: int = 10,
+    tokenizer: Tokenizer | None = None,
+    **config_overrides,
+) -> JoinReport:
+    """Self-join raw name strings under NSLD with the TSJ framework.
+
+    Parameters
+    ----------
+    names:
+        The raw strings to compare pairwise.
+    threshold:
+        NSLD join threshold ``T`` (paper default 0.1).
+    max_token_frequency:
+        The popular-token cut-off ``M`` (``None`` = lossless).
+    n_machines:
+        Simulated cluster size.
+    tokenizer:
+        Defaults to whitespace+punctuation with case folding.
+    config_overrides:
+        Any further :class:`repro.tsj.TSJConfig` field (``matching``,
+        ``aligning``, ``dedup``, ...).
+
+    Examples
+    --------
+    >>> report = nsld_join(["barak obama", "borak obama", "john smith"],
+    ...                    threshold=0.15, max_token_frequency=None)
+    >>> [(a, b) for a, b, _ in report.pairs]
+    [('barak obama', 'borak obama')]
+    """
+    tokenizer = tokenizer or Tokenizer()
+    records = [tokenizer.tokenize(name) for name in names]
+    config = TSJConfig(
+        threshold=threshold,
+        max_token_frequency=max_token_frequency,
+        **config_overrides,
+    )
+    engine = MapReduceEngine(ClusterConfig(n_machines=n_machines))
+    result = TSJ(config, engine).self_join(records)
+
+    named_pairs = sorted(
+        (
+            (names[a], names[b], result.distances[(a, b)])
+            for a, b in result.pairs
+        ),
+        key=lambda triple: (triple[2], triple[0], triple[1]),
+    )
+    clusters = [
+        {names[index] for index in cluster}
+        for cluster in cluster_pairs(result.pairs)
+    ]
+    return JoinReport(
+        pairs=named_pairs,
+        clusters=clusters,
+        index_pairs=result.pairs,
+        simulated_seconds=result.simulated_seconds(),
+    )
+
+
+def compare_names(
+    name_a: str, name_b: str, tokenizer: Tokenizer | None = None
+) -> float:
+    """NSLD between two raw strings (tokenized with the default tokenizer).
+
+    Examples
+    --------
+    >>> compare_names("barak obama", "obama barak")
+    0.0
+    >>> round(compare_names("barak obama", "burak ubama"), 3)
+    0.182
+    """
+    tokenizer = tokenizer or Tokenizer()
+    return nsld(tokenizer.tokenize(name_a), tokenizer.tokenize(name_b))

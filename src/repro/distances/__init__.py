@@ -1,0 +1,99 @@
+"""Distance measures over strings and tokenized strings.
+
+This package implements every distance the paper defines, uses, or compares
+against:
+
+* :func:`levenshtein` / :func:`levenshtein_within` -- character-level edit
+  distance (Def. 1) and its thresholded banded variant.
+* :func:`nld` / :func:`nld_within` -- Normalized Levenshtein Distance
+  (Def. 2, borrowed from Li & Liu 2007) plus the bound Lemmas 3, 8, 9, 10.
+* :func:`sld` / :func:`nsld` -- the paper's contributions: Setwise
+  Levenshtein Distance (Def. 3) and Normalized Setwise Levenshtein Distance
+  (Def. 4), computed via minimum-weight perfect matching on the token
+  bigraph (Sec. III-F), with the greedy-token-aligning approximation
+  (Sec. III-G.5).
+* :mod:`repro.distances.jaro` -- Jaro and Jaro-Winkler (related work).
+* :mod:`repro.distances.set_measures` -- crisp multiset Jaccard / cosine /
+  Dice / Ruzicka / overlap (Sec. II-D's "too rigid" strawmen).
+* :mod:`repro.distances.fuzzy_set_measures` -- Wang et al.'s fuzzy-token
+  FJaccard / FCosine / FDice and Cohen et al.'s SoftTfIdf (Sec. V-D
+  baselines).
+* :mod:`repro.distances.fms` -- Chaudhuri et al.'s FMS / AFMS.
+"""
+
+from repro.distances.assignment import (
+    greedy_assignment,
+    hungarian,
+)
+from repro.distances.fms import afms, fms
+from repro.distances.fuzzy_set_measures import (
+    fuzzy_cosine,
+    fuzzy_dice,
+    fuzzy_jaccard,
+    fuzzy_overlap,
+    soft_tfidf,
+)
+from repro.distances.jaro import jaro, jaro_winkler
+from repro.distances.levenshtein import levenshtein, levenshtein_within
+from repro.distances.normalized import (
+    max_ld_for_longer,
+    max_ld_for_shorter,
+    min_ld_exceeding_for_longer,
+    min_ld_exceeding_for_shorter,
+    min_length_for_nld,
+    nld,
+    nld_length_lower_bound,
+    nld_within,
+)
+from repro.distances.set_measures import (
+    multiset_cosine,
+    multiset_dice,
+    multiset_jaccard,
+    multiset_overlap,
+    multiset_ruzicka,
+)
+from repro.distances.setwise import (
+    nsld,
+    nsld_greedy,
+    nsld_length_lower_bound,
+    nsld_within,
+    sld,
+    sld_greedy,
+    sld_lower_bound_from_histograms,
+)
+
+__all__ = [
+    "levenshtein",
+    "levenshtein_within",
+    "nld",
+    "nld_within",
+    "nld_length_lower_bound",
+    "min_length_for_nld",
+    "max_ld_for_longer",
+    "max_ld_for_shorter",
+    "min_ld_exceeding_for_longer",
+    "min_ld_exceeding_for_shorter",
+    "sld",
+    "sld_greedy",
+    "nsld",
+    "nsld_greedy",
+    "nsld_within",
+    "nsld_length_lower_bound",
+    "sld_lower_bound_from_histograms",
+    "hungarian",
+    "greedy_assignment",
+    "jaro",
+    "jaro_winkler",
+    "multiset_jaccard",
+    "multiset_cosine",
+    "multiset_dice",
+    "multiset_ruzicka",
+    "multiset_overlap",
+    "fuzzy_jaccard",
+    "fuzzy_cosine",
+    "fuzzy_dice",
+    "fuzzy_overlap",
+    "soft_tfidf",
+    "fms",
+    "afms",
+]

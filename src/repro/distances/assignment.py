@@ -1,0 +1,158 @@
+"""Assignment-problem solvers for the token-alignment bigraph.
+
+Computing ``SLD`` (Sec. III-F) reduces to a minimum-weight perfect matching
+on a complete bipartite graph whose edge weights are token-pair Levenshtein
+distances -- the classic *assignment problem*.
+
+* :func:`hungarian` -- exact ``O(n^3)`` solver (shortest-augmenting-path
+  formulation with potentials, a.k.a. the Jonker-Volgenant variant of the
+  Hungarian algorithm).  Written from scratch; tests cross-check it against
+  ``scipy.optimize.linear_sum_assignment``.
+* :func:`greedy_assignment` -- the paper's *greedy-token-aligning*
+  approximation (Sec. III-G.5): repeatedly take the globally cheapest
+  remaining edge and remove its endpoints.  ``O(n^2 log n)`` after the
+  weights are known, never better than the optimum, and empirically within
+  a whisker of it on name data (Fig. 4's recall of 0.99993+).
+
+Both take a square cost matrix as a list of rows and return
+``(assignment, total_cost)`` where ``assignment[i]`` is the column matched
+to row ``i``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Sequence
+
+Matrix = Sequence[Sequence[float]]
+
+
+def hungarian(cost: Matrix) -> tuple[list[int], float]:
+    """Solve the assignment problem exactly.
+
+    Parameters
+    ----------
+    cost:
+        Square matrix; ``cost[i][j]`` is the weight of assigning row ``i``
+        to column ``j``.  Weights may be any finite real numbers.
+
+    Returns
+    -------
+    (assignment, total):
+        ``assignment[i]`` is the column assigned to row ``i``; ``total`` is
+        the minimum total weight.
+
+    Raises
+    ------
+    ValueError
+        If the matrix is empty or not square.
+
+    Examples
+    --------
+    >>> hungarian([[4, 1], [2, 3]])
+    ([1, 0], 3)
+    """
+    n = len(cost)
+    if n == 0:
+        raise ValueError("cost matrix must be non-empty")
+    for row in cost:
+        if len(row) != n:
+            raise ValueError("cost matrix must be square")
+
+    infinity = float("inf")
+    # Potentials and matching arrays are 1-indexed; index 0 is a virtual row
+    # used to seed each augmenting search.
+    u = [0.0] * (n + 1)
+    v = [0.0] * (n + 1)
+    match = [0] * (n + 1)  # match[j] = row matched to column j (1-indexed)
+    way = [0] * (n + 1)
+
+    for i in range(1, n + 1):
+        match[0] = i
+        j0 = 0
+        min_reduced = [infinity] * (n + 1)
+        used = [False] * (n + 1)
+        while True:
+            used[j0] = True
+            i0 = match[j0]
+            delta = infinity
+            j1 = 0
+            row = cost[i0 - 1]
+            for j in range(1, n + 1):
+                if used[j]:
+                    continue
+                current = row[j - 1] - u[i0] - v[j]
+                if current < min_reduced[j]:
+                    min_reduced[j] = current
+                    way[j] = j0
+                if min_reduced[j] < delta:
+                    delta = min_reduced[j]
+                    j1 = j
+            for j in range(n + 1):
+                if used[j]:
+                    u[match[j]] += delta
+                    v[j] -= delta
+                else:
+                    min_reduced[j] -= delta
+            j0 = j1
+            if match[j0] == 0:
+                break
+        # Unwind the augmenting path discovered by the search.
+        while j0:
+            j_prev = way[j0]
+            match[j0] = match[j_prev]
+            j0 = j_prev
+
+    assignment = [0] * n
+    for j in range(1, n + 1):
+        assignment[match[j] - 1] = j - 1
+    total = sum(cost[i][assignment[i]] for i in range(n))
+    return assignment, total
+
+
+def greedy_assignment(cost: Matrix) -> tuple[list[int], float]:
+    """Greedy approximation to the assignment problem (Sec. III-G.5).
+
+    Repeatedly selects the globally minimum-weight edge among rows and
+    columns not yet matched, then removes both endpoints.  Ties break on
+    (weight, row, column) so results are deterministic.
+
+    Returns the same ``(assignment, total)`` shape as :func:`hungarian`;
+    ``total`` is an upper bound on the optimum.
+
+    Examples
+    --------
+    >>> greedy_assignment([[4, 1], [2, 3]])
+    ([1, 0], 3.0)
+    >>> # A case where greedy is suboptimal: picking the 0 forces the 10.
+    >>> greedy_assignment([[0, 2], [3, 10]])
+    ([0, 1], 10.0)
+    >>> hungarian([[0, 2], [3, 10]])
+    ([1, 0], 5)
+    """
+    n = len(cost)
+    if n == 0:
+        raise ValueError("cost matrix must be non-empty")
+    for row in cost:
+        if len(row) != n:
+            raise ValueError("cost matrix must be square")
+
+    heap = [
+        (weight, i, j) for i, row in enumerate(cost) for j, weight in enumerate(row)
+    ]
+    heapq.heapify(heap)
+    assignment = [-1] * n
+    row_done = [False] * n
+    col_done = [False] * n
+    remaining = n
+    total = 0.0
+    while remaining:
+        weight, i, j = heapq.heappop(heap)
+        if row_done[i] or col_done[j]:
+            continue
+        assignment[i] = j
+        row_done[i] = True
+        col_done[j] = True
+        total += weight
+        remaining -= 1
+    return assignment, total

@@ -1,0 +1,80 @@
+"""Distance <-> similarity conversion schemes (Sec. II-B).
+
+The paper states the join problem both ways: find pairs with
+``d(x, y) <= T`` or, "given a conversion scheme lambda", pairs with
+similarity at least ``lambda(T)``, and lists the three common schemes::
+
+    lambda(T) = 1 - T        (complement; for distances in [0, 1])
+    lambda(T) = 1 / (1 + T)  (inverse)
+    lambda(T) = e^(-T)       (exponential)
+
+All three are strictly decreasing, so thresholding similarity at
+``lambda(T)`` is exactly thresholding distance at ``T``.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+
+
+class ConversionScheme(str, enum.Enum):
+    """The distance-to-similarity schemes of Sec. II-B."""
+
+    COMPLEMENT = "complement"      # 1 - T
+    INVERSE = "inverse"            # 1 / (1 + T)
+    EXPONENTIAL = "exponential"    # e^-T
+
+
+def distance_to_similarity(
+    distance: float,
+    scheme: ConversionScheme | str = ConversionScheme.COMPLEMENT,
+) -> float:
+    """Convert a distance to a similarity under the chosen scheme.
+
+    Examples
+    --------
+    >>> distance_to_similarity(0.25)
+    0.75
+    >>> distance_to_similarity(1.0, "inverse")
+    0.5
+    >>> round(distance_to_similarity(0.0, "exponential"), 6)
+    1.0
+    """
+    if distance < 0:
+        raise ValueError("distances are non-negative")
+    scheme = ConversionScheme(scheme)
+    if scheme is ConversionScheme.COMPLEMENT:
+        if distance > 1:
+            raise ValueError("the complement scheme needs distances in [0, 1]")
+        return 1.0 - distance
+    if scheme is ConversionScheme.INVERSE:
+        return 1.0 / (1.0 + distance)
+    return math.exp(-distance)
+
+
+def similarity_to_distance(
+    similarity: float,
+    scheme: ConversionScheme | str = ConversionScheme.COMPLEMENT,
+) -> float:
+    """Invert :func:`distance_to_similarity` (the schemes are bijective).
+
+    Examples
+    --------
+    >>> similarity_to_distance(0.75)
+    0.25
+    >>> similarity_to_distance(0.5, "inverse")
+    1.0
+    """
+    scheme = ConversionScheme(scheme)
+    if scheme is ConversionScheme.COMPLEMENT:
+        if not 0 <= similarity <= 1:
+            raise ValueError("complement similarities live in [0, 1]")
+        return 1.0 - similarity
+    if scheme is ConversionScheme.INVERSE:
+        if not 0 < similarity <= 1:
+            raise ValueError("inverse similarities live in (0, 1]")
+        return 1.0 / similarity - 1.0
+    if not 0 < similarity <= 1:
+        raise ValueError("exponential similarities live in (0, 1]")
+    return -math.log(similarity)

@@ -1,0 +1,97 @@
+"""Jaro and Jaro-Winkler similarities (related work, Sec. IV).
+
+These emerged from the record-linkage / statistics communities (Jaro 1995,
+Winkler 1999) and treat names as *non-tokenized* strings.  The paper cites
+them as the token-matching predicate inside SoftTfIdf, and notes that
+Jaro-Winkler violates the triangle inequality (so SoftTfIdf cannot be a
+metric).  Both return *similarities* in ``[0, 1]``; use ``1 - sim`` for a
+distance-like quantity.
+"""
+
+from __future__ import annotations
+
+
+def jaro(x: str, y: str) -> float:
+    """Jaro similarity.
+
+    Counts characters that match within a window of
+    ``max(|x|, |y|) // 2 - 1`` positions and the number of transpositions
+    among them.
+
+    Examples
+    --------
+    >>> jaro("martha", "marhta")  # doctest: +ELLIPSIS
+    0.944...
+    >>> jaro("abc", "abc")
+    1.0
+    >>> jaro("abc", "xyz")
+    0.0
+    """
+    if x == y:
+        return 1.0
+    if not x or not y:
+        return 0.0
+
+    window = max(len(x), len(y)) // 2 - 1
+    if window < 0:
+        window = 0
+
+    x_matched = [False] * len(x)
+    y_matched = [False] * len(y)
+    matches = 0
+    for i, cx in enumerate(x):
+        lo = max(0, i - window)
+        hi = min(len(y), i + window + 1)
+        for j in range(lo, hi):
+            if not y_matched[j] and y[j] == cx:
+                x_matched[i] = True
+                y_matched[j] = True
+                matches += 1
+                break
+    if matches == 0:
+        return 0.0
+
+    # Count transpositions: matched characters out of relative order.
+    transpositions = 0
+    j = 0
+    for i, cx in enumerate(x):
+        if not x_matched[i]:
+            continue
+        while not y_matched[j]:
+            j += 1
+        if cx != y[j]:
+            transpositions += 1
+        j += 1
+    transpositions //= 2
+
+    m = float(matches)
+    return (m / len(x) + m / len(y) + (m - transpositions) / m) / 3.0
+
+
+def jaro_winkler(x: str, y: str, prefix_scale: float = 0.1, max_prefix: int = 4) -> float:
+    """Jaro-Winkler similarity: Jaro boosted for common prefixes.
+
+    ``JW = J + len(common prefix, capped) * prefix_scale * (1 - J)``.
+
+    Parameters
+    ----------
+    prefix_scale:
+        Winkler's ``p``; must satisfy ``p * max_prefix <= 1`` so the result
+        stays in ``[0, 1]``.  Default 0.1.
+    max_prefix:
+        Longest prefix eligible for the boost (Winkler's ``l`` cap, 4).
+
+    Examples
+    --------
+    >>> jaro_winkler("martha", "marhta")  # doctest: +ELLIPSIS
+    0.961...
+    """
+    if prefix_scale * max_prefix > 1.0:
+        raise ValueError("prefix_scale * max_prefix must not exceed 1")
+    base = jaro(x, y)
+    prefix = 0
+    for cx, cy in zip(x, y):
+        if cx != cy or prefix >= max_prefix:
+            break
+        prefix += 1
+    return base + prefix * prefix_scale * (1.0 - base)

@@ -1,0 +1,145 @@
+"""Levenshtein distance (Def. 1) and thresholded variants.
+
+``LD(x, y)`` is the minimum number of character-level insertions, deletions
+and substitutions transforming ``x`` into ``y``.  It is a metric (Lemma 1).
+
+Two implementations are provided:
+
+* :func:`levenshtein` -- the classic two-row dynamic program,
+  ``O(|x| * |y|)`` time, ``O(min(|x|, |y|))`` space.
+* :func:`levenshtein_within` -- a banded dynamic program that answers
+  "is ``LD(x, y) <= limit``?" in ``O(limit * min(|x|, |y|))`` time with early
+  exit.  This is the verification workhorse: PassJoin/MassJoin and the TSJ
+  verifier always know a threshold, and thresholds are small in practice.
+
+An optional ``ops`` counter hook lets the MapReduce cost model meter the
+number of DP cells evaluated (one "work unit" per cell), which is how the
+simulated cluster attributes compute cost to workers.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+#: Optional callback receiving the number of DP cells evaluated by a call.
+#: The MapReduce cost model passes a counter increment here so that compute
+#: work can be attributed to the simulated worker that performed it.
+OpsHook = Callable[[int], None] | None
+
+
+def levenshtein(x: str, y: str, ops: OpsHook = None) -> int:
+    """Exact Levenshtein distance between ``x`` and ``y``.
+
+    Parameters
+    ----------
+    x, y:
+        The strings to compare.
+    ops:
+        Optional callable invoked with the number of DP cells evaluated;
+        used by the simulated-cluster cost model.
+
+    Examples
+    --------
+    >>> levenshtein("thomson", "thompson")
+    1
+    >>> levenshtein("", "abc")
+    3
+    """
+    if x == y:
+        if ops is not None:
+            ops(1)
+        return 0
+    # Keep y as the shorter string: the DP rows have |y| + 1 entries.
+    if len(x) < len(y):
+        x, y = y, x
+    if not y:
+        if ops is not None:
+            ops(len(x))
+        return len(x)
+
+    previous = list(range(len(y) + 1))
+    current = [0] * (len(y) + 1)
+    for i, cx in enumerate(x, start=1):
+        current[0] = i
+        for j, cy in enumerate(y, start=1):
+            cost = 0 if cx == cy else 1
+            current[j] = min(
+                previous[j] + 1,  # delete from x
+                current[j - 1] + 1,  # insert into x
+                previous[j - 1] + cost,  # substitute / match
+            )
+        previous, current = current, previous
+    if ops is not None:
+        ops(len(x) * len(y))
+    return previous[len(y)]
+
+
+def levenshtein_within(x: str, y: str, limit: int, ops: OpsHook = None) -> int | None:
+    """Levenshtein distance if it is at most ``limit``, else ``None``.
+
+    Uses the standard banded (Ukkonen) dynamic program: only cells within
+    ``limit`` of the diagonal can contribute to a distance ``<= limit``, so
+    each row evaluates at most ``2 * limit + 1`` cells.  Exits early when an
+    entire row exceeds ``limit``.
+
+    Parameters
+    ----------
+    limit:
+        Inclusive upper bound.  Negative limits always miss; ``limit == 0``
+        degenerates to an equality test.
+
+    Examples
+    --------
+    >>> levenshtein_within("kalan", "alan", 1)
+    1
+    >>> levenshtein_within("kalan", "chan", 1) is None
+    True
+    """
+    if limit < 0:
+        return None
+    if x == y:
+        if ops is not None:
+            ops(1)
+        return 0
+    if len(x) < len(y):
+        x, y = y, x
+    # The length difference is an LD lower bound (deletions are mandatory).
+    if len(x) - len(y) > limit:
+        if ops is not None:
+            ops(1)
+        return None
+    if not y:
+        if ops is not None:
+            ops(1)
+        return len(x)  # len(x) <= limit, guaranteed by the check above
+
+    n, m = len(x), len(y)
+    big = limit + 1  # acts as +infinity; capping keeps values bounded
+    previous = [j if j <= limit else big for j in range(m + 1)]
+    cells = 0
+    for i in range(1, n + 1):
+        cx = x[i - 1]
+        lo = max(1, i - limit)
+        hi = min(m, i + limit)
+        current = [big] * (m + 1)
+        if lo == 1 and i <= limit:
+            current[0] = i
+        row_min = big
+        for j in range(lo, hi + 1):
+            cost = 0 if cx == y[j - 1] else 1
+            value = min(previous[j] + 1, current[j - 1] + 1, previous[j - 1] + cost)
+            if value > big:
+                value = big
+            current[j] = value
+            if value < row_min:
+                row_min = value
+            cells += 1
+        if row_min > limit:
+            if ops is not None:
+                ops(cells)
+            return None
+        previous = current
+    if ops is not None:
+        ops(cells)
+    distance = previous[m]
+    return distance if distance <= limit else None

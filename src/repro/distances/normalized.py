@@ -1,0 +1,175 @@
+"""Normalized Levenshtein Distance (Def. 2) and the bound lemmas.
+
+``NLD(x, y) = 2 * LD(x, y) / (|x| + |y| + LD(x, y))`` (Li & Liu 2007).
+``NLD`` lies in ``[0, 1]`` (Lemma 2) and is a metric (Theorem 1).
+
+This module also implements the length/LD bounds the paper derives to make
+NLD-joins efficient:
+
+* **Lemma 3**: with ``|y| >= |x|``,
+  ``1 - |x|/|y| <= NLD(x, y) <= 2 / (|x|/|y| + 2)``.
+* **Lemma 8**: if ``NLD(x, y) <= T`` and ``|x| <= |y|`` then
+  ``LD(x, y) <= floor(2*T*|y| / (2-T))``; if ``|x| > |y|`` then
+  ``LD(x, y) <= floor(T*|y| / (1-T))``.
+* **Lemma 9**: if ``NLD(x, y) <= T`` and ``|x| <= |y|`` then
+  ``ceil((1-T) * |y|) <= |x|`` (the *length condition*).
+* **Lemma 10**: if ``NLD(x, y) > T`` and ``|x| <= |y|`` then
+  ``LD(x, y) > floor(T*|y| / (2-T))``; if ``|x| > |y|`` then
+  ``LD(x, y) > floor(2*T*|y| / (2-T))`` (used by the SLD lower-bound
+  filter for *unmatched* tokens, Sec. III-E.2).
+
+Lemmas 8 and 9 let MassJoin convert the NLD threshold ``T`` into a
+per-length LD threshold ``U`` and a candidate length window, so the
+LD-join machinery of PassJoin applies unchanged.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.distances.levenshtein import OpsHook, levenshtein, levenshtein_within
+
+
+def nld(x: str, y: str, ops: OpsHook = None) -> float:
+    """Normalized Levenshtein Distance (Def. 2).
+
+    Examples
+    --------
+    >>> nld("thomson", "thompson")
+    0.125
+    >>> nld("alex", "alexa")
+    0.2
+    """
+    if x == y:
+        return 0.0
+    distance = levenshtein(x, y, ops=ops)
+    return 2.0 * distance / (len(x) + len(y) + distance)
+
+
+def nld_within(x: str, y: str, threshold: float, ops: OpsHook = None) -> float | None:
+    """``NLD(x, y)`` if it is at most ``threshold``, else ``None``.
+
+    Converts the NLD threshold into an LD limit via Lemma 8 and runs the
+    banded DP, so the cost is ``O(U * min(|x|, |y|))`` instead of quadratic.
+    """
+    if threshold < 0:
+        return None
+    if x == y:
+        return 0.0
+    if threshold >= 1.0:
+        return nld(x, y, ops=ops)
+    shorter, longer = (x, y) if len(x) <= len(y) else (y, x)
+    # Lemma 9: length condition -- prune without touching characters.
+    if len(shorter) < min_length_for_nld(threshold, len(longer)):
+        if ops is not None:
+            ops(1)
+        return None
+    limit = max_ld_for_shorter(threshold, len(longer))
+    distance = levenshtein_within(x, y, limit, ops=ops)
+    if distance is None:
+        return None
+    value = 2.0 * distance / (len(x) + len(y) + distance)
+    return value if value <= threshold else None
+
+
+# ---------------------------------------------------------------------------
+# Lemma 3: NLD bounds from lengths alone.
+# ---------------------------------------------------------------------------
+
+
+def nld_length_lower_bound(len_x: int, len_y: int) -> float:
+    """Lower bound on ``NLD`` from string lengths (Lemma 3).
+
+    With ``|y| >= |x|``: ``NLD(x, y) >= 1 - |x|/|y|``.  Symmetric in its
+    arguments.  Returns 0.0 when both lengths are zero (equal empty strings).
+    """
+    shorter, longer = sorted((len_x, len_y))
+    if longer == 0:
+        return 0.0
+    return 1.0 - shorter / longer
+
+
+def nld_length_upper_bound(len_x: int, len_y: int) -> float:
+    """Upper bound on ``NLD`` from string lengths (Lemma 3).
+
+    With ``|y| >= |x|``: ``NLD(x, y) <= 2 / (|x|/|y| + 2)``.
+    """
+    shorter, longer = sorted((len_x, len_y))
+    if longer == 0:
+        return 0.0
+    return 2.0 / (shorter / longer + 2.0)
+
+
+# ---------------------------------------------------------------------------
+# Lemma 8: LD upper bounds implied by NLD <= T.
+# ---------------------------------------------------------------------------
+
+
+def max_ld_for_shorter(threshold: float, len_y: int) -> int:
+    """Max ``LD(x, y)`` given ``NLD(x, y) <= T`` and ``|x| <= |y|`` (Lemma 8).
+
+    ``LD(x, y) <= floor(2*T*|y| / (2-T))``.  ``len_y`` is the length of the
+    *longer* string ``y``.
+    """
+    if threshold >= 2.0:
+        raise ValueError("NLD threshold must be < 2 (it is at most 1)")
+    return math.floor(2.0 * threshold * len_y / (2.0 - threshold))
+
+
+def max_ld_for_longer(threshold: float, len_y: int) -> int:
+    """Max ``LD(x, y)`` given ``NLD(x, y) <= T`` and ``|x| > |y|`` (Lemma 8).
+
+    ``LD(x, y) <= floor(T*|y| / (1-T))``.  ``len_y`` is the length of the
+    *shorter* string ``y``.
+    """
+    if threshold >= 1.0:
+        raise ValueError("this bound requires T < 1")
+    return math.floor(threshold * len_y / (1.0 - threshold))
+
+
+# ---------------------------------------------------------------------------
+# Lemma 9: the length condition.
+# ---------------------------------------------------------------------------
+
+
+def min_length_for_nld(threshold: float, len_y: int) -> int:
+    """Minimum ``|x|`` for ``NLD(x, y) <= T`` with ``|x| <= |y|`` (Lemma 9).
+
+    ``ceil((1-T) * |y|) <= |x|``.  Two tokens whose lengths violate this
+    window cannot be NLD-similar, so MassJoin never compares them.
+    """
+    return math.ceil((1.0 - threshold) * len_y)
+
+
+def length_window(threshold: float, len_y: int) -> tuple[int, int]:
+    """Inclusive window of lengths ``|x|`` that may satisfy ``NLD <= T``
+    when compared with a string of length ``len_y`` and ``|x| <= |y|``.
+
+    Returns ``(ceil((1-T)*len_y), len_y)`` per Lemma 9.  The symmetric case
+    ``|x| > |y|`` is covered by evaluating the window of the longer string.
+    """
+    return (min_length_for_nld(threshold, len_y), len_y)
+
+
+# ---------------------------------------------------------------------------
+# Lemma 10: LD lower bounds implied by NLD > T (for unmatched token pairs).
+# ---------------------------------------------------------------------------
+
+
+def min_ld_exceeding_for_shorter(threshold: float, len_y: int) -> int:
+    """Strict lower bound on ``LD(x, y)`` given ``NLD(x, y) > T`` and
+    ``|x| <= |y|`` (Lemma 10): ``LD(x, y) > floor(T*|y| / (2-T))``.
+
+    Returns the floor value; the true LD is strictly greater.  ``len_y`` is
+    the length of the longer string.
+    """
+    return math.floor(threshold * len_y / (2.0 - threshold))
+
+
+def min_ld_exceeding_for_longer(threshold: float, len_y: int) -> int:
+    """Strict lower bound on ``LD(x, y)`` given ``NLD(x, y) > T`` and
+    ``|x| > |y|`` (Lemma 10): ``LD(x, y) > floor(2*T*|y| / (2-T))``.
+
+    ``len_y`` is the length of the shorter string.
+    """
+    return math.floor(2.0 * threshold * len_y / (2.0 - threshold))

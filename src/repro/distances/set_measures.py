@@ -1,0 +1,80 @@
+"""Crisp multiset similarity measures (Sec. II-D's rigid strawmen).
+
+The straightforward way to compare tokenized strings is to apply an existing
+multiset similarity -- Jaccard, cosine, Dice, Ruzicka -- to their token
+multisets.  The paper rejects these as "too rigid when considering token
+edits": a token shared up to a small edit contributes nothing.  They remain
+useful as baselines and as the crisp limit of the fuzzy measures.
+
+All functions accept :class:`TokenizedString` (or any iterable of tokens)
+and return a similarity in ``[0, 1]``.  Multiplicities are respected.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Iterable
+
+
+def _as_counter(tokens: Iterable[str]) -> Counter:
+    if isinstance(tokens, Counter):
+        return tokens
+    return Counter(tokens)
+
+
+def multiset_overlap(x: Iterable[str], y: Iterable[str]) -> int:
+    """Multiset intersection size ``|x ∩ y|`` (min multiplicities)."""
+    cx, cy = _as_counter(x), _as_counter(y)
+    return sum((cx & cy).values())
+
+
+def multiset_jaccard(x: Iterable[str], y: Iterable[str]) -> float:
+    """Multiset Jaccard similarity ``|x ∩ y| / |x ∪ y|``.
+
+    Examples
+    --------
+    >>> multiset_jaccard(["ann", "lee"], ["ann", "li"])
+    0.3333333333333333
+    """
+    cx, cy = _as_counter(x), _as_counter(y)
+    union = sum((cx | cy).values())
+    if union == 0:
+        return 1.0  # both empty
+    return sum((cx & cy).values()) / union
+
+
+def multiset_dice(x: Iterable[str], y: Iterable[str]) -> float:
+    """Multiset Dice similarity ``2|x ∩ y| / (|x| + |y|)``."""
+    cx, cy = _as_counter(x), _as_counter(y)
+    total = sum(cx.values()) + sum(cy.values())
+    if total == 0:
+        return 1.0
+    return 2.0 * sum((cx & cy).values()) / total
+
+
+def multiset_cosine(x: Iterable[str], y: Iterable[str]) -> float:
+    """Cosine similarity of the token-multiplicity vectors."""
+    cx, cy = _as_counter(x), _as_counter(y)
+    if not cx and not cy:
+        return 1.0
+    if not cx or not cy:
+        return 0.0
+    dot = sum(mult * cy[token] for token, mult in cx.items())
+    norm_x = math.sqrt(sum(mult * mult for mult in cx.values()))
+    norm_y = math.sqrt(sum(mult * mult for mult in cy.values()))
+    return dot / (norm_x * norm_y)
+
+
+def multiset_ruzicka(x: Iterable[str], y: Iterable[str]) -> float:
+    """Ruzicka similarity ``sum(min) / sum(max)`` over multiplicities.
+
+    For 0/1 multiplicities this coincides with Jaccard.
+    """
+    cx, cy = _as_counter(x), _as_counter(y)
+    tokens = set(cx) | set(cy)
+    if not tokens:
+        return 1.0
+    numerator = sum(min(cx[token], cy[token]) for token in tokens)
+    denominator = sum(max(cx[token], cy[token]) for token in tokens)
+    return numerator / denominator

@@ -1,0 +1,328 @@
+"""Setwise Levenshtein Distance (Def. 3) and its normalisation (Def. 4).
+
+``SLD(x^t, y^t)`` is the minimum number of character-level edit operations
+on tokens -- with free ``AddEmptyToken`` / ``RemoveEmptyToken`` set-level
+edits -- transforming one tokenized string into the other.  Operationally
+(Sec. III-F): pad the smaller multiset with empty tokens until both have
+``k = max(T(x), T(y))`` tokens, build the complete bipartite graph whose
+edge weights are token-pair Levenshtein distances, and take the weight of
+the minimum-weight perfect matching.
+
+``NSLD(x^t, y^t) = 2*SLD / (L(x) + L(y) + SLD)`` lies in ``[0, 1]``
+(Lemma 5) and is a metric (Theorem 2).
+
+This module provides:
+
+* :func:`sld` / :func:`nsld` -- exact values via the Hungarian algorithm;
+* :func:`sld_greedy` / :func:`nsld_greedy` -- the greedy-token-aligning
+  approximation (Sec. III-G.5), an upper bound on the exact value;
+* :func:`nsld_within` -- thresholded verification with the Lemma 6 length
+  shortcut, TSJ's final verify step;
+* :func:`nsld_length_lower_bound` -- Lemma 6's bound from aggregate lengths
+  (TSJ's length filter, Sec. III-E.1);
+* :func:`sld_lower_bound_from_histograms` -- the token-length-histogram
+  lower bound driving the distance-lower-bound filter (Sec. III-E.2, built
+  on Lemma 10).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.distances.assignment import greedy_assignment, hungarian
+from repro.distances.levenshtein import OpsHook, levenshtein
+from repro.distances.normalized import (
+    min_ld_exceeding_for_longer,
+    min_ld_exceeding_for_shorter,
+)
+from repro.tokenize.tokenized_string import TokenizedString
+
+#: Known-similar token pair for the histogram filter: (len_x_token,
+#: len_y_token, exact LD).  Produced by the similar-token candidate
+#: generation phase, which computes token LDs as a by-product.
+SimilarPair = tuple[int, int, int]
+
+
+def _token_cost_matrix(
+    x: TokenizedString, y: TokenizedString, ops: OpsHook = None
+) -> list[list[int]]:
+    """The padded token-vs-token LD matrix of Sec. III-F.
+
+    Row ``i`` corresponds to the ``i``-th token of ``x`` (or an empty pad
+    token), column ``j`` to the ``j``-th token of ``y``.  ``LD(t, "")`` is
+    ``len(t)``, so pad entries need no DP.
+    """
+    k = max(x.token_count, y.token_count)
+    x_tokens = list(x.tokens) + [""] * (k - x.token_count)
+    y_tokens = list(y.tokens) + [""] * (k - y.token_count)
+    matrix: list[list[int]] = []
+    for tx in x_tokens:
+        row = []
+        for ty in y_tokens:
+            if not tx:
+                row.append(len(ty))
+            elif not ty:
+                row.append(len(tx))
+            else:
+                row.append(levenshtein(tx, ty, ops=ops))
+        matrix.append(row)
+    return matrix
+
+
+def sld(x: TokenizedString, y: TokenizedString, ops: OpsHook = None) -> int:
+    """Exact Setwise Levenshtein Distance (Def. 3).
+
+    Examples
+    --------
+    >>> from repro.tokenize import TokenizedString
+    >>> sld(TokenizedString(["chan", "kalan"]), TokenizedString(["chank", "alan"]))
+    2
+    >>> sld(TokenizedString(["chan", "kalan"]), TokenizedString(["alan"]))
+    5
+    """
+    if x == y:
+        return 0
+    if x.token_count == 0:
+        return y.aggregate_length
+    if y.token_count == 0:
+        return x.aggregate_length
+    matrix = _token_cost_matrix(x, y, ops=ops)
+    _, total = hungarian(matrix)
+    return int(total)
+
+
+def sld_greedy(x: TokenizedString, y: TokenizedString, ops: OpsHook = None) -> int:
+    """Greedy-token-aligning SLD (Sec. III-G.5); an upper bound on :func:`sld`."""
+    if x == y:
+        return 0
+    if x.token_count == 0:
+        return y.aggregate_length
+    if y.token_count == 0:
+        return x.aggregate_length
+    matrix = _token_cost_matrix(x, y, ops=ops)
+    _, total = greedy_assignment(matrix)
+    return int(total)
+
+
+def _normalize(sld_value: int, x: TokenizedString, y: TokenizedString) -> float:
+    denominator = x.aggregate_length + y.aggregate_length + sld_value
+    if denominator == 0:
+        return 0.0  # both tokenized strings are empty
+    return 2.0 * sld_value / denominator
+
+
+def nsld(x: TokenizedString, y: TokenizedString, ops: OpsHook = None) -> float:
+    """Exact Normalized Setwise Levenshtein Distance (Def. 4).
+
+    Examples
+    --------
+    >>> from repro.tokenize import TokenizedString
+    >>> nsld(TokenizedString(["chan", "kalan"]), TokenizedString(["chank", "alan"]))
+    0.2
+    """
+    return _normalize(sld(x, y, ops=ops), x, y)
+
+
+def nsld_greedy(x: TokenizedString, y: TokenizedString, ops: OpsHook = None) -> float:
+    """NSLD under greedy token aligning; an upper bound on :func:`nsld`."""
+    return _normalize(sld_greedy(x, y, ops=ops), x, y)
+
+
+def nsld_within(
+    x: TokenizedString,
+    y: TokenizedString,
+    threshold: float,
+    greedy: bool = False,
+    ops: OpsHook = None,
+) -> float | None:
+    """``NSLD(x, y)`` if at most ``threshold``, else ``None``.
+
+    Applies the Lemma 6 length shortcut before building the bigraph, then
+    verifies with the exact Hungarian aligner or the greedy approximation.
+    With ``greedy=True`` a pair whose exact NSLD is within the threshold may
+    be missed (never the reverse) -- precision stays 1.0, recall may dip,
+    exactly the trade described in Sec. V-B.
+    """
+    if threshold < 0:
+        return None
+    if nsld_length_lower_bound(x.aggregate_length, y.aggregate_length) > threshold:
+        return None
+    value = nsld_greedy(x, y, ops=ops) if greedy else nsld(x, y, ops=ops)
+    return value if value <= threshold else None
+
+
+# ---------------------------------------------------------------------------
+# Lemma 6: NSLD bounds from aggregate lengths.
+# ---------------------------------------------------------------------------
+
+
+def nsld_length_lower_bound(length_x: int, length_y: int) -> float:
+    """Lower bound on NSLD from aggregate token lengths (Lemma 6).
+
+    With ``L(y) >= L(x)``: ``NSLD(x, y) >= 1 - L(x)/L(y)``.  Symmetric.
+    This is TSJ's length filter (Sec. III-E.1): ship ``L(.)`` with each
+    tokenized-string id and discard pairs whose bound already exceeds ``T``.
+    """
+    shorter, longer = sorted((length_x, length_y))
+    if longer == 0:
+        return 0.0
+    return 1.0 - shorter / longer
+
+
+def nsld_length_upper_bound(length_x: int, length_y: int) -> float:
+    """The paper's Lemma 6 *upper* bound -- **erratum: not actually valid**.
+
+    Lemma 6 claims, with ``L(y) >= L(x)``,
+    ``NSLD(x, y) <= 2 / (L(x)/L(y) + 2)``, via ``SLD <= L(y)``.  That step
+    holds for plain strings (Lemma 3: ``LD <= max(|x|, |y|)``) but fails
+    for tokenized strings when token counts mismatch: for
+    ``x = {"bb"}, y = {"a", "a"}`` the optimal alignment pairs ``"bb"``
+    with one ``"a"`` (LD 2) and pads the other (LD 1), so
+    ``SLD = 3 > L(y) = 2`` and ``NSLD = 6/7 > 2/3``.
+
+    The function reproduces the published formula for reference; nothing
+    in TSJ relies on it (the filters use only the *lower* bound, which is
+    sound -- see the property tests).  A trivially valid upper bound is
+    ``NSLD <= 1`` (Lemma 5).
+    """
+    shorter, longer = sorted((length_x, length_y))
+    if longer == 0:
+        return 0.0
+    return 2.0 / (shorter / longer + 2.0)
+
+
+# ---------------------------------------------------------------------------
+# Sec. III-E.2: the distance-lower-bound filter.
+# ---------------------------------------------------------------------------
+
+
+def sld_lower_bound_from_histograms(
+    histogram_x: Mapping[int, int],
+    histogram_y: Mapping[int, int],
+    similar_pairs: Iterable[SimilarPair],
+    threshold: float,
+    use_lemma10: bool = True,
+) -> int:
+    """A sound lower bound on ``SLD`` from token-length histograms.
+
+    TSJ ships, with each tokenized-string id, the histogram of its token
+    lengths.  During candidate generation the NLD-join has already computed
+    the exact LD of every *similar* token pair (NLD <= ``threshold``);
+    every other token pair is known to have NLD > ``threshold``, so Lemma 10
+    yields a strict LD lower bound for it from lengths alone.
+
+    The bound charges every token slot the cheapest partner it could
+    possibly be matched with in a perfect matching:
+
+    * a known-similar length pair costs at least the smallest LD observed
+      for those lengths;
+    * any other real-token pair costs at least
+      ``max(|len_a - len_b|, lemma10_bound + 1)``;
+    * a pad (empty) token partner costs the token's full length, and is only
+      available when the token counts differ.
+
+    Summing the per-slot minima on either side gives a valid lower bound
+    (each slot is matched exactly once and true cost >= per-edge bound);
+    the final bound is the max over both sides and the aggregate-length
+    difference.
+
+    Parameters
+    ----------
+    histogram_x, histogram_y:
+        ``token length -> multiplicity`` maps (see
+        :attr:`TokenizedString.length_histogram`).
+    similar_pairs:
+        ``(len_x_token, len_y_token, ld)`` triples for token pairs between
+        ``x`` and ``y`` known to satisfy ``NLD <= threshold``.
+    threshold:
+        The NSLD join threshold ``T``.
+    use_lemma10:
+        Apply the Lemma 10 strict bound to token pairs absent from
+        ``similar_pairs``.  Requires ``similar_pairs`` to be *complete*
+        (every NLD-similar token pair listed) -- which only the fuzzy
+        matching mode guarantees.  With ``False`` the bound degrades to
+        per-slot length differences, which stays sound under incomplete
+        knowledge (the exact-token-matching mode).
+
+    Returns
+    -------
+    int
+        A value ``<= SLD(x, y)``.
+    """
+    count_x = sum(histogram_x.values())
+    count_y = sum(histogram_y.values())
+    length_x = sum(size * mult for size, mult in histogram_x.items())
+    length_y = sum(size * mult for size, mult in histogram_y.items())
+
+    # Cheapest known LD per (len_x, len_y) pair of lengths.  Histograms lose
+    # token identity, so soundness requires the minimum over observed pairs.
+    best_similar: dict[tuple[int, int], int] = {}
+    for len_a, len_b, distance in similar_pairs:
+        key = (len_a, len_b)
+        if key not in best_similar or distance < best_similar[key]:
+            best_similar[key] = distance
+
+    def pair_bound(len_a: int, len_b: int, a_is_x: bool) -> int:
+        key = (len_a, len_b) if a_is_x else (len_b, len_a)
+        if key in best_similar:
+            return best_similar[key]
+        longer, shorter = max(len_a, len_b), min(len_a, len_b)
+        if not use_lemma10:
+            return longer - shorter  # length difference is always an LD bound
+        # Lemma 10: the pair is NLD-dissimilar, so its LD strictly exceeds
+        # the floor bound -- hence ">= bound + 1".  LD is symmetric, so both
+        # orientations of the lemma apply and we may take the stronger one.
+        lemma10 = min_ld_exceeding_for_shorter(threshold, longer) + 1
+        if len_a != len_b:
+            lemma10 = max(
+                lemma10, min_ld_exceeding_for_longer(threshold, shorter) + 1
+            )
+        return max(longer - shorter, lemma10)
+
+    def side_bound(
+        hist_a: Mapping[int, int],
+        hist_b: Mapping[int, int],
+        count_a: int,
+        count_b: int,
+        a_is_x: bool,
+    ) -> int:
+        pads_available = count_a > count_b  # side b gets padded with epsilon
+        total = 0
+        for len_a, mult_a in hist_a.items():
+            cheapest = len_a if pads_available else None
+            for len_b in hist_b:
+                bound = pair_bound(len_a, len_b, a_is_x)
+                if cheapest is None or bound < cheapest:
+                    cheapest = bound
+                if cheapest == 0:
+                    break
+            total += (cheapest or 0) * mult_a
+        return total
+
+    bound_x = side_bound(histogram_x, histogram_y, count_x, count_y, a_is_x=True)
+    bound_y = side_bound(histogram_y, histogram_x, count_y, count_x, a_is_x=False)
+    return max(bound_x, bound_y, abs(length_x - length_y))
+
+
+def nsld_lower_bound_from_histograms(
+    histogram_x: Mapping[int, int],
+    histogram_y: Mapping[int, int],
+    similar_pairs: Iterable[SimilarPair],
+    threshold: float,
+    use_lemma10: bool = True,
+) -> float:
+    """NSLD lower bound derived from :func:`sld_lower_bound_from_histograms`.
+
+    ``NSLD = 2*SLD / (L(x)+L(y)+SLD)`` is increasing in SLD, so substituting
+    an SLD lower bound yields an NSLD lower bound.  TSJ prunes a candidate
+    pair when this exceeds the join threshold.
+    """
+    length_x = sum(size * mult for size, mult in histogram_x.items())
+    length_y = sum(size * mult for size, mult in histogram_y.items())
+    bound = sld_lower_bound_from_histograms(
+        histogram_x, histogram_y, similar_pairs, threshold, use_lemma10
+    )
+    denominator = length_x + length_y + bound
+    if denominator == 0:
+        return 0.0
+    return 2.0 * bound / denominator

@@ -1,0 +1,52 @@
+"""String-join algorithms: TSJ's building blocks and baselines.
+
+* :mod:`repro.joins.naive` -- brute-force LD/NLD/NSLD joins; the ground
+  truth oracles every other algorithm is tested against.
+* :mod:`repro.joins.passjoin` -- Pass-Join (Li et al., VLDB 2011): serial
+  partition-based LD-join, plus the NLD adaptation via Lemmas 8/9.
+* :mod:`repro.joins.passjoin_k` -- PassJoinK (Lin et al., DASFAA 2014):
+  requires K matching signatures instead of one.
+* :mod:`repro.joins.massjoin` -- MassJoin (Deng et al., ICDE 2014): the
+  MapReduce-distributed PassJoin that TSJ employs for its token NLD-join
+  (Sec. III-D).
+* :mod:`repro.joins.prefix_filter` -- AllPairs/PPJoin-style prefix-filtered
+  set-similarity join (the MGJoin/Vernica family's core, Sec. IV).
+* :mod:`repro.joins.vernica` -- Vernica, Carey & Li (SIGMOD 2010) MapReduce
+  set-similarity join.
+"""
+
+from repro.joins.massjoin import MassJoin
+from repro.joins.mgjoin import mgjoin_jaccard_self_join
+from repro.joins.passjoin_kmr import PassJoinKMR
+from repro.joins.qgram import qgram_ld_self_join
+from repro.joins.naive import (
+    naive_nsld_join,
+    naive_ld_join,
+    naive_ld_self_join,
+    naive_nld_join,
+    naive_nld_self_join,
+    naive_nsld_self_join,
+)
+from repro.joins.passjoin import PassJoin, even_partition, passjoin_nld_self_join
+from repro.joins.passjoin_k import PassJoinK
+from repro.joins.prefix_filter import prefix_filter_jaccard_self_join
+from repro.joins.vernica import VernicaJoin
+
+__all__ = [
+    "naive_ld_join",
+    "naive_ld_self_join",
+    "naive_nld_join",
+    "naive_nld_self_join",
+    "naive_nsld_self_join",
+    "naive_nsld_join",
+    "PassJoin",
+    "PassJoinK",
+    "even_partition",
+    "passjoin_nld_self_join",
+    "MassJoin",
+    "PassJoinKMR",
+    "prefix_filter_jaccard_self_join",
+    "mgjoin_jaccard_self_join",
+    "qgram_ld_self_join",
+    "VernicaJoin",
+]

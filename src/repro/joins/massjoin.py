@@ -1,0 +1,299 @@
+"""MassJoin (Deng, Li, Hao, Wang & Feng, ICDE 2014) on the simulated
+MapReduce engine.
+
+MassJoin distributes Pass-Join: mappers emit string *chunks* (segments of
+the indexed role, substrings of the probe role) keyed by chunk content and
+metadata; the shuffle groups tokens sharing a chunk; reducers form
+candidate id pairs; follow-up jobs de-duplicate candidates, resolve ids
+back to strings, and verify.  The pipeline mirrors the paper's
+frugal-candidate design: ids (not strings) flow through candidate
+generation, and strings are attached only for final verification
+(Sec. III-D: "whenever possible, uses unique ids of chunks and tokens").
+
+TSJ employs MassJoin in NLD mode for the similar-token candidate phase:
+Lemma 8 turns the NLD threshold into per-length edit caps and Lemma 9 into
+a candidate length window, after which the LD machinery applies unchanged.
+
+Pipeline (4 jobs):
+
+1. ``massjoin-candidates`` -- segment/substring generation + chunk join.
+2. ``massjoin-dedup``      -- candidate pair de-duplication.
+3. ``massjoin-resolve``    -- attach the left string to each pair.
+4. ``massjoin-verify``     -- attach the right string, verify the distance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.distances import levenshtein_within, nld_within
+from repro.distances.normalized import (
+    max_ld_for_longer,
+    max_ld_for_shorter,
+    min_length_for_nld,
+)
+from repro.joins.passjoin import _segment_bounds, even_partition
+from repro.mapreduce import (
+    MapReduceContext,
+    MapReduceEngine,
+    MapReduceJob,
+    PipelineResult,
+)
+
+
+class _NldScheme:
+    """Threshold arithmetic for NLD-joins (Lemmas 8 and 9)."""
+
+    def __init__(self, threshold: float) -> None:
+        if not 0 <= threshold < 1:
+            raise ValueError("NLD threshold must be in [0, 1)")
+        self.threshold = threshold
+
+    def min_partner_length(self, length: int) -> int:
+        return min_length_for_nld(self.threshold, length)
+
+    def u_index(self, length: int) -> int:
+        # Largest LD cap against partners at least as long (self-join
+        # probes run shortest-first): Lemma 8 with |x| > |y|.
+        return max_ld_for_longer(self.threshold, length)
+
+    def u_pair(self, probe_length: int, indexed_length: int) -> int:
+        return min(
+            max_ld_for_shorter(self.threshold, probe_length),
+            max_ld_for_longer(self.threshold, indexed_length),
+        )
+
+    def verify(self, x: str, y: str, ops) -> float | None:
+        return nld_within(x, y, self.threshold, ops=ops)
+
+
+class _LdScheme:
+    """Threshold arithmetic for classic LD-joins (fixed ``U``)."""
+
+    def __init__(self, threshold: int) -> None:
+        if threshold < 0:
+            raise ValueError("edit-distance threshold must be non-negative")
+        self.threshold = threshold
+
+    def min_partner_length(self, length: int) -> int:
+        return max(0, length - self.threshold)
+
+    def u_index(self, length: int) -> int:
+        return self.threshold
+
+    def u_pair(self, probe_length: int, indexed_length: int) -> int:
+        return self.threshold
+
+    def verify(self, x: str, y: str, ops) -> float | None:
+        distance = levenshtein_within(x, y, self.threshold, ops=ops)
+        return None if distance is None else float(distance)
+
+
+class _CandidateJob(MapReduceJob):
+    """Job 1: emit chunks for both roles, join them on chunk identity.
+
+    Input records are ``(id, string)``.  Each string plays the *indexed*
+    role (its segments) for partners at least as long, and the *probe*
+    role (its substrings) against indexed lengths no longer than itself --
+    the self-join symmetry optimisation of Sec. III-G.1.
+    """
+
+    name = "massjoin-candidates"
+
+    def __init__(self, scheme) -> None:
+        self.scheme = scheme
+
+    def map(self, record, ctx: MapReduceContext) -> Iterator:
+        identifier, s = record
+        length = len(s)
+        scheme = self.scheme
+        # ---- indexed role ---------------------------------------------------
+        u_index = scheme.u_index(length)
+        if length <= u_index:
+            yield ("short", length), ("I", identifier)
+        else:
+            for i, (_, segment) in enumerate(even_partition(s, u_index + 1)):
+                yield (i, length, segment), ("I", identifier)
+        # ---- probe role -----------------------------------------------------
+        for indexed_length in range(scheme.min_partner_length(length), length + 1):
+            if indexed_length < 0:
+                continue
+            u_idx = scheme.u_index(indexed_length)
+            if indexed_length <= u_idx:
+                yield ("short", indexed_length), ("P", identifier)
+                continue
+            u_pair = scheme.u_pair(length, indexed_length)
+            k = u_idx + 1
+            for i, (p_i, size) in enumerate(_segment_bounds(indexed_length, k)):
+                lo = max(0, p_i - u_pair)
+                hi = min(length - size, p_i + u_pair)
+                for start in range(lo, hi + 1):
+                    ctx.charge(size)  # substring extraction work
+                    yield (i, indexed_length, s[start : start + size]), (
+                        "P",
+                        identifier,
+                    )
+
+    def reduce(self, key, values, ctx: MapReduceContext) -> Iterator:
+        indexed = [identifier for role, identifier in values if role == "I"]
+        probes = [identifier for role, identifier in values if role == "P"]
+        ctx.charge(len(indexed) * len(probes))
+        for left in indexed:
+            for right in probes:
+                if left == right:
+                    continue
+                pair = (left, right) if left < right else (right, left)
+                ctx.count("candidates-raw")
+                yield pair
+
+
+class _DedupJob(MapReduceJob):
+    """Job 2: collapse duplicate candidate pairs (grouping on both ids)."""
+
+    name = "massjoin-dedup"
+
+    def map(self, record, ctx: MapReduceContext) -> Iterator:
+        yield record, None
+
+    def reduce(self, key, values, ctx: MapReduceContext) -> Iterator:
+        ctx.count("candidates-distinct")
+        yield key
+
+
+class _ResolveLeftJob(MapReduceJob):
+    """Job 3: join the left id of each pair with its string.
+
+    Input is the union of candidate pairs tagged ``('pair', (a, b))`` and
+    the dataset tagged ``('string', (id, s))``; the reducer on the left id
+    re-emits pairs carrying the left string.
+    """
+
+    name = "massjoin-resolve"
+
+    def map(self, record, ctx: MapReduceContext) -> Iterator:
+        tag, payload = record
+        if tag == "pair":
+            left, right = payload
+            yield left, ("PAIR", right)
+        else:
+            identifier, s = payload
+            yield identifier, ("STR", s)
+
+    def reduce(self, key, values, ctx: MapReduceContext) -> Iterator:
+        left_string = None
+        rights = []
+        for tag, payload in values:
+            if tag == "STR":
+                left_string = payload
+            else:
+                rights.append(payload)
+        if left_string is None:
+            return
+        for right in rights:
+            yield right, (key, left_string)
+
+
+class _VerifyJob(MapReduceJob):
+    """Job 4: join the right string and verify the candidate pair."""
+
+    name = "massjoin-verify"
+
+    def __init__(self, scheme) -> None:
+        self.scheme = scheme
+
+    def map(self, record, ctx: MapReduceContext) -> Iterator:
+        tag, payload = record
+        if tag == "half":
+            right, left_info = payload
+            yield right, ("PAIR", left_info)
+        else:
+            identifier, s = payload
+            yield identifier, ("STR", s)
+
+    def reduce(self, key, values, ctx: MapReduceContext) -> Iterator:
+        right_string = None
+        lefts = []
+        for tag, payload in values:
+            if tag == "STR":
+                right_string = payload
+            else:
+                lefts.append(payload)
+        if right_string is None:
+            return
+        for left_id, left_string in lefts:
+            distance = self.scheme.verify(left_string, right_string, ctx.charge)
+            ctx.count("verified")
+            if distance is not None:
+                ctx.count("similar")
+                yield (left_id, key, distance)
+
+
+@dataclass
+class MassJoinResult:
+    """Similar pairs plus the full pipeline work ledger."""
+
+    pairs: set[tuple[int, int]]
+    distances: dict[tuple[int, int], float]
+    pipeline: PipelineResult
+
+
+class MassJoin:
+    """MapReduce-distributed string similarity self-join.
+
+    Parameters
+    ----------
+    engine:
+        The simulated cluster to run on.
+    threshold:
+        NLD threshold in ``[0, 1)`` (mode ``"nld"``) or integer edit
+        distance (mode ``"ld"``).
+    mode:
+        ``"nld"`` (TSJ's token join, the default) or ``"ld"``.
+    """
+
+    def __init__(
+        self,
+        engine: MapReduceEngine | None = None,
+        threshold: float = 0.1,
+        mode: str = "nld",
+    ) -> None:
+        self.engine = engine or MapReduceEngine()
+        if mode == "nld":
+            self.scheme = _NldScheme(float(threshold))
+        elif mode == "ld":
+            self.scheme = _LdScheme(int(threshold))
+        else:
+            raise ValueError(f"unknown MassJoin mode: {mode!r}")
+
+    def self_join(self, strings: Sequence[str]) -> MassJoinResult:
+        """Join ``strings`` with themselves; returns id pairs ``(i, j)``,
+        ``i < j``, their distances, and the pipeline metrics."""
+        engine = self.engine
+        records = list(enumerate(strings))
+
+        candidates = engine.run(_CandidateJob(self.scheme), records)
+        dedup = engine.run(_DedupJob(), candidates.outputs)
+        resolve_input = [("pair", pair) for pair in dedup.outputs]
+        resolve_input += [("string", record) for record in records]
+        resolved = engine.run(_ResolveLeftJob(), resolve_input)
+        verify_input = [("half", half) for half in resolved.outputs]
+        verify_input += [("string", record) for record in records]
+        verified = engine.run(_VerifyJob(self.scheme), verify_input)
+
+        pairs: set[tuple[int, int]] = set()
+        distances: dict[tuple[int, int], float] = {}
+        for left, right, distance in verified.outputs:
+            pair = (left, right) if left < right else (right, left)
+            pairs.add(pair)
+            distances[pair] = distance
+        pipeline = PipelineResult(
+            outputs=sorted(pairs),
+            stages=[
+                candidates.metrics,
+                dedup.metrics,
+                resolved.metrics,
+                verified.metrics,
+            ],
+        )
+        return MassJoinResult(pairs=pairs, distances=distances, pipeline=pipeline)

@@ -1,0 +1,272 @@
+"""Pass-Join (Li, Deng, Wang & Feng, VLDB 2011): partition-based LD-joins.
+
+The algorithm rests on Lemma 7: if ``LD(x, y) <= U``, partitioning ``y``
+into ``U + 1`` segments guarantees at least one segment is a substring of
+``x``.  Pass-Join therefore
+
+1. partitions every indexed string into ``U + 1`` *even* segments (lengths
+   differ by at most one -- the paper notes even partitioning minimises the
+   space of string chunks);
+2. for every probe string, enumerates the substrings that could match a
+   segment (bounded start-position windows) and looks them up in the
+   segment index;
+3. verifies surviving candidate pairs with the banded threshold DP.
+
+Two join modes are provided:
+
+* :meth:`PassJoin.self_join` / :meth:`PassJoin.join` -- classic LD-joins
+  with a fixed edit threshold ``U``, using the multi-match-aware substring
+  windows of the original paper.
+* :func:`passjoin_nld_self_join` -- the NLD adaptation TSJ needs
+  (Sec. III-D): the NLD threshold ``T`` is converted into per-length edit
+  caps via Lemma 8 and a candidate length window via Lemma 9.  Indexed
+  strings of length ``l`` are partitioned into ``floor(T*l/(1-T)) + 1``
+  segments (the largest cap over their admissible partners, which keeps
+  Lemma 7 sound for every pair), and conservative shift windows are used.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Sequence
+
+from repro.distances import levenshtein_within, nld_within
+from repro.distances.normalized import (
+    max_ld_for_longer,
+    max_ld_for_shorter,
+    min_length_for_nld,
+)
+
+
+def even_partition(s: str, k: int) -> list[tuple[int, str]]:
+    """Split ``s`` into ``k`` contiguous segments of near-equal length.
+
+    Returns ``(start, segment)`` pairs.  The first ``k - (len(s) % k)``
+    segments take ``len(s) // k`` characters, the rest one more, matching
+    Pass-Join's even-partition scheme.  If ``k > len(s)`` the trailing
+    segments are empty (handled specially by the index).
+
+    Examples
+    --------
+    >>> even_partition("abcdefg", 3)
+    [(0, 'ab'), (2, 'cd'), (4, 'efg')]
+    """
+    if k < 1:
+        raise ValueError("need at least one segment")
+    n = len(s)
+    base = n // k
+    extra = n % k
+    segments: list[tuple[int, str]] = []
+    start = 0
+    for i in range(k):
+        size = base + (1 if i >= k - extra else 0)
+        segments.append((start, s[start : start + size]))
+        start += size
+    return segments
+
+
+def _segment_bounds(length: int, k: int) -> list[tuple[int, int]]:
+    """The ``(start, size)`` layout :func:`even_partition` produces for any
+    string of the given ``length`` -- computable without the string itself,
+    which lets probes reconstruct indexed segment positions from lengths."""
+    base = length // k
+    extra = length % k
+    bounds: list[tuple[int, int]] = []
+    start = 0
+    for i in range(k):
+        size = base + (1 if i >= k - extra else 0)
+        bounds.append((start, size))
+        start += size
+    return bounds
+
+
+class PassJoin:
+    """Serial Pass-Join for edit-distance joins with fixed threshold ``U``."""
+
+    def __init__(self, threshold: int) -> None:
+        if threshold < 0:
+            raise ValueError("edit-distance threshold must be non-negative")
+        self.threshold = threshold
+        self.segment_count = threshold + 1
+
+    # -- candidate generation ----------------------------------------------
+
+    def _probe_windows(
+        self, probe_length: int, indexed_length: int
+    ) -> list[tuple[int, int, int, int]]:
+        """Multi-match-aware substring windows for one indexed length.
+
+        For segment ``i`` (0-based) of an indexed string of length ``l``,
+        a matching substring of the probe (length ``lx``) must start in::
+
+            [max(0, p_i - i, p_i + D - (k-1-i)),
+             min(lx - l_i, p_i + i, p_i + D + (k-1-i))]
+
+        with ``D = lx - l`` (Li et al., Sec. 4.2).  Returns tuples
+        ``(segment_index, segment_size, lo, hi)``.
+        """
+        k = self.segment_count
+        delta = probe_length - indexed_length
+        windows = []
+        for i, (p_i, size) in enumerate(_segment_bounds(indexed_length, k)):
+            lo = max(0, p_i - i, p_i + delta - (k - 1 - i))
+            hi = min(probe_length - size, p_i + i, p_i + delta + (k - 1 - i))
+            if lo <= hi:
+                windows.append((i, size, lo, hi))
+        return windows
+
+    def _index_string(
+        self,
+        index: dict[tuple[int, int, str], list[int]],
+        short_bucket: dict[int, list[int]],
+        identifier: int,
+        s: str,
+    ) -> None:
+        if len(s) <= self.threshold:
+            # Too short to host U+1 non-empty segments; every probe in the
+            # length window is a candidate (the segment filter is vacuous).
+            short_bucket[len(s)].append(identifier)
+            return
+        for i, (start, segment) in enumerate(even_partition(s, self.segment_count)):
+            index[(i, len(s), segment)].append(identifier)
+
+    def _probe_string(
+        self,
+        index: dict[tuple[int, int, str], list[int]],
+        short_bucket: dict[int, list[int]],
+        s: str,
+        lengths: Sequence[int],
+    ) -> set[int]:
+        candidates: set[int] = set()
+        for indexed_length in lengths:
+            if abs(indexed_length - len(s)) > self.threshold:
+                continue
+            for i, size, lo, hi in self._probe_windows(len(s), indexed_length):
+                for start in range(lo, hi + 1):
+                    key = (i, indexed_length, s[start : start + size])
+                    found = index.get(key)
+                    if found:
+                        candidates.update(found)
+        for bucket_length, ids in short_bucket.items():
+            if abs(bucket_length - len(s)) <= self.threshold:
+                candidates.update(ids)
+        return candidates
+
+    # -- public joins --------------------------------------------------------
+
+    def self_join(self, strings: Sequence[str]) -> set[tuple[int, int]]:
+        """All index pairs ``(i, j)``, ``i < j``, with ``LD <= U``.
+
+        Strings are processed in increasing length order; each string
+        probes the index of previously seen strings, then indexes itself,
+        so every unordered pair is examined exactly once.
+        """
+        order = sorted(range(len(strings)), key=lambda i: (len(strings[i]), i))
+        index: dict[tuple[int, int, str], list[int]] = defaultdict(list)
+        short_bucket: dict[int, list[int]] = defaultdict(list)
+        seen_lengths: list[int] = []
+        seen_length_set: set[int] = set()
+        results: set[tuple[int, int]] = set()
+        for identifier in order:
+            s = strings[identifier]
+            for candidate in self._probe_string(index, short_bucket, s, seen_lengths):
+                if candidate == identifier:
+                    continue
+                if levenshtein_within(strings[candidate], s, self.threshold) is not None:
+                    results.add(tuple(sorted((candidate, identifier))))
+            self._index_string(index, short_bucket, identifier, s)
+            if len(s) not in seen_length_set:
+                seen_length_set.add(len(s))
+                seen_lengths.append(len(s))
+        return results
+
+    def join(self, r: Sequence[str], p: Sequence[str]) -> set[tuple[int, int]]:
+        """All ``(i, j)`` with ``LD(r[i], p[j]) <= U`` (R indexed, P probes)."""
+        index: dict[tuple[int, int, str], list[int]] = defaultdict(list)
+        short_bucket: dict[int, list[int]] = defaultdict(list)
+        lengths: list[int] = []
+        length_set: set[int] = set()
+        for identifier, s in enumerate(r):
+            self._index_string(index, short_bucket, identifier, s)
+            if len(s) not in length_set:
+                length_set.add(len(s))
+                lengths.append(len(s))
+        results: set[tuple[int, int]] = set()
+        for j, s in enumerate(p):
+            for candidate in self._probe_string(index, short_bucket, s, lengths):
+                if levenshtein_within(r[candidate], s, self.threshold) is not None:
+                    results.add((candidate, j))
+        return results
+
+
+def passjoin_nld_self_join(
+    strings: Sequence[str], threshold: float
+) -> set[tuple[int, int]]:
+    """Self-join under ``NLD <= threshold`` via the Lemma 8/9 adaptation.
+
+    Strings are processed shortest-first.  An indexed string of length
+    ``l`` is partitioned into ``floor(T*l/(1-T)) + 1`` segments -- the
+    largest LD cap over partners at least as long (Lemma 8's ``|x| > |y|``
+    case), so Lemma 7's pigeonhole holds for every admissible pair.  Probes
+    enumerate substrings within a conservative shift window of half-width
+    ``U_pair`` (an indel can shift a segment by at most one position, and a
+    similar pair admits at most ``U_pair`` edits).
+
+    Returns index pairs ``(i, j)`` with ``i < j``.
+    """
+    if not 0 <= threshold < 1:
+        raise ValueError("NLD threshold must be in [0, 1)")
+    order = sorted(range(len(strings)), key=lambda i: (len(strings[i]), i))
+    index: dict[tuple[int, int, str], list[int]] = defaultdict(list)
+    short_bucket: dict[int, list[int]] = defaultdict(list)
+    seen_lengths: list[int] = []
+    seen_length_set: set[int] = set()
+    results: set[tuple[int, int]] = set()
+
+    for identifier in order:
+        s = strings[identifier]
+        probe_length = len(s)
+        # ---- probe: partners are indexed, hence no longer than s ----------
+        min_partner = min_length_for_nld(threshold, probe_length)
+        candidates: set[int] = set()
+        for indexed_length in seen_lengths:
+            if not (min_partner <= indexed_length <= probe_length):
+                continue
+            # LD cap for this specific length pair (Lemma 8, both cases).
+            u_pair = min(
+                max_ld_for_shorter(threshold, probe_length),
+                max_ld_for_longer(threshold, indexed_length),
+            )
+            u_index = max_ld_for_longer(threshold, indexed_length)
+            k = u_index + 1
+            if indexed_length <= u_index:
+                continue  # lives in the short bucket
+            for i, (p_i, size) in enumerate(_segment_bounds(indexed_length, k)):
+                lo = max(0, p_i - u_pair)
+                hi = min(probe_length - size, p_i + u_pair)
+                for start in range(lo, hi + 1):
+                    key = (i, indexed_length, s[start : start + size])
+                    found = index.get(key)
+                    if found:
+                        candidates.update(found)
+        for bucket_length, ids in short_bucket.items():
+            if min_partner <= bucket_length <= probe_length:
+                candidates.update(ids)
+        for candidate in candidates:
+            if candidate == identifier:
+                continue
+            if nld_within(strings[candidate], s, threshold) is not None:
+                results.add(tuple(sorted((candidate, identifier))))
+        # ---- index s for longer probes to find ----------------------------
+        u_index = max_ld_for_longer(threshold, probe_length)
+        if probe_length <= u_index:
+            short_bucket[probe_length].append(identifier)
+        else:
+            for i, (start, segment) in enumerate(
+                even_partition(s, u_index + 1)
+            ):
+                index[(i, probe_length, segment)].append(identifier)
+        if probe_length not in seen_length_set:
+            seen_length_set.add(probe_length)
+            seen_lengths.append(probe_length)
+    return results

@@ -1,0 +1,217 @@
+"""PassJoinKMR: the MapReduce parallelisation of PassJoinK (Lin et al.).
+
+Sec. IV cites PassJoinK's distributed versions, PassJoinKMR and
+PassJoinKMRS, as MassJoin's competition.  The pipeline mirrors the
+published structure:
+
+1. ``passjoinkmr-signatures`` -- every string emits its ``U + K`` even
+   segments (indexed role) and the windowed substrings probing shorter or
+   equal strings (probe role), keyed by chunk content; reducers emit raw
+   ``(pair, segment_index)`` hits.
+2. ``passjoinkmr-count`` -- group hits by pair and keep pairs matching on
+   at least ``K`` distinct segment indices (the K-signature pigeonhole:
+   ``U`` edits destroy at most ``U`` of ``U + K`` segments).
+3. ``passjoinkmr-resolve`` / ``passjoinkmr-verify`` -- id-to-string
+   resolution and banded-DP verification, as in MassJoin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.distances import levenshtein_within
+from repro.joins.passjoin import _segment_bounds, even_partition
+from repro.mapreduce import (
+    MapReduceContext,
+    MapReduceEngine,
+    MapReduceJob,
+    PipelineResult,
+)
+
+
+class _SignatureJob(MapReduceJob):
+    """Job 1: chunk join emitting (pair, segment index) hits."""
+
+    name = "passjoinkmr-signatures"
+
+    def __init__(self, threshold: int, k_signatures: int) -> None:
+        self.threshold = threshold
+        self.k_signatures = k_signatures
+        self.segment_count = threshold + k_signatures
+
+    def map(self, record, ctx: MapReduceContext) -> Iterator:
+        identifier, s = record
+        length = len(s)
+        k = self.segment_count
+        # ---- indexed role ----------------------------------------------------
+        if length < k:
+            yield ("short", length), ("I", identifier)
+        else:
+            for i, (_, segment) in enumerate(even_partition(s, k)):
+                yield (i, length, segment), ("I", identifier)
+        # ---- probe role (partners no longer than s) ----------------------------
+        for indexed_length in range(max(0, length - self.threshold), length + 1):
+            if indexed_length < k:
+                yield ("short", indexed_length), ("P", identifier)
+                continue
+            for i, (p_i, size) in enumerate(_segment_bounds(indexed_length, k)):
+                lo = max(0, p_i - self.threshold)
+                hi = min(length - size, p_i + self.threshold)
+                for start in range(lo, hi + 1):
+                    ctx.charge(size)
+                    yield (i, indexed_length, s[start : start + size]), (
+                        "P",
+                        identifier,
+                    )
+
+    def reduce(self, key, values, ctx: MapReduceContext) -> Iterator:
+        indexed = [identifier for role, identifier in values if role == "I"]
+        probes = [identifier for role, identifier in values if role == "P"]
+        segment_index = key[0] if key[0] != "short" else -1
+        ctx.charge(len(indexed) * len(probes))
+        for left in indexed:
+            for right in probes:
+                if left == right:
+                    continue
+                pair = (left, right) if left < right else (right, left)
+                yield pair, segment_index
+
+
+class _CountJob(MapReduceJob):
+    """Job 2: keep pairs with >= K distinct matched segment indices.
+
+    Short-bucket hits (segment index -1) bypass the count -- the
+    K-signature argument needs ``U + K`` real segments.
+    """
+
+    name = "passjoinkmr-count"
+
+    def __init__(self, k_signatures: int) -> None:
+        self.k_signatures = k_signatures
+
+    def map(self, record, ctx: MapReduceContext) -> Iterator:
+        yield record
+
+    def reduce(self, key, values, ctx: MapReduceContext) -> Iterator:
+        indices = set(values)
+        if -1 in indices or len(indices) >= self.k_signatures:
+            ctx.count("candidates")
+            yield key
+
+
+class _ResolveJob(MapReduceJob):
+    name = "passjoinkmr-resolve"
+
+    def map(self, record, ctx: MapReduceContext) -> Iterator:
+        tag, payload = record
+        if tag == "pair":
+            left, right = payload
+            yield left, ("PAIR", right)
+        else:
+            identifier, s = payload
+            yield identifier, ("STR", s)
+
+    def reduce(self, key, values, ctx: MapReduceContext) -> Iterator:
+        left_string = None
+        rights = []
+        for tag, payload in values:
+            if tag == "STR":
+                left_string = payload
+            else:
+                rights.append(payload)
+        if left_string is None:
+            return
+        for right in rights:
+            yield right, (key, left_string)
+
+
+class _VerifyJob(MapReduceJob):
+    name = "passjoinkmr-verify"
+
+    def __init__(self, threshold: int) -> None:
+        self.threshold = threshold
+
+    def map(self, record, ctx: MapReduceContext) -> Iterator:
+        tag, payload = record
+        if tag == "half":
+            right, left_info = payload
+            yield right, ("PAIR", left_info)
+        else:
+            identifier, s = payload
+            yield identifier, ("STR", s)
+
+    def reduce(self, key, values, ctx: MapReduceContext) -> Iterator:
+        right_string = None
+        lefts = []
+        for tag, payload in values:
+            if tag == "STR":
+                right_string = payload
+            else:
+                lefts.append(payload)
+        if right_string is None:
+            return
+        for left_id, left_string in lefts:
+            distance = levenshtein_within(
+                left_string, right_string, self.threshold, ops=ctx.charge
+            )
+            if distance is not None:
+                yield (left_id, key, distance)
+
+
+@dataclass
+class PassJoinKMRResult:
+    pairs: set[tuple[int, int]]
+    distances: dict[tuple[int, int], int]
+    pipeline: PipelineResult
+
+
+class PassJoinKMR:
+    """Distributed LD self-join requiring K matching signatures."""
+
+    def __init__(
+        self,
+        engine: MapReduceEngine | None = None,
+        threshold: int = 1,
+        k_signatures: int = 2,
+    ) -> None:
+        if threshold < 0:
+            raise ValueError("edit-distance threshold must be non-negative")
+        if k_signatures < 1:
+            raise ValueError("need at least one required signature")
+        self.engine = engine or MapReduceEngine()
+        self.threshold = threshold
+        self.k_signatures = k_signatures
+
+    def self_join(self, strings: Sequence[str]) -> PassJoinKMRResult:
+        """All pairs ``(i, j)``, ``i < j``, with ``LD <= U``."""
+        engine = self.engine
+        records = list(enumerate(strings))
+
+        hits = engine.run(
+            _SignatureJob(self.threshold, self.k_signatures), records
+        )
+        counted = engine.run(_CountJob(self.k_signatures), hits.outputs)
+        resolve_input = [("pair", pair) for pair in counted.outputs]
+        resolve_input += [("string", record) for record in records]
+        resolved = engine.run(_ResolveJob(), resolve_input)
+        verify_input = [("half", half) for half in resolved.outputs]
+        verify_input += [("string", record) for record in records]
+        verified = engine.run(_VerifyJob(self.threshold), verify_input)
+
+        pairs: set[tuple[int, int]] = set()
+        distances: dict[tuple[int, int], int] = {}
+        for left, right, distance in verified.outputs:
+            pair = (left, right) if left < right else (right, left)
+            pairs.add(pair)
+            distances[pair] = distance
+        pipeline = PipelineResult(
+            outputs=sorted(pairs),
+            stages=[
+                hits.metrics,
+                counted.metrics,
+                resolved.metrics,
+                verified.metrics,
+            ],
+        )
+        return PassJoinKMRResult(pairs=pairs, distances=distances, pipeline=pipeline)

@@ -1,0 +1,139 @@
+"""Burkhard-Keller tree: a metric index for discrete distances.
+
+A BK-tree stores one item per node; each child subtree hangs off an edge
+labelled with the (integer) distance between the child's item and the
+node's item.  The triangle inequality confines a range query with radius
+``r`` around ``q`` to edges labelled within ``d(node, q) +- r``.
+
+The natural companion of **SLD** (Def. 3): SLD is an integer metric
+(Lemma 4), so the edge labels stay discrete and the fan-out bounded.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Generic, Iterable, TypeVar
+
+from repro.distances.setwise import sld
+from repro.tokenize import TokenizedString
+
+Item = TypeVar("Item")
+Metric = Callable[[Item, Item], float]
+
+
+def _default_metric(a: TokenizedString, b: TokenizedString) -> int:
+    return sld(a, b)
+
+
+class _Node(Generic[Item]):
+    __slots__ = ("item", "children")
+
+    def __init__(self, item: Item) -> None:
+        self.item = item
+        self.children: dict[float, _Node] = {}
+
+
+class BKTree(Generic[Item]):
+    """A Burkhard-Keller tree over an integer-valued metric (default SLD).
+
+    Examples
+    --------
+    >>> from repro.tokenize import tokenize
+    >>> tree = BKTree()
+    >>> for name in ["barak obama", "borak obama", "john smith"]:
+    ...     tree.add(tokenize(name))
+    >>> [str(m) for m, d in tree.within(tokenize("barak obana"), 2)]
+    ['barak obama', 'borak obama']
+    """
+
+    def __init__(self, metric: Metric | None = None) -> None:
+        self.metric: Metric = metric or _default_metric
+        self._root: _Node | None = None
+        self._size = 0
+        #: Distance evaluations performed by the last query.
+        self.last_query_evaluations = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    # -- construction ----------------------------------------------------------
+
+    def add(self, item: Item) -> None:
+        """Insert one item (duplicates are stored as distance-0 chains)."""
+        self._size += 1
+        if self._root is None:
+            self._root = _Node(item)
+            return
+        node = self._root
+        while True:
+            distance = self.metric(item, node.item)
+            child = node.children.get(distance)
+            if child is None:
+                node.children[distance] = _Node(item)
+                return
+            node = child
+
+    def extend(self, items: Iterable[Item]) -> None:
+        for item in items:
+            self.add(item)
+
+    # -- queries -----------------------------------------------------------------
+
+    def within(self, query: Item, radius: float) -> list[tuple[Item, float]]:
+        """All items with ``metric(item, query) <= radius``, ascending.
+
+        The triangle inequality restricts descent to child edges labelled
+        in ``[d - radius, d + radius]``.
+        """
+        if radius < 0:
+            raise ValueError("radius must be non-negative")
+        self.last_query_evaluations = 0
+        if self._root is None:
+            return []
+        results: list[tuple[float, int, Item]] = []
+        stack = [self._root]
+        tie = 0
+        while stack:
+            node = stack.pop()
+            distance = self.metric(query, node.item)
+            self.last_query_evaluations += 1
+            if distance <= radius:
+                results.append((distance, tie, node.item))
+                tie += 1
+            lo, hi = distance - radius, distance + radius
+            for label, child in node.children.items():
+                if lo <= label <= hi:
+                    stack.append(child)
+        return [(item, distance) for distance, _, item in sorted(results)]
+
+    def nearest(self, query: Item, k: int = 1) -> list[tuple[Item, float]]:
+        """The ``k`` nearest items to ``query`` (ascending distance).
+
+        Best-first search with a shrinking radius: once ``k`` results are
+        held, subtrees whose edge window cannot beat the current k-th
+        distance are pruned.
+        """
+        if k < 1:
+            raise ValueError("k must be positive")
+        self.last_query_evaluations = 0
+        if self._root is None:
+            return []
+        # Max-heap of the best k (negated distances).
+        best: list[tuple[float, int, Item]] = []
+        tie = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            distance = self.metric(query, node.item)
+            self.last_query_evaluations += 1
+            if len(best) < k:
+                heapq.heappush(best, (-distance, tie, node.item))
+            elif distance < -best[0][0]:
+                heapq.heapreplace(best, (-distance, tie, node.item))
+            tie += 1
+            radius = -best[0][0] if len(best) == k else float("inf")
+            for label, child in node.children.items():
+                if distance - radius <= label <= distance + radius:
+                    stack.append(child)
+        ordered = sorted((-negated, tie, item) for negated, tie, item in best)
+        return [(item, distance) for distance, _, item in ordered]

@@ -1,0 +1,150 @@
+"""Vantage-point tree: a metric index for continuous distances.
+
+Each node picks a *vantage point* and splits the remaining items by the
+median distance to it: the inside half within the median radius, the
+outside half beyond.  The triangle inequality prunes whole halves during
+search: with query distance ``d`` and search radius ``r``, the inside
+half is reachable only if ``d - r <= mu`` and the outside half only if
+``d + r >= mu``.
+
+The natural companion of **NSLD** (Def. 4), whose values are continuous
+in ``[0, 1]`` (Lemma 5).
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from typing import Callable, Generic, Sequence, TypeVar
+
+from repro.distances.setwise import nsld
+from repro.tokenize import TokenizedString
+
+Item = TypeVar("Item")
+Metric = Callable[[Item, Item], float]
+
+
+def _default_metric(a: TokenizedString, b: TokenizedString) -> float:
+    return nsld(a, b)
+
+
+class _Node(Generic[Item]):
+    __slots__ = ("vantage", "radius", "inside", "outside")
+
+    def __init__(self, vantage: Item) -> None:
+        self.vantage = vantage
+        self.radius: float = 0.0
+        self.inside: "_Node | None" = None
+        self.outside: "_Node | None" = None
+
+
+class VPTree(Generic[Item]):
+    """A vantage-point tree (built once over a fixed dataset).
+
+    Parameters
+    ----------
+    items:
+        The dataset to index.
+    metric:
+        Any metric; defaults to NSLD over tokenized strings.
+    seed:
+        Vantage points are chosen randomly (a classic robust choice);
+        the seed makes trees reproducible.
+
+    Examples
+    --------
+    >>> from repro.tokenize import tokenize
+    >>> tree = VPTree([tokenize(n) for n in
+    ...                ["barak obama", "borak obama", "john smith"]])
+    >>> [str(m) for m, d in tree.within(tokenize("barak obama"), 0.1)]
+    ['barak obama', 'borak obama']
+    """
+
+    def __init__(
+        self,
+        items: Sequence[Item],
+        metric: Metric | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.metric: Metric = metric or _default_metric
+        self._rng = random.Random(seed)
+        self._size = len(items)
+        self._root = self._build(list(items))
+        #: Distance evaluations performed by the last query.
+        self.last_query_evaluations = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def _build(self, items: list[Item]) -> _Node | None:
+        if not items:
+            return None
+        index = self._rng.randrange(len(items))
+        items[index], items[-1] = items[-1], items[index]
+        vantage = items.pop()
+        node = _Node(vantage)
+        if not items:
+            return node
+        distances = [(self.metric(item, vantage), i) for i, item in enumerate(items)]
+        distances.sort(key=lambda pair: pair[0])
+        median = len(distances) // 2
+        node.radius = distances[median][0]
+        inside = [items[i] for d, i in distances if d < node.radius]
+        outside = [items[i] for d, i in distances if d >= node.radius]
+        # Degenerate split (all distances equal): keep the tree finite by
+        # sending everything outside only when inside is empty anyway.
+        node.inside = self._build(inside)
+        node.outside = self._build(outside)
+        return node
+
+    # -- queries -----------------------------------------------------------------
+
+    def within(self, query: Item, radius: float) -> list[tuple[Item, float]]:
+        """All items with ``metric(item, query) <= radius``, ascending."""
+        if radius < 0:
+            raise ValueError("radius must be non-negative")
+        self.last_query_evaluations = 0
+        results: list[tuple[float, int, Item]] = []
+        tie = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node is None:
+                continue
+            distance = self.metric(query, node.vantage)
+            self.last_query_evaluations += 1
+            if distance <= radius:
+                results.append((distance, tie, node.vantage))
+                tie += 1
+            if distance - radius < node.radius:
+                stack.append(node.inside)
+            if distance + radius >= node.radius:
+                stack.append(node.outside)
+        return [(item, distance) for distance, _, item in sorted(results)]
+
+    def nearest(self, query: Item, k: int = 1) -> list[tuple[Item, float]]:
+        """The ``k`` nearest items to ``query`` (ascending distance)."""
+        if k < 1:
+            raise ValueError("k must be positive")
+        self.last_query_evaluations = 0
+        best: list[tuple[float, int, Item]] = []  # max-heap via negation
+        tie = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node is None:
+                continue
+            distance = self.metric(query, node.vantage)
+            self.last_query_evaluations += 1
+            if len(best) < k:
+                heapq.heappush(best, (-distance, tie, node.vantage))
+            elif distance < -best[0][0]:
+                heapq.heapreplace(best, (-distance, tie, node.vantage))
+            tie += 1
+            radius = -best[0][0] if len(best) == k else float("inf")
+            if distance - radius < node.radius:
+                stack.append(node.inside)
+            if distance + radius >= node.radius:
+                stack.append(node.outside)
+        ordered = sorted((-negated, tie, item) for negated, tie, item in best)
+        return [(item, distance) for distance, _, item in ordered]

@@ -1,0 +1,41 @@
+"""A deterministic, metered MapReduce simulation engine (Sec. III-A).
+
+The paper runs TSJ on a production MapReduce cluster of 100-1000 machines.
+This package provides an in-process substitute that
+
+* executes real ``map -> shuffle -> reduce`` semantics (hash partitioning of
+  keys across ``n_machines`` simulated workers),
+* **meters** the work each simulated worker performs -- records processed,
+  compute operations charged by the user code (e.g. DP cells), shuffle
+  bytes, reduce groups -- and
+* converts the metered work into a simulated wall-clock **makespan** through
+  an explicit :class:`CostModel`, so "runtime vs number of machines" curves
+  reflect genuine load balance and skew of the algorithms rather than
+  single-host noise.
+
+Everything is deterministic: key placement uses a stable hash, so repeated
+runs (and the paper-reproduction benchmarks) give identical numbers.
+"""
+
+from repro.mapreduce.cluster import ClusterConfig, CostModel
+from repro.mapreduce.engine import (
+    JobMetrics,
+    JobResult,
+    MapReduceContext,
+    MapReduceEngine,
+    MapReduceJob,
+    PipelineResult,
+)
+from repro.mapreduce.hashing import stable_hash
+
+__all__ = [
+    "ClusterConfig",
+    "CostModel",
+    "MapReduceEngine",
+    "MapReduceJob",
+    "MapReduceContext",
+    "JobMetrics",
+    "JobResult",
+    "PipelineResult",
+    "stable_hash",
+]

@@ -1,0 +1,391 @@
+"""The simulated MapReduce engine: real semantics, metered work.
+
+A :class:`MapReduceJob` supplies ``map`` and ``reduce`` generator methods
+(and optionally ``combine``).  :class:`MapReduceEngine` executes the job
+over an input iterable with genuine hash-partitioned shuffle semantics
+while attributing every record, compute op, task and shuffled byte to the
+simulated worker that handled it.  :class:`JobMetrics` then answers "how
+long would this job have taken on ``n`` machines?" through the
+:class:`repro.mapreduce.cluster.CostModel`.
+
+The engine is single-threaded on purpose: determinism is worth more to a
+reproduction than parallel wall-clock, and the *simulated* runtime is what
+the paper's scalability figures plot.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Iterator, Sequence
+
+from repro.mapreduce.cluster import ClusterConfig, CostModel
+from repro.mapreduce.hashing import stable_hash
+from repro.tokenize.tokenized_string import TokenizedString
+
+KeyValue = tuple[Any, Any]
+
+
+def estimate_size(value: object) -> int:
+    """Rough serialized size of a value in bytes (for shuffle accounting).
+
+    Uses flat per-type estimates comparable to compact binary encodings;
+    exactness is irrelevant -- only relative volume between strategies
+    matters for the simulated runtimes.
+    """
+    if value is None or isinstance(value, bool):
+        return 1
+    if isinstance(value, int):
+        return 8
+    if isinstance(value, float):
+        return 8
+    if isinstance(value, str):
+        return 4 + len(value)
+    if isinstance(value, bytes):
+        return 4 + len(value)
+    if isinstance(value, TokenizedString):
+        return 4 + sum(4 + len(token) for token in value.tokens)
+    if isinstance(value, (tuple, list, set, frozenset)):
+        return 4 + sum(estimate_size(item) for item in value)
+    if isinstance(value, dict):
+        return 4 + sum(
+            estimate_size(k) + estimate_size(v) for k, v in value.items()
+        )
+    return 16
+
+
+class MapReduceContext:
+    """Hands user code a way to charge compute and bump counters.
+
+    An instance is bound to one simulated worker at a time; the engine
+    rebinds it as execution moves between workers.
+    """
+
+    def __init__(self) -> None:
+        self.counters: dict[str, int] = {}
+        self._ops_sink: Callable[[int], None] = lambda n: None
+
+    def charge(self, ops: int) -> None:
+        """Attribute ``ops`` compute operations to the current worker.
+
+        Distance functions accept this bound method as their ``ops`` hook,
+        so e.g. every DP cell of an LD verification lands on the worker
+        that ran the verification.
+        """
+        self._ops_sink(ops)
+
+    def count(self, name: str, increment: int = 1) -> None:
+        """Increment a named job counter (like Hadoop counters)."""
+        self.counters[name] = self.counters.get(name, 0) + increment
+
+    def _bind(self, sink: Callable[[int], None]) -> None:
+        self._ops_sink = sink
+
+
+class MapReduceJob(abc.ABC):
+    """A single MapReduce job: ``map``, optional ``combine``, ``reduce``."""
+
+    #: Human-readable job name (used in metrics breakdowns).
+    name: str = "job"
+
+    @abc.abstractmethod
+    def map(self, record: Any, ctx: MapReduceContext) -> Iterator[KeyValue]:
+        """Yield ``(key, value)`` pairs for one input record."""
+
+    @abc.abstractmethod
+    def reduce(
+        self, key: Any, values: Sequence[Any], ctx: MapReduceContext
+    ) -> Iterator[Any]:
+        """Yield output records for one reduce group."""
+
+    def combine(
+        self, key: Any, values: Sequence[Any], ctx: MapReduceContext
+    ) -> Iterator[Any] | None:
+        """Optional mapper-side pre-aggregation.
+
+        Return an iterator of combined *values* for ``key``, or ``None``
+        (the default) to disable combining.
+        """
+        return None
+
+    @property
+    def has_combiner(self) -> bool:
+        """Whether :meth:`combine` is overridden."""
+        return type(self).combine is not MapReduceJob.combine
+
+
+@dataclass
+class JobMetrics:
+    """Per-worker work ledger for one executed job.
+
+    Besides the per-machine aggregates, the job keeps fine-grained ledgers
+    (ops per input record, work per reduce key) so :meth:`rebin` can
+    recompute the simulated makespan for *any* cluster size without
+    re-executing the join -- the outputs are machine-count-invariant, only
+    the work placement changes.
+    """
+
+    name: str
+    n_machines: int
+    map_records: list[int] = field(default_factory=list)
+    map_ops: list[int] = field(default_factory=list)
+    map_output_pairs: int = 0
+    shuffle_bytes: list[int] = field(default_factory=list)
+    reduce_records: list[int] = field(default_factory=list)
+    reduce_ops: list[int] = field(default_factory=list)
+    reduce_tasks: list[int] = field(default_factory=list)
+    output_records: int = 0
+    counters: dict[str, int] = field(default_factory=dict)
+    #: ops charged while mapping each input record, in input order.
+    map_ledger: list[int] = field(default_factory=list, repr=False)
+    #: per reduce key: [records, ops, shuffle_bytes].
+    reduce_ledger: dict = field(default_factory=dict, repr=False)
+    #: combiner ops (not attributable to one input record); spread evenly
+    #: across mappers when rebinned.
+    combine_ops_total: int = 0
+
+    def rebin(self, n_machines: int) -> "JobMetrics":
+        """This job's work ledger re-placed on a cluster of another size.
+
+        Input records are re-split round-robin and reduce keys re-hashed,
+        exactly as a fresh run on ``n_machines`` would place them.
+        """
+        if n_machines < 1:
+            raise ValueError("cluster needs at least one machine")
+        clone = JobMetrics(name=self.name, n_machines=n_machines)
+        clone.map_records = [0] * n_machines
+        clone.map_ops = [0] * n_machines
+        clone.shuffle_bytes = [0] * n_machines
+        clone.reduce_records = [0] * n_machines
+        clone.reduce_ops = [0] * n_machines
+        clone.reduce_tasks = [0] * n_machines
+        clone.map_output_pairs = self.map_output_pairs
+        clone.output_records = self.output_records
+        clone.counters = dict(self.counters)
+        clone.map_ledger = self.map_ledger
+        clone.reduce_ledger = self.reduce_ledger
+        clone.combine_ops_total = self.combine_ops_total
+        for index, ops in enumerate(self.map_ledger):
+            machine = index % n_machines
+            clone.map_records[machine] += 1
+            clone.map_ops[machine] += ops
+        if self.combine_ops_total:
+            share, remainder = divmod(self.combine_ops_total, n_machines)
+            for machine in range(n_machines):
+                clone.map_ops[machine] += share + (1 if machine < remainder else 0)
+        for key, (records, ops, nbytes) in self.reduce_ledger.items():
+            machine = stable_hash(key) % n_machines
+            clone.reduce_tasks[machine] += 1
+            clone.reduce_records[machine] += records
+            clone.reduce_ops[machine] += ops
+            clone.shuffle_bytes[machine] += nbytes
+        return clone
+
+    def simulated_seconds(self, cost: CostModel | None = None) -> float:
+        """Simulated job makespan on this cluster size.
+
+        ``job_overhead`` + slowest mapper + slowest reducer, each phase
+        paying one ``worker_startup``.  Shuffle cost is charged to the
+        receiving reducer (network is attributed to the puller, as in
+        Hadoop's copy phase).
+        """
+        cost = cost or CostModel()
+        map_time = max(
+            (
+                cost.phase_seconds(records=r, ops=o, shuffle_bytes=0)
+                for r, o in zip(self.map_records, self.map_ops)
+            ),
+            default=0.0,
+        )
+        reduce_time = max(
+            (
+                cost.phase_seconds(records=r, ops=o, shuffle_bytes=b, tasks=t)
+                for r, o, b, t in zip(
+                    self.reduce_records,
+                    self.reduce_ops,
+                    self.shuffle_bytes,
+                    self.reduce_tasks,
+                )
+            ),
+            default=0.0,
+        )
+        return cost.job_overhead + 2 * cost.worker_startup + map_time + reduce_time
+
+    @property
+    def total_map_records(self) -> int:
+        return sum(self.map_records)
+
+    @property
+    def total_shuffle_bytes(self) -> int:
+        return sum(self.shuffle_bytes)
+
+    @property
+    def total_reduce_tasks(self) -> int:
+        return sum(self.reduce_tasks)
+
+    @property
+    def total_ops(self) -> int:
+        return sum(self.map_ops) + sum(self.reduce_ops)
+
+    def skew(self) -> float:
+        """Reduce-phase imbalance: max worker load / mean worker load.
+
+        1.0 is perfectly balanced.  The metric the paper's load-balancing
+        discussion (grouping strategies, dropping popular tokens) is about.
+        """
+        loads = [
+            r + t for r, t in zip(self.reduce_records, self.reduce_tasks)
+        ]
+        total = sum(loads)
+        if total == 0:
+            return 1.0
+        return max(loads) * self.n_machines / total
+
+
+@dataclass
+class JobResult:
+    """Outputs plus the work ledger of one job execution."""
+
+    outputs: list
+    metrics: JobMetrics
+
+
+@dataclass
+class PipelineResult:
+    """Aggregate of several chained jobs (a TSJ run is a pipeline)."""
+
+    outputs: list
+    stages: list[JobMetrics]
+
+    def simulated_seconds(self, cost: CostModel | None = None) -> float:
+        """Pipeline makespan: jobs run back-to-back."""
+        return sum(stage.simulated_seconds(cost) for stage in self.stages)
+
+    def rebin(self, n_machines: int) -> "PipelineResult":
+        """The same pipeline re-placed on a cluster of ``n_machines``.
+
+        Cheap: only the work ledgers are re-hashed; no join re-executes.
+        This is how the scalability benchmarks sweep cluster sizes.
+        """
+        return PipelineResult(
+            outputs=self.outputs,
+            stages=[stage.rebin(n_machines) for stage in self.stages],
+        )
+
+    def counters(self) -> dict[str, int]:
+        merged: dict[str, int] = {}
+        for stage in self.stages:
+            for name, value in stage.counters.items():
+                merged[name] = merged.get(name, 0) + value
+        return merged
+
+
+class MapReduceEngine:
+    """Executes :class:`MapReduceJob` instances on a simulated cluster."""
+
+    def __init__(self, config: ClusterConfig | None = None) -> None:
+        self.config = config or ClusterConfig()
+
+    @property
+    def n_machines(self) -> int:
+        return self.config.n_machines
+
+    def run(self, job: MapReduceJob, records: Iterable[Any]) -> JobResult:
+        """Run one job over ``records`` and return outputs + metrics.
+
+        Input records are split round-robin across mappers (MapReduce input
+        splits); intermediate keys are hash-partitioned across reducers
+        with :func:`repro.mapreduce.hashing.stable_hash`.
+        """
+        n = self.n_machines
+        metrics = JobMetrics(name=job.name, n_machines=n)
+        metrics.map_records = [0] * n
+        metrics.map_ops = [0] * n
+        metrics.shuffle_bytes = [0] * n
+        metrics.reduce_records = [0] * n
+        metrics.reduce_ops = [0] * n
+        metrics.reduce_tasks = [0] * n
+
+        ctx = MapReduceContext()
+
+        # ---- map phase ------------------------------------------------------
+        # Buffered per-mapper only when a combiner needs mapper-local groups;
+        # otherwise pairs stream straight into the shuffle.
+        groups: dict[Any, list[Any]] = {}
+        use_combiner = job.has_combiner
+        mapper_buffers: list[dict[Any, list[Any]]] | None = (
+            [dict() for _ in range(n)] if use_combiner else None
+        )
+
+        def shuffle_pair(key: Any, value: Any) -> None:
+            destination = stable_hash(key) % n
+            nbytes = estimate_size(key) + estimate_size(value)
+            metrics.shuffle_bytes[destination] += nbytes
+            ledger = metrics.reduce_ledger.get(key)
+            if ledger is None:
+                metrics.reduce_ledger[key] = [0, 0, nbytes]
+            else:
+                ledger[2] += nbytes
+            groups.setdefault(key, []).append(value)
+
+        record_ops = 0
+
+        def map_sink(ops: int) -> None:
+            nonlocal record_ops
+            record_ops += ops
+
+        for index, record in enumerate(records):
+            mapper = index % n
+            metrics.map_records[mapper] += 1
+            record_ops = 0
+            ctx._bind(map_sink)
+            for key, value in job.map(record, ctx):
+                metrics.map_output_pairs += 1
+                if use_combiner:
+                    mapper_buffers[mapper].setdefault(key, []).append(value)
+                else:
+                    shuffle_pair(key, value)
+            metrics.map_ops[mapper] += record_ops
+            metrics.map_ledger.append(record_ops)
+
+        if use_combiner:
+            combine_ops = 0
+
+            def combine_sink(ops: int) -> None:
+                nonlocal combine_ops
+                combine_ops += ops
+
+            for mapper, buffer in enumerate(mapper_buffers):
+                combine_ops = 0
+                ctx._bind(combine_sink)
+                for key, values in buffer.items():
+                    combined = job.combine(key, values, ctx)
+                    for value in combined if combined is not None else values:
+                        shuffle_pair(key, value)
+                metrics.map_ops[mapper] += combine_ops
+                metrics.combine_ops_total += combine_ops
+
+        # ---- reduce phase ---------------------------------------------------
+        outputs: list[Any] = []
+        group_ops = 0
+
+        def reduce_sink(ops: int) -> None:
+            nonlocal group_ops
+            group_ops += ops
+
+        for key, values in groups.items():
+            reducer = stable_hash(key) % n
+            metrics.reduce_tasks[reducer] += 1
+            metrics.reduce_records[reducer] += len(values)
+
+            group_ops = 0
+            ctx._bind(reduce_sink)
+            outputs.extend(job.reduce(key, values, ctx))
+            metrics.reduce_ops[reducer] += group_ops
+            ledger = metrics.reduce_ledger[key]
+            ledger[0] += len(values)
+            ledger[1] += group_ops
+
+        metrics.output_records = len(outputs)
+        metrics.counters = dict(ctx.counters)
+        return JobResult(outputs=outputs, metrics=metrics)

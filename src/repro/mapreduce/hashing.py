@@ -1,0 +1,61 @@
+"""Stable hashing for deterministic key partitioning.
+
+Python's builtin ``hash`` is salted per process (PYTHONHASHSEED), which
+would make worker assignment -- and therefore every simulated runtime --
+non-reproducible.  :func:`stable_hash` provides a process-independent
+64-bit hash over the plain value types used as MapReduce keys.
+
+The same function doubles as the fingerprint ``HASH`` in TSJ's
+grouping-on-one-string dedup strategy (Sec. III-G.3).
+"""
+
+from __future__ import annotations
+
+import struct
+from hashlib import blake2b
+
+_FLOAT_PACKER = struct.Struct("<d")
+
+
+def _canonical_bytes(value: object) -> bytes:
+    """Encode a value into type-tagged canonical bytes.
+
+    Supports the key types the simulator uses: ``str``, ``bytes``, ``int``,
+    ``float``, ``bool``, ``None``, and (nested) tuples thereof.  Type tags
+    prevent cross-type collisions such as ``"1"`` vs ``1``.
+    """
+    if value is None:
+        return b"N"
+    if isinstance(value, bool):  # must precede int: bool is a subclass
+        return b"B1" if value else b"B0"
+    if isinstance(value, int):
+        return b"I" + str(value).encode("ascii")
+    if isinstance(value, float):
+        return b"F" + _FLOAT_PACKER.pack(value)
+    if isinstance(value, str):
+        return b"S" + value.encode("utf-8")
+    if isinstance(value, bytes):
+        return b"Y" + value
+    if isinstance(value, tuple):
+        parts = [b"T", str(len(value)).encode("ascii")]
+        for item in value:
+            encoded = _canonical_bytes(item)
+            parts.append(str(len(encoded)).encode("ascii"))
+            parts.append(b":")
+            parts.append(encoded)
+        return b"".join(parts)
+    raise TypeError(f"unhashable MapReduce key type: {type(value).__name__}")
+
+
+def stable_hash(value: object) -> int:
+    """A deterministic non-negative 64-bit hash of ``value``.
+
+    Examples
+    --------
+    >>> stable_hash("ann") == stable_hash("ann")
+    True
+    >>> stable_hash(("a", 1)) != stable_hash(("a", 2))
+    True
+    """
+    digest = blake2b(_canonical_bytes(value), digest_size=8).digest()
+    return int.from_bytes(digest, "little")

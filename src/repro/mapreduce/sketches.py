@@ -1,0 +1,219 @@
+"""Streaming frequency sketches for scalable popular-token detection.
+
+Sec. III-G.2 drops tokens shared by more than ``M`` tokenized strings and
+notes that "dropping high-frequency tokens in a scalable way will be
+discussed in an extended version of the paper".  At 44M records an exact
+per-token count is a heavy shuffle; the streaming literature offers two
+classic summaries that fit in one mapper-side pass:
+
+* :class:`SpaceSaving` -- the deterministic top-k / heavy-hitters summary
+  of Metwally, Agrawal & El Abbadi (ICDT 2005) -- the first author's own
+  algorithm, and the natural fit here: every token with true count
+  ``> n / capacity`` is guaranteed to be retained, and reported counts
+  overestimate by at most the minimum counter.
+* :class:`CountMinSketch` -- Cormode & Muthukrishnan's randomised counter
+  array: reported counts never underestimate and overestimate by at most
+  ``e * n / width`` with probability ``1 - exp(-depth)``.
+
+Both overestimate-only guarantees match the semantics ``M`` needs: a
+token flagged frequent by the sketch may occasionally be an innocent
+token dropped too eagerly (recall loss, like ``M`` itself), but no truly
+frequent token can sneak through and blow up a reducer.
+
+:func:`approximate_frequent_tokens` applies either sketch over a record
+stream the way a distributed TSJ would (mapper-local sketches merged at
+the driver).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.mapreduce.hashing import stable_hash
+
+
+class SpaceSaving:
+    """The Space-Saving heavy-hitters summary (Metwally et al., 2005).
+
+    Maintains at most ``capacity`` counters.  A new item evicts the
+    minimum counter and inherits its count (+1), so reported counts are
+    overestimates bounded by the evicted minimum, and any item with true
+    frequency above ``n / capacity`` is guaranteed present.
+
+    Examples
+    --------
+    >>> sketch = SpaceSaving(capacity=2)
+    >>> for token in ["john"] * 5 + ["mary"] * 3 + ["zoe"]:
+    ...     sketch.add(token)
+    >>> sketch.count("john") >= 5
+    True
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._counts: dict[str, int] = {}
+        self._errors: dict[str, int] = {}
+        self.total = 0
+
+    def add(self, item: str, increment: int = 1) -> None:
+        """Observe ``item`` (optionally with a weight)."""
+        if increment < 1:
+            raise ValueError("increment must be positive")
+        self.total += increment
+        if item in self._counts:
+            self._counts[item] += increment
+            return
+        if len(self._counts) < self.capacity:
+            self._counts[item] = increment
+            self._errors[item] = 0
+            return
+        victim = min(self._counts, key=lambda key: (self._counts[key], key))
+        floor = self._counts.pop(victim)
+        self._errors.pop(victim)
+        self._counts[item] = floor + increment
+        self._errors[item] = floor
+
+    def count(self, item: str) -> int:
+        """Estimated count: never below the true count of a stored item."""
+        return self._counts.get(item, 0)
+
+    def error(self, item: str) -> int:
+        """Maximum overestimation of the stored count."""
+        return self._errors.get(item, 0)
+
+    def heavy_hitters(self, threshold: int) -> dict[str, int]:
+        """Items whose estimated count exceeds ``threshold``.
+
+        Guaranteed to include every item with true count > ``threshold``
+        whenever ``threshold >= total / capacity``.
+        """
+        return {
+            item: count
+            for item, count in self._counts.items()
+            if count > threshold
+        }
+
+    def merge(self, other: "SpaceSaving") -> "SpaceSaving":
+        """Combine two sketches (for mapper-side partial aggregation).
+
+        The merged sketch keeps the overestimate-only guarantee: counts
+        and errors add; the result is re-truncated to ``capacity`` by
+        treating evicted counters' counts as the error floor of future
+        inserts (standard Space-Saving merge).
+        """
+        merged = SpaceSaving(self.capacity)
+        merged.total = self.total + other.total
+        combined_counts: dict[str, int] = dict(self._counts)
+        combined_errors: dict[str, int] = dict(self._errors)
+        for item, count in other._counts.items():
+            combined_counts[item] = combined_counts.get(item, 0) + count
+            combined_errors[item] = combined_errors.get(item, 0) + other._errors[
+                item
+            ]
+        keep = sorted(
+            combined_counts, key=lambda key: (-combined_counts[key], key)
+        )[: self.capacity]
+        floor = 0
+        evicted = [item for item in combined_counts if item not in set(keep)]
+        if evicted:
+            floor = max(combined_counts[item] for item in evicted)
+        merged._counts = {item: combined_counts[item] for item in keep}
+        merged._errors = {
+            item: min(combined_errors[item] + floor, merged._counts[item])
+            for item in keep
+        }
+        return merged
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+
+class CountMinSketch:
+    """A Count-Min sketch: hashed counter array, overestimate-only.
+
+    Examples
+    --------
+    >>> sketch = CountMinSketch(width=64, depth=4)
+    >>> for token in ["john"] * 10:
+    ...     sketch.add(token)
+    >>> sketch.count("john") >= 10
+    True
+    >>> sketch.count("never-seen") >= 0
+    True
+    """
+
+    def __init__(self, width: int = 1024, depth: int = 4) -> None:
+        if width < 1 or depth < 1:
+            raise ValueError("width and depth must be positive")
+        self.width = width
+        self.depth = depth
+        self._rows = [[0] * width for _ in range(depth)]
+        self.total = 0
+
+    def _buckets(self, item: str) -> Iterator[tuple[int, int]]:
+        for row in range(self.depth):
+            yield row, stable_hash((row, item)) % self.width
+
+    def add(self, item: str, increment: int = 1) -> None:
+        if increment < 1:
+            raise ValueError("increment must be positive")
+        self.total += increment
+        for row, bucket in self._buckets(item):
+            self._rows[row][bucket] += increment
+
+    def count(self, item: str) -> int:
+        """Estimated count; never underestimates."""
+        return min(self._rows[row][bucket] for row, bucket in self._buckets(item))
+
+    def merge(self, other: "CountMinSketch") -> "CountMinSketch":
+        """Cell-wise sum of two same-shape sketches."""
+        if (self.width, self.depth) != (other.width, other.depth):
+            raise ValueError("can only merge sketches of identical shape")
+        merged = CountMinSketch(self.width, self.depth)
+        merged.total = self.total + other.total
+        for row in range(self.depth):
+            merged._rows[row] = [
+                a + b for a, b in zip(self._rows[row], other._rows[row])
+            ]
+        return merged
+
+
+def approximate_frequent_tokens(
+    records: Iterable,
+    max_frequency: int,
+    n_mappers: int = 8,
+    capacity_factor: int = 16,
+) -> frozenset[str]:
+    """Scalable approximate detection of tokens in more than
+    ``max_frequency`` tokenized strings (the extended-version feature).
+
+    Simulates the distributed pattern: each of ``n_mappers`` builds a
+    mapper-local :class:`SpaceSaving` sketch over its share of records;
+    the driver merges the sketches and reports heavy hitters.  Capacity is
+    sized so the guarantee threshold ``n / capacity`` sits well below
+    ``max_frequency`` (``capacity_factor`` sketch slots per expected heavy
+    hitter).
+
+    The result may contain a few tokens whose true frequency is slightly
+    below ``max_frequency`` (overestimate-only, harmless recall loss --
+    the same trade ``M`` itself makes) but misses no truly frequent token.
+    """
+    if max_frequency < 1:
+        raise ValueError("max_frequency must be positive")
+    record_list = list(records)
+    total_tokens = sum(record.token_count for record in record_list)
+    capacity = max(
+        capacity_factor,
+        capacity_factor * (total_tokens // max(max_frequency, 1) + 1),
+    )
+    sketches = [SpaceSaving(capacity) for _ in range(n_mappers)]
+    for index, record in enumerate(record_list):
+        sketch = sketches[index % n_mappers]
+        for token in record.distinct_tokens():
+            sketch.add(token)
+    merged = sketches[0]
+    for sketch in sketches[1:]:
+        merged = merged.merge(sketch)
+    return frozenset(merged.heavy_hitters(max_frequency))

@@ -1,0 +1,37 @@
+"""Distributed metric-space similarity joins (Sec. V-E baselines).
+
+NSLD is a metric (Theorem 2), so generic metric-space join algorithms
+apply to tokenized strings.  The paper compares TSJ against an in-house
+*Hybrid Metric Joiner* (HMJ) combining the strongest published ideas:
+
+* **ClusterJoin** (Das Sarma, He & Chaudhuri, VLDB 2014): dissect the
+  space among sampled centroids with Voronoi hyperplanes; replicate each
+  record to neighbouring partitions using the *general filter*; compare
+  within partitions -- :class:`repro.metricspace.ClusterJoin`.
+* **MR-MAPSS** (Wang, Metwally & Parthasarathy, KDD 2013): exploit the
+  symmetry of the metric to avoid duplicate cross-partition comparisons
+  and recursively repartition oversized partitions with sub-centroids --
+  :class:`repro.metricspace.MRMAPSS`.
+* **HMJ** (Sec. V-E): recursive repartitioning that chooses, per oversized
+  partition, between sub-centroids (scattered data) and a 2-dimensional
+  pivot-distance grid (concentrated data) -- :class:`repro.metricspace.HMJ`.
+
+All three run on the simulated MapReduce engine and work for any metric;
+the default is NSLD over tokenized strings.
+"""
+
+from repro.metricspace.clusterjoin import ClusterJoin, MetricJoinResult
+from repro.metricspace.hmj import HMJ
+from repro.metricspace.mrmapss import MRMAPSS
+from repro.metricspace.pivots import farthest_point_pivots, sample_pivots
+from repro.metricspace.quickjoin import QuickJoin
+
+__all__ = [
+    "ClusterJoin",
+    "MRMAPSS",
+    "HMJ",
+    "QuickJoin",
+    "MetricJoinResult",
+    "sample_pivots",
+    "farthest_point_pivots",
+]

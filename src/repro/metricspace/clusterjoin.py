@@ -1,0 +1,216 @@
+"""ClusterJoin-style Voronoi partitioning join (Das Sarma et al., VLDB 2014).
+
+The space is dissected among ``k`` sampled centroids; every record lands in
+its nearest centroid's *home* partition and is replicated to neighbouring
+partitions via the **general filter**: a record ``r`` with home ``c_h``
+must also visit partition ``c_j`` whenever ``(d(r, c_j) - d(r, c_h)) / 2
+<= T`` -- in a metric space the distance from ``r`` to the Voronoi
+hyperplane between the two centroids is at least that half-difference, so
+no T-neighbour of ``r`` can hide in ``c_j`` otherwise.
+
+Partitions are compared in a reducer apiece: plain ClusterJoin compares
+every pair with at least one *home* member, which double-counts pairs
+across partitions and therefore needs a dedup job -- the inefficiency
+MR-MAPSS's symmetry rule removes (see :mod:`repro.metricspace.mrmapss`).
+
+A cheap triangle-inequality filter (pivot pruning on the distance to
+centroid 0) runs before each exact verification.
+
+The metric defaults to NSLD (Theorem 2 licenses this), making the class
+directly comparable with TSJ, but any metric can be supplied.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, Sequence
+
+from repro.distances.setwise import nsld, nsld_within
+from repro.mapreduce import (
+    MapReduceContext,
+    MapReduceEngine,
+    MapReduceJob,
+    PipelineResult,
+)
+from repro.metricspace.pivots import sample_pivots
+
+#: Full metric: ``metric(a, b, ops_hook) -> distance``.
+Metric = Callable[..., float]
+#: Thresholded metric: ``metric_within(a, b, t, ops_hook) -> distance | None``.
+MetricWithin = Callable[..., float | None]
+
+
+def nsld_metric(a, b, ops=None) -> float:
+    """Default metric: NSLD over tokenized strings."""
+    return nsld(a, b, ops=ops)
+
+
+def nsld_metric_within(a, b, threshold, ops=None):
+    """Default thresholded metric: NSLD with the Lemma 6 shortcut."""
+    return nsld_within(a, b, threshold, ops=ops)
+
+
+@dataclass
+class MetricJoinResult:
+    """Similar pairs plus the pipeline work ledger."""
+
+    pairs: set[tuple[int, int]]
+    distances: dict[tuple[int, int], float]
+    pipeline: PipelineResult
+
+    def simulated_seconds(self, cost=None) -> float:
+        return self.pipeline.simulated_seconds(cost)
+
+
+class _PartitionJob(MapReduceJob):
+    """Assign each record to its home partition and its general-filter
+    replicas.  Emits ``(partition, (id, record, partitions, is_home, d0))``.
+    """
+
+    name = "clusterjoin-partition"
+
+    def __init__(self, pivots, threshold: float, metric: Metric) -> None:
+        self.pivots = pivots
+        self.threshold = threshold
+        self.metric = metric
+
+    def map(self, record, ctx: MapReduceContext) -> Iterator:
+        identifier, value = record
+        distances = [self.metric(value, pivot, ctx.charge) for pivot in self.pivots]
+        home = min(range(len(distances)), key=lambda i: (distances[i], i))
+        partitions = tuple(
+            sorted(
+                j
+                for j in range(len(distances))
+                if j == home
+                or (distances[j] - distances[home]) / 2.0 <= self.threshold
+            )
+        )
+        for partition in partitions:
+            yield partition, (
+                identifier,
+                value,
+                partitions,
+                partition == home,
+                distances[0],
+            )
+
+    def reduce(self, key, values, ctx: MapReduceContext) -> Iterator:
+        # Pass-through: comparison happens in the compare job so partition
+        # sizes are observable between the phases.
+        for value in values:
+            yield key, value
+
+
+class _CompareJob(MapReduceJob):
+    """Compare all pairs within a partition (at-least-one-home rule)."""
+
+    name = "clusterjoin-compare"
+
+    def __init__(
+        self, threshold: float, metric_within: MetricWithin
+    ) -> None:
+        self.threshold = threshold
+        self.metric_within = metric_within
+
+    def map(self, record, ctx: MapReduceContext) -> Iterator:
+        yield record
+
+    def reduce(self, key, values, ctx: MapReduceContext) -> Iterator:
+        members = sorted(values, key=lambda item: item[0])
+        for a in range(len(members)):
+            id_a, value_a, _, home_a, d0_a = members[a]
+            for b in range(a + 1, len(members)):
+                id_b, value_b, _, home_b, d0_b = members[b]
+                if id_a == id_b:
+                    continue
+                if not (home_a or home_b):
+                    continue  # both replicas: their homes cover this pair
+                ctx.count("metric-comparisons")
+                # Triangle-inequality pivot pruning on centroid 0.
+                ctx.charge(1)
+                if abs(d0_a - d0_b) > self.threshold:
+                    ctx.count("pruned-pivot")
+                    continue
+                distance = self.metric_within(
+                    value_a, value_b, self.threshold, ctx.charge
+                )
+                if distance is not None:
+                    yield (id_a, id_b), distance
+
+
+class _DedupPairsJob(MapReduceJob):
+    """Collapse the duplicate pairs the at-least-one-home rule produces."""
+
+    name = "clusterjoin-dedup"
+
+    def map(self, record, ctx: MapReduceContext) -> Iterator:
+        yield record
+
+    def reduce(self, key, values, ctx: MapReduceContext) -> Iterator:
+        yield key, values[0]
+
+
+class ClusterJoin:
+    """Single-level Voronoi metric-space self-join.
+
+    Parameters
+    ----------
+    engine:
+        Simulated cluster.
+    threshold:
+        Join threshold ``T`` on the metric.
+    n_pivots:
+        Number of sampled centroids; default ``max(2, ~sqrt(n))``.
+    metric / metric_within:
+        The metric (default NSLD) and its thresholded form.
+    seed:
+        Pivot-sampling seed.
+    """
+
+    def __init__(
+        self,
+        engine: MapReduceEngine | None = None,
+        threshold: float = 0.1,
+        n_pivots: int | None = None,
+        metric: Metric = nsld_metric,
+        metric_within: MetricWithin = nsld_metric_within,
+        seed: int = 0,
+    ) -> None:
+        if threshold < 0:
+            raise ValueError("threshold must be non-negative")
+        self.engine = engine or MapReduceEngine()
+        self.threshold = threshold
+        self.n_pivots = n_pivots
+        self.metric = metric
+        self.metric_within = metric_within
+        self.seed = seed
+
+    def _pivot_count(self, n_records: int) -> int:
+        if self.n_pivots is not None:
+            return self.n_pivots
+        return max(2, int(round(n_records**0.5)))
+
+    def self_join(self, records: Sequence) -> MetricJoinResult:
+        """All pairs ``(i, j)``, ``i < j``, within the metric threshold."""
+        engine = self.engine
+        tagged = list(enumerate(records))
+        if len(tagged) < 2:
+            return MetricJoinResult(set(), {}, PipelineResult([], []))
+        pivots = sample_pivots(records, self._pivot_count(len(records)), self.seed)
+
+        partitioned = engine.run(
+            _PartitionJob(pivots, self.threshold, self.metric), tagged
+        )
+        compared = engine.run(
+            _CompareJob(self.threshold, self.metric_within), partitioned.outputs
+        )
+        dedup = engine.run(_DedupPairsJob(), compared.outputs)
+
+        pairs = {pair for pair, _ in dedup.outputs}
+        distances = dict(dedup.outputs)
+        pipeline = PipelineResult(
+            outputs=sorted(pairs),
+            stages=[partitioned.metrics, compared.metrics, dedup.metrics],
+        )
+        return MetricJoinResult(pairs=pairs, distances=distances, pipeline=pipeline)

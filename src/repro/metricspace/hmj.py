@@ -1,0 +1,128 @@
+"""HMJ -- the Hybrid Metric Joiner of Sec. V-E.
+
+The paper's in-house baseline combines the most scalable published ideas:
+ClusterJoin's Voronoi dissection and general filter [53], MR-MAPSS's
+symmetry exploitation and recursive repartitioning [68], and -- the hybrid
+part -- a per-partition choice between **sub-centroid** splitting (when the
+partition's records are scattered) and a **2-dimensional pivot-distance
+grid** (when they are concentrated), "depending on how the tokenized
+strings are scattered within the partition".
+
+Grid splitting maps each record to the cell
+``(floor(d(r, p1) / T), floor(d(r, p2) / T))`` of its distances to two
+pivots.  By the triangle inequality a within-``T`` pair differs by at most
+one cell per axis, so replicating each record to its home cell and the
+three lower neighbours ``{c_i - 1, c_i} x {c_j - 1, c_j}`` guarantees every
+qualifying pair co-occurs in the componentwise-minimum cell, which serves
+as its unique comparison site.
+
+The class inherits the driver, the symmetry rule and the leaf comparison
+from :class:`repro.metricspace.mrmapss.MRMAPSS` and overrides only the
+per-round splitting strategy.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.mapreduce import MapReduceContext, MapReduceJob
+from repro.metricspace.mrmapss import MRMAPSS, Payload
+from repro.metricspace.pivots import sample_pivots
+
+
+class _HybridAssignJob(MapReduceJob):
+    """One HMJ splitting round with a per-group strategy.
+
+    ``plans`` maps each oversized group path to either
+    ``("voronoi", pivots)`` or ``("grid", (pivot_1, pivot_2))``.
+    """
+
+    name = "hmj-assign"
+
+    def __init__(self, plans: dict, threshold: float, metric) -> None:
+        self.plans = plans
+        self.threshold = threshold
+        self.metric = metric
+
+    def map(self, record, ctx: MapReduceContext) -> Iterator:
+        path, (identifier, value, levels, d0) = record
+        kind, pivots = self.plans[path]
+        if kind == "voronoi":
+            distances = [self.metric(value, pivot, ctx.charge) for pivot in pivots]
+            home = min(range(len(distances)), key=lambda i: (distances[i], i))
+            partitions = tuple(
+                sorted(
+                    j
+                    for j in range(len(distances))
+                    if j == home
+                    or (distances[j] - distances[home]) / 2.0 <= self.threshold
+                )
+            )
+            new_levels = levels + (("voronoi", partitions),)
+            for partition in partitions:
+                yield path + (partition,), (identifier, value, new_levels, d0)
+        else:
+            pivot_1, pivot_2 = pivots
+            cell = (
+                int(self.metric(value, pivot_1, ctx.charge) // self.threshold),
+                int(self.metric(value, pivot_2, ctx.charge) // self.threshold),
+            )
+            new_levels = levels + (("grid", cell),)
+            for di in (0, 1):
+                for dj in (0, 1):
+                    replica = (cell[0] - di, cell[1] - dj)
+                    yield path + (replica,), (identifier, value, new_levels, d0)
+
+    def reduce(self, key, values, ctx: MapReduceContext) -> Iterator:
+        for value in values:
+            yield key, value
+
+
+class HMJ(MRMAPSS):
+    """The hybrid metric joiner TSJ is compared against in Fig. 7.
+
+    Additional parameters
+    ---------------------
+    scatter_factor:
+        A group is considered *scattered* -- and split with sub-centroids
+        -- when the mean distance from a small member sample to an anchor
+        member exceeds ``scatter_factor * threshold``; otherwise the
+        2-d grid is used.  Default 4.0.
+    """
+
+    def __init__(self, *args, scatter_factor: float = 4.0, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        if self.threshold <= 0:
+            raise ValueError("HMJ's grid strategy requires a positive threshold")
+        self.scatter_factor = scatter_factor
+
+    def _estimate_scatter(self, members: list[Payload]) -> float:
+        """Mean distance of up to 16 sampled members to the first member.
+
+        Driver-side planning estimate (like ClusterJoin's sampling phase);
+        its cost is negligible next to the assignment round it steers.
+        """
+        anchor = members[0][1]
+        sample = members[1 : min(len(members), 17)]
+        if not sample:
+            return 0.0
+        total = sum(self.metric(value, anchor) for _, value, _, _ in sample)
+        return total / len(sample)
+
+    def _split_round(self, oversized: dict[tuple, list[Payload]], depth: int):
+        plans: dict[tuple, tuple] = {}
+        for path, members in oversized.items():
+            values = [value for _, value, _, _ in members]
+            if self._estimate_scatter(members) > self.scatter_factor * self.threshold:
+                plans[path] = (
+                    "voronoi",
+                    sample_pivots(
+                        values, min(self.branching, len(values)), self.seed + depth
+                    ),
+                )
+            else:
+                pivots = sample_pivots(values, 2, self.seed + depth)
+                if len(pivots) < 2:
+                    pivots = pivots * 2
+                plans[path] = ("grid", tuple(pivots))
+        return _HybridAssignJob(plans, self.threshold, self.metric)

@@ -1,0 +1,272 @@
+"""MR-MAPSS-style recursive metric-space join (Wang et al., KDD 2013).
+
+Improves on single-level Voronoi partitioning in the two ways Sec. V-E
+describes:
+
+* **Symmetry exploitation**: a pair co-located in several partitions is
+  compared exactly once -- in the *minimum* common partition -- instead of
+  once per partition plus a dedup job.
+* **Recursive repartitioning**: partitions larger than ``partition_limit``
+  are re-dissected with sub-centroids sampled from their own members, until
+  they fit or ``max_depth`` is reached.
+
+Each record carries the partition lists of every level it has descended
+through; two records meeting in a leaf group are compared only if, at
+*every* level, the group's path component is the minimum of their common
+partitions at that level.  This makes each qualifying pair's comparison
+site unique (no duplicates) while the general filter keeps every
+within-threshold pair co-located somewhere (no misses).
+
+Subclassed by :class:`repro.metricspace.hmj.HMJ`, which adds the
+grid-splitting alternative.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from repro.mapreduce import (
+    MapReduceContext,
+    MapReduceJob,
+    MapReduceEngine,
+    PipelineResult,
+)
+from repro.metricspace.clusterjoin import (
+    Metric,
+    MetricJoinResult,
+    MetricWithin,
+    nsld_metric,
+    nsld_metric_within,
+)
+from repro.metricspace.pivots import sample_pivots
+
+# A record's descent history: one entry per level.
+#   ("voronoi", partitions_tuple)  -- Voronoi level, general-filter replicas
+#   ("grid", (cell_i, cell_j))     -- grid level (HMJ only), home cell
+Levels = tuple[tuple, ...]
+Payload = tuple[int, object, Levels, float]  # (id, record, levels, d0)
+
+
+def _compare_allowed(path: tuple, levels_a: Levels, levels_b: Levels) -> bool:
+    """Whether this leaf group is the unique comparison site of the pair."""
+    for depth, component in enumerate(path):
+        kind_a, data_a = levels_a[depth]
+        kind_b, data_b = levels_b[depth]
+        if kind_a == "voronoi":
+            common = set(data_a) & set(data_b)
+            if component != min(common):
+                return False
+        else:  # grid: the unique site is the componentwise-minimum cell
+            cell_a, cell_b = data_a, data_b
+            owner = (min(cell_a[0], cell_b[0]), min(cell_a[1], cell_b[1]))
+            if component != owner:
+                return False
+    return True
+
+
+class _AssignJob(MapReduceJob):
+    """One repartitioning round: assign records of oversized groups to
+    sub-partitions with the general filter.
+
+    ``pivot_map`` maps a group path to the pivots sampled (driver-side)
+    from that group's members.  Emits ``(path + (sub,), payload)``.
+    """
+
+    name = "mrmapss-assign"
+
+    def __init__(self, pivot_map: dict, threshold: float, metric: Metric) -> None:
+        self.pivot_map = pivot_map
+        self.threshold = threshold
+        self.metric = metric
+
+    def map(self, record, ctx: MapReduceContext) -> Iterator:
+        path, (identifier, value, levels, d0) = record
+        pivots = self.pivot_map[path]
+        distances = [self.metric(value, pivot, ctx.charge) for pivot in pivots]
+        home = min(range(len(distances)), key=lambda i: (distances[i], i))
+        partitions = tuple(
+            sorted(
+                j
+                for j in range(len(distances))
+                if j == home
+                or (distances[j] - distances[home]) / 2.0 <= self.threshold
+            )
+        )
+        new_levels = levels + (("voronoi", partitions),)
+        for partition in partitions:
+            yield path + (partition,), (identifier, value, new_levels, d0)
+
+    def reduce(self, key, values, ctx: MapReduceContext) -> Iterator:
+        for value in values:
+            yield key, value
+
+
+class _LeafCompareJob(MapReduceJob):
+    """Compare all admissible pairs within each leaf group."""
+
+    name = "mrmapss-compare"
+
+    def __init__(self, threshold: float, metric_within: MetricWithin) -> None:
+        self.threshold = threshold
+        self.metric_within = metric_within
+
+    def map(self, record, ctx: MapReduceContext) -> Iterator:
+        yield record
+
+    def reduce(self, key, values, ctx: MapReduceContext) -> Iterator:
+        members = sorted(values, key=lambda item: item[0])
+        for a in range(len(members)):
+            id_a, value_a, levels_a, d0_a = members[a]
+            for b in range(a + 1, len(members)):
+                id_b, value_b, levels_b, d0_b = members[b]
+                if id_a == id_b:
+                    continue
+                if not _compare_allowed(key, levels_a, levels_b):
+                    continue
+                ctx.count("metric-comparisons")
+                ctx.charge(1)
+                if abs(d0_a - d0_b) > self.threshold:
+                    ctx.count("pruned-pivot")
+                    continue
+                distance = self.metric_within(
+                    value_a, value_b, self.threshold, ctx.charge
+                )
+                if distance is not None:
+                    yield (id_a, id_b), distance
+
+
+class MRMAPSS:
+    """Recursive Voronoi metric-space self-join with symmetry dedup.
+
+    Parameters
+    ----------
+    partition_limit:
+        Groups larger than this are recursively split (default 64).
+    max_depth:
+        Maximum number of splitting rounds (default 3); groups still over
+        the limit at the bottom are compared quadratically.
+    branching:
+        Sub-centroids sampled per split (default 8).
+    """
+
+    def __init__(
+        self,
+        engine: MapReduceEngine | None = None,
+        threshold: float = 0.1,
+        n_pivots: int | None = None,
+        partition_limit: int = 64,
+        max_depth: int = 3,
+        branching: int = 8,
+        metric: Metric = nsld_metric,
+        metric_within: MetricWithin = nsld_metric_within,
+        seed: int = 0,
+    ) -> None:
+        if threshold < 0:
+            raise ValueError("threshold must be non-negative")
+        if partition_limit < 2:
+            raise ValueError("partition_limit must be at least 2")
+        self.engine = engine or MapReduceEngine()
+        self.threshold = threshold
+        self.n_pivots = n_pivots
+        self.partition_limit = partition_limit
+        self.max_depth = max_depth
+        self.branching = branching
+        self.metric = metric
+        self.metric_within = metric_within
+        self.seed = seed
+
+    # -- hooks overridden by HMJ ---------------------------------------------
+
+    def _split_round(
+        self, oversized: dict[tuple, list[Payload]], depth: int
+    ):
+        """Build the assignment job for one round of splitting."""
+        pivot_map = {
+            path: sample_pivots(
+                [value for _, value, _, _ in members],
+                min(self.branching, len(members)),
+                seed=self.seed + depth,
+            )
+            for path, members in oversized.items()
+        }
+        return _AssignJob(pivot_map, self.threshold, self.metric)
+
+    # -- driver ----------------------------------------------------------------
+
+    def self_join(self, records: Sequence) -> MetricJoinResult:
+        """All pairs ``(i, j)``, ``i < j``, within the metric threshold."""
+        engine = self.engine
+        tagged = list(enumerate(records))
+        if len(tagged) < 2:
+            return MetricJoinResult(set(), {}, PipelineResult([], []))
+        stages = []
+
+        # Level 0: a single split round over the whole dataset.
+        initial: dict[tuple, list[Payload]] = {
+            (): [
+                (identifier, value, (), 0.0) for identifier, value in tagged
+            ]
+        }
+        # Seed d0 (triangle pruning anchor) from the very first pivot.
+        anchor = sample_pivots(records, 1, self.seed)[0]
+        seeded: dict[tuple, list[Payload]] = {
+            (): [
+                (
+                    identifier,
+                    value,
+                    (),
+                    self.metric(value, anchor),
+                )
+                for identifier, value, _, _ in initial[()]
+            ]
+        }
+
+        pending = seeded
+        leaves: list[tuple[tuple, Payload]] = []
+        depth = 0
+        while pending:
+            oversized = {
+                path: members
+                for path, members in pending.items()
+                if len(members) > self.partition_limit and depth < self.max_depth
+            }
+            for path, members in pending.items():
+                if path not in oversized:
+                    leaves.extend((path, payload) for payload in members)
+            if not oversized:
+                break
+            job = self._split_round(oversized, depth)
+            flat = [
+                (path, payload)
+                for path, members in oversized.items()
+                for payload in members
+            ]
+            result = engine.run(job, flat)
+            stages.append(result.metrics)
+            regrouped: dict[tuple, list[Payload]] = {}
+            for path, payload in result.outputs:
+                regrouped.setdefault(path, []).append(payload)
+            # Guard against non-separating splits (e.g. identical records):
+            # a child as large as its parent will never shrink; emit as leaf.
+            next_pending: dict[tuple, list[Payload]] = {}
+            for path, members in regrouped.items():
+                parent_size = len(oversized[path[:-1]])
+                if len(members) >= parent_size:
+                    leaves.extend((path, payload) for payload in members)
+                else:
+                    next_pending[path] = members
+            pending = next_pending
+            depth += 1
+
+        compare = engine.run(
+            _LeafCompareJob(self.threshold, self.metric_within), leaves
+        )
+        stages.append(compare.metrics)
+
+        pairs: set[tuple[int, int]] = set()
+        distances: dict[tuple[int, int], float] = {}
+        for pair, distance in compare.outputs:
+            pairs.add(pair)
+            distances[pair] = distance
+        pipeline = PipelineResult(outputs=sorted(pairs), stages=stages)
+        return MetricJoinResult(pairs=pairs, distances=distances, pipeline=pipeline)

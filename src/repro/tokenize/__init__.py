@@ -1,0 +1,17 @@
+"""Tokenizers and the :class:`TokenizedString` value type.
+
+The paper (Sec. II-A) models a *tokenized string* as a finite multiset of
+tokens produced by a tokenizer ``t(.)``.  This package provides:
+
+* :class:`TokenizedString` -- an immutable multiset of tokens that caches the
+  aggregate token length ``L(.)``, the token count ``T(.)`` and the
+  token-length histogram used by TSJ's lower-bound filter (Sec. III-E.2).
+* :class:`Tokenizer` -- configurable splitting on whitespace and punctuation,
+  mirroring the evaluation setup ("names were tokenized using whitespaces and
+  punctuation characters", Sec. V).
+"""
+
+from repro.tokenize.tokenized_string import TokenizedString
+from repro.tokenize.tokenizer import Tokenizer, tokenize
+
+__all__ = ["TokenizedString", "Tokenizer", "tokenize"]

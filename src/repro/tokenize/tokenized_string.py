@@ -1,0 +1,128 @@
+"""The :class:`TokenizedString` value type.
+
+A tokenized string ``x^t = {x^t1, ..., x^tm}`` is a finite *multiset* of
+tokens (Sec. II-A of the paper).  Duplicate tokens are permitted and
+significant: ``{"ann", "ann"}`` differs from ``{"ann"}``.
+
+The class is immutable and hashable so instances can be used as MapReduce
+keys and set members.  It caches the three statistics the TSJ filters need:
+
+* ``aggregate_length`` -- ``L(x^t)``, the sum of token lengths;
+* ``token_count``      -- ``T(x^t)``, the number of tokens;
+* ``length_histogram`` -- a mapping ``token length -> multiplicity`` used by
+  the distance-lower-bound filter (Sec. III-E.2).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Iterator, Mapping
+
+
+class TokenizedString:
+    """An immutable multiset of string tokens.
+
+    Tokens are stored in sorted order so that two tokenized strings with the
+    same multiset of tokens compare and hash equal regardless of the order in
+    which tokens were supplied.
+
+    Parameters
+    ----------
+    tokens:
+        Any iterable of tokens.  Empty tokens are dropped on construction:
+        the set-level edits ``AddEmptyToken`` / ``RemoveEmptyToken`` are free
+        (Def. 3), so empty tokens never change any distance and keeping them
+        would only distort ``T(.)``.
+    """
+
+    __slots__ = ("_tokens", "_aggregate_length", "_hash")
+
+    def __init__(self, tokens: Iterable[str] = ()) -> None:
+        cleaned = sorted(token for token in tokens if token)
+        object.__setattr__(self, "_tokens", tuple(cleaned))
+        object.__setattr__(
+            self, "_aggregate_length", sum(len(token) for token in cleaned)
+        )
+        object.__setattr__(self, "_hash", hash(self._tokens))
+
+    # -- construction helpers -------------------------------------------------
+
+    @classmethod
+    def from_text(cls, text: str, separator: str | None = None) -> "TokenizedString":
+        """Build from raw text using naive whitespace splitting.
+
+        This is a convenience for tests and examples; real pipelines should
+        use :class:`repro.tokenize.Tokenizer`, which also strips punctuation.
+        """
+        return cls(text.split(separator))
+
+    # -- multiset protocol ----------------------------------------------------
+
+    @property
+    def tokens(self) -> tuple[str, ...]:
+        """The tokens in canonical (sorted) order."""
+        return self._tokens
+
+    @property
+    def token_count(self) -> int:
+        """``T(x^t)`` -- the number of tokens."""
+        return len(self._tokens)
+
+    @property
+    def aggregate_length(self) -> int:
+        """``L(x^t)`` -- the total number of characters over all tokens."""
+        return self._aggregate_length
+
+    @property
+    def length_histogram(self) -> Mapping[int, int]:
+        """Histogram mapping each token length to its multiplicity.
+
+        TSJ ships this histogram with each tokenized-string id so reducers
+        can compute SLD lower bounds without materialising the tokens
+        (Sec. III-E.2).
+        """
+        return dict(Counter(len(token) for token in self._tokens))
+
+    def token_multiset(self) -> Counter:
+        """The tokens as a :class:`collections.Counter` multiset."""
+        return Counter(self._tokens)
+
+    def distinct_tokens(self) -> frozenset[str]:
+        """The distinct token values (multiplicity discarded)."""
+        return frozenset(self._tokens)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._tokens)
+
+    def __len__(self) -> int:
+        return len(self._tokens)
+
+    def __contains__(self, token: object) -> bool:
+        return token in self._tokens
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TokenizedString):
+            return NotImplemented
+        return self._tokens == other._tokens
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __lt__(self, other: "TokenizedString") -> bool:
+        if not isinstance(other, TokenizedString):
+            return NotImplemented
+        return self._tokens < other._tokens
+
+    def __repr__(self) -> str:
+        return f"TokenizedString({list(self._tokens)!r})"
+
+    def __str__(self) -> str:
+        return " ".join(self._tokens)
+
+    # -- immutability ---------------------------------------------------------
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("TokenizedString is immutable")
+
+    def __reduce__(self):
+        return (TokenizedString, (list(self._tokens),))

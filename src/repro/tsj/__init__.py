@@ -1,0 +1,45 @@
+"""Tokenized-String Joiner (TSJ) -- the paper's core contribution (Sec. III).
+
+TSJ performs NSLD self-joins of tokenized strings with a distributed
+generate-filter-verify pipeline:
+
+1. **Generate** candidate pairs that share a token (Sec. III-C) or have a
+   pair of NLD-similar tokens (Sec. III-D, via MassJoin on the token
+   space -- sound by Theorem 3).
+2. **Filter** candidates with the Lemma 6 length filter (Sec. III-E.1) and
+   the token-length-histogram SLD lower bound built on Lemma 10
+   (Sec. III-E.2), after de-duplication by either grouping strategy
+   (Sec. III-G.3).
+3. **Verify** survivors by exact SLD (Hungarian matching on the token
+   bigraph, Sec. III-F) or the greedy-token-aligning approximation
+   (Sec. III-G.5).
+
+Usage::
+
+    from repro.tsj import TSJ, TSJConfig
+    from repro.tokenize import tokenize
+
+    records = [tokenize(name) for name in names]
+    result = TSJ(TSJConfig(threshold=0.1, max_token_frequency=1000)).self_join(records)
+    result.pairs            # {(i, j), ...}
+    result.simulated_seconds()   # runtime on the simulated cluster
+"""
+
+from repro.tsj.config import (
+    AligningMode,
+    DedupStrategy,
+    FrequencyMode,
+    MatchingMode,
+    TSJConfig,
+)
+from repro.tsj.framework import TSJ, TSJResult
+
+__all__ = [
+    "TSJ",
+    "TSJConfig",
+    "TSJResult",
+    "MatchingMode",
+    "AligningMode",
+    "DedupStrategy",
+    "FrequencyMode",
+]

@@ -1,0 +1,97 @@
+"""Configuration for the Tokenized-String Joiner.
+
+All the knobs the paper's evaluation sweeps live here:
+
+* ``threshold`` -- the NSLD join threshold ``T`` (default 0.1, the paper's
+  default; Figs. 2/4 sweep 0.025-0.225).
+* ``max_token_frequency`` -- ``M``, the popular-token cut-off (default
+  1,000; Figs. 3/5 sweep 100-1,000).  ``None`` disables dropping, which is
+  the lossless configuration used to prove exactness.
+* ``matching`` -- ``FUZZY`` runs the similar-token NLD-join; ``EXACT`` is
+  the exact-token-matching approximation (Sec. III-G.4) that skips it.
+* ``aligning`` -- ``HUNGARIAN`` verifies with the optimal token alignment;
+  ``GREEDY`` is the greedy-token-aligning approximation (Sec. III-G.5).
+* ``dedup`` -- ``GROUP_ON_ONE`` vs ``GROUP_ON_BOTH`` (Sec. III-G.3).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class MatchingMode(str, enum.Enum):
+    """How similar-token candidates are generated (Sec. III-D / III-G.4)."""
+
+    FUZZY = "fuzzy"
+    EXACT = "exact"
+
+
+class AligningMode(str, enum.Enum):
+    """How the verification aligns tokens (Sec. III-F / III-G.5)."""
+
+    HUNGARIAN = "hungarian"
+    GREEDY = "greedy"
+
+
+class DedupStrategy(str, enum.Enum):
+    """Candidate de-duplication strategy (Sec. III-G.3)."""
+
+    GROUP_ON_ONE = "one"
+    GROUP_ON_BOTH = "both"
+
+
+class FrequencyMode(str, enum.Enum):
+    """How popular tokens (> ``M``) are detected (Sec. III-G.2).
+
+    ``EXACT`` counts every token with a MapReduce job; ``SKETCH`` uses
+    mapper-local Space-Saving summaries merged at the driver -- the
+    "scalable way" the paper defers to its extended version.  The sketch
+    never misses a truly frequent token (it may drop a few borderline
+    ones, the same recall trade ``M`` itself makes).
+    """
+
+    EXACT = "exact"
+    SKETCH = "sketch"
+
+
+@dataclass(frozen=True)
+class TSJConfig:
+    """Parameters of a TSJ run.
+
+    The default values are the paper's defaults (Sec. V): ``T = 0.1``,
+    ``M = 1000``, fuzzy matching, exact (Hungarian) aligning,
+    grouping-on-one-string dedup, both filters enabled.
+    """
+
+    threshold: float = 0.1
+    max_token_frequency: int | None = 1000
+    matching: MatchingMode = MatchingMode.FUZZY
+    aligning: AligningMode = AligningMode.HUNGARIAN
+    dedup: DedupStrategy = DedupStrategy.GROUP_ON_ONE
+    frequency_mode: FrequencyMode = FrequencyMode.EXACT
+    use_length_filter: bool = True
+    use_histogram_filter: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.threshold < 1:
+            raise ValueError("NSLD threshold must be in [0, 1)")
+        if self.max_token_frequency is not None and self.max_token_frequency < 1:
+            raise ValueError("max_token_frequency must be positive (or None)")
+        # Accept plain strings for ergonomics.
+        object.__setattr__(self, "matching", MatchingMode(self.matching))
+        object.__setattr__(self, "aligning", AligningMode(self.aligning))
+        object.__setattr__(self, "dedup", DedupStrategy(self.dedup))
+        object.__setattr__(
+            self, "frequency_mode", FrequencyMode(self.frequency_mode)
+        )
+
+    @property
+    def is_lossless(self) -> bool:
+        """Whether this configuration is guaranteed to return the exact
+        NSLD-join result (no recall-trading approximation is active)."""
+        return (
+            self.matching is MatchingMode.FUZZY
+            and self.aligning is AligningMode.HUNGARIAN
+            and self.max_token_frequency is None
+        )

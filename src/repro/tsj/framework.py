@@ -1,0 +1,298 @@
+"""The TSJ orchestrator: wires the pipeline jobs into a full NSLD self-join.
+
+Pipeline (Sec. III), in MapReduce jobs on the simulated cluster:
+
+1. ``tsj-token-frequency``        -- token popularity (for ``M`` and the
+   token space).  Skipped when neither is needed.
+2. ``tsj-shared-token-candidates``-- Sec. III-C generation.
+3. MassJoin (4 jobs)              -- the token NLD-join (Sec. III-D);
+   skipped by the exact-token-matching approximation.
+4. ``tsj-similar-token-fanout`` / ``tsj-similar-token-join`` -- map the
+   similar token pairs back to candidate record pairs.
+5. ``tsj-dedup-filter``           -- de-duplication (either grouping
+   strategy) + the Lemma 6 and histogram filters.
+6. ``tsj-resolve`` / ``tsj-verify`` -- id resolution and final NSLD
+   verification (Hungarian or greedy).
+
+Approximation semantics (Sec. V-B): every approximation only *loses*
+pairs -- precision is always 1.0; the lossless configuration
+(``TSJConfig(max_token_frequency=None)`` with fuzzy matching and Hungarian
+aligning) returns exactly the brute-force NSLD-join result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.joins.massjoin import MassJoin
+from repro.mapreduce import (
+    ClusterConfig,
+    CostModel,
+    MapReduceEngine,
+    PipelineResult,
+)
+from repro.mapreduce.sketches import approximate_frequent_tokens
+from repro.tokenize import TokenizedString
+from repro.tsj.config import (
+    AligningMode,
+    DedupStrategy,
+    FrequencyMode,
+    MatchingMode,
+    TSJConfig,
+)
+from repro.tsj.jobs import (
+    DedupFilterJob,
+    ResolveLeftJob,
+    SharedTokenCandidatesJob,
+    TokenFrequencyJob,
+    TokenPairFanoutJob,
+    TokenPairJoinJob,
+    VerifyJob,
+)
+
+
+@dataclass
+class TSJResult:
+    """Output of a TSJ self-join run."""
+
+    pairs: set[tuple[int, int]]
+    distances: dict[tuple[int, int], float]
+    pipeline: PipelineResult
+    config: TSJConfig
+
+    def simulated_seconds(self, cost: CostModel | None = None) -> float:
+        """End-to-end simulated runtime of the whole pipeline."""
+        return self.pipeline.simulated_seconds(cost)
+
+    def counters(self) -> dict[str, int]:
+        return self.pipeline.counters()
+
+    @property
+    def pair_count(self) -> int:
+        return len(self.pairs)
+
+
+class TSJ:
+    """Tokenized-String Joiner: scalable NSLD self-joins (Sec. III).
+
+    Parameters
+    ----------
+    config:
+        Thresholds, approximations and strategies; see :class:`TSJConfig`.
+    engine:
+        Simulated cluster; defaults to a 10-machine cluster.
+
+    Examples
+    --------
+    >>> from repro.tokenize import tokenize
+    >>> records = [tokenize(n) for n in
+    ...            ["barak obama", "borak obama", "john smith"]]
+    >>> result = TSJ(TSJConfig(threshold=0.15,
+    ...                        max_token_frequency=None)).self_join(records)
+    >>> sorted(result.pairs)
+    [(0, 1)]
+    """
+
+    def __init__(
+        self,
+        config: TSJConfig | None = None,
+        engine: MapReduceEngine | None = None,
+    ) -> None:
+        self.config = config or TSJConfig()
+        self.engine = engine or MapReduceEngine(ClusterConfig(n_machines=10))
+
+    # -- pipeline ------------------------------------------------------------
+
+    def self_join(self, records: Sequence[TokenizedString]) -> TSJResult:
+        """All pairs ``(i, j)``, ``i < j``, with ``NSLD <= T``."""
+        return self._join(list(records), bipartite_boundary=None)
+
+    def join(
+        self,
+        r: Sequence[TokenizedString],
+        p: Sequence[TokenizedString],
+    ) -> TSJResult:
+        """The general R x P join of Sec. II-B: all ``(i, j)`` with
+        ``NSLD(r[i], p[j]) <= T``.
+
+        Implemented by running the pipeline over the concatenation of both
+        datasets in *bipartite* mode: candidate generators pair records
+        only across the R/P boundary.  The popular-token cut-off ``M``
+        counts occurrences over the union, and result pairs are reported
+        as ``(index_in_r, index_in_p)``.
+        """
+        boundary = len(r)
+        result = self._join(list(r) + list(p), bipartite_boundary=boundary)
+        pairs = {(a, b - boundary) for a, b in result.pairs}
+        distances = {
+            (a, b - boundary): distance
+            for (a, b), distance in result.distances.items()
+        }
+        return TSJResult(
+            pairs=pairs,
+            distances=distances,
+            pipeline=result.pipeline,
+            config=result.config,
+        )
+
+    def _join(
+        self,
+        records: list[TokenizedString],
+        bipartite_boundary: int | None,
+    ) -> TSJResult:
+        config = self.config
+        engine = self.engine
+        tagged = list(enumerate(records))
+        stages = []
+
+        def cross_side(a: int, b: int) -> bool:
+            if bipartite_boundary is None:
+                return True
+            return (a < bipartite_boundary) != (b < bipartite_boundary)
+
+        # Empty tokenized strings share no tokens and are invisible to the
+        # candidate generators, yet NSLD(empty, empty) = 0: pair them
+        # directly (the paper's name corpus has no empty records).
+        empty_ids = [i for i, record in tagged if record.token_count == 0]
+        extra_pairs = {
+            (empty_ids[i], empty_ids[j])
+            for i in range(len(empty_ids))
+            for j in range(i + 1, len(empty_ids))
+            if cross_side(empty_ids[i], empty_ids[j])
+        }
+
+        # ---- token frequencies / token space --------------------------------
+        # The token space (for the similar-token join) always needs the
+        # frequency job; the popular-token cut-off can alternatively use
+        # mapper-local Space-Saving sketches (Sec. III-G.2's deferred
+        # "scalable way"), which skips the counting shuffle entirely when
+        # exact matching is active.
+        need_token_space = config.matching is MatchingMode.FUZZY
+        use_sketch = (
+            config.frequency_mode is FrequencyMode.SKETCH
+            and config.max_token_frequency is not None
+        )
+        need_frequencies = need_token_space or (
+            config.max_token_frequency is not None and not use_sketch
+        )
+        frequent_tokens: frozenset[str] = frozenset()
+        token_counts: list[tuple[str, int]] = []
+        if need_frequencies:
+            frequency_result = engine.run(TokenFrequencyJob(), tagged)
+            stages.append(frequency_result.metrics)
+            token_counts = frequency_result.outputs
+        if use_sketch:
+            frequent_tokens = approximate_frequent_tokens(
+                records, config.max_token_frequency
+            )
+        elif config.max_token_frequency is not None:
+            frequent_tokens = frozenset(
+                token
+                for token, count in token_counts
+                if count > config.max_token_frequency
+            )
+
+        # ---- shared-token candidates (Sec. III-C) ----------------------------
+        shared = engine.run(
+            SharedTokenCandidatesJob(
+                config.threshold,
+                frequent_tokens,
+                config.use_length_filter,
+                bipartite_boundary=bipartite_boundary,
+            ),
+            tagged,
+        )
+        stages.append(shared.metrics)
+        candidates = list(shared.outputs)
+
+        # ---- similar-token candidates (Sec. III-D) ---------------------------
+        if config.matching is MatchingMode.FUZZY:
+            token_space = sorted(
+                token
+                for token, _ in token_counts
+                if token not in frequent_tokens
+            )
+            mass = MassJoin(engine, config.threshold, mode="nld")
+            token_join = mass.self_join(token_space)
+            stages.extend(token_join.pipeline.stages)
+
+            similar_token_pairs = []
+            for (a, b), distance in token_join.distances.items():
+                token_a, token_b = token_space[a], token_space[b]
+                # Recover the integer LD from the NLD value:
+                # NLD = 2*LD / (|x|+|y|+LD)  =>  LD = NLD*(|x|+|y|)/(2-NLD).
+                ld = round(
+                    distance * (len(token_a) + len(token_b)) / (2.0 - distance)
+                )
+                similar_token_pairs.append((token_a, token_b, ld))
+
+            if similar_token_pairs:
+                fanout_input = [("rec", item) for item in tagged]
+                fanout_input += [("sim", pair) for pair in similar_token_pairs]
+                fanout = engine.run(
+                    TokenPairFanoutJob(frequent_tokens), fanout_input
+                )
+                stages.append(fanout.metrics)
+                joined = engine.run(
+                    TokenPairJoinJob(
+                        config.threshold,
+                        config.use_length_filter,
+                        bipartite_boundary=bipartite_boundary,
+                    ),
+                    fanout.outputs,
+                )
+                stages.append(joined.metrics)
+                candidates.extend(joined.outputs)
+
+        # ---- dedup + filters (Sec. III-E, III-G.3) ----------------------------
+        # The histogram filter's Lemma 10 reasoning needs the complete set
+        # of similar token pairs.  Exact matching never has it, and fuzzy
+        # matching loses it as soon as the popular-token cut-off actually
+        # drops tokens (a dropped shared token is a similar pair the
+        # filter never hears about).  In both cases the filter falls back
+        # to its unconditional length-difference bounds.
+        complete_pairs = (
+            config.matching is MatchingMode.FUZZY and not frequent_tokens
+        )
+        dedup = engine.run(
+            DedupFilterJob(
+                config.threshold,
+                group_on_one=config.dedup is DedupStrategy.GROUP_ON_ONE,
+                use_length_filter=config.use_length_filter,
+                use_histogram_filter=config.use_histogram_filter,
+                complete_similar_pairs=complete_pairs,
+            ),
+            candidates,
+        )
+        stages.append(dedup.metrics)
+
+        # ---- resolve + verify (Sec. III-F) ------------------------------------
+        resolve_input = [("pair", pair) for pair in dedup.outputs]
+        resolve_input += [("rec", item) for item in tagged]
+        resolved = engine.run(ResolveLeftJob(), resolve_input)
+        stages.append(resolved.metrics)
+
+        verify_input = [("half", half) for half in resolved.outputs]
+        verify_input += [("rec", item) for item in tagged]
+        verified = engine.run(
+            VerifyJob(
+                config.threshold, greedy=config.aligning is AligningMode.GREEDY
+            ),
+            verify_input,
+        )
+        stages.append(verified.metrics)
+
+        pairs: set[tuple[int, int]] = set(extra_pairs)
+        distances: dict[tuple[int, int], float] = {
+            pair: 0.0 for pair in extra_pairs
+        }
+        for left, right, distance in verified.outputs:
+            pair = (left, right) if left < right else (right, left)
+            pairs.add(pair)
+            distances[pair] = distance
+
+        pipeline = PipelineResult(outputs=sorted(pairs), stages=stages)
+        return TSJResult(
+            pairs=pairs, distances=distances, pipeline=pipeline, config=config
+        )

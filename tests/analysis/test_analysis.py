@@ -1,0 +1,185 @@
+"""Tests for ROC, recall, and similarity-graph clustering analytics."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    auc,
+    cluster_pairs,
+    join_quality,
+    pair_recall,
+    ring_detection_report,
+    roc_curve,
+)
+
+
+class TestRocCurve:
+    def test_perfect_separation(self):
+        fpr, tpr, _ = roc_curve([0.9, 0.8, 0.2, 0.1], [True, True, False, False])
+        assert auc(fpr, tpr) == 1.0
+
+    def test_random_scores_diagonalish(self):
+        # Inverted labels: worst possible ranking -> AUC 0.
+        fpr, tpr, _ = roc_curve([0.9, 0.8, 0.2, 0.1], [False, False, True, True])
+        assert auc(fpr, tpr) == 0.0
+
+    def test_curve_endpoints(self):
+        fpr, tpr, _ = roc_curve([0.5, 0.4, 0.3], [True, False, True])
+        assert (fpr[0], tpr[0]) == (0.0, 0.0)
+        assert (fpr[-1], tpr[-1]) == (1.0, 1.0)
+
+    def test_ties_collapse_to_one_point(self):
+        fpr, tpr, thresholds = roc_curve([0.5, 0.5, 0.5], [True, False, True])
+        assert len(fpr) == 2  # origin plus the single tied threshold
+
+    def test_monotone(self):
+        scores = [0.1 * i for i in range(10)]
+        labels = [i % 3 == 0 for i in range(10)]
+        fpr, tpr, _ = roc_curve(scores, labels)
+        assert all(a <= b for a, b in zip(fpr, fpr[1:]))
+        assert all(a <= b for a, b in zip(tpr, tpr[1:]))
+
+    def test_single_class_raises(self):
+        with pytest.raises(ValueError):
+            roc_curve([0.1, 0.2], [True, True])
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            roc_curve([0.1], [True, False])
+
+    @given(
+        st.lists(
+            st.tuples(st.floats(0, 1, allow_nan=False), st.booleans()),
+            min_size=2,
+            max_size=30,
+        ).filter(lambda items: len({label for _, label in items}) == 2)
+    )
+    def test_auc_in_unit_interval(self, items):
+        scores = [score for score, _ in items]
+        labels = [label for _, label in items]
+        fpr, tpr, _ = roc_curve(scores, labels)
+        assert -1e-9 <= auc(fpr, tpr) <= 1 + 1e-9
+
+
+class TestAuc:
+    def test_diagonal(self):
+        assert auc([0.0, 1.0], [0.0, 1.0]) == 0.5
+
+    def test_requires_two_points(self):
+        with pytest.raises(ValueError):
+            auc([0.0], [0.0])
+
+
+class TestRecall:
+    def test_pair_recall_orientation_insensitive(self):
+        assert pair_recall([(1, 0)], [(0, 1)]) == 1.0
+
+    def test_empty_reference(self):
+        assert pair_recall([(0, 1)], []) == 1.0
+
+    def test_partial(self):
+        assert pair_recall([(0, 1)], [(0, 1), (2, 3)]) == 0.5
+
+    def test_join_quality(self):
+        quality = join_quality([(0, 1), (4, 5)], [(0, 1), (2, 3)])
+        assert quality.precision == 0.5
+        assert quality.recall == 0.5
+        assert quality.f1 == 0.5
+
+    def test_join_quality_empty_found(self):
+        quality = join_quality([], [(0, 1)])
+        assert quality.precision == 1.0
+        assert quality.recall == 0.0
+        assert quality.f1 == 0.0
+
+
+class TestClustering:
+    def test_components(self):
+        clusters = cluster_pairs([(0, 1), (1, 2), (5, 6)])
+        assert clusters == [{0, 1, 2}, {5, 6}]
+
+    def test_min_size(self):
+        clusters = cluster_pairs([(0, 1), (1, 2), (5, 6)], min_size=3)
+        assert clusters == [{0, 1, 2}]
+
+    def test_empty(self):
+        assert cluster_pairs([]) == []
+
+    def test_chain_merges(self):
+        clusters = cluster_pairs([(0, 1), (2, 3), (1, 2)])
+        assert clusters == [{0, 1, 2, 3}]
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 20), st.integers(0, 20)),
+            max_size=40,
+        )
+    )
+    def test_partition_property(self, pairs):
+        clusters = cluster_pairs(pairs)
+        seen: set[int] = set()
+        for cluster in clusters:
+            assert len(cluster & seen) == 0  # disjoint
+            seen |= cluster
+        # Every edge's endpoints are in the same cluster.
+        for a, b in pairs:
+            if a == b:
+                continue
+            owner_a = next((c for c in clusters if a in c), None)
+            owner_b = next((c for c in clusters if b in c), None)
+            assert owner_a is owner_b and owner_a is not None
+
+
+class TestNetworkxExport:
+    def test_graph_structure(self):
+        nx = pytest.importorskip("networkx")
+        from repro.analysis.graphs import to_networkx
+
+        graph = to_networkx([(0, 1), (1, 2)])
+        assert set(graph.nodes) == {0, 1, 2}
+        assert graph.number_of_edges() == 2
+
+    def test_distance_attributes(self):
+        pytest.importorskip("networkx")
+        from repro.analysis.graphs import to_networkx
+
+        graph = to_networkx([(1, 0)], distances={(0, 1): 0.25})
+        assert graph.edges[1, 0]["distance"] == 0.25
+
+    def test_components_agree_with_union_find(self):
+        nx = pytest.importorskip("networkx")
+        from repro.analysis.graphs import to_networkx
+
+        pairs = [(0, 1), (1, 2), (5, 6), (8, 9), (9, 10)]
+        graph = to_networkx(pairs)
+        nx_components = {frozenset(c) for c in nx.connected_components(graph)}
+        uf_components = {frozenset(c) for c in cluster_pairs(pairs)}
+        assert nx_components == uf_components
+
+
+class TestRingDetection:
+    def test_full_recovery(self):
+        rings = [{0, 1, 2}, {5, 6}]
+        clusters = [{0, 1, 2}, {5, 6}]
+        report = ring_detection_report(clusters, rings)
+        assert report.ring_recall == 1.0
+        assert report.member_recall == 1.0
+
+    def test_partial_recovery(self):
+        rings = [{0, 1, 2, 3}, {8, 9}]
+        clusters = [{0, 1}]  # half of ring 1, nothing of ring 2
+        report = ring_detection_report(clusters, rings)
+        assert report.rings_detected == 1
+        assert report.ring_recall == 0.5
+        assert report.members_recovered == 2
+
+    def test_singleton_overlap_not_detected(self):
+        report = ring_detection_report([{0, 7}], [{0, 1, 2}])
+        assert report.rings_detected == 0
+
+    def test_no_rings(self):
+        report = ring_detection_report([{1, 2}], [])
+        assert report.ring_recall == 1.0

@@ -1,0 +1,91 @@
+"""Tests for the (T, M) parameter tuner (footnote 5 of the paper)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.tuning import TuningResult, tune_parameters
+from repro.data import corpus_with_rings
+from repro.tokenize import tokenize
+
+
+def ring_truth_pairs(rings):
+    pairs = set()
+    for ring in rings:
+        members = sorted(ring)
+        for i in range(len(members)):
+            for j in range(i + 1, len(members)):
+                pairs.add((members[i], members[j]))
+    return pairs
+
+
+class TestTuneParameters:
+    def test_finds_a_threshold_that_detects_rings(self):
+        names, rings = corpus_with_rings(60, 4, 4, seed=5, max_edits=1)
+        records = [tokenize(name) for name in names]
+        truth = ring_truth_pairs(rings)
+        result = tune_parameters(
+            records,
+            truth,
+            thresholds=(0.01, 0.1, 0.2),
+            max_frequencies=(None,),
+        )
+        assert isinstance(result, TuningResult)
+        # A tiny threshold misses edited variants; the tuner moves off it.
+        assert result.threshold > 0.01
+        assert result.score > 0.3
+
+    def test_trace_records_every_evaluation(self):
+        names, rings = corpus_with_rings(30, 2, 3, seed=1)
+        records = [tokenize(name) for name in names]
+        result = tune_parameters(
+            records,
+            ring_truth_pairs(rings),
+            thresholds=(0.05, 0.15),
+            max_frequencies=(None,),
+        )
+        assert result.evaluations == len(result.trace)
+        assert result.evaluations <= 2  # grid has only two points
+
+    def test_custom_join_function(self):
+        calls = []
+
+        def fake_join(records, threshold, max_frequency):
+            calls.append((threshold, max_frequency))
+            return {(0, 1)} if threshold >= 0.2 else set()
+
+        result = tune_parameters(
+            ["r0", "r1"],
+            [(0, 1)],
+            thresholds=(0.1, 0.2),
+            max_frequencies=(None,),
+            run_join=fake_join,
+        )
+        assert result.threshold == 0.2
+        assert result.score == 1.0
+        assert calls  # the override was used
+
+    def test_beta_shifts_preference(self):
+        # A config with precision 1/recall 0.5 vs precision 0.5/recall 1.
+        def fake_join(records, threshold, max_frequency):
+            if threshold == 0.1:
+                return {(0, 1)}  # precision 1, recall 0.5
+            return {(0, 1), (2, 3), (4, 5), (6, 7)}  # precision 0.5, recall 1
+
+        truth = [(0, 1), (2, 3)]
+        precise = tune_parameters(
+            ["x"] * 8, truth, thresholds=(0.1, 0.3),
+            max_frequencies=(None,), beta=0.25, run_join=fake_join,
+        )
+        recall_leaning = tune_parameters(
+            ["x"] * 8, truth, thresholds=(0.1, 0.3),
+            max_frequencies=(None,), beta=4.0, run_join=fake_join,
+        )
+        assert precise.threshold == 0.1
+        assert recall_leaning.threshold == 0.3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            tune_parameters([], [], thresholds=(), max_frequencies=(None,))
+        with pytest.raises(ValueError):
+            tune_parameters([], [], beta=0.0)

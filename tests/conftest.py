@@ -1,0 +1,42 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.tokenize import TokenizedString
+
+#: Small alphabet so hypothesis finds collisions/edits quickly.
+SMALL_ALPHABET = "abc"
+
+
+def short_strings(max_size: int = 8, alphabet: str = SMALL_ALPHABET):
+    """Strategy for short strings over a small alphabet (incl. empty)."""
+    return st.text(alphabet=alphabet, min_size=0, max_size=max_size)
+
+
+def nonempty_strings(max_size: int = 8, alphabet: str = SMALL_ALPHABET):
+    """Strategy for non-empty short strings over a small alphabet."""
+    return st.text(alphabet=alphabet, min_size=1, max_size=max_size)
+
+
+def tokenized_strings(
+    max_tokens: int = 4, max_token_size: int = 6, alphabet: str = SMALL_ALPHABET
+):
+    """Strategy for TokenizedString values with small token multisets."""
+    return st.lists(
+        nonempty_strings(max_token_size, alphabet),
+        min_size=0,
+        max_size=max_tokens,
+    ).map(TokenizedString)
+
+
+def nonempty_tokenized_strings(
+    max_tokens: int = 4, max_token_size: int = 6, alphabet: str = SMALL_ALPHABET
+):
+    """Strategy for TokenizedString values with at least one token."""
+    return st.lists(
+        nonempty_strings(max_token_size, alphabet),
+        min_size=1,
+        max_size=max_tokens,
+    ).map(TokenizedString)

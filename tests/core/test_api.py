@@ -1,0 +1,120 @@
+"""Tests for the high-level core API and the CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import compare_names, nsld_join
+
+
+class TestNsldJoin:
+    def test_basic_join(self):
+        report = nsld_join(
+            ["barak obama", "borak obama", "john smith"],
+            threshold=0.15,
+            max_token_frequency=None,
+        )
+        assert [(a, b) for a, b, _ in report.pairs] == [("barak obama", "borak obama")]
+        assert report.clusters == [{"barak obama", "borak obama"}]
+        assert report.simulated_seconds > 0
+
+    def test_token_shuffle_is_free(self):
+        report = nsld_join(
+            ["john smith", "smith, john"], threshold=0.05, max_token_frequency=None
+        )
+        assert len(report.pairs) == 1
+        assert report.pairs[0][2] == 0.0
+
+    def test_pairs_sorted_by_distance(self):
+        report = nsld_join(
+            ["ann lee", "ann lee", "ann leex", "bob stone"],
+            threshold=0.2,
+            max_token_frequency=None,
+        )
+        distances = [d for _, _, d in report.pairs]
+        assert distances == sorted(distances)
+
+    def test_config_overrides_forwarded(self):
+        report = nsld_join(
+            ["chan kalan", "chank alan"],
+            threshold=0.25,
+            max_token_frequency=None,
+            matching="exact",
+        )
+        # Every token was edited: exact matching cannot discover the pair.
+        assert report.pairs == []
+
+    def test_empty_input(self):
+        report = nsld_join([], threshold=0.1)
+        assert report.pairs == []
+        assert report.clusters == []
+
+
+class TestCompareNames:
+    def test_identical(self):
+        assert compare_names("ann lee", "ann lee") == 0.0
+
+    def test_shuffle_and_punctuation(self):
+        assert compare_names("obama, barak", "barak obama") == 0.0
+
+    def test_known_value(self):
+        # "burak ubama": two substitutions over aggregate length 10+10.
+        assert compare_names("barak obama", "burak ubama") == pytest.approx(
+            2 * 2 / (10 + 10 + 2)
+        )
+
+
+class TestCli:
+    def test_generate_and_join(self, tmp_path, capsys):
+        from repro.cli import main
+
+        corpus = tmp_path / "names.txt"
+        assert main(["generate", str(corpus), "--size", "40", "--seed", "3"]) == 0
+        assert main(["join", str(corpus), "--threshold", "0.1"]) == 0
+        output = capsys.readouterr().out
+        assert "similar pairs" in output
+        assert "simulated runtime" in output
+
+    def test_compare(self, capsys):
+        from repro.cli import main
+
+        assert main(["compare", "ann lee", "lee ann"]) == 0
+        assert capsys.readouterr().out.strip() == "0.000000"
+
+    def test_roc(self, capsys):
+        from repro.cli import main
+
+        assert main(["roc", "--size", "60"]) == 0
+        output = capsys.readouterr().out
+        assert "NSLD" in output and "AUC" in output
+
+    def test_join_output_file(self, tmp_path, capsys):
+        from repro.cli import main
+
+        corpus = tmp_path / "names.txt"
+        corpus.write_text("barak obama\nborak obama\nmary lee\n")
+        pairs = tmp_path / "pairs.tsv"
+        assert main(
+            ["join", str(corpus), "--threshold", "0.15", "--output", str(pairs)]
+        ) == 0
+        lines = pairs.read_text().strip().splitlines()
+        assert len(lines) == 1
+        assert "barak obama" in lines[0] and "\t" in lines[0]
+
+    def test_knn(self, tmp_path, capsys):
+        from repro.cli import main
+
+        corpus = tmp_path / "names.txt"
+        corpus.write_text("barak obama\nborak obama\njohn smith\n")
+        assert main(["knn", str(corpus), "barak obana", "-k", "2"]) == 0
+        output = capsys.readouterr().out.strip().splitlines()
+        assert len(output) == 2
+        assert "obama" in output[0]
+
+    def test_tune(self, capsys):
+        from repro.cli import main
+
+        assert main(
+            ["tune", "--background", "30", "--rings", "2", "--ring-size", "3"]
+        ) == 0
+        assert "best: T =" in capsys.readouterr().out

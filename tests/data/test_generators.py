@@ -1,0 +1,153 @@
+"""Tests for the synthetic data generators."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.data import (
+    FraudRingGenerator,
+    NameGenerator,
+    corpus_with_rings,
+    evaluation_corpus,
+    name_change_dataset,
+)
+from repro.distances import nsld
+from repro.tokenize import tokenize
+
+
+class TestNameGenerator:
+    def test_deterministic(self):
+        assert NameGenerator(seed=42).generate(20) == NameGenerator(seed=42).generate(20)
+
+    def test_different_seeds_differ(self):
+        assert NameGenerator(seed=1).generate(20) != NameGenerator(seed=2).generate(20)
+
+    def test_count(self):
+        assert len(NameGenerator().generate(37)) == 37
+        assert NameGenerator().generate(0) == []
+
+    def test_negative_count(self):
+        with pytest.raises(ValueError):
+            NameGenerator().generate(-1)
+
+    def test_names_are_multi_token(self):
+        names = NameGenerator(seed=0).generate(100)
+        assert all(len(name.split()) >= 2 for name in names)
+
+    def test_zipf_skew_creates_popular_tokens(self):
+        """The M knob (Sec. III-G.2) needs genuinely popular tokens."""
+        names = NameGenerator(seed=0, zipf_exponent=1.0).generate(2000)
+        counts = Counter(token for name in names for token in name.split())
+        most_common = counts.most_common(1)[0][1]
+        median = sorted(counts.values())[len(counts) // 2]
+        assert most_common > 10 * median
+
+    def test_flat_distribution_option(self):
+        names = NameGenerator(seed=0, zipf_exponent=0.0).generate(2000)
+        counts = Counter(token for name in names for token in name.split())
+        most_common = counts.most_common(1)[0][1]
+        median = sorted(counts.values())[len(counts) // 2]
+        assert most_common < 20 * max(median, 1)
+
+
+class TestFraudRingGenerator:
+    def test_deterministic(self):
+        a = FraudRingGenerator(seed=5).make_ring("barak obama", 6)
+        b = FraudRingGenerator(seed=5).make_ring("barak obama", 6)
+        assert a == b
+
+    def test_ring_contains_base(self):
+        ring = FraudRingGenerator(seed=0).make_ring("barak obama", 4)
+        assert ring[0] == "barak obama"
+        assert len(ring) == 4
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            FraudRingGenerator().make_ring("x y", 0)
+
+    def test_variants_stay_similar_under_nsld(self):
+        """Ring members should typically be within small NSLD of the base
+        -- that is the premise of detecting rings with an NSLD join."""
+        fraud = FraudRingGenerator(seed=3, max_edits=2, allow_structural=False)
+        base = tokenize("jonathan williamson")
+        close = 0
+        variants = [fraud.perturb("jonathan williamson") for _ in range(50)]
+        for variant in variants:
+            if nsld(base, tokenize(variant)) <= 0.2:
+                close += 1
+        # Two perturbation moves cost at most 4 LD edits (a swap counts as
+        # two), i.e. NSLD <= 8/40 = 0.2 on this 18-character name.
+        assert close == 50
+
+    def test_variants_differ_from_base(self):
+        fraud = FraudRingGenerator(seed=9)
+        variants = {fraud.perturb("barak obama") for _ in range(30)}
+        assert any(v != "barak obama" for v in variants)
+
+    def test_empty_name(self):
+        assert FraudRingGenerator().perturb("") == ""
+
+    def test_structural_moves_preserve_content_roughly(self):
+        fraud = FraudRingGenerator(seed=11, max_edits=1, allow_structural=True)
+        for _ in range(50):
+            variant = fraud.perturb("maria del carmen lopez")
+            assert variant  # never collapses to empty
+
+
+class TestCorpusBuilders:
+    def test_corpus_with_rings_ground_truth(self):
+        names, rings = corpus_with_rings(50, 5, 4, seed=0)
+        assert len(names) == 50 + 5 * 4
+        assert len(rings) == 5
+        for ring in rings:
+            assert len(ring) == 4
+            assert all(0 <= index < len(names) for index in ring)
+        # Rings are disjoint.
+        all_members = [index for ring in rings for index in ring]
+        assert len(all_members) == len(set(all_members))
+
+    def test_evaluation_corpus_sizes(self):
+        names, rings = evaluation_corpus(100, ring_fraction=0.4, ring_size=5)
+        assert len(names) == 100
+        assert len(rings) == 8
+
+    def test_evaluation_corpus_validation(self):
+        with pytest.raises(ValueError):
+            evaluation_corpus(-1)
+        with pytest.raises(ValueError):
+            evaluation_corpus(10, ring_fraction=1.5)
+
+    def test_deterministic(self):
+        assert evaluation_corpus(60, seed=2) == evaluation_corpus(60, seed=2)
+
+
+class TestNameChangeDataset:
+    def test_shape_and_balance(self):
+        triples = name_change_dataset(200, seed=0)
+        assert len(triples) == 200
+        frauds = sum(1 for _, _, is_fraud in triples if is_fraud)
+        assert frauds == 100
+
+    def test_deterministic(self):
+        assert name_change_dataset(50, seed=7) == name_change_dataset(50, seed=7)
+
+    def test_fraud_changes_are_larger_on_average(self):
+        """The premise of Fig. 6: fraudulent renames are drastic."""
+        triples = name_change_dataset(300, seed=1)
+        legit = [
+            nsld(tokenize(old), tokenize(new))
+            for old, new, is_fraud in triples
+            if not is_fraud
+        ]
+        fraud = [
+            nsld(tokenize(old), tokenize(new))
+            for old, new, is_fraud in triples
+            if is_fraud
+        ]
+        assert sum(fraud) / len(fraud) > sum(legit) / len(legit) + 0.2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            name_change_dataset(-1)

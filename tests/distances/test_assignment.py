@@ -1,0 +1,118 @@
+"""Tests for the Hungarian and greedy assignment solvers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.distances import greedy_assignment, hungarian
+
+scipy_assignment = pytest.importorskip("scipy.optimize").linear_sum_assignment
+
+
+def square_matrices(max_n: int = 6, max_value: int = 50):
+    return st.integers(min_value=1, max_value=max_n).flatmap(
+        lambda n: st.lists(
+            st.lists(
+                st.integers(min_value=0, max_value=max_value),
+                min_size=n,
+                max_size=n,
+            ),
+            min_size=n,
+            max_size=n,
+        )
+    )
+
+
+class TestHungarianKnownValues:
+    def test_trivial_1x1(self):
+        assert hungarian([[7]]) == ([0], 7)
+
+    def test_2x2(self):
+        assignment, total = hungarian([[4, 1], [2, 3]])
+        assert assignment == [1, 0]
+        assert total == 3
+
+    def test_3x3_classic(self):
+        cost = [[4, 1, 3], [2, 0, 5], [3, 2, 2]]
+        _, total = hungarian(cost)
+        assert total == 5  # 1 + 2 + 2
+
+    def test_identity_matrix_prefers_zeros(self):
+        cost = [[0, 1, 1], [1, 0, 1], [1, 1, 0]]
+        assignment, total = hungarian(cost)
+        assert assignment == [0, 1, 2]
+        assert total == 0
+
+    def test_float_costs(self):
+        _, total = hungarian([[0.5, 1.5], [1.5, 0.25]])
+        assert total == pytest.approx(0.75)
+
+    def test_negative_costs(self):
+        _, total = hungarian([[-5, 0], [0, -5]])
+        assert total == -10
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            hungarian([])
+
+    def test_non_square_raises(self):
+        with pytest.raises(ValueError):
+            hungarian([[1, 2], [3]])
+
+
+class TestHungarianAgainstScipy:
+    @given(square_matrices())
+    def test_matches_scipy_optimum(self, cost):
+        import numpy as np
+
+        _, total = hungarian(cost)
+        rows, cols = scipy_assignment(np.array(cost))
+        expected = sum(cost[r][c] for r, c in zip(rows, cols))
+        assert total == expected
+
+    @given(square_matrices())
+    def test_assignment_is_permutation(self, cost):
+        assignment, total = hungarian(cost)
+        n = len(cost)
+        assert sorted(assignment) == list(range(n))
+        assert total == sum(cost[i][assignment[i]] for i in range(n))
+
+
+class TestGreedyAssignment:
+    def test_matches_optimal_when_unambiguous(self):
+        assert greedy_assignment([[4, 1], [2, 3]]) == ([1, 0], 3)
+
+    def test_suboptimal_example(self):
+        # Greedy grabs the 0 and is forced into the 10.
+        assignment, total = greedy_assignment([[0, 2], [3, 10]])
+        assert assignment == [0, 1]
+        assert total == 10
+        _, optimal = hungarian([[0, 2], [3, 10]])
+        assert optimal == 5
+
+    @given(square_matrices())
+    def test_never_better_than_hungarian(self, cost):
+        _, greedy_total = greedy_assignment(cost)
+        _, optimal_total = hungarian(cost)
+        assert greedy_total >= optimal_total
+
+    @given(square_matrices())
+    def test_is_permutation(self, cost):
+        assignment, total = greedy_assignment(cost)
+        n = len(cost)
+        assert sorted(assignment) == list(range(n))
+        assert total == sum(cost[i][assignment[i]] for i in range(n))
+
+    def test_deterministic_tie_break(self):
+        # All-equal weights: picks (0,0) then (1,1).
+        assert greedy_assignment([[1, 1], [1, 1]]) == ([0, 1], 2)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            greedy_assignment([])
+
+    def test_non_square_raises(self):
+        with pytest.raises(ValueError):
+            greedy_assignment([[1], [2, 3]])

@@ -1,0 +1,89 @@
+"""Tests for the distance <-> similarity conversion schemes (Sec. II-B)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.distances.conversions import (
+    ConversionScheme,
+    distance_to_similarity,
+    similarity_to_distance,
+)
+
+unit_distances = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+any_distances = st.floats(min_value=0.0, max_value=100.0, allow_nan=False)
+
+
+class TestSchemes:
+    def test_complement(self):
+        assert distance_to_similarity(0.25) == 0.75
+        assert distance_to_similarity(0.0) == 1.0
+        assert distance_to_similarity(1.0) == 0.0
+
+    def test_inverse(self):
+        assert distance_to_similarity(1.0, "inverse") == 0.5
+        assert distance_to_similarity(0.0, "inverse") == 1.0
+
+    def test_exponential(self):
+        assert distance_to_similarity(0.0, "exponential") == 1.0
+        assert distance_to_similarity(1.0, "exponential") == pytest.approx(
+            math.exp(-1)
+        )
+
+    def test_string_and_enum_agree(self):
+        assert distance_to_similarity(0.3, "inverse") == distance_to_similarity(
+            0.3, ConversionScheme.INVERSE
+        )
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ValueError):
+            distance_to_similarity(-0.1)
+
+    def test_complement_needs_unit_range(self):
+        with pytest.raises(ValueError):
+            distance_to_similarity(1.5, "complement")
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ValueError):
+            distance_to_similarity(0.5, "bogus")
+
+
+class TestRoundTrips:
+    @given(unit_distances)
+    def test_complement_roundtrip(self, d):
+        assert similarity_to_distance(
+            distance_to_similarity(d, "complement"), "complement"
+        ) == pytest.approx(d)
+
+    @given(any_distances)
+    def test_inverse_roundtrip(self, d):
+        assert similarity_to_distance(
+            distance_to_similarity(d, "inverse"), "inverse"
+        ) == pytest.approx(d)
+
+    @given(st.floats(min_value=0.0, max_value=20.0, allow_nan=False))
+    def test_exponential_roundtrip(self, d):
+        assert similarity_to_distance(
+            distance_to_similarity(d, "exponential"), "exponential"
+        ) == pytest.approx(d, abs=1e-9)
+
+    @given(any_distances, any_distances)
+    def test_monotone_decreasing(self, a, b):
+        """Thresholding similarity is thresholding distance (Sec. II-B)."""
+        for scheme in ("inverse", "exponential"):
+            if a < b:
+                assert distance_to_similarity(a, scheme) >= distance_to_similarity(
+                    b, scheme
+                )
+
+    def test_inverse_domain_validation(self):
+        with pytest.raises(ValueError):
+            similarity_to_distance(0.0, "inverse")
+        with pytest.raises(ValueError):
+            similarity_to_distance(1.5, "complement")
+        with pytest.raises(ValueError):
+            similarity_to_distance(0.0, "exponential")

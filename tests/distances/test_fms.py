@@ -1,0 +1,94 @@
+"""Tests for FMS / AFMS (Chaudhuri et al. 2003)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.distances import afms, fms
+from repro.distances.fms import fmd
+from tests.conftest import nonempty_strings
+
+token_lists = st.lists(nonempty_strings(5), min_size=0, max_size=4)
+
+
+class TestFMD:
+    def test_identical_zero(self):
+        assert fmd(["barak", "obama"], ["barak", "obama"]) == 0.0
+
+    def test_empty_source_zero(self):
+        assert fmd([], ["a", "b"]) == 0.0
+
+    def test_full_deletion(self):
+        # Transforming ["abc"] into [] deletes one weight-1 token.
+        assert fmd(["abc"], []) == pytest.approx(1.0)
+
+    def test_replacement_cheaper_than_delete_insert(self):
+        # One edited character out of five: cost 1/5 of the token weight.
+        assert fmd(["kalan"], ["kalun"]) == pytest.approx(0.2)
+
+    def test_weights_normalise(self):
+        weights = {"rare": 10.0, "common": 0.1}
+        # Editing the rare token is much more costly relative to total.
+        rare_edit = fmd(["rare", "common"], ["rarX", "common"], weights)
+        common_edit = fmd(["rare", "common"], ["rare", "commoX"], weights)
+        assert rare_edit > common_edit
+
+
+class TestFMS:
+    def test_identical(self):
+        assert fms(["barak", "obama"], ["barak", "obama"]) == 1.0
+
+    def test_order_sensitivity(self):
+        """The paper's key criticism: FMS is sensitive to token order."""
+        straight = fms(["barak", "obama"], ["barak", "obama"])
+        shuffled = fms(["barak", "obama"], ["obama", "barak"])
+        assert straight == 1.0
+        assert shuffled < 1.0
+
+    def test_asymmetry(self):
+        """The paper's other criticism: FMS is asymmetric."""
+        found = False
+        pool = [["aa"], ["aa", "bb"], ["aa", "bb", "cc"], ["ab"]]
+        for u in pool:
+            for v in pool:
+                if abs(fms(u, v) - fms(v, u)) > 1e-9:
+                    found = True
+        assert found
+
+    def test_floor_at_zero(self):
+        assert fms(["a"], ["xxxxxxxxxx", "yyyyyyyyyy"]) >= 0.0
+
+    @given(token_lists, token_lists)
+    def test_range(self, u, v):
+        assert 0.0 <= fms(u, v) <= 1.0
+
+
+class TestAFMS:
+    def test_position_insensitive(self):
+        assert afms(["barak", "obama"], ["obama", "barak"]) == 1.0
+
+    def test_identical(self):
+        assert afms(["x", "y"], ["x", "y"]) == 1.0
+
+    def test_many_to_one_matching_allowed(self):
+        # Both "ana" tokens match the single "ana" in v at zero cost --
+        # the known AFMS quirk of collapsing duplicates.
+        assert afms(["ana", "ana"], ["ana"]) == 1.0
+
+    def test_empty_source(self):
+        assert afms([], ["a"]) == 1.0
+
+    def test_close_tokens(self):
+        assert afms(["kalan"], ["kalun"]) == pytest.approx(0.8)
+
+    @given(token_lists, token_lists)
+    def test_range(self, u, v):
+        assert 0.0 <= afms(u, v) <= 1.0
+
+    @given(token_lists, token_lists)
+    def test_at_least_fms(self, u, v):
+        """AFMS relaxes the matching constraints, so it never scores lower
+        than FMS on the same pair."""
+        assert afms(u, v) >= fms(u, v) - 1e-9

@@ -1,0 +1,130 @@
+"""Tests for FJaccard / FCosine / FDice (Wang et al.) and SoftTfIdf."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.distances import (
+    fuzzy_cosine,
+    fuzzy_dice,
+    fuzzy_jaccard,
+    fuzzy_overlap,
+    multiset_jaccard,
+    soft_tfidf,
+)
+from tests.conftest import nonempty_strings
+
+token_lists = st.lists(nonempty_strings(5), min_size=0, max_size=4)
+
+
+class TestFuzzyOverlap:
+    def test_identical_tokens_full_overlap(self):
+        assert fuzzy_overlap(["chan", "kalan"], ["chan", "kalan"]) == pytest.approx(2.0)
+
+    def test_edited_tokens_still_overlap(self):
+        """The motivating improvement over crisp measures (Sec. II-D)."""
+        overlap = fuzzy_overlap(
+            ["chan", "kalan"], ["chank", "alan"], token_threshold=0.5
+        )
+        assert overlap > 1.5  # both token pairs match fuzzily
+
+    def test_dissimilar_tokens_no_overlap(self):
+        assert fuzzy_overlap(["abc"], ["xyz"]) == 0.0
+
+    def test_empty_sets(self):
+        assert fuzzy_overlap([], ["a"]) == 0.0
+        assert fuzzy_overlap(["a"], []) == 0.0
+
+    def test_one_to_one_matching(self):
+        # Two copies of "ann" in x cannot both match the single "ann" in y.
+        overlap = fuzzy_overlap(["ann", "ann"], ["ann"], token_threshold=0.9)
+        assert overlap == pytest.approx(1.0)
+
+    def test_weights_scale_contributions(self):
+        weights = {"ann": 4.0}
+        overlap = fuzzy_overlap(["ann"], ["ann"], weights=weights)
+        assert overlap == pytest.approx(4.0)  # (4 + 4) / 2 * sim 1.0
+
+    def test_threshold_gates_matches(self):
+        # "abc" vs "abd": NLD = 2/7, sim = 5/7 ~ 0.714.
+        assert fuzzy_overlap(["abc"], ["abd"], token_threshold=0.8) == 0.0
+        assert fuzzy_overlap(["abc"], ["abd"], token_threshold=0.7) > 0.0
+
+
+class TestFuzzyMeasures:
+    def test_identical_sets_score_one(self):
+        x = ["chan", "kalan"]
+        assert fuzzy_jaccard(x, x) == pytest.approx(1.0)
+        assert fuzzy_cosine(x, x) == pytest.approx(1.0)
+        assert fuzzy_dice(x, x) == pytest.approx(1.0)
+
+    def test_reduces_to_crisp_at_threshold_one(self):
+        """With T1 = 1.0 only exact token matches count."""
+        x, y = ["ann", "lee"], ["ann", "li"]
+        assert fuzzy_jaccard(x, y, token_threshold=1.0) == pytest.approx(
+            multiset_jaccard(x, y)
+        )
+
+    def test_tolerates_token_edits_better_than_crisp(self):
+        x, y = ["chan", "kalan"], ["chank", "alan"]
+        assert multiset_jaccard(x, y) == 0.0
+        assert fuzzy_jaccard(x, y, token_threshold=0.5) > 0.5
+
+    @given(token_lists, token_lists)
+    def test_ranges(self, x, y):
+        for measure in (fuzzy_jaccard, fuzzy_cosine, fuzzy_dice):
+            value = measure(x, y, token_threshold=0.8)
+            assert -1e-12 <= value <= 1.0 + 1e-9
+
+    @given(token_lists, token_lists)
+    def test_symmetry(self, x, y):
+        for measure in (fuzzy_jaccard, fuzzy_cosine, fuzzy_dice):
+            assert measure(x, y) == pytest.approx(measure(y, x))
+
+    def test_empty_vs_empty(self):
+        assert fuzzy_jaccard([], []) == 1.0
+        assert fuzzy_dice([], []) == 1.0
+
+    def test_empty_vs_nonempty(self):
+        assert fuzzy_jaccard([], ["a"]) == 0.0
+        assert fuzzy_cosine([], ["a"]) == 0.0
+        assert fuzzy_dice([], ["a"]) == 0.0
+
+    def test_dice_at_least_jaccard(self):
+        x, y = ["chan", "kalan"], ["chank", "alan"]
+        assert fuzzy_dice(x, y, 0.5) >= fuzzy_jaccard(x, y, 0.5)
+
+
+class TestSoftTfIdf:
+    def test_identical(self):
+        assert soft_tfidf(["ann", "lee"], ["ann", "lee"]) == pytest.approx(1.0)
+
+    def test_dissimilar(self):
+        assert soft_tfidf(["abc"], ["xyz"]) == 0.0
+
+    def test_close_tokens_match(self):
+        value = soft_tfidf(["jonathan"], ["jonathon"], token_threshold=0.8)
+        assert value > 0.8
+
+    def test_weights_influence_score(self):
+        # Down-weighting the common token "john" shifts mass to "smith".
+        weights = {"john": 0.1, "smith": 10.0}
+        weighted = soft_tfidf(["john", "smith"], ["john", "smyth"], 0.8, weights)
+        unweighted = soft_tfidf(["john", "smith"], ["john", "smyth"], 0.8)
+        assert weighted != pytest.approx(unweighted)
+
+    def test_empty_inputs(self):
+        assert soft_tfidf([], []) == 1.0
+        assert soft_tfidf([], ["a"]) == 0.0
+
+    def test_asymmetry_exists(self):
+        """The paper lists asymmetry as a SoftTfIdf drawback; exhibit it."""
+        found = False
+        pool = [["aa", "bb"], ["aa"], ["ab", "ba"], ["aa", "ab"], ["ba"]]
+        for x in pool:
+            for y in pool:
+                if abs(soft_tfidf(x, y, 0.5) - soft_tfidf(y, x, 0.5)) > 1e-9:
+                    found = True
+        assert found

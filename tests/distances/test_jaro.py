@@ -1,0 +1,97 @@
+"""Tests for Jaro and Jaro-Winkler similarities."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+
+from repro.distances import jaro, jaro_winkler
+from tests.conftest import short_strings
+
+
+class TestJaroKnownValues:
+    def test_classic_martha(self):
+        assert jaro("martha", "marhta") == pytest.approx(0.9444444, abs=1e-6)
+
+    def test_classic_dixon(self):
+        assert jaro("dixon", "dicksonx") == pytest.approx(0.7666667, abs=1e-6)
+
+    def test_identical(self):
+        assert jaro("hello", "hello") == 1.0
+
+    def test_no_common_characters(self):
+        assert jaro("abc", "xyz") == 0.0
+
+    def test_empty_strings(self):
+        assert jaro("", "") == 1.0
+        assert jaro("", "abc") == 0.0
+        assert jaro("abc", "") == 0.0
+
+    def test_single_chars(self):
+        assert jaro("a", "a") == 1.0
+        assert jaro("a", "b") == 0.0
+
+
+class TestJaroProperties:
+    @given(short_strings(), short_strings())
+    def test_range(self, x, y):
+        assert 0.0 <= jaro(x, y) <= 1.0
+
+    @given(short_strings(), short_strings())
+    def test_symmetry(self, x, y):
+        assert jaro(x, y) == pytest.approx(jaro(y, x))
+
+    @given(short_strings())
+    def test_identity(self, x):
+        assert jaro(x, x) == 1.0
+
+
+class TestJaroWinkler:
+    def test_classic_martha(self):
+        assert jaro_winkler("martha", "marhta") == pytest.approx(0.9611111, abs=1e-6)
+
+    def test_prefix_boost(self):
+        assert jaro_winkler("prefixed", "prefixes") > jaro("prefixed", "prefixes")
+
+    def test_no_boost_without_common_prefix(self):
+        assert jaro_winkler("xabc", "yabc") == pytest.approx(jaro("xabc", "yabc"))
+
+    def test_prefix_cap_at_four(self):
+        # Prefix longer than 4 contributes only 4 characters of boost.
+        base = jaro("abcdefgh", "abcdefgx")
+        assert jaro_winkler("abcdefgh", "abcdefgx") == pytest.approx(
+            base + 4 * 0.1 * (1 - base)
+        )
+
+    @given(short_strings(), short_strings())
+    def test_range(self, x, y):
+        assert 0.0 <= jaro_winkler(x, y) <= 1.0
+
+    @given(short_strings(), short_strings())
+    def test_at_least_jaro(self, x, y):
+        assert jaro_winkler(x, y) >= jaro(x, y) - 1e-12
+
+    def test_invalid_scale_raises(self):
+        with pytest.raises(ValueError):
+            jaro_winkler("a", "b", prefix_scale=0.5, max_prefix=4)
+
+    def test_triangle_inequality_violation_exists(self):
+        """The paper notes JW violates the triangle inequality; exhibit it.
+
+        Distances d = 1 - JW: d(x, z) > d(x, y) + d(y, z) for some triple.
+        """
+        x, y, z = "ab", "a", "ac"
+        d_xy = 1 - jaro_winkler(x, y)
+        d_yz = 1 - jaro_winkler(y, z)
+        d_xz = 1 - jaro_winkler(x, z)
+        # This specific triple may or may not violate; search a tiny space.
+        found = False
+        candidates = ["a", "ab", "ac", "abc", "acb", "b", "bc", "ba", "cab"]
+        for sx in candidates:
+            for sy in candidates:
+                for sz in candidates:
+                    if (1 - jaro_winkler(sx, sz)) > (
+                        (1 - jaro_winkler(sx, sy)) + (1 - jaro_winkler(sy, sz)) + 1e-9
+                    ):
+                        found = True
+        assert found

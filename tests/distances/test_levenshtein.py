@@ -1,0 +1,120 @@
+"""Tests for the Levenshtein distance (Def. 1, Lemma 1)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.distances import levenshtein, levenshtein_within
+from tests.conftest import short_strings
+
+
+class TestLevenshteinKnownValues:
+    def test_paper_example_thomson(self):
+        assert levenshtein("thomson", "thompson") == 1
+
+    def test_paper_example_alex(self):
+        assert levenshtein("alex", "alexa") == 1
+
+    def test_identical(self):
+        assert levenshtein("kitten", "kitten") == 0
+
+    def test_classic_kitten_sitting(self):
+        assert levenshtein("kitten", "sitting") == 3
+
+    def test_empty_vs_empty(self):
+        assert levenshtein("", "") == 0
+
+    def test_empty_vs_nonempty(self):
+        assert levenshtein("", "abc") == 3
+        assert levenshtein("abc", "") == 3
+
+    def test_single_substitution(self):
+        assert levenshtein("cat", "bat") == 1
+
+    def test_complete_replacement(self):
+        assert levenshtein("abc", "xyz") == 3
+
+    def test_transposition_costs_two(self):
+        # Plain Levenshtein has no transposition operation.
+        assert levenshtein("ab", "ba") == 2
+
+    def test_unicode(self):
+        assert levenshtein("café", "cafe") == 1
+
+
+class TestLevenshteinMetricProperties:
+    @given(short_strings())
+    def test_identity(self, x):
+        assert levenshtein(x, x) == 0
+
+    @given(short_strings(), short_strings())
+    def test_symmetry(self, x, y):
+        assert levenshtein(x, y) == levenshtein(y, x)
+
+    @given(short_strings(), short_strings(), short_strings())
+    def test_triangle_inequality(self, x, y, z):
+        assert levenshtein(x, y) + levenshtein(y, z) >= levenshtein(x, z)
+
+    @given(short_strings(), short_strings())
+    def test_positivity(self, x, y):
+        distance = levenshtein(x, y)
+        assert distance >= 0
+        assert (distance == 0) == (x == y)
+
+    @given(short_strings(), short_strings())
+    def test_length_difference_lower_bound(self, x, y):
+        assert levenshtein(x, y) >= abs(len(x) - len(y))
+
+    @given(short_strings(), short_strings())
+    def test_max_length_upper_bound(self, x, y):
+        assert levenshtein(x, y) <= max(len(x), len(y))
+
+
+class TestLevenshteinWithin:
+    @given(short_strings(), short_strings(), st.integers(min_value=0, max_value=10))
+    def test_agrees_with_full_dp(self, x, y, limit):
+        exact = levenshtein(x, y)
+        banded = levenshtein_within(x, y, limit)
+        if exact <= limit:
+            assert banded == exact
+        else:
+            assert banded is None
+
+    def test_negative_limit_misses(self):
+        assert levenshtein_within("a", "a", -1) is None
+
+    def test_zero_limit_equality(self):
+        assert levenshtein_within("abc", "abc", 0) == 0
+        assert levenshtein_within("abc", "abd", 0) is None
+
+    def test_length_gap_early_exit(self):
+        assert levenshtein_within("a", "aaaaaaaaaa", 3) is None
+
+    def test_paper_token_example(self):
+        # Editing "kalan" to "alan" costs 1 (Sec. II-D example).
+        assert levenshtein_within("kalan", "alan", 1) == 1
+        assert levenshtein_within("chan", "chank", 1) == 1
+
+    def test_exact_at_limit_boundary(self):
+        assert levenshtein_within("kitten", "sitting", 3) == 3
+        assert levenshtein_within("kitten", "sitting", 2) is None
+
+    def test_ops_hook_counts_cells(self):
+        counted = []
+        levenshtein_within("kitten", "sitting", 3, ops=counted.append)
+        assert len(counted) == 1
+        assert counted[0] >= 1
+
+
+class TestOpsHook:
+    def test_full_dp_counts_cells(self):
+        counted = []
+        levenshtein("abcd", "wxyz", ops=counted.append)
+        assert counted == [16]
+
+    def test_equal_strings_count_one(self):
+        counted = []
+        levenshtein("same", "same", ops=counted.append)
+        assert counted == [1]

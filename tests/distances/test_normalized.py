@@ -1,0 +1,167 @@
+"""Tests for NLD (Def. 2) and the bound Lemmas 3, 8, 9, 10."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.distances import (
+    levenshtein,
+    max_ld_for_longer,
+    max_ld_for_shorter,
+    min_ld_exceeding_for_longer,
+    min_ld_exceeding_for_shorter,
+    min_length_for_nld,
+    nld,
+    nld_length_lower_bound,
+    nld_within,
+)
+from repro.distances.normalized import length_window, nld_length_upper_bound
+from tests.conftest import short_strings
+
+thresholds = st.floats(min_value=0.01, max_value=0.99, allow_nan=False)
+
+
+class TestNLDKnownValues:
+    def test_paper_example_thomson(self):
+        assert nld("thomson", "thompson") == pytest.approx(2 * 1 / (7 + 8 + 1))
+
+    def test_paper_example_alex(self):
+        assert nld("alex", "alexa") == pytest.approx(2 * 1 / (4 + 5 + 1))
+
+    def test_identical(self):
+        assert nld("abc", "abc") == 0.0
+
+    def test_disjoint_same_length(self):
+        # LD = 3, so NLD = 6 / (3 + 3 + 3) = 2/3.
+        assert nld("abc", "xyz") == pytest.approx(2 / 3)
+
+    def test_empty_vs_nonempty_is_one(self):
+        assert nld("", "abc") == 1.0
+
+    def test_empty_vs_empty_is_zero(self):
+        assert nld("", "") == 0.0
+
+
+class TestNLDMetricProperties:
+    @given(short_strings(), short_strings())
+    def test_range(self, x, y):
+        assert 0.0 <= nld(x, y) <= 1.0
+
+    @given(short_strings())
+    def test_identity(self, x):
+        assert nld(x, x) == 0.0
+
+    @given(short_strings(), short_strings())
+    def test_symmetry(self, x, y):
+        assert nld(x, y) == pytest.approx(nld(y, x))
+
+    @given(short_strings(), short_strings(), short_strings())
+    def test_triangle_inequality(self, x, y, z):
+        # Theorem 1 (Li & Liu 2007).  Allow float slack.
+        assert nld(x, y) + nld(y, z) >= nld(x, z) - 1e-12
+
+
+class TestLemma3:
+    @given(short_strings(), short_strings())
+    def test_length_bounds_hold(self, x, y):
+        value = nld(x, y)
+        assert value >= nld_length_lower_bound(len(x), len(y)) - 1e-12
+        if x or y:
+            assert value <= nld_length_upper_bound(len(x), len(y)) + 1e-12
+
+    def test_lower_bound_examples(self):
+        assert nld_length_lower_bound(4, 8) == pytest.approx(0.5)
+        assert nld_length_lower_bound(8, 4) == pytest.approx(0.5)
+        assert nld_length_lower_bound(0, 0) == 0.0
+
+    def test_upper_bound_examples(self):
+        assert nld_length_upper_bound(4, 4) == pytest.approx(2 / 3)
+        assert nld_length_upper_bound(0, 5) == pytest.approx(1.0)
+
+
+class TestLemma8:
+    @given(short_strings(), short_strings(), thresholds)
+    def test_ld_upper_bounds(self, x, y, threshold):
+        """If NLD <= T then LD obeys the Lemma 8 caps."""
+        if nld(x, y) > threshold:
+            return
+        distance = levenshtein(x, y)
+        shorter, longer = sorted((x, y), key=len)
+        assert distance <= max_ld_for_shorter(threshold, len(longer))
+        if len(x) != len(y):
+            assert distance <= max_ld_for_longer(threshold, len(shorter))
+
+    def test_known_value(self):
+        # T = 0.1, |y| = 10: floor(2*0.1*10 / 1.9) = floor(1.05) = 1.
+        assert max_ld_for_shorter(0.1, 10) == 1
+        # T = 0.1, |y| = 10 (shorter): floor(0.1*10 / 0.9) = floor(1.11) = 1.
+        assert max_ld_for_longer(0.1, 10) == 1
+
+    def test_rejects_threshold_one_for_longer(self):
+        with pytest.raises(ValueError):
+            max_ld_for_longer(1.0, 5)
+
+
+class TestLemma9:
+    @given(short_strings(), short_strings(), thresholds)
+    def test_length_condition(self, x, y, threshold):
+        """If NLD <= T then the shorter length meets the Lemma 9 floor."""
+        if nld(x, y) > threshold:
+            return
+        shorter, longer = sorted((len(x), len(y)))
+        assert shorter >= min_length_for_nld(threshold, longer)
+
+    def test_known_value(self):
+        # T = 0.1, |y| = 10: ceil(0.9 * 10) = 9.
+        assert min_length_for_nld(0.1, 10) == 9
+
+    def test_window(self):
+        assert length_window(0.1, 10) == (9, 10)
+
+
+class TestLemma10:
+    @given(short_strings(), short_strings(), thresholds)
+    def test_ld_lower_bounds(self, x, y, threshold):
+        """If NLD > T then LD strictly exceeds the Lemma 10 floors."""
+        if nld(x, y) <= threshold:
+            return
+        distance = levenshtein(x, y)
+        shorter, longer = sorted((len(x), len(y)))
+        assert distance > min_ld_exceeding_for_shorter(threshold, longer)
+        if len(x) != len(y):
+            assert distance > min_ld_exceeding_for_longer(threshold, shorter)
+
+    def test_known_value(self):
+        # T = 0.1, longer = 10: floor(0.1*10 / 1.9) = 0, so LD >= 1.
+        assert min_ld_exceeding_for_shorter(0.1, 10) == 0
+        assert min_ld_exceeding_for_longer(0.1, 10) == 1
+
+
+class TestNLDWithin:
+    @given(short_strings(), short_strings(), thresholds)
+    def test_agrees_with_exact(self, x, y, threshold):
+        exact = nld(x, y)
+        result = nld_within(x, y, threshold)
+        if exact <= threshold:
+            assert result == pytest.approx(exact)
+        else:
+            assert result is None
+
+    def test_negative_threshold(self):
+        assert nld_within("a", "a", -0.5) is None
+
+    def test_threshold_one_returns_exact(self):
+        assert nld_within("", "abc", 1.0) == 1.0
+
+    def test_equal_strings_fast_path(self):
+        assert nld_within("same", "same", 0.0) == 0.0
+
+    def test_length_condition_prunes(self):
+        # |x|=1, |y|=10, T=0.1: Lemma 9 floor is 9 > 1, pruned without DP.
+        counted = []
+        assert nld_within("a", "abcdefghij", 0.1, ops=counted.append) is None
+        assert counted == [1]

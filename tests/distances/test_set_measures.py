@@ -1,0 +1,114 @@
+"""Tests for the crisp multiset similarity measures."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.distances import (
+    multiset_cosine,
+    multiset_dice,
+    multiset_jaccard,
+    multiset_overlap,
+    multiset_ruzicka,
+)
+from tests.conftest import nonempty_strings
+
+token_lists = st.lists(nonempty_strings(4), min_size=0, max_size=6)
+
+
+class TestOverlap:
+    def test_disjoint(self):
+        assert multiset_overlap(["a"], ["b"]) == 0
+
+    def test_multiplicity_minimum(self):
+        assert multiset_overlap(["a", "a", "b"], ["a", "a", "a"]) == 2
+
+    def test_identical(self):
+        assert multiset_overlap(["x", "y"], ["x", "y"]) == 2
+
+
+class TestJaccard:
+    def test_known_value(self):
+        assert multiset_jaccard(["ann", "lee"], ["ann", "li"]) == pytest.approx(1 / 3)
+
+    def test_identical(self):
+        assert multiset_jaccard(["a", "b"], ["a", "b"]) == 1.0
+
+    def test_disjoint(self):
+        assert multiset_jaccard(["a"], ["b"]) == 0.0
+
+    def test_both_empty(self):
+        assert multiset_jaccard([], []) == 1.0
+
+    def test_rigidity_to_token_edits(self):
+        """Sec. II-D: a slightly-edited shared token counts as not shared."""
+        assert multiset_jaccard(["kalan", "chan"], ["kalan", "chan"]) == 1.0
+        assert multiset_jaccard(["kalan", "chan"], ["alan", "chank"]) == 0.0
+
+
+class TestDice:
+    def test_known_value(self):
+        assert multiset_dice(["a", "b"], ["a", "c"]) == pytest.approx(0.5)
+
+    def test_both_empty(self):
+        assert multiset_dice([], []) == 1.0
+
+
+class TestCosine:
+    def test_identical(self):
+        assert multiset_cosine(["a", "b"], ["a", "b"]) == pytest.approx(1.0)
+
+    def test_disjoint(self):
+        assert multiset_cosine(["a"], ["b"]) == 0.0
+
+    def test_one_empty(self):
+        assert multiset_cosine([], ["a"]) == 0.0
+
+    def test_multiplicities(self):
+        # x = {a:2}, y = {a:1, b:1}: dot = 2, |x| = 2, |y| = sqrt(2).
+        assert multiset_cosine(["a", "a"], ["a", "b"]) == pytest.approx(
+            2 / (2 * 2**0.5)
+        )
+
+
+class TestRuzicka:
+    def test_binary_case_equals_jaccard(self):
+        x, y = ["a", "b", "c"], ["b", "c", "d"]
+        assert multiset_ruzicka(x, y) == pytest.approx(multiset_jaccard(x, y))
+
+    def test_multiplicities(self):
+        # min-sum = 1, max-sum = 3 for {a:2} vs {a:1, b:1}.
+        assert multiset_ruzicka(["a", "a"], ["a", "b"]) == pytest.approx(1 / 3)
+
+
+class TestSharedProperties:
+    @given(token_lists, token_lists)
+    def test_ranges(self, x, y):
+        for measure in (
+            multiset_jaccard,
+            multiset_dice,
+            multiset_cosine,
+            multiset_ruzicka,
+        ):
+            assert 0.0 <= measure(x, y) <= 1.0 + 1e-12
+
+    @given(token_lists, token_lists)
+    def test_symmetry(self, x, y):
+        for measure in (
+            multiset_jaccard,
+            multiset_dice,
+            multiset_cosine,
+            multiset_ruzicka,
+        ):
+            assert measure(x, y) == pytest.approx(measure(y, x))
+
+    @given(token_lists)
+    def test_self_similarity_is_one(self, x):
+        for measure in (
+            multiset_jaccard,
+            multiset_dice,
+            multiset_ruzicka,
+        ):
+            assert measure(x, x) == pytest.approx(1.0)

@@ -1,0 +1,109 @@
+"""End-to-end integration tests: the paper's full application pipeline.
+
+Corpus generation -> tokenization -> TSJ join -> similarity-graph
+clustering -> ring-detection scoring, plus cross-checks between the
+independent join implementations on the same workload.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import cluster_pairs, join_quality, ring_detection_report
+from repro.data import corpus_with_rings, evaluation_corpus
+from repro.joins.naive import naive_nsld_self_join
+from repro.mapreduce import ClusterConfig, MapReduceEngine
+from repro.metricspace import HMJ, MRMAPSS, ClusterJoin
+from repro.tokenize import tokenize
+from repro.tsj import TSJ, TSJConfig
+
+
+@pytest.fixture(scope="module")
+def ring_corpus():
+    names, rings = corpus_with_rings(120, 6, 5, seed=42, max_edits=1)
+    return names, rings, [tokenize(name) for name in names]
+
+
+@pytest.fixture(scope="module")
+def oracle_pairs(ring_corpus):
+    _, _, records = ring_corpus
+    return naive_nsld_self_join(records, 0.15)
+
+
+@pytest.fixture(scope="module")
+def tsj_result(ring_corpus):
+    _, _, records = ring_corpus
+    engine = MapReduceEngine(ClusterConfig(n_machines=8))
+    config = TSJConfig(threshold=0.15, max_token_frequency=None)
+    return TSJ(config, engine).self_join(records)
+
+
+class TestFraudDetectionPipeline:
+    def test_tsj_matches_oracle(self, tsj_result, oracle_pairs):
+        assert tsj_result.pairs == oracle_pairs
+
+    def test_rings_recovered(self, ring_corpus, tsj_result):
+        _, rings, _ = ring_corpus
+        clusters = cluster_pairs(tsj_result.pairs)
+        report = ring_detection_report(clusters, rings)
+        assert report.ring_recall >= 0.9
+        assert report.member_recall >= 0.6
+
+    def test_all_joiners_agree(self, ring_corpus, oracle_pairs):
+        """TSJ and the three metric-space joins are independent
+        implementations; on the same workload they must coincide."""
+        _, _, records = ring_corpus
+        engine = MapReduceEngine(ClusterConfig(n_machines=8))
+        for joiner in (
+            ClusterJoin(engine, 0.15, seed=7),
+            MRMAPSS(engine, 0.15, partition_limit=32, seed=7),
+            HMJ(engine, 0.15, partition_limit=32, seed=7),
+        ):
+            assert joiner.self_join(records).pairs == oracle_pairs
+
+    def test_approximation_stack_quality(self, ring_corpus, tsj_result):
+        """The fully-approximated configuration (greedy + exact matching +
+        sketch-based M) keeps high recall on ring workloads."""
+        _, _, records = ring_corpus
+        engine = MapReduceEngine(ClusterConfig(n_machines=8))
+        config = TSJConfig(
+            threshold=0.15,
+            max_token_frequency=50,
+            matching="exact",
+            aligning="greedy",
+            frequency_mode="sketch",
+        )
+        approximate = TSJ(config, engine).self_join(records)
+        quality = join_quality(approximate.pairs, tsj_result.pairs)
+        assert quality.precision == 1.0
+        assert quality.recall > 0.8
+
+    def test_simulated_scaling_sanity(self, tsj_result):
+        """More machines never slows the simulated pipeline down much,
+        and scaling 10x helps substantially on this workload."""
+        t10 = tsj_result.pipeline.rebin(10).simulated_seconds()
+        t100 = tsj_result.pipeline.rebin(100).simulated_seconds()
+        assert t100 < t10
+
+
+class TestDataCleaningWorkload:
+    def test_evaluation_corpus_joinable(self):
+        names, _ = evaluation_corpus(150, seed=9)
+        records = [tokenize(name) for name in names]
+        engine = MapReduceEngine(ClusterConfig(n_machines=4))
+        result = TSJ(TSJConfig(threshold=0.1), engine).self_join(records)
+        assert result.pairs == naive_nsld_self_join(records, 0.1) or (
+            result.pairs <= naive_nsld_self_join(records, 0.1)
+        )
+
+    def test_two_set_join_between_sources(self):
+        """R x P join: new signups against the known-fraud list."""
+        known = [tokenize(n) for n in ["barak obama", "vladimir petrov"]]
+        signups = [
+            tokenize(n)
+            for n in ["borak obama", "maria lopez", "vladimr petrov"]
+        ]
+        engine = MapReduceEngine(ClusterConfig(n_machines=4))
+        config = TSJConfig(threshold=0.15, max_token_frequency=None)
+        result = TSJ(config, engine).join(known, signups)
+        assert result.pairs == {(0, 0), (1, 2)}

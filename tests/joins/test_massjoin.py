@@ -1,0 +1,78 @@
+"""Tests for the MapReduce-distributed MassJoin."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.joins import MassJoin
+from repro.joins.naive import naive_ld_self_join, naive_nld_self_join
+from repro.mapreduce import ClusterConfig, MapReduceEngine
+from tests.conftest import short_strings
+
+string_lists = st.lists(short_strings(8), min_size=0, max_size=12)
+
+
+def make_engine(n: int = 4) -> MapReduceEngine:
+    return MapReduceEngine(ClusterConfig(n_machines=n))
+
+
+class TestMassJoinNLD:
+    def test_paper_tokens(self):
+        strings = ["chan", "chank", "kalan", "alan"]
+        result = MassJoin(make_engine(), 0.2).self_join(strings)
+        assert result.pairs == naive_nld_self_join(strings, 0.2)
+
+    def test_distances_reported(self):
+        strings = ["ann", "anne"]
+        result = MassJoin(make_engine(), 0.3).self_join(strings)
+        assert result.pairs == {(0, 1)}
+        assert result.distances[(0, 1)] == pytest.approx(2 * 1 / (3 + 4 + 1))
+
+    def test_empty_input(self):
+        result = MassJoin(make_engine(), 0.1).self_join([])
+        assert result.pairs == set()
+
+    def test_duplicate_strings(self):
+        strings = ["ann", "ann", "ann"]
+        result = MassJoin(make_engine(), 0.05).self_join(strings)
+        assert result.pairs == {(0, 1), (0, 2), (1, 2)}
+
+    @settings(max_examples=30, deadline=None)
+    @given(string_lists, st.sampled_from([0.05, 0.1, 0.2, 0.3]))
+    def test_exactness_property(self, strings, threshold):
+        """MassJoin returns exactly the brute-force NLD-join result."""
+        result = MassJoin(make_engine(), threshold).self_join(strings)
+        assert result.pairs == naive_nld_self_join(strings, threshold)
+
+    def test_machine_count_invariant(self):
+        strings = ["barak", "borak", "obama", "obamma", "ubama", "xyz"]
+        few = MassJoin(make_engine(1), 0.2).self_join(strings)
+        many = MassJoin(make_engine(16), 0.2).self_join(strings)
+        assert few.pairs == many.pairs
+
+    def test_pipeline_metrics_exposed(self):
+        strings = ["chan", "chank", "kalan", "alan"]
+        result = MassJoin(make_engine(), 0.2).self_join(strings)
+        assert len(result.pipeline.stages) == 4
+        assert result.pipeline.simulated_seconds() > 0
+        counters = result.pipeline.counters()
+        assert counters.get("verified", 0) >= counters.get("similar", 0)
+
+
+class TestMassJoinLD:
+    def test_ld_mode(self):
+        strings = ["chan", "chank", "kalan", "alan"]
+        result = MassJoin(make_engine(), 1, mode="ld").self_join(strings)
+        assert result.pairs == naive_ld_self_join(strings, 1)
+
+    @settings(max_examples=25, deadline=None)
+    @given(string_lists, st.integers(min_value=0, max_value=2))
+    def test_exactness_property(self, strings, threshold):
+        result = MassJoin(make_engine(), threshold, mode="ld").self_join(strings)
+        assert result.pairs == naive_ld_self_join(strings, threshold)
+
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError):
+            MassJoin(make_engine(), 0.1, mode="cosine")

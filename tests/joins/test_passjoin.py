@@ -1,0 +1,129 @@
+"""Tests for Pass-Join: exactness against the brute-force oracle."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.joins import PassJoin, even_partition, passjoin_nld_self_join
+from repro.joins.naive import naive_ld_join, naive_ld_self_join, naive_nld_self_join
+from tests.conftest import short_strings
+
+string_lists = st.lists(short_strings(8), min_size=0, max_size=14)
+
+
+class TestEvenPartition:
+    def test_basic(self):
+        assert even_partition("abcdefg", 3) == [(0, "ab"), (2, "cd"), (4, "efg")]
+
+    def test_exact_division(self):
+        assert even_partition("abcdef", 3) == [(0, "ab"), (2, "cd"), (4, "ef")]
+
+    def test_single_segment(self):
+        assert even_partition("abc", 1) == [(0, "abc")]
+
+    def test_more_segments_than_chars(self):
+        segments = even_partition("ab", 4)
+        assert len(segments) == 4
+        assert "".join(seg for _, seg in segments) == "ab"
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            even_partition("abc", 0)
+
+    @given(short_strings(12), st.integers(min_value=1, max_value=6))
+    def test_partition_reassembles(self, s, k):
+        segments = even_partition(s, k)
+        assert len(segments) == k
+        assert "".join(seg for _, seg in segments) == s
+        # Segment lengths differ by at most one.
+        sizes = [len(seg) for _, seg in segments]
+        assert max(sizes) - min(sizes) <= 1
+        # Starts are consistent.
+        for start, seg in segments:
+            assert s[start : start + len(seg)] == seg
+
+
+class TestPassJoinLD:
+    def test_paper_tokens(self):
+        strings = ["chan", "chank", "kalan", "alan"]
+        assert PassJoin(1).self_join(strings) == naive_ld_self_join(strings, 1)
+
+    def test_identical_strings(self):
+        strings = ["ann", "ann", "ann"]
+        assert PassJoin(0).self_join(strings) == {(0, 1), (0, 2), (1, 2)}
+
+    def test_empty_input(self):
+        assert PassJoin(2).self_join([]) == set()
+
+    def test_short_strings_near_threshold(self):
+        strings = ["a", "b", "ab", "", "abc"]
+        assert PassJoin(2).self_join(strings) == naive_ld_self_join(strings, 2)
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            PassJoin(-1)
+
+    @settings(max_examples=60, deadline=None)
+    @given(string_lists, st.integers(min_value=0, max_value=3))
+    def test_exactness_property(self, strings, threshold):
+        """PassJoin returns exactly the brute-force LD-join result."""
+        assert PassJoin(threshold).self_join(strings) == naive_ld_self_join(
+            strings, threshold
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(short_strings(6), max_size=8),
+        st.lists(short_strings(6), max_size=8),
+        st.integers(min_value=0, max_value=2),
+    )
+    def test_two_set_join_exactness(self, r, p, threshold):
+        assert PassJoin(threshold).join(r, p) == naive_ld_join(r, p, threshold)
+
+
+class TestPassJoinNLD:
+    def test_paper_tokens(self):
+        strings = ["chan", "chank", "kalan", "alan"]
+        # NLD("chan","chank") = 2/10 = 0.2; NLD("kalan","alan") = 2/10.
+        result = passjoin_nld_self_join(strings, 0.2)
+        assert result == naive_nld_self_join(strings, 0.2)
+        assert (0, 1) in result
+
+    def test_small_threshold_only_exact(self):
+        strings = ["ann", "ann", "bob"]
+        assert passjoin_nld_self_join(strings, 0.01) == {(0, 1)}
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            passjoin_nld_self_join(["a"], 1.0)
+        with pytest.raises(ValueError):
+            passjoin_nld_self_join(["a"], -0.1)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        string_lists,
+        st.sampled_from([0.05, 0.1, 0.15, 0.2, 0.25, 0.3]),
+    )
+    def test_exactness_property(self, strings, threshold):
+        """The Lemma 8/9 adaptation stays exact."""
+        assert passjoin_nld_self_join(strings, threshold) == naive_nld_self_join(
+            strings, threshold
+        )
+
+    def test_realistic_names(self):
+        tokens = [
+            "barak",
+            "borak",
+            "obama",
+            "obamma",
+            "ubama",
+            "william",
+            "williams",
+            "bill",
+        ]
+        threshold = 0.2
+        assert passjoin_nld_self_join(tokens, threshold) == naive_nld_self_join(
+            tokens, threshold
+        )

@@ -1,0 +1,45 @@
+"""Tests for PassJoinK: exactness for K signatures."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.joins import PassJoinK
+from repro.joins.naive import naive_ld_self_join
+from tests.conftest import short_strings
+
+string_lists = st.lists(short_strings(8), min_size=0, max_size=12)
+
+
+class TestPassJoinK:
+    def test_k1_matches_passjoin_semantics(self):
+        strings = ["chan", "chank", "kalan", "alan"]
+        assert PassJoinK(1, 1).self_join(strings) == naive_ld_self_join(strings, 1)
+
+    def test_k2_still_exact(self):
+        strings = ["chan", "chank", "kalan", "alan", "chan"]
+        assert PassJoinK(1, 2).self_join(strings) == naive_ld_self_join(strings, 1)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            PassJoinK(-1, 2)
+        with pytest.raises(ValueError):
+            PassJoinK(1, 0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        string_lists,
+        st.integers(min_value=0, max_value=2),
+        st.integers(min_value=1, max_value=3),
+    )
+    def test_exactness_property(self, strings, threshold, k):
+        """More required signatures must not lose pairs (Lin et al.)."""
+        assert PassJoinK(threshold, k).self_join(strings) == naive_ld_self_join(
+            strings, threshold
+        )
+
+    def test_longer_strings(self):
+        strings = ["jonathan", "jonathon", "johnathan", "bob"]
+        assert PassJoinK(2, 2).self_join(strings) == naive_ld_self_join(strings, 2)

@@ -1,0 +1,61 @@
+"""Tests for the distributed PassJoinKMR."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.joins import PassJoinKMR
+from repro.joins.naive import naive_ld_self_join
+from repro.mapreduce import ClusterConfig, MapReduceEngine
+from tests.conftest import short_strings
+
+string_lists = st.lists(short_strings(8), min_size=0, max_size=12)
+
+
+def make_engine(n: int = 4) -> MapReduceEngine:
+    return MapReduceEngine(ClusterConfig(n_machines=n))
+
+
+class TestPassJoinKMR:
+    def test_paper_tokens(self):
+        strings = ["chan", "chank", "kalan", "alan"]
+        result = PassJoinKMR(make_engine(), 1, 2).self_join(strings)
+        assert result.pairs == naive_ld_self_join(strings, 1)
+
+    def test_distances_reported(self):
+        result = PassJoinKMR(make_engine(), 1, 1).self_join(["ann", "anne"])
+        assert result.distances[(0, 1)] == 1
+
+    def test_empty(self):
+        assert PassJoinKMR(make_engine(), 1, 2).self_join([]).pairs == set()
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            PassJoinKMR(make_engine(), -1, 2)
+        with pytest.raises(ValueError):
+            PassJoinKMR(make_engine(), 1, 0)
+
+    def test_pipeline_metrics(self):
+        result = PassJoinKMR(make_engine(), 1, 2).self_join(
+            ["chan", "chank", "kalan", "alan"]
+        )
+        assert len(result.pipeline.stages) == 4
+        assert result.pipeline.simulated_seconds() > 0
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        string_lists,
+        st.integers(min_value=0, max_value=2),
+        st.integers(min_value=1, max_value=3),
+    )
+    def test_exactness_property(self, strings, threshold, k):
+        result = PassJoinKMR(make_engine(), threshold, k).self_join(strings)
+        assert result.pairs == naive_ld_self_join(strings, threshold)
+
+    def test_machine_count_invariant(self):
+        strings = ["jonathan", "jonathon", "johnathan", "bob", "rob"]
+        few = PassJoinKMR(make_engine(1), 2, 2).self_join(strings)
+        many = PassJoinKMR(make_engine(16), 2, 2).self_join(strings)
+        assert few.pairs == many.pairs

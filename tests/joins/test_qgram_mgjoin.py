@@ -1,0 +1,112 @@
+"""Tests for the q-gram LD join and the multi-order MGJoin."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.joins import mgjoin_jaccard_self_join, qgram_ld_self_join
+from repro.joins.naive import naive_ld_self_join
+from repro.joins.qgram import positional_qgrams
+from tests.conftest import nonempty_strings, short_strings
+
+string_lists = st.lists(short_strings(8), min_size=0, max_size=12)
+record_lists = st.lists(
+    st.lists(nonempty_strings(4), min_size=0, max_size=5),
+    min_size=0,
+    max_size=12,
+)
+
+
+def naive_jaccard_self_join(records, threshold):
+    def jaccard(a, b):
+        a, b = frozenset(a), frozenset(b)
+        if not a and not b:
+            return 1.0
+        return len(a & b) / len(a | b)
+
+    return {
+        (i, j)
+        for i in range(len(records))
+        for j in range(i + 1, len(records))
+        if frozenset(records[i]) or frozenset(records[j])
+        if jaccard(records[i], records[j]) >= threshold
+    }
+
+
+class TestPositionalQgrams:
+    def test_count(self):
+        assert len(positional_qgrams("hello", 2)) == 6
+
+    def test_reconstruction(self):
+        grams = positional_qgrams("abc", 3)
+        assert grams[2][1] == "abc"  # the fully-interior gram
+
+    def test_empty_string(self):
+        # n + q - 1 = 1 gram: the pure-padding window.
+        grams = positional_qgrams("", 2)
+        assert len(grams) == 1
+
+    def test_invalid_q(self):
+        with pytest.raises(ValueError):
+            positional_qgrams("x", 0)
+
+
+class TestQgramJoin:
+    def test_paper_tokens(self):
+        strings = ["chan", "chank", "kalan", "alan"]
+        assert qgram_ld_self_join(strings, 1) == naive_ld_self_join(strings, 1)
+
+    def test_short_strings(self):
+        strings = ["a", "b", "ab", "", "abc"]
+        assert qgram_ld_self_join(strings, 2) == naive_ld_self_join(strings, 2)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            qgram_ld_self_join(["a"], -1)
+        with pytest.raises(ValueError):
+            qgram_ld_self_join(["a"], 1, q=0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        string_lists,
+        st.integers(min_value=0, max_value=3),
+        st.sampled_from([2, 3]),
+    )
+    def test_exactness_property(self, strings, threshold, q):
+        assert qgram_ld_self_join(strings, threshold, q) == naive_ld_self_join(
+            strings, threshold
+        )
+
+
+class TestMGJoin:
+    def test_exact_duplicates(self):
+        records = [["ann", "lee"], ["ann", "lee"], ["bob"]]
+        assert mgjoin_jaccard_self_join(records, 1.0) == {(0, 1)}
+
+    def test_shuffle_tolerant_edit_blind(self):
+        """Like all crisp set joins (Sec. II-D)."""
+        shuffled = [["barak", "obama"], ["obama", "barak"]]
+        assert mgjoin_jaccard_self_join(shuffled, 1.0) == {(0, 1)}
+        edited = [["chan", "kalan"], ["chank", "alan"]]
+        assert mgjoin_jaccard_self_join(edited, 0.3) == set()
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            mgjoin_jaccard_self_join([["a"]], 0.0)
+        with pytest.raises(ValueError):
+            mgjoin_jaccard_self_join([["a"]], 0.5, n_orders=0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        record_lists,
+        st.sampled_from([0.3, 0.5, 0.8, 1.0]),
+        st.integers(min_value=1, max_value=4),
+        st.integers(min_value=0, max_value=3),
+    )
+    def test_exactness_property(self, records, threshold, n_orders, seed):
+        """Extra orders filter candidates but never results."""
+        assert mgjoin_jaccard_self_join(
+            records, threshold, n_orders, seed
+        ) == naive_jaccard_self_join(records, threshold)

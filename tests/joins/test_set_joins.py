@@ -1,0 +1,88 @@
+"""Tests for the prefix-filter and Vernica set-similarity joins."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.joins import VernicaJoin, prefix_filter_jaccard_self_join
+from repro.mapreduce import ClusterConfig, MapReduceEngine
+from tests.conftest import nonempty_strings
+
+record_lists = st.lists(
+    st.lists(nonempty_strings(4), min_size=0, max_size=5),
+    min_size=0,
+    max_size=12,
+)
+jaccard_thresholds = st.sampled_from([0.3, 0.5, 0.7, 0.8, 0.9, 1.0])
+
+
+def naive_jaccard_self_join(records, threshold):
+    def jaccard(a, b):
+        a, b = frozenset(a), frozenset(b)
+        if not a and not b:
+            return 1.0
+        return len(a & b) / len(a | b)
+
+    return {
+        (i, j)
+        for i in range(len(records))
+        for j in range(i + 1, len(records))
+        if frozenset(records[i]) or frozenset(records[j])
+        if jaccard(records[i], records[j]) >= threshold
+    }
+
+
+class TestPrefixFilterJoin:
+    def test_exact_duplicates(self):
+        records = [["ann", "lee"], ["ann", "lee"], ["bob"]]
+        assert prefix_filter_jaccard_self_join(records, 1.0) == {(0, 1)}
+
+    def test_partial_overlap(self):
+        records = [["a", "b", "c"], ["a", "b", "d"], ["x", "y"]]
+        assert prefix_filter_jaccard_self_join(records, 0.5) == {(0, 1)}
+
+    def test_no_token_edit_tolerance(self):
+        """Sec. II-D: crisp set joins miss token-edited pairs."""
+        records = [["chan", "kalan"], ["chank", "alan"]]
+        assert prefix_filter_jaccard_self_join(records, 0.3) == set()
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            prefix_filter_jaccard_self_join([["a"]], 0.0)
+
+    @settings(max_examples=60, deadline=None)
+    @given(record_lists, jaccard_thresholds)
+    def test_exactness_property(self, records, threshold):
+        assert prefix_filter_jaccard_self_join(
+            records, threshold
+        ) == naive_jaccard_self_join(records, threshold)
+
+
+class TestVernicaJoin:
+    def test_basic(self):
+        records = [["a", "b", "c"], ["a", "b", "d"], ["x", "y"]]
+        result = VernicaJoin(threshold=0.5).self_join(records)
+        assert result.pairs == {(0, 1)}
+        assert result.similarities[(0, 1)] == pytest.approx(0.5)
+
+    def test_empty(self):
+        assert VernicaJoin(threshold=0.5).self_join([]).pairs == set()
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            VernicaJoin(threshold=1.5)
+
+    @settings(max_examples=40, deadline=None)
+    @given(record_lists, jaccard_thresholds)
+    def test_exactness_property(self, records, threshold):
+        engine = MapReduceEngine(ClusterConfig(n_machines=4))
+        result = VernicaJoin(engine, threshold).self_join(records)
+        assert result.pairs == naive_jaccard_self_join(records, threshold)
+
+    def test_pipeline_metrics(self):
+        records = [["a", "b"], ["a", "b"], ["a", "c"]]
+        result = VernicaJoin(threshold=0.5).self_join(records)
+        assert len(result.pipeline.stages) == 3
+        assert result.pipeline.simulated_seconds() > 0

@@ -1,0 +1,102 @@
+"""Tests for the FuzzyMatch FMS top-K index (Chaudhuri et al.)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distances import fms
+from repro.knn import FuzzyMatchIndex
+from tests.conftest import nonempty_strings
+
+RECORDS = [
+    ["barak", "obama"],
+    ["john", "smith"],
+    ["jon", "smith"],
+    ["mary", "williams"],
+    ["obama", "barak"],
+    ["peter", "parker"],
+]
+
+
+class TestFuzzyMatchIndex:
+    def test_exact_match_is_top(self):
+        index = FuzzyMatchIndex(RECORDS)
+        results = index.query(["john", "smith"], k=2)
+        assert results[0][0] == ["john", "smith"]
+        assert results[0][1] == 1.0
+
+    def test_edited_tokens_found_via_grams(self):
+        """Every query token edited: only the q-gram index finds it."""
+        index = FuzzyMatchIndex([["jonathan", "williamson"], ["peter", "parker"]])
+        results = index.query(["jonathon", "wiliamson"], k=1)
+        assert results[0][0] == ["jonathan", "williamson"]
+
+    def test_order_sensitivity_of_fms(self):
+        """The paper's criticism, visible in retrieval: the shuffled copy
+        scores below the aligned one."""
+        index = FuzzyMatchIndex(RECORDS)
+        results = index.query(["barak", "obama"], k=2)
+        scores = {tuple(record): score for record, score in results}
+        assert scores[("barak", "obama")] == 1.0
+        assert scores[("obama", "barak")] < 1.0
+
+    def test_k_limits_results(self):
+        index = FuzzyMatchIndex(RECORDS)
+        assert len(index.query(["smith"], k=1)) == 1
+
+    def test_no_candidates(self):
+        index = FuzzyMatchIndex(RECORDS)
+        assert index.query(["zzzzzz"], k=3) == []
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            FuzzyMatchIndex(RECORDS, q=0)
+        with pytest.raises(ValueError):
+            FuzzyMatchIndex(RECORDS, cache_size=-1)
+        index = FuzzyMatchIndex(RECORDS)
+        with pytest.raises(ValueError):
+            index.query(["x"], k=0)
+
+    def test_cache_hit_skips_scoring(self):
+        index = FuzzyMatchIndex(RECORDS)
+        index.query(["john", "smith"], k=2)
+        assert index.last_query_evaluations > 0
+        index.query(["john", "smith"], k=2)
+        assert index.last_query_evaluations == 0
+
+    def test_cache_eviction(self):
+        index = FuzzyMatchIndex(RECORDS, cache_size=1)
+        first = index.query(["john"], k=1)
+        index.query(["mary"], k=1)  # evicts the first entry
+        again = index.query(["john"], k=1)
+        assert index.last_query_evaluations > 0  # re-scored after eviction
+        assert again == first
+
+    def test_cache_disabled(self):
+        index = FuzzyMatchIndex(RECORDS, cache_size=0)
+        index.query(["john"], k=1)
+        index.query(["john"], k=1)
+        assert index.last_query_evaluations > 0
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.lists(nonempty_strings(5), min_size=1, max_size=3),
+            min_size=1,
+            max_size=8,
+        ),
+        st.integers(min_value=1, max_value=3),
+    )
+    def test_top_result_agrees_with_exhaustive_when_indexed(self, records, k):
+        """When the best exhaustive record shares a token or gram with the
+        query, the index must rank it first."""
+        index = FuzzyMatchIndex(records, cache_size=0)
+        query = records[0]
+        results = index.query(query, k=k)
+        assert results, "the query record itself is always a candidate"
+        best_score = max(
+            fms(list(query), record, index.weights) for record in records
+        )
+        assert results[0][1] == pytest.approx(best_score)

@@ -1,0 +1,177 @@
+"""Tests for the BK-tree and VP-tree metric indexes over SLD/NSLD."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distances import nsld, sld
+from repro.knn import BKTree, VPTree
+from repro.tokenize import tokenize
+from tests.conftest import tokenized_strings
+
+NAMES = [
+    "barak obama",
+    "borak obama",
+    "obamma boraak",
+    "john smith",
+    "jon smith",
+    "smith john",
+    "mary williams",
+    "mary wiliams",
+    "peter parker",
+    "unrelated person",
+]
+
+record_lists = st.lists(tokenized_strings(3, 5), min_size=1, max_size=15)
+queries = tokenized_strings(3, 5)
+
+
+def brute_within(items, query, radius, metric):
+    hits = [(item, metric(query, item)) for item in items]
+    return sorted(
+        [(item, d) for item, d in hits if d <= radius], key=lambda p: p[1]
+    )
+
+
+def brute_nearest_distances(items, query, k, metric):
+    return sorted(metric(query, item) for item in items)[:k]
+
+
+class TestBKTree:
+    def test_range_query(self):
+        tree = BKTree()
+        tree.extend(tokenize(n) for n in NAMES)
+        hits = tree.within(tokenize("barak obana"), 2)
+        assert [str(item) for item, _ in hits] == ["barak obama", "borak obama"]
+
+    def test_token_shuffles_collapse(self):
+        # "john smith" and "smith john" tokenize to the same multiset, so
+        # the radius-0 query returns both stored copies.
+        tree = BKTree()
+        tree.extend(tokenize(n) for n in NAMES)
+        hits = tree.within(tokenize("smith, john"), 0)
+        assert len(hits) == 2
+        assert {str(item) for item, _ in hits} == {"john smith"}
+
+    def test_empty_tree(self):
+        tree = BKTree()
+        assert tree.within(tokenize("x"), 3) == []
+        assert tree.nearest(tokenize("x"), 2) == []
+        assert len(tree) == 0
+
+    def test_negative_radius(self):
+        tree = BKTree()
+        tree.add(tokenize("a"))
+        with pytest.raises(ValueError):
+            tree.within(tokenize("a"), -1)
+
+    def test_invalid_k(self):
+        tree = BKTree()
+        with pytest.raises(ValueError):
+            tree.nearest(tokenize("a"), 0)
+
+    def test_duplicates_stored(self):
+        tree = BKTree()
+        for _ in range(3):
+            tree.add(tokenize("ann lee"))
+        assert len(tree.within(tokenize("ann lee"), 0)) == 3
+
+    @settings(max_examples=50, deadline=None)
+    @given(record_lists, queries, st.integers(min_value=0, max_value=6))
+    def test_range_matches_brute_force(self, records, query, radius):
+        tree = BKTree()
+        tree.extend(records)
+        expected = brute_within(records, query, radius, sld)
+        actual = tree.within(query, radius)
+        assert sorted(d for _, d in actual) == sorted(d for _, d in expected)
+        assert {i for i, _ in actual} == {i for i, _ in expected}
+
+    @settings(max_examples=50, deadline=None)
+    @given(record_lists, queries, st.integers(min_value=1, max_value=5))
+    def test_knn_matches_brute_force(self, records, query, k):
+        tree = BKTree()
+        tree.extend(records)
+        actual = tree.nearest(query, k)
+        assert [d for _, d in actual] == brute_nearest_distances(
+            records, query, k, sld
+        )
+
+    def test_prunes_versus_linear_scan(self):
+        from repro.data import NameGenerator
+
+        names = NameGenerator(seed=2).generate(400)
+        tree = BKTree()
+        tree.extend(tokenize(n) for n in names)
+        tree.within(tokenize(names[0]), 1)
+        assert tree.last_query_evaluations < len(names) * 0.8
+
+
+class TestVPTree:
+    def test_range_query(self):
+        tree = VPTree([tokenize(n) for n in NAMES])
+        hits = tree.within(tokenize("barak obama"), 0.1)
+        assert [str(item) for item, _ in hits] == ["barak obama", "borak obama"]
+
+    def test_len(self):
+        assert len(VPTree([tokenize(n) for n in NAMES])) == len(NAMES)
+
+    def test_empty_tree(self):
+        tree = VPTree([])
+        assert tree.within(tokenize("x"), 0.5) == []
+        assert tree.nearest(tokenize("x")) == []
+
+    def test_negative_radius(self):
+        tree = VPTree([tokenize("a")])
+        with pytest.raises(ValueError):
+            tree.within(tokenize("a"), -0.1)
+
+    def test_invalid_k(self):
+        tree = VPTree([tokenize("a")])
+        with pytest.raises(ValueError):
+            tree.nearest(tokenize("a"), 0)
+
+    def test_identical_items(self):
+        tree = VPTree([tokenize("same name")] * 6)
+        assert len(tree.within(tokenize("same name"), 0.0)) == 6
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        record_lists,
+        queries,
+        st.sampled_from([0.0, 0.1, 0.3, 0.5, 1.0]),
+        st.integers(min_value=0, max_value=3),
+    )
+    def test_range_matches_brute_force(self, records, query, radius, seed):
+        tree = VPTree(records, seed=seed)
+        expected = brute_within(records, query, radius, nsld)
+        actual = tree.within(query, radius)
+        assert {i for i, _ in actual} == {i for i, _ in expected}
+        assert [d for _, d in actual] == pytest.approx(
+            [d for _, d in expected]
+        )
+
+    @settings(max_examples=50, deadline=None)
+    @given(record_lists, queries, st.integers(min_value=1, max_value=5))
+    def test_knn_matches_brute_force(self, records, query, k):
+        tree = VPTree(records)
+        actual = tree.nearest(query, k)
+        assert [d for _, d in actual] == pytest.approx(
+            brute_nearest_distances(records, query, k, nsld)
+        )
+
+    def test_prunes_versus_linear_scan(self):
+        from repro.data import NameGenerator
+
+        names = NameGenerator(seed=3).generate(400)
+        tree = VPTree([tokenize(n) for n in names], seed=1)
+        tree.within(tokenize(names[0]), 0.05)
+        assert tree.last_query_evaluations < len(names) * 0.8
+
+    def test_custom_metric(self):
+        from repro.distances import levenshtein
+
+        tree = VPTree(["kitten", "mitten", "sitting"], metric=levenshtein)
+        hits = tree.within("kitten", 1)
+        assert {item for item, _ in hits} == {"kitten", "mitten"}

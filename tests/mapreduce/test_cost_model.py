@@ -1,0 +1,79 @@
+"""Tests for the cluster cost model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mapreduce import ClusterConfig, CostModel, MapReduceEngine, MapReduceJob
+
+
+class Identity(MapReduceJob):
+    name = "identity"
+
+    def map(self, record, ctx):
+        yield record, record
+
+    def reduce(self, key, values, ctx):
+        yield key
+
+
+class TestCostModel:
+    def test_phase_seconds_components(self):
+        cost = CostModel(
+            job_overhead=0.0,
+            worker_startup=0.0,
+            task_overhead=1.0,
+            per_record=0.1,
+            per_op=0.01,
+            per_shuffle_byte=0.001,
+        )
+        assert cost.phase_seconds(
+            records=10, ops=100, shuffle_bytes=1000, tasks=2
+        ) == pytest.approx(2 + 1.0 + 1.0 + 1.0)
+
+    def test_zero_work_is_free(self):
+        assert CostModel().phase_seconds(0, 0, 0, 0) == 0.0
+
+    def test_job_overhead_floors_runtime(self):
+        cost = CostModel(job_overhead=5.0, worker_startup=0.5)
+        engine = MapReduceEngine(ClusterConfig(n_machines=2))
+        metrics = engine.run(Identity(), []).metrics
+        assert metrics.simulated_seconds(cost) == pytest.approx(6.0)
+
+    def test_straggler_gates_the_phase(self):
+        """Makespan is the max over workers, not the mean."""
+        engine = MapReduceEngine(ClusterConfig(n_machines=4))
+        # All records share one key: a single reducer holds all the load.
+        class OneKey(MapReduceJob):
+            name = "one-key"
+
+            def map(self, record, ctx):
+                yield "hot", record
+
+            def reduce(self, key, values, ctx):
+                ctx.charge(1000 * len(values))
+                yield len(values)
+
+        class SpreadKeys(OneKey):
+            name = "spread-keys"
+
+            def map(self, record, ctx):
+                yield record % 16, record
+
+        hot = engine.run(OneKey(), range(100)).metrics
+        spread = engine.run(SpreadKeys(), range(100)).metrics
+        assert hot.skew() == pytest.approx(4.0)  # one of four workers
+        assert spread.skew() < hot.skew()
+        # Same records and charged ops overall, but the hot key's single
+        # straggler gates the makespan.
+        assert sum(hot.reduce_ops) == sum(spread.reduce_ops)
+        assert max(hot.reduce_ops) > max(spread.reduce_ops)
+
+    def test_default_config(self):
+        engine = MapReduceEngine()
+        assert engine.n_machines == 10
+
+    def test_cost_model_is_frozen(self):
+        cost = CostModel()
+        with pytest.raises(AttributeError):
+            cost.per_op = 1.0

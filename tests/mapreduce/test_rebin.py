@@ -1,0 +1,129 @@
+"""Tests for the cluster-resize replay (JobMetrics.rebin).
+
+The rebin ledger must reproduce exactly the metrics a fresh run on the
+target cluster size would record -- the scalability benchmarks depend on
+this equivalence.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mapreduce import ClusterConfig, MapReduceEngine, MapReduceJob
+
+
+class TokenJob(MapReduceJob):
+    name = "token-job"
+
+    def map(self, record, ctx):
+        for word in record.split():
+            ctx.charge(len(word))
+            yield word, 1
+
+    def reduce(self, key, values, ctx):
+        ctx.charge(10 * len(values))
+        yield key, sum(values)
+
+
+class CombinedTokenJob(TokenJob):
+    name = "combined-token-job"
+
+    def combine(self, key, values, ctx):
+        ctx.charge(1)
+        yield sum(values)
+
+
+def lines_strategy():
+    return st.lists(
+        st.lists(
+            st.sampled_from(["ann", "bob", "carol", "dan", "eve"]),
+            min_size=1,
+            max_size=4,
+        ).map(" ".join),
+        min_size=0,
+        max_size=25,
+    )
+
+
+def _assert_metrics_equal(actual, expected):
+    assert actual.map_records == expected.map_records
+    assert actual.map_ops == expected.map_ops
+    assert actual.reduce_records == expected.reduce_records
+    assert actual.reduce_ops == expected.reduce_ops
+    assert actual.reduce_tasks == expected.reduce_tasks
+    assert actual.shuffle_bytes == expected.shuffle_bytes
+
+
+class TestRebin:
+    @settings(max_examples=40, deadline=None)
+    @given(lines_strategy(), st.integers(1, 12), st.integers(1, 12))
+    def test_rebin_matches_fresh_run(self, lines, n_source, n_target):
+        source = MapReduceEngine(ClusterConfig(n_machines=n_source))
+        target = MapReduceEngine(ClusterConfig(n_machines=n_target))
+        rebinned = source.run(TokenJob(), lines).metrics.rebin(n_target)
+        fresh = target.run(TokenJob(), lines).metrics
+        _assert_metrics_equal(rebinned, fresh)
+
+    def test_rebin_identity(self):
+        engine = MapReduceEngine(ClusterConfig(n_machines=5))
+        metrics = engine.run(TokenJob(), ["ann bob", "ann"]).metrics
+        _assert_metrics_equal(metrics.rebin(5), metrics)
+
+    def test_rebin_preserves_totals(self):
+        engine = MapReduceEngine(ClusterConfig(n_machines=3))
+        metrics = engine.run(TokenJob(), ["ann bob carol", "dan eve"]).metrics
+        for n in (1, 2, 7, 100):
+            clone = metrics.rebin(n)
+            assert sum(clone.map_ops) == sum(metrics.map_ops)
+            assert sum(clone.reduce_ops) == sum(metrics.reduce_ops)
+            assert clone.total_shuffle_bytes == metrics.total_shuffle_bytes
+            assert clone.total_reduce_tasks == metrics.total_reduce_tasks
+
+    def test_rebin_with_combiner_preserves_totals(self):
+        engine = MapReduceEngine(ClusterConfig(n_machines=4))
+        metrics = engine.run(
+            CombinedTokenJob(), ["ann ann bob", "ann bob", "carol"]
+        ).metrics
+        for n in (1, 3, 9):
+            clone = metrics.rebin(n)
+            assert sum(clone.map_ops) == sum(metrics.map_ops)
+
+    def test_rebin_invalid(self):
+        engine = MapReduceEngine(ClusterConfig(n_machines=2))
+        metrics = engine.run(TokenJob(), ["ann"]).metrics
+        with pytest.raises(ValueError):
+            metrics.rebin(0)
+
+    def test_pipeline_rebin(self):
+        from repro.mapreduce import PipelineResult
+
+        engine = MapReduceEngine(ClusterConfig(n_machines=2))
+        first = engine.run(TokenJob(), ["ann bob"] * 10).metrics
+        pipeline = PipelineResult(outputs=[], stages=[first])
+        resized = pipeline.rebin(8)
+        assert resized.stages[0].n_machines == 8
+        assert resized.simulated_seconds() < pipeline.simulated_seconds()
+
+
+class TestRebinEndToEnd:
+    def test_tsj_rebin_matches_fresh_run(self):
+        """A full TSJ pipeline rebinned equals a genuine re-run."""
+        from repro.tokenize import tokenize
+        from repro.tsj import TSJ, TSJConfig
+
+        names = [
+            "barak obama", "borak obama", "john smith", "jon smith",
+            "mary williams", "mary wiliams", "peter parker",
+        ]
+        records = [tokenize(n) for n in names]
+        config = TSJConfig(threshold=0.2, max_token_frequency=None)
+        small = TSJ(config, MapReduceEngine(ClusterConfig(n_machines=3)))
+        large = TSJ(config, MapReduceEngine(ClusterConfig(n_machines=11)))
+        run_small = small.self_join(records)
+        run_large = large.self_join(records)
+        rebinned = run_small.pipeline.rebin(11)
+        assert rebinned.simulated_seconds() == pytest.approx(
+            run_large.pipeline.simulated_seconds()
+        )

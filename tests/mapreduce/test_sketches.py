@@ -1,0 +1,224 @@
+"""Tests for Space-Saving and Count-Min frequency sketches."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mapreduce.sketches import (
+    CountMinSketch,
+    SpaceSaving,
+    approximate_frequent_tokens,
+)
+from repro.tokenize import TokenizedString
+
+streams = st.lists(
+    st.sampled_from(["john", "mary", "smith", "lee", "zoe", "rare1", "rare2"]),
+    min_size=0,
+    max_size=120,
+)
+
+
+class TestSpaceSaving:
+    def test_exact_when_capacity_sufficient(self):
+        sketch = SpaceSaving(capacity=10)
+        for token in ["a", "b", "a", "c", "a"]:
+            sketch.add(token)
+        assert sketch.count("a") == 3
+        assert sketch.count("b") == 1
+        assert sketch.error("a") == 0
+
+    def test_eviction_inherits_minimum(self):
+        sketch = SpaceSaving(capacity=2)
+        sketch.add("a")
+        sketch.add("b")
+        sketch.add("c")  # evicts the min (count 1) -> c gets 2, error 1
+        assert sketch.count("c") == 2
+        assert sketch.error("c") == 1
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            SpaceSaving(0)
+        sketch = SpaceSaving(1)
+        with pytest.raises(ValueError):
+            sketch.add("x", 0)
+
+    @settings(max_examples=60)
+    @given(streams, st.integers(min_value=1, max_value=10))
+    def test_never_underestimates_stored_items(self, stream, capacity):
+        sketch = SpaceSaving(capacity)
+        for item in stream:
+            sketch.add(item)
+        truth = Counter(stream)
+        for item in truth:
+            if sketch.count(item):
+                assert sketch.count(item) >= truth[item]
+
+    @settings(max_examples=60)
+    @given(streams, st.integers(min_value=2, max_value=8))
+    def test_heavy_hitter_guarantee(self, stream, capacity):
+        """Every item with true count > n/capacity is retained."""
+        sketch = SpaceSaving(capacity)
+        for item in stream:
+            sketch.add(item)
+        truth = Counter(stream)
+        guarantee = len(stream) / capacity
+        for item, count in truth.items():
+            if count > guarantee:
+                assert sketch.count(item) >= count
+
+    @settings(max_examples=40)
+    @given(streams, streams, st.integers(min_value=2, max_value=8))
+    def test_merge_never_underestimates(self, left, right, capacity):
+        a = SpaceSaving(capacity)
+        b = SpaceSaving(capacity)
+        for item in left:
+            a.add(item)
+        for item in right:
+            b.add(item)
+        merged = a.merge(b)
+        truth = Counter(left) + Counter(right)
+        assert merged.total == len(left) + len(right)
+        assert len(merged) <= capacity
+        for item in truth:
+            if merged.count(item):
+                assert merged.count(item) >= min(
+                    truth[item], a.count(item) + b.count(item)
+                )
+
+    def test_size_bounded(self):
+        sketch = SpaceSaving(capacity=3)
+        for i in range(100):
+            sketch.add(f"token{i}")
+        assert len(sketch) == 3
+
+
+class TestCountMinSketch:
+    def test_basic_counts(self):
+        sketch = CountMinSketch(width=128, depth=4)
+        for _ in range(7):
+            sketch.add("john")
+        assert sketch.count("john") >= 7
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            CountMinSketch(width=0)
+        with pytest.raises(ValueError):
+            CountMinSketch(depth=0)
+        sketch = CountMinSketch()
+        with pytest.raises(ValueError):
+            sketch.add("x", -1)
+
+    @settings(max_examples=40)
+    @given(streams)
+    def test_never_underestimates(self, stream):
+        sketch = CountMinSketch(width=64, depth=3)
+        for item in stream:
+            sketch.add(item)
+        truth = Counter(stream)
+        for item, count in truth.items():
+            assert sketch.count(item) >= count
+
+    @settings(max_examples=30)
+    @given(streams, streams)
+    def test_merge(self, left, right):
+        a = CountMinSketch(width=32, depth=3)
+        b = CountMinSketch(width=32, depth=3)
+        for item in left:
+            a.add(item)
+        for item in right:
+            b.add(item)
+        merged = a.merge(b)
+        truth = Counter(left) + Counter(right)
+        for item, count in truth.items():
+            assert merged.count(item) >= count
+
+    def test_merge_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            CountMinSketch(32, 3).merge(CountMinSketch(64, 3))
+
+    def test_overestimate_bounded_on_sparse_stream(self):
+        sketch = CountMinSketch(width=1024, depth=4)
+        for i in range(50):
+            sketch.add(f"t{i}")
+        # With 50 items in 1024 buckets, collisions are unlikely per row.
+        assert sketch.count("t0") <= 3
+
+
+class TestApproximateFrequentTokens:
+    def _records(self, spec: dict[str, int]):
+        records = []
+        for token, count in spec.items():
+            records.extend(TokenizedString([token, f"u{i}-{token}"]) for i in range(count))
+        return records
+
+    def test_finds_all_truly_frequent(self):
+        records = self._records({"john": 50, "mary": 30, "rare": 2})
+        frequent = approximate_frequent_tokens(records, max_frequency=10)
+        assert "john" in frequent
+        assert "mary" in frequent
+
+    def test_rare_tokens_mostly_survive(self):
+        records = self._records({"john": 80, "rare": 1})
+        frequent = approximate_frequent_tokens(records, max_frequency=10)
+        assert "rare" not in frequent
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            approximate_frequent_tokens([], 0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.dictionaries(
+            st.sampled_from(["a", "b", "c", "d", "e"]),
+            st.integers(min_value=1, max_value=40),
+            max_size=5,
+        ),
+        st.integers(min_value=1, max_value=20),
+    )
+    def test_no_false_negatives_property(self, spec, max_frequency):
+        """No truly frequent token escapes the sketch."""
+        records = self._records(spec)
+        frequent = approximate_frequent_tokens(records, max_frequency)
+        for token, count in spec.items():
+            if count > max_frequency:
+                assert token in frequent
+
+
+class TestTSJSketchIntegration:
+    def test_sketch_mode_subset_of_lossless(self):
+        from repro.tokenize import tokenize
+        from repro.tsj import TSJ, TSJConfig
+
+        records = [tokenize(f"john x{i}") for i in range(8)]
+        records += [tokenize("barak obama"), tokenize("borak obama")]
+        lossless = TSJ(TSJConfig(threshold=0.2, max_token_frequency=None)).self_join(
+            records
+        )
+        sketched = TSJ(
+            TSJConfig(
+                threshold=0.2, max_token_frequency=4, frequency_mode="sketch"
+            )
+        ).self_join(records)
+        assert sketched.pairs <= lossless.pairs
+        # The non-popular ring is still found.
+        assert (8, 9) in sketched.pairs
+
+    def test_sketch_matches_exact_on_clear_data(self):
+        from repro.tokenize import tokenize
+        from repro.tsj import TSJ, TSJConfig
+
+        records = [tokenize(f"john u{i:02d}") for i in range(20)]
+        records += [tokenize("mary wiliams"), tokenize("mary williams")]
+        exact = TSJ(
+            TSJConfig(threshold=0.15, max_token_frequency=10)
+        ).self_join(records)
+        sketched = TSJ(
+            TSJConfig(
+                threshold=0.15, max_token_frequency=10, frequency_mode="sketch"
+            )
+        ).self_join(records)
+        assert sketched.pairs == exact.pairs

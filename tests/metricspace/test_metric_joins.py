@@ -1,0 +1,194 @@
+"""Tests for the metric-space joins: exactness against the NSLD oracle."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.joins.naive import naive_nsld_self_join
+from repro.mapreduce import ClusterConfig, MapReduceEngine
+from repro.metricspace import HMJ, MRMAPSS, ClusterJoin, farthest_point_pivots, sample_pivots
+from repro.tokenize import TokenizedString, tokenize
+from tests.conftest import tokenized_strings
+
+record_lists = st.lists(tokenized_strings(3, 5), min_size=2, max_size=12)
+thresholds = st.sampled_from([0.05, 0.1, 0.2, 0.3])
+
+NAMES = [
+    "barak obama",
+    "borak obama",
+    "obamma boraak",
+    "john smith",
+    "jon smith",
+    "smith john",
+    "mary williams",
+    "mary wiliams",
+    "peter parker",
+    "piter parker",
+    "unrelated person",
+    "another one",
+]
+
+
+def make_engine(n: int = 4) -> MapReduceEngine:
+    return MapReduceEngine(ClusterConfig(n_machines=n))
+
+
+class TestPivotSelection:
+    def test_sample_deterministic(self):
+        records = [tokenize(n) for n in NAMES]
+        assert sample_pivots(records, 3, seed=7) == sample_pivots(records, 3, seed=7)
+
+    def test_sample_size_capped(self):
+        records = [tokenize("a b")]
+        assert len(sample_pivots(records, 5)) == 1
+
+    def test_sample_invalid_k(self):
+        with pytest.raises(ValueError):
+            sample_pivots([tokenize("a")], 0)
+
+    def test_farthest_point_spread(self):
+        from repro.distances import nsld
+
+        records = [tokenize(n) for n in NAMES]
+        pivots = farthest_point_pivots(records, 3, nsld, seed=1)
+        assert len(pivots) == 3
+        # Chosen pivots are pairwise distinct.
+        assert len({p for p in pivots}) == 3
+
+    def test_farthest_point_handles_duplicates(self):
+        from repro.distances import nsld
+
+        records = [tokenize("same name")] * 5
+        pivots = farthest_point_pivots(records, 3, nsld)
+        assert len(pivots) == 1  # everything coincides
+
+    def test_farthest_point_empty(self):
+        from repro.distances import nsld
+
+        assert farthest_point_pivots([], 3, nsld) == []
+
+
+class TestClusterJoin:
+    def test_known_names(self):
+        records = [tokenize(n) for n in NAMES]
+        result = ClusterJoin(make_engine(), 0.2, seed=3).self_join(records)
+        assert result.pairs == naive_nsld_self_join(records, 0.2)
+
+    def test_tiny_input(self):
+        assert ClusterJoin(make_engine(), 0.1).self_join([]).pairs == set()
+        assert (
+            ClusterJoin(make_engine(), 0.1).self_join([tokenize("a b")]).pairs == set()
+        )
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            ClusterJoin(threshold=-0.1)
+
+    @settings(max_examples=25, deadline=None)
+    @given(record_lists, thresholds, st.integers(min_value=0, max_value=5))
+    def test_exactness_property(self, records, threshold, seed):
+        result = ClusterJoin(make_engine(), threshold, seed=seed).self_join(records)
+        assert result.pairs == naive_nsld_self_join(records, threshold)
+
+    def test_pivot_count_override(self):
+        records = [tokenize(n) for n in NAMES]
+        result = ClusterJoin(make_engine(), 0.2, n_pivots=2).self_join(records)
+        assert result.pairs == naive_nsld_self_join(records, 0.2)
+
+
+class TestMRMAPSS:
+    def test_known_names(self):
+        records = [tokenize(n) for n in NAMES]
+        result = MRMAPSS(make_engine(), 0.2, seed=3).self_join(records)
+        assert result.pairs == naive_nsld_self_join(records, 0.2)
+
+    def test_recursion_triggered(self):
+        # Force recursion with a tiny partition limit.
+        records = [tokenize(n) for n in NAMES] * 3
+        joiner = MRMAPSS(
+            make_engine(), 0.2, partition_limit=4, max_depth=3, branching=3
+        )
+        expected = naive_nsld_self_join(records, 0.2)
+        result = joiner.self_join(records)
+        assert result.pairs == expected
+        assert len(result.pipeline.stages) > 2  # multiple split rounds ran
+
+    def test_identical_records_no_infinite_loop(self):
+        records = [tokenize("same name")] * 10
+        joiner = MRMAPSS(make_engine(), 0.1, partition_limit=3)
+        result = joiner.self_join(records)
+        assert len(result.pairs) == 45  # all pairs identical
+
+    @settings(max_examples=20, deadline=None)
+    @given(record_lists, thresholds, st.integers(min_value=0, max_value=3))
+    def test_exactness_property(self, records, threshold, seed):
+        joiner = MRMAPSS(
+            make_engine(), threshold, partition_limit=4, branching=3, seed=seed
+        )
+        assert joiner.self_join(records).pairs == naive_nsld_self_join(
+            records, threshold
+        )
+
+    def test_invalid_partition_limit(self):
+        with pytest.raises(ValueError):
+            MRMAPSS(partition_limit=1)
+
+
+class TestHMJ:
+    def test_known_names(self):
+        records = [tokenize(n) for n in NAMES]
+        result = HMJ(make_engine(), 0.2, seed=3).self_join(records)
+        assert result.pairs == naive_nsld_self_join(records, 0.2)
+
+    def test_grid_path_exercised(self):
+        # Concentrated near-duplicates with a tiny partition limit push the
+        # scatter heuristic towards the grid strategy.
+        base = "jonathan smithson"
+        records = [tokenize(base)] * 6 + [
+            tokenize("jonathan smithsun"),
+            tokenize("jonathan smithsen"),
+            tokenize("jonatan smithson"),
+        ]
+        joiner = HMJ(
+            make_engine(),
+            0.1,
+            partition_limit=3,
+            max_depth=2,
+            scatter_factor=100.0,  # force the grid choice
+        )
+        assert joiner.self_join(records).pairs == naive_nsld_self_join(records, 0.1)
+
+    def test_requires_positive_threshold(self):
+        with pytest.raises(ValueError):
+            HMJ(threshold=0.0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(record_lists, thresholds, st.integers(min_value=0, max_value=3))
+    def test_exactness_property(self, records, threshold, seed):
+        joiner = HMJ(
+            make_engine(), threshold, partition_limit=4, branching=3, seed=seed
+        )
+        assert joiner.self_join(records).pairs == naive_nsld_self_join(
+            records, threshold
+        )
+
+    @settings(max_examples=10, deadline=None)
+    @given(record_lists)
+    def test_grid_only_exactness(self, records):
+        """Force every split to use the grid strategy."""
+        joiner = HMJ(
+            make_engine(),
+            0.2,
+            partition_limit=3,
+            max_depth=3,
+            scatter_factor=1e9,
+        )
+        assert joiner.self_join(records).pairs == naive_nsld_self_join(records, 0.2)
+
+    def test_metrics_exposed(self):
+        records = [tokenize(n) for n in NAMES]
+        result = HMJ(make_engine(), 0.2).self_join(records)
+        assert result.simulated_seconds() > 0
+        assert result.pipeline.counters().get("metric-comparisons", 0) > 0

@@ -1,0 +1,75 @@
+"""Tests for the serial QuickJoin baseline."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.joins.naive import naive_nsld_self_join
+from repro.metricspace import QuickJoin
+from repro.tokenize import tokenize
+from tests.conftest import tokenized_strings
+
+record_lists = st.lists(tokenized_strings(3, 5), min_size=0, max_size=14)
+thresholds = st.sampled_from([0.05, 0.1, 0.2, 0.3])
+
+
+class TestQuickJoin:
+    def test_known_names(self):
+        records = [
+            tokenize(n)
+            for n in [
+                "barak obama", "borak obama", "john smith", "jon smith",
+                "mary williams", "mary wiliams", "unrelated person",
+            ]
+        ]
+        result = QuickJoin(0.2, seed=3).self_join(records)
+        assert result == naive_nsld_self_join(records, 0.2)
+
+    def test_small_inputs(self):
+        assert QuickJoin(0.1).self_join([]) == set()
+        assert QuickJoin(0.1).self_join([tokenize("a b")]) == set()
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            QuickJoin(threshold=-0.1)
+        with pytest.raises(ValueError):
+            QuickJoin(small_limit=1)
+
+    def test_identical_records(self):
+        records = [tokenize("same name")] * 12
+        result = QuickJoin(0.1, small_limit=4).self_join(records)
+        assert len(result) == 66
+
+    @settings(max_examples=40, deadline=None)
+    @given(record_lists, thresholds, st.integers(min_value=0, max_value=4))
+    def test_exactness_property(self, records, threshold, seed):
+        joiner = QuickJoin(threshold, small_limit=4, seed=seed)
+        assert joiner.self_join(records) == naive_nsld_self_join(
+            records, threshold
+        )
+
+    def test_recursion_saves_comparisons(self):
+        """On a spread-out corpus, partitioning beats the quadratic scan."""
+        from repro.data import NameGenerator
+
+        names = NameGenerator(seed=8).generate(300)
+        records = [tokenize(n) for n in names]
+        joiner = QuickJoin(0.05, small_limit=16, seed=2)
+        expected = naive_nsld_self_join(records, 0.05)
+        assert joiner.self_join(records) == expected
+        quadratic = len(records) * (len(records) - 1) // 2
+        assert joiner.last_join_evaluations < quadratic
+
+    def test_agrees_with_distributed_joiners(self):
+        from repro.mapreduce import ClusterConfig, MapReduceEngine
+        from repro.metricspace import HMJ
+
+        records = [tokenize(n) for n in [
+            "ann lee", "anne lee", "ann leigh", "bob stone", "rob stone",
+        ]]
+        quick = QuickJoin(0.2, small_limit=2, seed=1).self_join(records)
+        engine = MapReduceEngine(ClusterConfig(n_machines=4))
+        hmj = HMJ(engine, 0.2, partition_limit=2, seed=1).self_join(records)
+        assert quick == hmj.pairs

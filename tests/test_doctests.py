@@ -1,0 +1,46 @@
+"""Run the docstring examples of every public module as tests."""
+
+from __future__ import annotations
+
+import doctest
+import importlib
+
+import pytest
+
+MODULES = [
+    "repro.core.api",
+    "repro.distances.levenshtein",
+    "repro.distances.normalized",
+    "repro.distances.assignment",
+    "repro.distances.setwise",
+    "repro.distances.jaro",
+    "repro.distances.set_measures",
+    "repro.distances.fuzzy_set_measures",
+    "repro.distances.fms",
+    "repro.distances.conversions",
+    "repro.tokenize.tokenized_string",
+    "repro.mapreduce.hashing",
+    "repro.mapreduce.sketches",
+    "repro.joins.passjoin",
+    "repro.joins.qgram",
+    "repro.joins.prefix_filter",
+    "repro.joins.mgjoin",
+    "repro.knn.bktree",
+    "repro.knn.vptree",
+    "repro.analysis.roc",
+    "repro.analysis.recall",
+    "repro.analysis.graphs",
+    "repro.tsj.framework",
+    "repro.data.names",
+]
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_module_doctests(module_name):
+    module = importlib.import_module(module_name)
+    results = doctest.testmod(
+        module,
+        optionflags=doctest.ELLIPSIS | doctest.NORMALIZE_WHITESPACE,
+        verbose=False,
+    )
+    assert results.failed == 0, f"{results.failed} doctest failures in {module_name}"

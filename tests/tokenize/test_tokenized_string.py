@@ -1,0 +1,97 @@
+"""Tests for the TokenizedString value type."""
+
+from __future__ import annotations
+
+import pickle
+from collections import Counter
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.tokenize import TokenizedString
+from tests.conftest import nonempty_strings
+
+
+class TestConstruction:
+    def test_order_canonicalised(self):
+        assert TokenizedString(["b", "a"]) == TokenizedString(["a", "b"])
+
+    def test_duplicates_preserved(self):
+        ts = TokenizedString(["ann", "ann"])
+        assert ts.token_count == 2
+        assert ts.token_multiset() == Counter({"ann": 2})
+
+    def test_empty_tokens_dropped(self):
+        ts = TokenizedString(["", "a", ""])
+        assert ts.tokens == ("a",)
+
+    def test_from_text(self):
+        assert TokenizedString.from_text("barak  obama") == TokenizedString(
+            ["barak", "obama"]
+        )
+
+    def test_empty(self):
+        ts = TokenizedString()
+        assert ts.token_count == 0
+        assert ts.aggregate_length == 0
+        assert len(ts) == 0
+
+
+class TestStatistics:
+    def test_aggregate_length(self):
+        assert TokenizedString(["chan", "kalan"]).aggregate_length == 9
+
+    def test_token_count(self):
+        assert TokenizedString(["a", "bb", "ccc"]).token_count == 3
+
+    def test_length_histogram(self):
+        ts = TokenizedString(["a", "bb", "cc", "ddd"])
+        assert ts.length_histogram == {1: 1, 2: 2, 3: 1}
+
+    def test_distinct_tokens(self):
+        ts = TokenizedString(["x", "x", "y"])
+        assert ts.distinct_tokens() == frozenset({"x", "y"})
+
+    @given(st.lists(nonempty_strings(), max_size=6))
+    def test_histogram_consistent_with_lengths(self, tokens):
+        ts = TokenizedString(tokens)
+        hist = ts.length_histogram
+        assert sum(hist.values()) == ts.token_count
+        assert sum(k * v for k, v in hist.items()) == ts.aggregate_length
+
+
+class TestValueSemantics:
+    def test_hashable_and_equal(self):
+        a = TokenizedString(["x", "y"])
+        b = TokenizedString(["y", "x"])
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_ordering(self):
+        assert TokenizedString(["a"]) < TokenizedString(["b"])
+
+    def test_immutability(self):
+        ts = TokenizedString(["a"])
+        with pytest.raises(AttributeError):
+            ts.tokens = ("b",)
+
+    def test_contains(self):
+        ts = TokenizedString(["ann", "lee"])
+        assert "ann" in ts
+        assert "bob" not in ts
+
+    def test_iteration(self):
+        assert list(TokenizedString(["b", "a"])) == ["a", "b"]
+
+    def test_str_and_repr(self):
+        ts = TokenizedString(["obama", "barak"])
+        assert str(ts) == "barak obama"
+        assert "barak" in repr(ts)
+
+    def test_picklable(self):
+        ts = TokenizedString(["ann", "lee"])
+        assert pickle.loads(pickle.dumps(ts)) == ts
+
+    def test_not_equal_to_other_types(self):
+        assert TokenizedString(["a"]) != ("a",)

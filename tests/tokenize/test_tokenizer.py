@@ -1,0 +1,53 @@
+"""Tests for the whitespace+punctuation tokenizer."""
+
+from __future__ import annotations
+
+from repro.tokenize import TokenizedString, Tokenizer, tokenize
+
+
+class TestDefaultTokenizer:
+    def test_whitespace_split(self):
+        assert tokenize("barak obama") == TokenizedString(["barak", "obama"])
+
+    def test_punctuation_split(self):
+        """Sec. V: names were tokenized on whitespace and punctuation."""
+        assert tokenize("Obamma, Boraak H.") == TokenizedString(
+            ["obamma", "boraak", "h"]
+        )
+
+    def test_case_folding(self):
+        assert tokenize("Barak OBAMA") == tokenize("barak obama")
+
+    def test_mixed_separators(self):
+        assert tokenize("a-b_c.d e") == TokenizedString(["a", "b", "c", "d", "e"])
+
+    def test_empty_string(self):
+        assert tokenize("") == TokenizedString()
+
+    def test_only_separators(self):
+        assert tokenize(" ,.-_ ") == TokenizedString()
+
+    def test_repeated_separators_collapse(self):
+        assert tokenize("a,,,   b") == TokenizedString(["a", "b"])
+
+
+class TestConfiguration:
+    def test_case_preserving(self):
+        tok = Tokenizer(lowercase=False)
+        assert tok("Barak Obama") == TokenizedString(["Barak", "Obama"])
+
+    def test_min_token_length(self):
+        tok = Tokenizer(min_token_length=2)
+        assert tok("j p morgan") == TokenizedString(["morgan"])
+
+    def test_extra_separators(self):
+        tok = Tokenizer(extra_separators="0")
+        assert tok("a0b") == TokenizedString(["a", "b"])
+
+    def test_callable_and_method_agree(self):
+        tok = Tokenizer()
+        assert tok("x y") == tok.tokenize("x y")
+
+    def test_tokenizers_are_value_objects(self):
+        assert Tokenizer() == Tokenizer()
+        assert Tokenizer(lowercase=False) != Tokenizer()

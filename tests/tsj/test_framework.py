@@ -1,0 +1,242 @@
+"""Integration tests for the TSJ framework against the brute-force oracle."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.joins.naive import naive_nsld_self_join
+from repro.mapreduce import ClusterConfig, MapReduceEngine
+from repro.tokenize import TokenizedString, tokenize
+from repro.tsj import TSJ, TSJConfig
+from tests.conftest import tokenized_strings
+
+record_lists = st.lists(tokenized_strings(3, 5), min_size=0, max_size=10)
+thresholds = st.sampled_from([0.05, 0.1, 0.15, 0.2, 0.3])
+
+
+def run_tsj(records, **kwargs) -> set:
+    engine = MapReduceEngine(ClusterConfig(n_machines=4))
+    config = TSJConfig(**kwargs)
+    return TSJ(config, engine).self_join(records)
+
+
+NAMES = [
+    "barak obama",
+    "borak obama",
+    "obamma boraak h",
+    "john smith",
+    "jon smith",
+    "smith john",
+    "mary williams",
+    "mary wiliams",
+    "unrelated person",
+]
+
+
+class TestTSJKnownCases:
+    def test_fraud_ring_names(self):
+        records = [tokenize(name) for name in NAMES]
+        result = run_tsj(records, threshold=0.2, max_token_frequency=None)
+        expected = naive_nsld_self_join(records, 0.2)
+        assert result.pairs == expected
+        # Token-shuffled duplicates are distance 0.
+        assert (3, 5) in result.pairs
+        assert result.distances[(3, 5)] == 0.0
+
+    def test_paper_example_tokens(self):
+        records = [
+            TokenizedString(["chan", "kalan"]),
+            TokenizedString(["chank", "alan"]),
+            TokenizedString(["alan"]),
+        ]
+        result = run_tsj(records, threshold=0.2, max_token_frequency=None)
+        assert result.pairs == {(0, 1)}
+        assert result.distances[(0, 1)] == pytest.approx(0.2)
+
+    def test_empty_input(self):
+        result = run_tsj([], threshold=0.1)
+        assert result.pairs == set()
+
+    def test_single_record(self):
+        result = run_tsj([tokenize("barak obama")], threshold=0.1)
+        assert result.pairs == set()
+
+    def test_empty_records_pair_together(self):
+        records = [TokenizedString(), tokenize("ann lee"), TokenizedString()]
+        result = run_tsj(records, threshold=0.1)
+        assert result.pairs == {(0, 2)}
+        assert result.distances[(0, 2)] == 0.0
+
+    def test_identical_records(self):
+        records = [tokenize("ann lee")] * 3
+        result = run_tsj(records, threshold=0.05, max_token_frequency=None)
+        assert result.pairs == {(0, 1), (0, 2), (1, 2)}
+
+
+class TestTSJExactness:
+    """The lossless configuration returns exactly the NSLD-join result."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(record_lists, thresholds)
+    def test_matches_oracle(self, records, threshold):
+        result = run_tsj(records, threshold=threshold, max_token_frequency=None)
+        assert result.pairs == naive_nsld_self_join(records, threshold)
+
+    @settings(max_examples=20, deadline=None)
+    @given(record_lists, thresholds)
+    def test_both_dedup_strategies_agree(self, records, threshold):
+        one = run_tsj(
+            records, threshold=threshold, max_token_frequency=None, dedup="one"
+        )
+        both = run_tsj(
+            records, threshold=threshold, max_token_frequency=None, dedup="both"
+        )
+        assert one.pairs == both.pairs
+
+    @settings(max_examples=20, deadline=None)
+    @given(record_lists, thresholds)
+    def test_filters_do_not_change_results(self, records, threshold):
+        filtered = run_tsj(records, threshold=threshold, max_token_frequency=None)
+        unfiltered = run_tsj(
+            records,
+            threshold=threshold,
+            max_token_frequency=None,
+            use_length_filter=False,
+            use_histogram_filter=False,
+        )
+        assert filtered.pairs == unfiltered.pairs
+
+    def test_machine_count_invariant(self):
+        records = [tokenize(name) for name in NAMES]
+        few = TSJ(
+            TSJConfig(threshold=0.2, max_token_frequency=None),
+            MapReduceEngine(ClusterConfig(n_machines=1)),
+        ).self_join(records)
+        many = TSJ(
+            TSJConfig(threshold=0.2, max_token_frequency=None),
+            MapReduceEngine(ClusterConfig(n_machines=32)),
+        ).self_join(records)
+        assert few.pairs == many.pairs
+
+
+class TestTSJApproximations:
+    """Approximations only lose pairs (precision 1.0), Sec. V-B."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(record_lists, thresholds)
+    def test_greedy_aligning_subset(self, records, threshold):
+        exact = run_tsj(records, threshold=threshold, max_token_frequency=None)
+        greedy = run_tsj(
+            records,
+            threshold=threshold,
+            max_token_frequency=None,
+            aligning="greedy",
+        )
+        assert greedy.pairs <= exact.pairs
+
+    @settings(max_examples=30, deadline=None)
+    @given(record_lists, thresholds)
+    def test_exact_matching_subset(self, records, threshold):
+        fuzzy = run_tsj(records, threshold=threshold, max_token_frequency=None)
+        exact_match = run_tsj(
+            records,
+            threshold=threshold,
+            max_token_frequency=None,
+            matching="exact",
+        )
+        assert exact_match.pairs <= fuzzy.pairs
+
+    @settings(max_examples=20, deadline=None)
+    @given(record_lists, thresholds, st.integers(min_value=1, max_value=4))
+    def test_frequency_cap_subset(self, records, threshold, cap):
+        lossless = run_tsj(records, threshold=threshold, max_token_frequency=None)
+        capped = run_tsj(records, threshold=threshold, max_token_frequency=cap)
+        assert capped.pairs <= lossless.pairs
+
+    @settings(max_examples=20, deadline=None)
+    @given(record_lists, thresholds, st.integers(min_value=1, max_value=3))
+    def test_exact_subset_of_fuzzy_under_frequency_cap(
+        self, records, threshold, cap
+    ):
+        """Regression: with M dropping tokens, the Lemma 10 filter must
+        not make fuzzy matching lose pairs that exact matching keeps."""
+        fuzzy = run_tsj(records, threshold=threshold, max_token_frequency=cap)
+        exact = run_tsj(
+            records,
+            threshold=threshold,
+            max_token_frequency=cap,
+            matching="exact",
+        )
+        assert exact.pairs <= fuzzy.pairs
+
+    def test_exact_matching_still_finds_shared_token_pairs(self):
+        records = [tokenize("barak obama"), tokenize("barak obamma")]
+        result = run_tsj(
+            records, threshold=0.2, max_token_frequency=None, matching="exact"
+        )
+        assert result.pairs == {(0, 1)}
+
+    def test_exact_matching_misses_all_tokens_edited(self):
+        """Every token edited: no shared token, fuzzy-only discovery."""
+        records = [
+            TokenizedString(["chan", "kalan"]),
+            TokenizedString(["chank", "alan"]),
+        ]
+        fuzzy = run_tsj(records, threshold=0.2, max_token_frequency=None)
+        exact = run_tsj(
+            records, threshold=0.2, max_token_frequency=None, matching="exact"
+        )
+        assert fuzzy.pairs == {(0, 1)}
+        assert exact.pairs == set()
+
+    def test_frequency_cap_drops_popular_token_pairs(self):
+        # "john" appears in 3 records: with M=2 it is dropped and the pair
+        # ("john x", "john y") disappears unless another token links them.
+        records = [
+            tokenize("john aa"),
+            tokenize("john bb"),
+            tokenize("john cc"),
+        ]
+        lossless = run_tsj(records, threshold=0.4, max_token_frequency=None)
+        capped = run_tsj(records, threshold=0.4, max_token_frequency=2)
+        assert capped.pairs < lossless.pairs or lossless.pairs == set()
+
+
+class TestTSJMetricsAndConfig:
+    def test_pipeline_metrics_exposed(self):
+        records = [tokenize(name) for name in NAMES]
+        result = run_tsj(records, threshold=0.2, max_token_frequency=None)
+        assert result.simulated_seconds() > 0
+        counters = result.counters()
+        assert counters.get("verifications", 0) >= len(result.pairs)
+
+    def test_exact_matching_runs_fewer_stages(self):
+        records = [tokenize(name) for name in NAMES]
+        fuzzy = run_tsj(records, threshold=0.2)
+        exact = run_tsj(records, threshold=0.2, matching="exact")
+        assert len(exact.pipeline.stages) < len(fuzzy.pipeline.stages)
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            TSJConfig(threshold=1.0)
+        with pytest.raises(ValueError):
+            TSJConfig(threshold=-0.1)
+
+    def test_invalid_frequency(self):
+        with pytest.raises(ValueError):
+            TSJConfig(max_token_frequency=0)
+
+    def test_string_config_coercion(self):
+        config = TSJConfig(matching="exact", aligning="greedy", dedup="both")
+        assert config.matching.value == "exact"
+        assert config.aligning.value == "greedy"
+        assert config.dedup.value == "both"
+
+    def test_is_lossless(self):
+        assert TSJConfig(max_token_frequency=None).is_lossless
+        assert not TSJConfig().is_lossless
+        assert not TSJConfig(
+            max_token_frequency=None, aligning="greedy"
+        ).is_lossless

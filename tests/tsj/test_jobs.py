@@ -1,0 +1,161 @@
+"""Unit tests for the individual TSJ pipeline jobs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mapreduce import ClusterConfig, MapReduceEngine
+from repro.tokenize import TokenizedString, tokenize
+from repro.tsj.jobs import (
+    DedupFilterJob,
+    SharedTokenCandidatesJob,
+    TokenFrequencyJob,
+    decode_histogram,
+    encode_histogram,
+)
+
+
+def engine(n: int = 3) -> MapReduceEngine:
+    return MapReduceEngine(ClusterConfig(n_machines=n))
+
+
+class TestHistogramCodec:
+    def test_roundtrip(self):
+        histogram = {3: 2, 5: 1}
+        assert decode_histogram(encode_histogram(histogram)) == histogram
+
+    def test_canonical_order(self):
+        assert encode_histogram({5: 1, 3: 2}) == ((3, 2), (5, 1))
+
+    def test_empty(self):
+        assert encode_histogram({}) == ()
+        assert decode_histogram(()) == {}
+
+
+class TestTokenFrequencyJob:
+    def test_counts_distinct_per_record(self):
+        records = [
+            (0, TokenizedString(["ann", "ann", "lee"])),  # ann counted once
+            (1, TokenizedString(["ann"])),
+        ]
+        result = engine().run(TokenFrequencyJob(), records)
+        assert dict(result.outputs) == {"ann": 2, "lee": 1}
+
+    def test_empty_records(self):
+        result = engine().run(TokenFrequencyJob(), [(0, TokenizedString())])
+        assert result.outputs == []
+
+
+class TestSharedTokenCandidatesJob:
+    def _run(self, records, threshold=0.3, frequent=frozenset(), **kwargs):
+        job = SharedTokenCandidatesJob(threshold, frequent, **kwargs)
+        return engine().run(job, list(enumerate(records))).outputs
+
+    def test_pairs_sharing_a_token(self):
+        outputs = self._run([tokenize("ann lee"), tokenize("ann wu")])
+        pairs = {pair for pair, _ in outputs}
+        assert pairs == {(0, 1)}
+
+    def test_two_shared_tokens_two_instances(self):
+        outputs = self._run([tokenize("ann lee"), tokenize("ann lee ku")])
+        pairs = [pair for pair, _ in outputs]
+        assert pairs.count((0, 1)) == 2  # one instance per shared token
+
+    def test_frequent_tokens_skipped(self):
+        outputs = self._run(
+            [tokenize("ann lee"), tokenize("ann wu")],
+            frequent=frozenset({"ann"}),
+        )
+        assert outputs == []
+
+    def test_length_filter_prunes(self):
+        # Aggregate lengths 4 vs 22: Lemma 6 bound 1 - 4/22 > 0.3.
+        outputs = self._run(
+            [
+                TokenizedString(["ab", "cd"]),
+                TokenizedString(["ab", "cdefghijklmnopqrstuv"]),
+            ],
+            threshold=0.3,
+        )
+        assert outputs == []
+
+    def test_metadata_shape(self):
+        outputs = self._run([tokenize("ann lee"), tokenize("ann wu")])
+        (pair, (length_a, hist_a, length_b, hist_b, similar)), = outputs
+        assert length_a == 6 and length_b == 5
+        assert decode_histogram(hist_a) == {3: 2}
+        assert similar == ((3, 3, 0),)  # the shared token "ann"
+
+    def test_bipartite_mode(self):
+        records = [tokenize("ann lee"), tokenize("ann wu"), tokenize("ann xi")]
+        job = SharedTokenCandidatesJob(
+            0.3, frozenset(), bipartite_boundary=1
+        )
+        outputs = engine().run(job, list(enumerate(records))).outputs
+        pairs = {pair for pair, _ in outputs}
+        # (1, 2) is a same-side P pair and must be excluded.
+        assert pairs == {(0, 1), (0, 2)}
+
+
+class TestDedupFilterJob:
+    def _candidate(self, pair, record_a, record_b, similar):
+        return (
+            pair,
+            (
+                record_a.aggregate_length,
+                encode_histogram(record_a.length_histogram),
+                record_b.aggregate_length,
+                encode_histogram(record_b.length_histogram),
+                similar,
+            ),
+        )
+
+    def test_duplicates_collapse_both_strategies(self):
+        a, b = tokenize("ann lee"), tokenize("ann lee")
+        candidate = self._candidate((0, 1), a, b, ((3, 3, 0),))
+        for group_on_one in (False, True):
+            job = DedupFilterJob(0.2, group_on_one=group_on_one)
+            outputs = engine().run(job, [candidate, candidate]).outputs
+            assert outputs == [(0, 1)]
+
+    def test_similar_pairs_merge_before_filtering(self):
+        # Two instances, one per similar token pair; the merged knowledge
+        # (both tokens within LD 1) keeps the candidate alive at T = 0.2
+        # where the pair's true NSLD is 2*2/(10+10+2) = 0.1818.
+        a = TokenizedString(["abcde", "vwxyz"])
+        b = TokenizedString(["abcdf", "vwxyw"])
+        instance_1 = self._candidate((0, 1), a, b, ((5, 5, 1),))
+        instance_2 = self._candidate((0, 1), a, b, ((5, 5, 1),))
+        job = DedupFilterJob(0.2, group_on_one=False)
+        outputs = engine().run(job, [instance_1, instance_2]).outputs
+        assert outputs == [(0, 1)]
+        # At T = 0.15 the merged lower bound (0.1818) correctly prunes.
+        strict = DedupFilterJob(0.15, group_on_one=False)
+        assert engine().run(strict, [instance_1, instance_2]).outputs == []
+
+    def test_histogram_filter_prunes_far_pair(self):
+        a = TokenizedString(["aaaa", "bbbb"])
+        b = TokenizedString(["cccc", "dddd"])
+        candidate = self._candidate((0, 1), a, b, ())
+        strict = DedupFilterJob(0.05, group_on_one=False)
+        assert engine().run(strict, [candidate]).outputs == []
+
+    def test_filters_can_be_disabled(self):
+        a = TokenizedString(["aaaa", "bbbb"])
+        b = TokenizedString(["cccc", "dddd"])
+        candidate = self._candidate((0, 1), a, b, ())
+        lax = DedupFilterJob(
+            0.05,
+            group_on_one=False,
+            use_length_filter=False,
+            use_histogram_filter=False,
+        )
+        assert engine().run(lax, [candidate]).outputs == [(0, 1)]
+
+    def test_group_on_one_counters(self):
+        a, b = tokenize("ann lee"), tokenize("ann leo")
+        candidate = self._candidate((0, 1), a, b, ((3, 3, 0),))
+        job = DedupFilterJob(0.2, group_on_one=True)
+        result = engine().run(job, [candidate] * 3)
+        assert result.outputs == [(0, 1)]
+        assert result.metrics.counters.get("candidates-verified") == 1

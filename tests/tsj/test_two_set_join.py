@@ -1,0 +1,86 @@
+"""Tests for the general R x P TSJ join (Sec. II-B)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.joins.naive import naive_nsld_join
+from repro.mapreduce import ClusterConfig, MapReduceEngine
+from repro.tokenize import TokenizedString, tokenize
+from repro.tsj import TSJ, TSJConfig
+from tests.conftest import tokenized_strings
+
+record_lists = st.lists(tokenized_strings(3, 5), min_size=0, max_size=8)
+thresholds = st.sampled_from([0.05, 0.1, 0.2, 0.3])
+
+
+def run_join(r, p, **kwargs):
+    engine = MapReduceEngine(ClusterConfig(n_machines=4))
+    config = TSJConfig(**kwargs)
+    return TSJ(config, engine).join(r, p)
+
+
+class TestTwoSetJoin:
+    def test_basic_cross_join(self):
+        r = [tokenize("barak obama"), tokenize("john smith")]
+        p = [tokenize("borak obama"), tokenize("mary lee")]
+        result = run_join(r, p, threshold=0.15, max_token_frequency=None)
+        assert result.pairs == {(0, 0)}
+
+    def test_no_within_side_pairs(self):
+        """Identical records on the same side must not pair."""
+        r = [tokenize("ann lee"), tokenize("ann lee")]
+        p = [tokenize("bob stone")]
+        result = run_join(r, p, threshold=0.1, max_token_frequency=None)
+        assert result.pairs == set()
+
+    def test_cross_side_duplicates_found(self):
+        r = [tokenize("ann lee")]
+        p = [tokenize("ann lee"), tokenize("lee ann")]
+        result = run_join(r, p, threshold=0.05, max_token_frequency=None)
+        assert result.pairs == {(0, 0), (0, 1)}
+
+    def test_empty_records_pair_across_sides_only(self):
+        r = [TokenizedString(), TokenizedString()]
+        p = [TokenizedString()]
+        result = run_join(r, p, threshold=0.1)
+        assert result.pairs == {(0, 0), (1, 0)}
+
+    def test_empty_sides(self):
+        assert run_join([], [tokenize("a b")], threshold=0.1).pairs == set()
+        assert run_join([tokenize("a b")], [], threshold=0.1).pairs == set()
+
+    def test_similar_token_path(self):
+        """A pair with every token edited needs the fuzzy token join."""
+        r = [TokenizedString(["chan", "kalan"])]
+        p = [TokenizedString(["chank", "alan"])]
+        result = run_join(r, p, threshold=0.25, max_token_frequency=None)
+        assert result.pairs == {(0, 0)}
+        exact = run_join(
+            r, p, threshold=0.25, max_token_frequency=None, matching="exact"
+        )
+        assert exact.pairs == set()
+
+    @settings(max_examples=30, deadline=None)
+    @given(record_lists, record_lists, thresholds)
+    def test_matches_oracle(self, r, p, threshold):
+        result = run_join(r, p, threshold=threshold, max_token_frequency=None)
+        assert result.pairs == naive_nsld_join(r, p, threshold)
+
+    @settings(max_examples=15, deadline=None)
+    @given(record_lists, record_lists, thresholds)
+    def test_dedup_strategies_agree(self, r, p, threshold):
+        one = run_join(
+            r, p, threshold=threshold, max_token_frequency=None, dedup="one"
+        )
+        both = run_join(
+            r, p, threshold=threshold, max_token_frequency=None, dedup="both"
+        )
+        assert one.pairs == both.pairs
+
+    def test_distances_reported(self):
+        r = [tokenize("thomson tom")]
+        p = [tokenize("thompson tom")]
+        result = run_join(r, p, threshold=0.1, max_token_frequency=None)
+        assert result.distances[(0, 0)] == 2 / (10 + 11 + 1)
