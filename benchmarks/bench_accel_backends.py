@@ -1,0 +1,157 @@
+"""Micro-bench: verification backends on the names workload.
+
+Compares pairs/second for the per-pair kernels (``dp`` banded DP vs
+``bitparallel`` Myers) and the batched :func:`repro.accel.verify_pairs`
+paths (in-process memoized, and the 2-process chunked executor) on a
+realistic verification workload: pairs of synthetic full names (all under
+64 characters, so a single machine word covers the pattern) with a mix of
+near-duplicates and far pairs, verified at a PassJoin-style edit limit.
+
+Emits ``benchmarks/results/BENCH_accel.json`` with the measured
+pairs/sec so future PRs have a perf trajectory;
+``scripts/check_perf_regression.py`` diffs that file against the
+committed baseline ``benchmarks/BENCH_accel_baseline.json`` and fails on
+a >30% regression.
+
+Run as a pytest bench (``pytest benchmarks/bench_accel_backends.py``) or
+standalone (``PYTHONPATH=src python benchmarks/bench_accel_backends.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.accel import myers_within, verify_pairs
+from repro.data import NameGenerator
+from repro.distances import levenshtein_within
+
+#: Edit limit of the verification calls: the cap a PassJoin/MassJoin-style
+#: candidate survives at for strings this long (names average ~13 chars;
+#: pairs of full names land in the 20-40 range).
+LIMIT = 6
+
+PAIR_COUNT = 4000
+REPEATS = 3
+
+RESULTS_PATH = Path(__file__).parent / "results" / "BENCH_accel.json"
+
+
+def _workload(seed: int = 17) -> list[tuple[str, str]]:
+    """Name pairs: ~half near-duplicates (0-4 edits), half unrelated."""
+    rng = random.Random(seed)
+    names = NameGenerator(seed=seed).generate(PAIR_COUNT)
+    alphabet = "abcdefghijklmnopqrstuvwxyz "
+
+    def mutate(s: str, edits: int) -> str:
+        out = list(s)
+        for _ in range(edits):
+            op = rng.choice("ids")
+            pos = rng.randrange(0, max(1, len(out)))
+            if op == "i":
+                out.insert(pos, rng.choice(alphabet))
+            elif out:
+                if op == "d":
+                    del out[pos]
+                else:
+                    out[pos] = rng.choice(alphabet)
+        return "".join(out)
+
+    pairs: list[tuple[str, str]] = []
+    for k in range(0, PAIR_COUNT, 2):
+        name = names[k][:64]
+        if rng.random() < 0.5:
+            pairs.append((name, mutate(name, rng.randrange(0, 5))[:64]))
+        else:
+            pairs.append((name, names[k + 1][:64]))
+    return pairs
+
+
+def _rate(fn, repeats: int = REPEATS) -> tuple[float, object]:
+    """Best-of-N pairs/sec for a callable verifying the whole workload."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def run_bench() -> dict:
+    pairs = _workload()
+    table: list[str] = []
+    index_pairs: list[tuple[int, int]] = []
+    for x, y in pairs:
+        index_pairs.append((len(table), len(table) + 1))
+        table.extend((x, y))
+
+    timings: dict[str, float] = {}
+    results: dict[str, object] = {}
+
+    timings["dp"], results["dp"] = _rate(
+        lambda: [levenshtein_within(x, y, LIMIT) for x, y in pairs]
+    )
+    timings["bitparallel"], results["bitparallel"] = _rate(
+        lambda: [myers_within(x, y, LIMIT) for x, y in pairs]
+    )
+    timings["batched"], results["batched"] = _rate(
+        lambda: verify_pairs(index_pairs, table, LIMIT, backend="auto")
+    )
+    timings["batched_mp2"], results["batched_mp2"] = _rate(
+        lambda: verify_pairs(
+            index_pairs, table, LIMIT, backend="auto", processes=2, chunk_size=512
+        ),
+        repeats=1,  # pool startup dominates; one round is representative
+    )
+
+    reference = results["dp"]
+    for name, outcome in results.items():
+        assert outcome == reference, f"backend {name!r} disagrees with dp"
+
+    pairs_per_sec = {
+        name: len(pairs) / seconds for name, seconds in timings.items()
+    }
+    report = {
+        # Series the perf gate enforces.  batched_mp2 is recorded for the
+        # trajectory but ungated: at this batch size pool startup dominates
+        # its rate, which makes it jitter past any sane tolerance.
+        "gated": ["dp", "bitparallel", "batched"],
+        "workload": {
+            "pairs": len(pairs),
+            "limit": LIMIT,
+            "repeats": REPEATS,
+            "mean_length": round(
+                sum(len(x) + len(y) for x, y in pairs) / (2 * len(pairs)), 2
+            ),
+            "within_limit": sum(1 for value in reference if value is not None),
+        },
+        "pairs_per_sec": {
+            name: round(value, 1) for name, value in pairs_per_sec.items()
+        },
+        "speedup_vs_dp": {
+            name: round(value / pairs_per_sec["dp"], 2)
+            for name, value in pairs_per_sec.items()
+        },
+    }
+    RESULTS_PATH.parent.mkdir(exist_ok=True)
+    RESULTS_PATH.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    return report
+
+
+@pytest.mark.perf
+def test_accel_backend_rates():
+    report = run_bench()
+    print("\n" + json.dumps(report, indent=2))
+    speedup = report["speedup_vs_dp"]["bitparallel"]
+    # Acceptance target is >= 5x on <= 64-char strings; assert a looser
+    # tripwire so a loaded CI box does not flake the suite.
+    assert speedup > 3.0, f"bit-parallel kernel only {speedup}x over the DP"
+
+
+if __name__ == "__main__":
+    print(json.dumps(run_bench(), indent=2))

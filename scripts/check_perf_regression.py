@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""Fail if the accel bench regressed >30% versus the committed baseline.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_accel_backends.py   # fresh run
+    python scripts/check_perf_regression.py                    # compare
+
+Compares the ``pairs_per_sec`` series of the fresh
+``benchmarks/results/BENCH_accel.json`` against the committed
+``benchmarks/BENCH_accel_baseline.json``; any backend dropping below
+``(1 - TOLERANCE)`` of its baseline rate fails the check (exit code 1).
+Both paths can be overridden positionally: ``check_perf_regression.py
+[current.json] [baseline.json]``.
+
+The 30% tolerance absorbs normal machine noise; a genuine kernel
+regression (e.g. losing the bit-parallel path) shows up as 5-10x, far
+past any jitter.  After an intentional perf-relevant change, re-run the
+bench on a quiet machine and commit the fresh JSON as the new baseline.
+
+Absolute pairs/sec is machine-dependent: the committed baseline records
+one specific host.  On different hardware (CI runners, laptops) pass
+``--relative`` to compare the ``speedup_vs_dp`` ratios instead -- both
+kernels run in the same process on the same box, so the ratio is
+machine-independent and still catches "lost the fast path" regressions.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+TOLERANCE = 0.30
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_CURRENT = REPO_ROOT / "benchmarks" / "results" / "BENCH_accel.json"
+DEFAULT_BASELINE = REPO_ROOT / "benchmarks" / "BENCH_accel_baseline.json"
+
+
+def main(argv: list[str]) -> int:
+    argv = list(argv)
+    relative = "--relative" in argv
+    if relative:
+        argv.remove("--relative")
+    current_path = Path(argv[1]) if len(argv) > 1 else DEFAULT_CURRENT
+    baseline_path = Path(argv[2]) if len(argv) > 2 else DEFAULT_BASELINE
+
+    if not baseline_path.exists():
+        print(f"no baseline at {baseline_path}; nothing to compare")
+        return 0
+    if not current_path.exists():
+        print(
+            f"no fresh bench at {current_path}; run "
+            "`PYTHONPATH=src python benchmarks/bench_accel_backends.py` first"
+        )
+        return 1
+
+    baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+    current = json.loads(current_path.read_text(encoding="utf-8"))
+    series = "speedup_vs_dp" if relative else "pairs_per_sec"
+    unit = "x vs dp" if relative else "pairs/s"
+    base_rates = baseline[series]
+    current_rates = current[series]
+    gated = baseline.get("gated")
+    if gated is not None:
+        base_rates = {k: v for k, v in base_rates.items() if k in gated}
+
+    failures = []
+    for backend, base_rate in sorted(base_rates.items()):
+        rate = current_rates.get(backend)
+        if rate is None:
+            failures.append(f"{backend}: missing from the fresh bench")
+            continue
+        floor = base_rate * (1.0 - TOLERANCE)
+        delta = (rate - base_rate) / base_rate * 100.0
+        status = "OK " if rate >= floor else "FAIL"
+        print(
+            f"{status} {backend:>12s}: {rate:>12.1f} {unit} "
+            f"(baseline {base_rate:.1f}, {delta:+.1f}%)"
+        )
+        if rate < floor:
+            failures.append(
+                f"{backend}: {rate:.1f} {unit} is below the {floor:.1f} floor "
+                f"({delta:+.1f}% vs baseline)"
+            )
+
+    if failures:
+        print("\nperf regression detected:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nno perf regression (tolerance 30%)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

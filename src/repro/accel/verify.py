@@ -1,0 +1,144 @@
+"""Batched pair verification with optional multiprocessing fan-out.
+
+The joins' candidate-generation stages produce *batches* of id pairs to
+verify against one threshold.  :func:`verify_pairs` is the one API for
+that shape of work:
+
+* a bounded memoization cache collapses duplicate string pairs (the
+  skewed-token case: hot tokens/records recur across candidate pairs);
+* an optional chunked ``multiprocessing`` executor spreads large batches
+  over worker processes (chunks amortise pickling; workers run the
+  bit-parallel kernel and report their work units back so the ``ops``
+  cost-model hook still sees the total).
+
+Results are positionally aligned with the input pairs -- element ``k`` is
+the exact distance of ``pairs[k]`` when it is ``<= limit``, else ``None``
+-- which makes backend-equivalence checks (and call sites that need to
+know *which* candidates survived) trivial.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Mapping, Sequence
+
+import repro.accel as _accel
+from repro.accel.vocab import BoundedCache
+from repro.distances.levenshtein import OpsHook
+
+
+def _verify_chunk(payload: tuple[list[tuple[str, str]], int, str]) -> tuple[list[int | None], int]:
+    """Worker entry point: verify one chunk of string pairs.
+
+    Returns the aligned results plus the total work units the kernels
+    metered, so the parent can charge its ``ops`` hook once per chunk.
+    """
+    string_pairs, limit, backend = payload
+    units = 0
+
+    def meter(n: int) -> None:
+        nonlocal units
+        units += n
+
+    cache: BoundedCache = BoundedCache(1 << 14)
+    results: list[int | None] = []
+    miss = object()
+    for x, y in string_pairs:
+        key = (x, y) if x <= y else (y, x)
+        cached = cache.get(key, miss)
+        if cached is not miss:
+            meter(1)
+            results.append(cached)  # type: ignore[arg-type]
+            continue
+        value = _accel.edit_distance_within(x, y, limit, ops=meter, backend=backend)
+        cache.put(key, value)
+        results.append(value)
+    return results, units
+
+
+def verify_pairs(
+    pairs: Sequence[tuple[int, int]],
+    strings: Sequence[str] | Mapping[int, str],
+    limit: int,
+    backend: str = "auto",
+    processes: int | None = None,
+    chunk_size: int = 4096,
+    cache_size: int = 1 << 16,
+    ops: OpsHook = None,
+) -> list[int | None]:
+    """Verify a batch of candidate id pairs against one edit threshold.
+
+    Equivalent to ``[edit_distance_within(strings[i], strings[j], limit)
+    for i, j in pairs]`` under every backend, but batched: duplicate
+    string pairs are answered from a bounded memo, and with
+    ``processes > 1`` the batch is chunked across a ``multiprocessing``
+    pool.
+
+    Parameters
+    ----------
+    pairs:
+        Candidate id pairs; ids index into ``strings``.
+    strings:
+        The string table (a sequence or an id -> string mapping).
+    limit:
+        Inclusive verification threshold (negative: everything misses).
+    backend:
+        ``"auto" | "dp" | "bitparallel"`` (see :mod:`repro.accel`).
+    processes:
+        ``None``/``0``/``1`` verifies in-process; larger values use a
+        process pool.  The pool path requires a fork/spawn-safe runtime
+        and charges ``ops`` with the workers' aggregated unit counts.
+    chunk_size:
+        Pairs per worker task (amortises pickling; tune for batch size).
+    cache_size:
+        Bound of the in-process memo (ignored on the pool path, where each
+        worker keeps its own chunk-local memo).
+    ops:
+        Cost-model hook; receives kernel work units (and 1 per memo hit).
+
+    Returns
+    -------
+    list
+        Positionally aligned with ``pairs``: the exact distance when it is
+        ``<= limit``, else ``None``.
+
+    Examples
+    --------
+    >>> verify_pairs([(0, 1), (0, 2)], ["ann", "anne", "bob"], 1)
+    [1, None]
+    """
+    _accel.resolve_backend(backend)  # fail fast on typos, any path
+    if limit < 0:
+        return [None] * len(pairs)
+
+    if processes is not None and processes > 1 and len(pairs) > 1:
+        string_pairs = [(strings[i], strings[j]) for i, j in pairs]
+        chunks = [
+            (string_pairs[k : k + chunk_size], limit, backend)
+            for k in range(0, len(string_pairs), chunk_size)
+        ]
+        import multiprocessing
+
+        with multiprocessing.Pool(min(processes, len(chunks))) as pool:
+            outcomes = pool.map(_verify_chunk, chunks)
+        results = list(itertools.chain.from_iterable(r for r, _ in outcomes))
+        if ops is not None:
+            ops(sum(units for _, units in outcomes))
+        return results
+
+    cache: BoundedCache = BoundedCache(cache_size)
+    miss = object()
+    results = []
+    for i, j in pairs:
+        x, y = strings[i], strings[j]
+        key = (x, y) if x <= y else (y, x)
+        cached = cache.get(key, miss)
+        if cached is not miss:
+            if ops is not None:
+                ops(1)
+            results.append(cached)
+            continue
+        value = _accel.edit_distance_within(x, y, limit, ops=ops, backend=backend)
+        cache.put(key, value)
+        results.append(value)
+    return results

@@ -21,11 +21,22 @@ import argparse
 import sys
 from typing import Sequence
 
+from repro.accel import BACKENDS
 from repro.analysis import auc, roc_curve
 from repro.core import compare_names, nsld_join
 from repro.data import evaluation_corpus, name_change_dataset
 from repro.distances import fuzzy_cosine, fuzzy_dice, fuzzy_jaccard
 from repro.tokenize import tokenize
+
+
+def _add_backend_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--backend",
+        choices=list(BACKENDS),
+        default="auto",
+        help="edit-distance verification kernel (auto = fast path, "
+        "dp = reference dynamic program)",
+    )
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -52,6 +63,7 @@ def _cmd_join(args: argparse.Namespace) -> int:
         n_machines=args.machines,
         matching=args.matching,
         aligning=args.aligning,
+        verify_backend=args.backend,
     )
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
@@ -69,7 +81,7 @@ def _cmd_join(args: argparse.Namespace) -> int:
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
-    print(f"{compare_names(args.name_a, args.name_b):.6f}")
+    print(f"{compare_names(args.name_a, args.name_b, backend=args.backend):.6f}")
     return 0
 
 
@@ -97,7 +109,7 @@ def _cmd_knn(args: argparse.Namespace) -> int:
 
     with open(args.input, encoding="utf-8") as handle:
         names = [line.strip() for line in handle if line.strip()]
-    tree = VPTree([tokenize(name) for name in names])
+    tree = VPTree([tokenize(name) for name in names], backend=args.backend)
     for item, distance in tree.nearest(tokenize(args.query), args.k):
         print(f"{distance:.4f}\t{item}")
     return 0
@@ -154,11 +166,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     join.add_argument("--limit", type=int, default=50)
     join.add_argument("--output", help="also write all pairs to a TSV file")
+    _add_backend_argument(join)
     join.set_defaults(func=_cmd_join)
 
     compare = sub.add_parser("compare", help="NSLD between two names")
     compare.add_argument("name_a")
     compare.add_argument("name_b")
+    _add_backend_argument(compare)
     compare.set_defaults(func=_cmd_compare)
 
     roc = sub.add_parser("roc", help="Fig. 6 distance-measure ROC comparison")
@@ -170,6 +184,7 @@ def build_parser() -> argparse.ArgumentParser:
     knn.add_argument("input", help="file of names, one per line")
     knn.add_argument("query")
     knn.add_argument("-k", type=int, default=5)
+    _add_backend_argument(knn)
     knn.set_defaults(func=_cmd_knn)
 
     tune = sub.add_parser("tune", help="search (T, M) on a ring corpus")

@@ -55,7 +55,7 @@ def nsld_join(
         Defaults to whitespace+punctuation with case folding.
     config_overrides:
         Any further :class:`repro.tsj.TSJConfig` field (``matching``,
-        ``aligning``, ``dedup``, ...).
+        ``aligning``, ``dedup``, ``verify_backend``, ...).
 
     Examples
     --------
@@ -94,9 +94,15 @@ def nsld_join(
 
 
 def compare_names(
-    name_a: str, name_b: str, tokenizer: Tokenizer | None = None
+    name_a: str,
+    name_b: str,
+    tokenizer: Tokenizer | None = None,
+    backend: str = "auto",
 ) -> float:
     """NSLD between two raw strings (tokenized with the default tokenizer).
+
+    ``backend`` selects the edit-distance kernel (``"auto" | "dp" |
+    "bitparallel"``); every backend returns the same value.
 
     Examples
     --------
@@ -106,4 +112,6 @@ def compare_names(
     0.182
     """
     tokenizer = tokenizer or Tokenizer()
-    return nsld(tokenizer.tokenize(name_a), tokenizer.tokenize(name_b))
+    return nsld(
+        tokenizer.tokenize(name_a), tokenizer.tokenize(name_b), backend=backend
+    )

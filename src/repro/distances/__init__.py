@@ -19,6 +19,14 @@ against:
   FJaccard / FCosine / FDice and Cohen et al.'s SoftTfIdf (Sec. V-D
   baselines).
 * :mod:`repro.distances.fms` -- Chaudhuri et al.'s FMS / AFMS.
+
+Verification backends: the edit-distance entry points accept a
+``backend`` selector (``"auto" | "dp" | "bitparallel"``).  The classic DP
+(``"dp"``, the default of the raw distance functions) is the reference
+oracle; the bit-parallel Myers kernels of :mod:`repro.accel`
+(``"bitparallel"``, what ``"auto"`` currently resolves to) are drop-in
+equivalent and what the join layers default to.  The accelerated kernels
+and the batched :func:`verify_pairs` API are re-exported here.
 """
 
 from repro.distances.assignment import (
@@ -33,8 +41,20 @@ from repro.distances.fuzzy_set_measures import (
     fuzzy_overlap,
     soft_tfidf,
 )
+from repro.accel import (
+    Vocab,
+    edit_distance,
+    edit_distance_within,
+    myers_distance,
+    myers_within,
+    verify_pairs,
+)
 from repro.distances.jaro import jaro, jaro_winkler
-from repro.distances.levenshtein import levenshtein, levenshtein_within
+from repro.distances.levenshtein import (
+    levenshtein,
+    levenshtein_bounded,
+    levenshtein_within,
+)
 from repro.distances.normalized import (
     max_ld_for_longer,
     max_ld_for_shorter,
@@ -64,7 +84,14 @@ from repro.distances.setwise import (
 
 __all__ = [
     "levenshtein",
+    "levenshtein_bounded",
     "levenshtein_within",
+    "myers_distance",
+    "myers_within",
+    "edit_distance",
+    "edit_distance_within",
+    "verify_pairs",
+    "Vocab",
     "nld",
     "nld_within",
     "nld_length_lower_bound",

@@ -6,15 +6,25 @@ and substitutions transforming ``x`` into ``y``.  It is a metric (Lemma 1).
 Two implementations are provided:
 
 * :func:`levenshtein` -- the classic two-row dynamic program,
-  ``O(|x| * |y|)`` time, ``O(min(|x|, |y|))`` space.
-* :func:`levenshtein_within` -- a banded dynamic program that answers
-  "is ``LD(x, y) <= limit``?" in ``O(limit * min(|x|, |y|))`` time with early
-  exit.  This is the verification workhorse: PassJoin/MassJoin and the TSJ
-  verifier always know a threshold, and thresholds are small in practice.
+  ``O(|x| * |y|)`` time, ``O(min(|x|, |y|))`` space.  Early-exits on the
+  length-difference lower bound (``abs(|x| - |y|)`` is both a lower bound
+  and, when the shorter string is empty, the exact distance) before
+  allocating any DP rows.
+* :func:`levenshtein_bounded` -- the banded (Ukkonen) dynamic program with
+  the capped contract: returns ``min(LD(x, y), limit + 1)``.  A miss is
+  reported as *exactly* ``limit + 1``, never an arbitrary overshoot -- the
+  band caps every cell at ``limit + 1``, so no larger value can escape.
+* :func:`levenshtein_within` -- the thresholded wrapper the joins consume:
+  the exact distance when it is ``<= limit``, else ``None``, in
+  ``O(limit * min(|x|, |y|))`` time with early exit.  This is the
+  verification workhorse: PassJoin/MassJoin and the TSJ verifier always
+  know a threshold, and thresholds are small in practice.
 
-An optional ``ops`` counter hook lets the MapReduce cost model meter the
-number of DP cells evaluated (one "work unit" per cell), which is how the
-simulated cluster attributes compute cost to workers.
+These are the **reference oracles**: plain, allocation-light Python that
+every accelerated backend (see :mod:`repro.accel`) must agree with
+exactly.  An optional ``ops`` counter hook lets the MapReduce cost model
+meter the number of DP cells evaluated (one "work unit" per cell), which
+is how the simulated cluster attributes compute cost to workers.
 """
 
 from __future__ import annotations
@@ -53,6 +63,8 @@ def levenshtein(x: str, y: str, ops: OpsHook = None) -> int:
     if len(x) < len(y):
         x, y = y, x
     if not y:
+        # Length-difference early exit: with the shorter string empty the
+        # abs(|x| - |y|) lower bound is exact, so no DP rows are allocated.
         if ops is not None:
             ops(len(x))
         return len(x)
@@ -74,47 +86,55 @@ def levenshtein(x: str, y: str, ops: OpsHook = None) -> int:
     return previous[len(y)]
 
 
-def levenshtein_within(x: str, y: str, limit: int, ops: OpsHook = None) -> int | None:
-    """Levenshtein distance if it is at most ``limit``, else ``None``.
+def levenshtein_bounded(x: str, y: str, limit: int, ops: OpsHook = None) -> int:
+    """``min(LD(x, y), limit + 1)`` via the banded (Ukkonen) DP.
 
-    Uses the standard banded (Ukkonen) dynamic program: only cells within
-    ``limit`` of the diagonal can contribute to a distance ``<= limit``, so
-    each row evaluates at most ``2 * limit + 1`` cells.  Exits early when an
-    entire row exceeds ``limit``.
+    **Contract.**  The return value is the exact distance whenever it is
+    ``<= limit``; any miss is reported as *exactly* ``limit + 1`` -- never
+    an arbitrary overshoot.  Every DP cell is capped at ``limit + 1``, so
+    the cap also bounds intermediate values (no overflow past the band).
+    This makes the result safe to memoize and compare across calls: two
+    misses at the same limit are indistinguishable by design.
+
+    Only cells within ``limit`` of the diagonal can contribute to a
+    distance ``<= limit``, so each row evaluates at most ``2 * limit + 1``
+    cells; the scan exits early when an entire row exceeds ``limit``.
 
     Parameters
     ----------
     limit:
-        Inclusive upper bound.  Negative limits always miss; ``limit == 0``
-        degenerates to an equality test.
+        Inclusive verification bound; must be non-negative (the
+        ``None``-returning wrapper :func:`levenshtein_within` handles
+        negative limits).
 
     Examples
     --------
-    >>> levenshtein_within("kalan", "alan", 1)
+    >>> levenshtein_bounded("kalan", "alan", 1)
     1
-    >>> levenshtein_within("kalan", "chan", 1) is None
-    True
+    >>> levenshtein_bounded("kitten", "sitting", 1)  # true distance is 3
+    2
     """
     if limit < 0:
-        return None
+        raise ValueError("limit must be non-negative")
+    big = limit + 1  # acts as +infinity; capping keeps values bounded
     if x == y:
         if ops is not None:
             ops(1)
         return 0
     if len(x) < len(y):
         x, y = y, x
-    # The length difference is an LD lower bound (deletions are mandatory).
+    # The length difference is an LD lower bound (deletions are mandatory);
+    # checked before any DP row is allocated.
     if len(x) - len(y) > limit:
         if ops is not None:
             ops(1)
-        return None
+        return big
     if not y:
         if ops is not None:
             ops(1)
         return len(x)  # len(x) <= limit, guaranteed by the check above
 
     n, m = len(x), len(y)
-    big = limit + 1  # acts as +infinity; capping keeps values bounded
     previous = [j if j <= limit else big for j in range(m + 1)]
     cells = 0
     for i in range(1, n + 1):
@@ -137,9 +157,33 @@ def levenshtein_within(x: str, y: str, limit: int, ops: OpsHook = None) -> int |
         if row_min > limit:
             if ops is not None:
                 ops(cells)
-            return None
+            return big
         previous = current
     if ops is not None:
         ops(cells)
-    distance = previous[m]
-    return distance if distance <= limit else None
+    return min(previous[m], big)
+
+
+def levenshtein_within(x: str, y: str, limit: int, ops: OpsHook = None) -> int | None:
+    """Levenshtein distance if it is at most ``limit``, else ``None``.
+
+    Thin wrapper over :func:`levenshtein_bounded` (see its contract); the
+    joins' verification paths consume this ``value-or-None`` form.
+
+    Parameters
+    ----------
+    limit:
+        Inclusive upper bound.  Negative limits always miss; ``limit == 0``
+        degenerates to an equality test.
+
+    Examples
+    --------
+    >>> levenshtein_within("kalan", "alan", 1)
+    1
+    >>> levenshtein_within("kalan", "chan", 1) is None
+    True
+    """
+    if limit < 0:
+        return None
+    distance = levenshtein_bounded(x, y, limit, ops=ops)
+    return None if distance > limit else distance

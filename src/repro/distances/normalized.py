@@ -27,11 +27,14 @@ from __future__ import annotations
 
 import math
 
-from repro.distances.levenshtein import OpsHook, levenshtein, levenshtein_within
+from repro.distances.levenshtein import OpsHook
 
 
-def nld(x: str, y: str, ops: OpsHook = None) -> float:
+def nld(x: str, y: str, ops: OpsHook = None, backend: str = "dp") -> float:
     """Normalized Levenshtein Distance (Def. 2).
+
+    ``backend`` selects the LD kernel (``"auto" | "dp" | "bitparallel"``,
+    see :mod:`repro.accel`); the default stays the DP reference oracle.
 
     Examples
     --------
@@ -42,22 +45,28 @@ def nld(x: str, y: str, ops: OpsHook = None) -> float:
     """
     if x == y:
         return 0.0
-    distance = levenshtein(x, y, ops=ops)
+    from repro.accel import edit_distance
+
+    distance = edit_distance(x, y, ops=ops, backend=backend)
     return 2.0 * distance / (len(x) + len(y) + distance)
 
 
-def nld_within(x: str, y: str, threshold: float, ops: OpsHook = None) -> float | None:
+def nld_within(
+    x: str, y: str, threshold: float, ops: OpsHook = None, backend: str = "dp"
+) -> float | None:
     """``NLD(x, y)`` if it is at most ``threshold``, else ``None``.
 
     Converts the NLD threshold into an LD limit via Lemma 8 and runs the
-    banded DP, so the cost is ``O(U * min(|x|, |y|))`` instead of quadratic.
+    banded verification kernel of the selected ``backend``, so the cost is
+    ``O(U * min(|x|, |y|))`` (or the bit-parallel column count) instead of
+    quadratic.
     """
     if threshold < 0:
         return None
     if x == y:
         return 0.0
     if threshold >= 1.0:
-        return nld(x, y, ops=ops)
+        return nld(x, y, ops=ops, backend=backend)
     shorter, longer = (x, y) if len(x) <= len(y) else (y, x)
     # Lemma 9: length condition -- prune without touching characters.
     if len(shorter) < min_length_for_nld(threshold, len(longer)):
@@ -65,7 +74,9 @@ def nld_within(x: str, y: str, threshold: float, ops: OpsHook = None) -> float |
             ops(1)
         return None
     limit = max_ld_for_shorter(threshold, len(longer))
-    distance = levenshtein_within(x, y, limit, ops=ops)
+    from repro.accel import edit_distance_within
+
+    distance = edit_distance_within(x, y, limit, ops=ops, backend=backend)
     if distance is None:
         return None
     value = 2.0 * distance / (len(x) + len(y) + distance)

@@ -30,7 +30,7 @@ from __future__ import annotations
 from typing import Iterable, Mapping
 
 from repro.distances.assignment import greedy_assignment, hungarian
-from repro.distances.levenshtein import OpsHook, levenshtein
+from repro.distances.levenshtein import OpsHook
 from repro.distances.normalized import (
     min_ld_exceeding_for_longer,
     min_ld_exceeding_for_shorter,
@@ -44,14 +44,26 @@ SimilarPair = tuple[int, int, int]
 
 
 def _token_cost_matrix(
-    x: TokenizedString, y: TokenizedString, ops: OpsHook = None
+    x: TokenizedString,
+    y: TokenizedString,
+    ops: OpsHook = None,
+    backend: str = "dp",
 ) -> list[list[int]]:
     """The padded token-vs-token LD matrix of Sec. III-F.
 
     Row ``i`` corresponds to the ``i``-th token of ``x`` (or an empty pad
     token), column ``j`` to the ``j``-th token of ``y``.  ``LD(t, "")`` is
     ``len(t)``, so pad entries need no DP.
+
+    Token pairs go through :func:`repro.accel.token_distance`: under a
+    fast ``backend`` tokens are interned to dense ints with precomputed
+    Myers tables and the skewed head of the token distribution answers
+    from the bounded memo instead of re-running the kernel;
+    ``backend="dp"`` dispatches straight to the plain DP oracle (no
+    interning, no memo).
     """
+    from repro.accel import token_distance
+
     k = max(x.token_count, y.token_count)
     x_tokens = list(x.tokens) + [""] * (k - x.token_count)
     y_tokens = list(y.tokens) + [""] * (k - y.token_count)
@@ -64,12 +76,17 @@ def _token_cost_matrix(
             elif not ty:
                 row.append(len(tx))
             else:
-                row.append(levenshtein(tx, ty, ops=ops))
+                row.append(token_distance(tx, ty, ops=ops, backend=backend))
         matrix.append(row)
     return matrix
 
 
-def sld(x: TokenizedString, y: TokenizedString, ops: OpsHook = None) -> int:
+def sld(
+    x: TokenizedString,
+    y: TokenizedString,
+    ops: OpsHook = None,
+    backend: str = "dp",
+) -> int:
     """Exact Setwise Levenshtein Distance (Def. 3).
 
     Examples
@@ -86,12 +103,17 @@ def sld(x: TokenizedString, y: TokenizedString, ops: OpsHook = None) -> int:
         return y.aggregate_length
     if y.token_count == 0:
         return x.aggregate_length
-    matrix = _token_cost_matrix(x, y, ops=ops)
+    matrix = _token_cost_matrix(x, y, ops=ops, backend=backend)
     _, total = hungarian(matrix)
     return int(total)
 
 
-def sld_greedy(x: TokenizedString, y: TokenizedString, ops: OpsHook = None) -> int:
+def sld_greedy(
+    x: TokenizedString,
+    y: TokenizedString,
+    ops: OpsHook = None,
+    backend: str = "dp",
+) -> int:
     """Greedy-token-aligning SLD (Sec. III-G.5); an upper bound on :func:`sld`."""
     if x == y:
         return 0
@@ -99,7 +121,7 @@ def sld_greedy(x: TokenizedString, y: TokenizedString, ops: OpsHook = None) -> i
         return y.aggregate_length
     if y.token_count == 0:
         return x.aggregate_length
-    matrix = _token_cost_matrix(x, y, ops=ops)
+    matrix = _token_cost_matrix(x, y, ops=ops, backend=backend)
     _, total = greedy_assignment(matrix)
     return int(total)
 
@@ -111,7 +133,12 @@ def _normalize(sld_value: int, x: TokenizedString, y: TokenizedString) -> float:
     return 2.0 * sld_value / denominator
 
 
-def nsld(x: TokenizedString, y: TokenizedString, ops: OpsHook = None) -> float:
+def nsld(
+    x: TokenizedString,
+    y: TokenizedString,
+    ops: OpsHook = None,
+    backend: str = "dp",
+) -> float:
     """Exact Normalized Setwise Levenshtein Distance (Def. 4).
 
     Examples
@@ -120,12 +147,17 @@ def nsld(x: TokenizedString, y: TokenizedString, ops: OpsHook = None) -> float:
     >>> nsld(TokenizedString(["chan", "kalan"]), TokenizedString(["chank", "alan"]))
     0.2
     """
-    return _normalize(sld(x, y, ops=ops), x, y)
+    return _normalize(sld(x, y, ops=ops, backend=backend), x, y)
 
 
-def nsld_greedy(x: TokenizedString, y: TokenizedString, ops: OpsHook = None) -> float:
+def nsld_greedy(
+    x: TokenizedString,
+    y: TokenizedString,
+    ops: OpsHook = None,
+    backend: str = "dp",
+) -> float:
     """NSLD under greedy token aligning; an upper bound on :func:`nsld`."""
-    return _normalize(sld_greedy(x, y, ops=ops), x, y)
+    return _normalize(sld_greedy(x, y, ops=ops, backend=backend), x, y)
 
 
 def nsld_within(
@@ -134,6 +166,7 @@ def nsld_within(
     threshold: float,
     greedy: bool = False,
     ops: OpsHook = None,
+    backend: str = "dp",
 ) -> float | None:
     """``NSLD(x, y)`` if at most ``threshold``, else ``None``.
 
@@ -147,7 +180,10 @@ def nsld_within(
         return None
     if nsld_length_lower_bound(x.aggregate_length, y.aggregate_length) > threshold:
         return None
-    value = nsld_greedy(x, y, ops=ops) if greedy else nsld(x, y, ops=ops)
+    if greedy:
+        value = nsld_greedy(x, y, ops=ops, backend=backend)
+    else:
+        value = nsld(x, y, ops=ops, backend=backend)
     return value if value <= threshold else None
 
 

@@ -27,7 +27,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator, Sequence
 
-from repro.distances import levenshtein_within, nld_within
+from repro.accel import edit_distance_within
+from repro.distances import nld_within
 from repro.distances.normalized import (
     max_ld_for_longer,
     max_ld_for_shorter,
@@ -45,10 +46,11 @@ from repro.mapreduce import (
 class _NldScheme:
     """Threshold arithmetic for NLD-joins (Lemmas 8 and 9)."""
 
-    def __init__(self, threshold: float) -> None:
+    def __init__(self, threshold: float, backend: str = "auto") -> None:
         if not 0 <= threshold < 1:
             raise ValueError("NLD threshold must be in [0, 1)")
         self.threshold = threshold
+        self.backend = backend
 
     def min_partner_length(self, length: int) -> int:
         return min_length_for_nld(self.threshold, length)
@@ -65,16 +67,17 @@ class _NldScheme:
         )
 
     def verify(self, x: str, y: str, ops) -> float | None:
-        return nld_within(x, y, self.threshold, ops=ops)
+        return nld_within(x, y, self.threshold, ops=ops, backend=self.backend)
 
 
 class _LdScheme:
     """Threshold arithmetic for classic LD-joins (fixed ``U``)."""
 
-    def __init__(self, threshold: int) -> None:
+    def __init__(self, threshold: int, backend: str = "auto") -> None:
         if threshold < 0:
             raise ValueError("edit-distance threshold must be non-negative")
         self.threshold = threshold
+        self.backend = backend
 
     def min_partner_length(self, length: int) -> int:
         return max(0, length - self.threshold)
@@ -86,7 +89,9 @@ class _LdScheme:
         return self.threshold
 
     def verify(self, x: str, y: str, ops) -> float | None:
-        distance = levenshtein_within(x, y, self.threshold, ops=ops)
+        distance = edit_distance_within(
+            x, y, self.threshold, ops=ops, backend=self.backend
+        )
         return None if distance is None else float(distance)
 
 
@@ -250,6 +255,9 @@ class MassJoin:
         distance (mode ``"ld"``).
     mode:
         ``"nld"`` (TSJ's token join, the default) or ``"ld"``.
+    backend:
+        Verification kernel selector (``"auto" | "dp" | "bitparallel"``,
+        see :mod:`repro.accel`).
     """
 
     def __init__(
@@ -257,12 +265,13 @@ class MassJoin:
         engine: MapReduceEngine | None = None,
         threshold: float = 0.1,
         mode: str = "nld",
+        backend: str = "auto",
     ) -> None:
         self.engine = engine or MapReduceEngine()
         if mode == "nld":
-            self.scheme = _NldScheme(float(threshold))
+            self.scheme = _NldScheme(float(threshold), backend)
         elif mode == "ld":
-            self.scheme = _LdScheme(int(threshold))
+            self.scheme = _LdScheme(int(threshold), backend)
         else:
             raise ValueError(f"unknown MassJoin mode: {mode!r}")
 

@@ -30,7 +30,8 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Sequence
 
-from repro.distances import levenshtein_within, nld_within
+from repro.accel import verify_pairs
+from repro.distances import nld_within
 from repro.distances.normalized import (
     max_ld_for_longer,
     max_ld_for_shorter,
@@ -81,13 +82,25 @@ def _segment_bounds(length: int, k: int) -> list[tuple[int, int]]:
 
 
 class PassJoin:
-    """Serial Pass-Join for edit-distance joins with fixed threshold ``U``."""
+    """Serial Pass-Join for edit-distance joins with fixed threshold ``U``.
 
-    def __init__(self, threshold: int) -> None:
+    Parameters
+    ----------
+    threshold:
+        The edit-distance threshold ``U``.
+    backend:
+        Verification kernel selector (``"auto" | "dp" | "bitparallel"``,
+        see :mod:`repro.accel`); candidates are verified in one batched
+        :func:`repro.accel.verify_pairs` call, so duplicate candidate
+        pairs hit the bounded memo instead of re-running the kernel.
+    """
+
+    def __init__(self, threshold: int, backend: str = "auto") -> None:
         if threshold < 0:
             raise ValueError("edit-distance threshold must be non-negative")
         self.threshold = threshold
         self.segment_count = threshold + 1
+        self.backend = backend
 
     # -- candidate generation ----------------------------------------------
 
@@ -159,26 +172,33 @@ class PassJoin:
 
         Strings are processed in increasing length order; each string
         probes the index of previously seen strings, then indexes itself,
-        so every unordered pair is examined exactly once.
+        so every unordered pair is examined exactly once.  Surviving
+        candidates are verified in one batched call at the end (candidate
+        generation never depends on verification outcomes).
         """
         order = sorted(range(len(strings)), key=lambda i: (len(strings[i]), i))
         index: dict[tuple[int, int, str], list[int]] = defaultdict(list)
         short_bucket: dict[int, list[int]] = defaultdict(list)
         seen_lengths: list[int] = []
         seen_length_set: set[int] = set()
-        results: set[tuple[int, int]] = set()
+        candidates: list[tuple[int, int]] = []
         for identifier in order:
             s = strings[identifier]
             for candidate in self._probe_string(index, short_bucket, s, seen_lengths):
-                if candidate == identifier:
-                    continue
-                if levenshtein_within(strings[candidate], s, self.threshold) is not None:
-                    results.add(tuple(sorted((candidate, identifier))))
+                if candidate != identifier:
+                    candidates.append((candidate, identifier))
             self._index_string(index, short_bucket, identifier, s)
             if len(s) not in seen_length_set:
                 seen_length_set.add(len(s))
                 seen_lengths.append(len(s))
-        return results
+        distances = verify_pairs(
+            candidates, strings, self.threshold, backend=self.backend
+        )
+        return {
+            tuple(sorted(pair))
+            for pair, distance in zip(candidates, distances)
+            if distance is not None
+        }
 
     def join(self, r: Sequence[str], p: Sequence[str]) -> set[tuple[int, int]]:
         """All ``(i, j)`` with ``LD(r[i], p[j]) <= U`` (R indexed, P probes)."""
@@ -191,16 +211,26 @@ class PassJoin:
             if len(s) not in length_set:
                 length_set.add(len(s))
                 lengths.append(len(s))
-        results: set[tuple[int, int]] = set()
+        # Batched verification over the concatenated string table: the
+        # candidate (i, j) pairs index R at i and P at len(r) + j.
+        table = list(r) + list(p)
+        offset = len(r)
+        candidates: list[tuple[int, int]] = []
         for j, s in enumerate(p):
             for candidate in self._probe_string(index, short_bucket, s, lengths):
-                if levenshtein_within(r[candidate], s, self.threshold) is not None:
-                    results.add((candidate, j))
-        return results
+                candidates.append((candidate, offset + j))
+        distances = verify_pairs(
+            candidates, table, self.threshold, backend=self.backend
+        )
+        return {
+            (i, j - offset)
+            for (i, j), distance in zip(candidates, distances)
+            if distance is not None
+        }
 
 
 def passjoin_nld_self_join(
-    strings: Sequence[str], threshold: float
+    strings: Sequence[str], threshold: float, backend: str = "auto"
 ) -> set[tuple[int, int]]:
     """Self-join under ``NLD <= threshold`` via the Lemma 8/9 adaptation.
 
@@ -255,7 +285,7 @@ def passjoin_nld_self_join(
         for candidate in candidates:
             if candidate == identifier:
                 continue
-            if nld_within(strings[candidate], s, threshold) is not None:
+            if nld_within(strings[candidate], s, threshold, backend=backend) is not None:
                 results.add(tuple(sorted((candidate, identifier))))
         # ---- index s for longer probes to find ----------------------------
         u_index = max_ld_for_longer(threshold, probe_length)

@@ -18,15 +18,19 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Sequence
 
-from repro.distances import levenshtein_within
+from repro.accel import verify_pairs
 from repro.joins.passjoin import _segment_bounds, even_partition
 
 
 class PassJoinK:
     """Serial PassJoinK for LD self-joins with threshold ``U`` and ``K``
-    required signature matches."""
+    required signature matches.  ``backend`` selects the verification
+    kernel (see :mod:`repro.accel`); surviving candidates are verified in
+    one batched :func:`repro.accel.verify_pairs` call."""
 
-    def __init__(self, threshold: int, k_signatures: int = 2) -> None:
+    def __init__(
+        self, threshold: int, k_signatures: int = 2, backend: str = "auto"
+    ) -> None:
         if threshold < 0:
             raise ValueError("edit-distance threshold must be non-negative")
         if k_signatures < 1:
@@ -34,6 +38,7 @@ class PassJoinK:
         self.threshold = threshold
         self.k_signatures = k_signatures
         self.segment_count = threshold + k_signatures
+        self.backend = backend
 
     def self_join(self, strings: Sequence[str]) -> set[tuple[int, int]]:
         """All index pairs ``(i, j)``, ``i < j``, with ``LD <= U``.
@@ -46,7 +51,7 @@ class PassJoinK:
         short_bucket: dict[int, list[int]] = defaultdict(list)
         seen_lengths: list[int] = []
         seen_length_set: set[int] = set()
-        results: set[tuple[int, int]] = set()
+        pending: list[tuple[int, int]] = []
         u = self.threshold
         k = self.segment_count
 
@@ -79,10 +84,8 @@ class PassJoinK:
                 if probe_length - bucket_length <= u:
                     candidates.update(ids)
             for candidate in candidates:
-                if candidate == identifier:
-                    continue
-                if levenshtein_within(strings[candidate], s, u) is not None:
-                    results.add(tuple(sorted((candidate, identifier))))
+                if candidate != identifier:
+                    pending.append((candidate, identifier))
             # Index s.  Strings shorter than the segment count cannot host
             # k non-empty segments; they fall back to the always-candidate
             # short bucket (the K-signature argument needs k real segments).
@@ -94,4 +97,9 @@ class PassJoinK:
             if probe_length not in seen_length_set:
                 seen_length_set.add(probe_length)
                 seen_lengths.append(probe_length)
-        return results
+        distances = verify_pairs(pending, strings, u, backend=self.backend)
+        return {
+            tuple(sorted(pair))
+            for pair, distance in zip(pending, distances)
+            if distance is not None
+        }

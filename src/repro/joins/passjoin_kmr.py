@@ -20,7 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator, Sequence
 
-from repro.distances import levenshtein_within
+from repro.accel import edit_distance_within
 from repro.joins.passjoin import _segment_bounds, even_partition
 from repro.mapreduce import (
     MapReduceContext,
@@ -129,8 +129,9 @@ class _ResolveJob(MapReduceJob):
 class _VerifyJob(MapReduceJob):
     name = "passjoinkmr-verify"
 
-    def __init__(self, threshold: int) -> None:
+    def __init__(self, threshold: int, backend: str = "auto") -> None:
         self.threshold = threshold
+        self.backend = backend
 
     def map(self, record, ctx: MapReduceContext) -> Iterator:
         tag, payload = record
@@ -152,8 +153,12 @@ class _VerifyJob(MapReduceJob):
         if right_string is None:
             return
         for left_id, left_string in lefts:
-            distance = levenshtein_within(
-                left_string, right_string, self.threshold, ops=ctx.charge
+            distance = edit_distance_within(
+                left_string,
+                right_string,
+                self.threshold,
+                ops=ctx.charge,
+                backend=self.backend,
             )
             if distance is not None:
                 yield (left_id, key, distance)
@@ -174,6 +179,7 @@ class PassJoinKMR:
         engine: MapReduceEngine | None = None,
         threshold: int = 1,
         k_signatures: int = 2,
+        backend: str = "auto",
     ) -> None:
         if threshold < 0:
             raise ValueError("edit-distance threshold must be non-negative")
@@ -182,6 +188,7 @@ class PassJoinKMR:
         self.engine = engine or MapReduceEngine()
         self.threshold = threshold
         self.k_signatures = k_signatures
+        self.backend = backend
 
     def self_join(self, strings: Sequence[str]) -> PassJoinKMRResult:
         """All pairs ``(i, j)``, ``i < j``, with ``LD <= U``."""
@@ -197,7 +204,7 @@ class PassJoinKMR:
         resolved = engine.run(_ResolveJob(), resolve_input)
         verify_input = [("half", half) for half in resolved.outputs]
         verify_input += [("string", record) for record in records]
-        verified = engine.run(_VerifyJob(self.threshold), verify_input)
+        verified = engine.run(_VerifyJob(self.threshold, self.backend), verify_input)
 
         pairs: set[tuple[int, int]] = set()
         distances: dict[tuple[int, int], int] = {}

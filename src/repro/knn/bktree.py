@@ -21,8 +21,11 @@ Item = TypeVar("Item")
 Metric = Callable[[Item, Item], float]
 
 
-def _default_metric(a: TokenizedString, b: TokenizedString) -> int:
-    return sld(a, b)
+def _default_metric(backend: str = "auto") -> Metric:
+    def metric(a: TokenizedString, b: TokenizedString) -> int:
+        return sld(a, b, backend=backend)
+
+    return metric
 
 
 class _Node(Generic[Item]):
@@ -44,10 +47,19 @@ class BKTree(Generic[Item]):
     ...     tree.add(tokenize(name))
     >>> [str(m) for m, d in tree.within(tokenize("barak obana"), 2)]
     ['barak obama', 'borak obama']
+
+    Parameters
+    ----------
+    metric:
+        Any integer-valued metric; defaults to SLD over tokenized strings.
+    backend:
+        Verification kernel for the default SLD metric (``"auto" | "dp" |
+        "bitparallel"``, see :mod:`repro.accel`); ignored when a custom
+        ``metric`` is supplied.
     """
 
-    def __init__(self, metric: Metric | None = None) -> None:
-        self.metric: Metric = metric or _default_metric
+    def __init__(self, metric: Metric | None = None, backend: str = "auto") -> None:
+        self.metric: Metric = metric or _default_metric(backend)
         self._root: _Node | None = None
         self._size = 0
         #: Distance evaluations performed by the last query.

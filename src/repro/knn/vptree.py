@@ -24,8 +24,11 @@ Item = TypeVar("Item")
 Metric = Callable[[Item, Item], float]
 
 
-def _default_metric(a: TokenizedString, b: TokenizedString) -> float:
-    return nsld(a, b)
+def _default_metric(backend: str = "auto") -> Metric:
+    def metric(a: TokenizedString, b: TokenizedString) -> float:
+        return nsld(a, b, backend=backend)
+
+    return metric
 
 
 class _Node(Generic[Item]):
@@ -50,6 +53,10 @@ class VPTree(Generic[Item]):
     seed:
         Vantage points are chosen randomly (a classic robust choice);
         the seed makes trees reproducible.
+    backend:
+        Verification kernel for the default NSLD metric (``"auto" | "dp"
+        | "bitparallel"``, see :mod:`repro.accel`); ignored when a custom
+        ``metric`` is supplied.
 
     Examples
     --------
@@ -65,8 +72,9 @@ class VPTree(Generic[Item]):
         items: Sequence[Item],
         metric: Metric | None = None,
         seed: int = 0,
+        backend: str = "auto",
     ) -> None:
-        self.metric: Metric = metric or _default_metric
+        self.metric: Metric = metric or _default_metric(backend)
         self._rng = random.Random(seed)
         self._size = len(items)
         self._root = self._build(list(items))

@@ -41,13 +41,15 @@ MetricWithin = Callable[..., float | None]
 
 
 def nsld_metric(a, b, ops=None) -> float:
-    """Default metric: NSLD over tokenized strings."""
-    return nsld(a, b, ops=ops)
+    """Default metric: NSLD over tokenized strings (fast-path backend;
+    byte-identical to the DP oracle -- see :mod:`repro.accel`)."""
+    return nsld(a, b, ops=ops, backend="auto")
 
 
 def nsld_metric_within(a, b, threshold, ops=None):
-    """Default thresholded metric: NSLD with the Lemma 6 shortcut."""
-    return nsld_within(a, b, threshold, ops=ops)
+    """Default thresholded metric: NSLD with the Lemma 6 shortcut
+    (fast-path backend; byte-identical to the DP oracle)."""
+    return nsld_within(a, b, threshold, ops=ops, backend="auto")
 
 
 @dataclass

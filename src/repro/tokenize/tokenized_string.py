@@ -5,17 +5,26 @@ tokens (Sec. II-A of the paper).  Duplicate tokens are permitted and
 significant: ``{"ann", "ann"}`` differs from ``{"ann"}``.
 
 The class is immutable and hashable so instances can be used as MapReduce
-keys and set members.  It caches the three statistics the TSJ filters need:
+keys and set members.  It caches the statistics the TSJ filters need:
 
 * ``aggregate_length`` -- ``L(x^t)``, the sum of token lengths;
 * ``token_count``      -- ``T(x^t)``, the number of tokens;
 * ``length_histogram`` -- a mapping ``token length -> multiplicity`` used by
   the distance-lower-bound filter (Sec. III-E.2).
+
+The multiset views (``length_histogram``, ``token_multiset``,
+``distinct_tokens``) are built lazily on first access and cached: the TSJ
+fan-out jobs touch every record once per pipeline stage, and rebuilding a
+Counter/frozenset per stage dominated their map-side allocation.
+``length_histogram`` returns a read-only mapping proxy over the cached
+dict; ``token_multiset`` hands out a cheap per-call copy of the cached
+Counter (so callers may still mutate their result, as before).
 """
 
 from __future__ import annotations
 
 from collections import Counter
+from types import MappingProxyType
 from typing import Iterable, Iterator, Mapping
 
 
@@ -35,7 +44,14 @@ class TokenizedString:
         would only distort ``T(.)``.
     """
 
-    __slots__ = ("_tokens", "_aggregate_length", "_hash")
+    __slots__ = (
+        "_tokens",
+        "_aggregate_length",
+        "_hash",
+        "_histogram",
+        "_multiset",
+        "_distinct",
+    )
 
     def __init__(self, tokens: Iterable[str] = ()) -> None:
         cleaned = sorted(token for token in tokens if token)
@@ -44,6 +60,10 @@ class TokenizedString:
             self, "_aggregate_length", sum(len(token) for token in cleaned)
         )
         object.__setattr__(self, "_hash", hash(self._tokens))
+        # Lazily-built cached views (see the module docstring).
+        object.__setattr__(self, "_histogram", None)
+        object.__setattr__(self, "_multiset", None)
+        object.__setattr__(self, "_distinct", None)
 
     # -- construction helpers -------------------------------------------------
 
@@ -79,17 +99,40 @@ class TokenizedString:
 
         TSJ ships this histogram with each tokenized-string id so reducers
         can compute SLD lower bounds without materialising the tokens
-        (Sec. III-E.2).
+        (Sec. III-E.2).  Cached after the first access and returned as a
+        read-only mapping proxy (mutation raises ``TypeError``).
         """
-        return dict(Counter(len(token) for token in self._tokens))
+        histogram = self._histogram
+        if histogram is None:
+            histogram = MappingProxyType(
+                dict(Counter(len(token) for token in self._tokens))
+            )
+            object.__setattr__(self, "_histogram", histogram)
+        return histogram
 
     def token_multiset(self) -> Counter:
-        """The tokens as a :class:`collections.Counter` multiset."""
-        return Counter(self._tokens)
+        """The tokens as a :class:`collections.Counter` multiset.
+
+        The Counter is built once and cached; each call returns a shallow
+        copy (``O(distinct tokens)``, no re-hashing of the token strings)
+        so callers may mutate their result safely.
+        """
+        multiset = self._multiset
+        if multiset is None:
+            multiset = Counter(self._tokens)
+            object.__setattr__(self, "_multiset", multiset)
+        return multiset.copy()
 
     def distinct_tokens(self) -> frozenset[str]:
-        """The distinct token values (multiplicity discarded)."""
-        return frozenset(self._tokens)
+        """The distinct token values (multiplicity discarded).
+
+        Cached after the first access (frozensets are immutable anyway).
+        """
+        distinct = self._distinct
+        if distinct is None:
+            distinct = frozenset(self._tokens)
+            object.__setattr__(self, "_distinct", distinct)
+        return distinct
 
     def __iter__(self) -> Iterator[str]:
         return iter(self._tokens)

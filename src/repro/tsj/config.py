@@ -12,12 +12,18 @@ All the knobs the paper's evaluation sweeps live here:
 * ``aligning`` -- ``HUNGARIAN`` verifies with the optimal token alignment;
   ``GREEDY`` is the greedy-token-aligning approximation (Sec. III-G.5).
 * ``dedup`` -- ``GROUP_ON_ONE`` vs ``GROUP_ON_BOTH`` (Sec. III-G.3).
+* ``verify_backend`` -- the edit-distance kernel behind verification:
+  ``"auto"`` (the default fast path), ``"dp"`` (the reference banded DP)
+  or ``"bitparallel"`` (see :mod:`repro.accel`).  All backends return
+  identical pair sets; only the cost-model ops accounting differs.
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+
+from repro.accel import BACKENDS
 
 
 class MatchingMode(str, enum.Enum):
@@ -72,12 +78,18 @@ class TSJConfig:
     frequency_mode: FrequencyMode = FrequencyMode.EXACT
     use_length_filter: bool = True
     use_histogram_filter: bool = True
+    verify_backend: str = "auto"
 
     def __post_init__(self) -> None:
         if not 0 <= self.threshold < 1:
             raise ValueError("NSLD threshold must be in [0, 1)")
         if self.max_token_frequency is not None and self.max_token_frequency < 1:
             raise ValueError("max_token_frequency must be positive (or None)")
+        if self.verify_backend not in BACKENDS:
+            raise ValueError(
+                f"verify_backend must be one of {BACKENDS}, "
+                f"got {self.verify_backend!r}"
+            )
         # Accept plain strings for ergonomics.
         object.__setattr__(self, "matching", MatchingMode(self.matching))
         object.__setattr__(self, "aligning", AligningMode(self.aligning))

@@ -213,7 +213,12 @@ class TSJ:
                 for token, _ in token_counts
                 if token not in frequent_tokens
             )
-            mass = MassJoin(engine, config.threshold, mode="nld")
+            mass = MassJoin(
+                engine,
+                config.threshold,
+                mode="nld",
+                backend=config.verify_backend,
+            )
             token_join = mass.self_join(token_space)
             stages.extend(token_join.pipeline.stages)
 
@@ -277,7 +282,9 @@ class TSJ:
         verify_input += [("rec", item) for item in tagged]
         verified = engine.run(
             VerifyJob(
-                config.threshold, greedy=config.aligning is AligningMode.GREEDY
+                config.threshold,
+                greedy=config.aligning is AligningMode.GREEDY,
+                backend=config.verify_backend,
             ),
             verify_input,
         )

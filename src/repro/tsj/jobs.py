@@ -396,9 +396,12 @@ class VerifyJob(MapReduceJob):
 
     name = "tsj-verify"
 
-    def __init__(self, threshold: float, greedy: bool) -> None:
+    def __init__(
+        self, threshold: float, greedy: bool, backend: str = "auto"
+    ) -> None:
         self.threshold = threshold
         self.greedy = greedy
+        self.backend = backend
 
     def map(self, record, ctx: MapReduceContext) -> Iterator:
         tag, payload = record
@@ -436,6 +439,7 @@ class VerifyJob(MapReduceJob):
                 self.threshold,
                 greedy=self.greedy,
                 ops=ctx.charge,
+                backend=self.backend,
             )
             if distance is not None:
                 ctx.count("similar-pairs")

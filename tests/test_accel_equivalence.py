@@ -1,0 +1,301 @@
+"""Property-style equivalence tests: accel backends vs the DP oracle.
+
+The contract of :mod:`repro.accel` is *exact* agreement with the classic
+DP reference (`levenshtein` / `levenshtein_within`) on every input --
+unicode, empty strings, and patterns crossing the 64-bit machine-word
+boundary included -- under every backend, batched or not.  These tests
+are the proof obligation; the kernels earn their keep in
+``benchmarks/bench_accel_backends.py``.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.accel import (
+    BACKENDS,
+    Vocab,
+    edit_distance,
+    edit_distance_bounded,
+    edit_distance_within,
+    myers_distance,
+    myers_within,
+    resolve_backend,
+    verify_pairs,
+)
+from repro.distances import (
+    levenshtein,
+    levenshtein_bounded,
+    levenshtein_within,
+    nld,
+    nld_within,
+    nsld,
+    nsld_within,
+)
+from repro.tokenize import TokenizedString
+from tests.conftest import short_strings
+
+pytestmark = pytest.mark.tier1
+
+#: Mixed alphabet: ASCII, accented latin-1, astral-adjacent symbols.
+UNICODE_ALPHABET = "ab α☃é"
+
+
+def unicode_strings(max_size: int = 12):
+    return st.text(alphabet=UNICODE_ALPHABET, min_size=0, max_size=max_size)
+
+
+def _mutate(rng: random.Random, s: str, edits: int) -> str:
+    out = list(s)
+    for _ in range(edits):
+        op = rng.choice("ids")
+        pos = rng.randrange(0, max(1, len(out)))
+        if op == "i":
+            out.insert(pos, rng.choice(UNICODE_ALPHABET))
+        elif out:
+            if op == "d":
+                del out[pos]
+            else:
+                out[pos] = rng.choice(UNICODE_ALPHABET)
+    return "".join(out)
+
+
+class TestMyersMatchesDp:
+    @given(unicode_strings(), unicode_strings())
+    def test_exact_distance(self, x, y):
+        assert myers_distance(x, y) == levenshtein(x, y)
+
+    @given(
+        unicode_strings(),
+        unicode_strings(),
+        st.integers(min_value=-1, max_value=12),
+    )
+    def test_thresholded(self, x, y, limit):
+        assert myers_within(x, y, limit) == levenshtein_within(x, y, limit)
+
+    def test_empty_cases(self):
+        assert myers_distance("", "") == 0
+        assert myers_distance("", "abc") == 3
+        assert myers_within("", "abc", 2) is None
+        assert myers_within("", "abc", 3) == 3
+
+    def test_crossing_the_word_boundary(self):
+        """Patterns of length 50-130 exercise multi-word bit vectors."""
+        rng = random.Random(7)
+        for _ in range(200):
+            n = rng.randrange(50, 130)
+            x = "".join(rng.choice(UNICODE_ALPHABET) for _ in range(n))
+            y = _mutate(rng, x, rng.randrange(0, 10))
+            assert myers_distance(x, y) == levenshtein(x, y)
+            limit = rng.randrange(0, 12)
+            assert myers_within(x, y, limit) == levenshtein_within(x, y, limit)
+
+    def test_exactly_64_and_65(self):
+        for m in (63, 64, 65, 128, 129):
+            x = "a" * m
+            y = "a" * (m - 1) + "b"
+            assert myers_distance(x, y) == levenshtein(x, y) == 1
+            assert myers_within(x, y, 0) is None
+            assert myers_within(x, y, 1) == 1
+
+
+class TestBoundedContract:
+    @given(
+        short_strings(),
+        short_strings(),
+        st.integers(min_value=0, max_value=10),
+    )
+    def test_bounded_is_capped_exact(self, x, y, limit):
+        """levenshtein_bounded == min(LD, limit + 1): misses are reported
+        as exactly limit + 1, never an arbitrary overshoot."""
+        assert levenshtein_bounded(x, y, limit) == min(levenshtein(x, y), limit + 1)
+
+    @given(
+        short_strings(),
+        short_strings(),
+        st.integers(min_value=0, max_value=10),
+    )
+    def test_bounded_every_backend(self, x, y, limit):
+        expected = min(levenshtein(x, y), limit + 1)
+        for backend in BACKENDS:
+            assert edit_distance_bounded(x, y, limit, backend=backend) == expected
+
+    def test_bounded_rejects_negative_limit(self):
+        with pytest.raises(ValueError):
+            levenshtein_bounded("a", "b", -1)
+        for backend in BACKENDS:
+            with pytest.raises(ValueError):
+                edit_distance_bounded("a", "b", -1, backend=backend)
+
+
+class TestBackendDispatch:
+    def test_auto_resolves_to_fast_path(self):
+        assert resolve_backend("auto") == "bitparallel"
+        assert resolve_backend("dp") == "dp"
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(ValueError):
+            resolve_backend("simd")
+
+    @given(unicode_strings(8), unicode_strings(8))
+    def test_edit_distance_every_backend(self, x, y):
+        expected = levenshtein(x, y)
+        for backend in BACKENDS:
+            assert edit_distance(x, y, backend=backend) == expected
+
+    @given(short_strings(), short_strings())
+    def test_nld_every_backend(self, x, y):
+        expected = nld(x, y)
+        for backend in BACKENDS:
+            assert nld(x, y, backend=backend) == expected
+
+    @given(
+        short_strings(),
+        short_strings(),
+        st.floats(min_value=0.0, max_value=0.5),
+    )
+    def test_nld_within_every_backend(self, x, y, threshold):
+        expected = nld_within(x, y, threshold)
+        for backend in BACKENDS:
+            assert nld_within(x, y, threshold, backend=backend) == expected
+
+    def test_nsld_every_backend(self):
+        x = TokenizedString(["chan", "kalan", "chan"])
+        y = TokenizedString(["chank", "alan"])
+        expected = nsld(x, y)
+        for backend in BACKENDS:
+            assert nsld(x, y, backend=backend) == expected
+            assert nsld_within(x, y, 0.5, backend=backend) == expected
+
+
+class TestVocab:
+    def test_interning_is_stable_and_dense(self):
+        vocab = Vocab()
+        ids = [vocab.intern(t) for t in ["ann", "bob", "ann", "cid"]]
+        assert ids == [0, 1, 0, 2]
+        assert vocab.token(1) == "bob"
+        assert len(vocab) == 3
+        assert "bob" in vocab and "dee" not in vocab
+
+    @given(st.lists(short_strings(6), min_size=2, max_size=6))
+    def test_interned_distances_match_oracle(self, tokens):
+        vocab = Vocab()
+        ids = vocab.intern_all(tokens)
+        for a, id_a in zip(tokens, ids):
+            for b, id_b in zip(tokens, ids):
+                assert vocab.distance(id_a, id_b) == levenshtein(a, b)
+                for limit in (0, 1, 3):
+                    assert vocab.distance_within(id_a, id_b, limit) == (
+                        levenshtein_within(a, b, limit)
+                    )
+
+    def test_cache_hits_on_repeats(self):
+        vocab = Vocab()
+        a, b = vocab.intern("kalan"), vocab.intern("alan")
+        assert vocab.distance(a, b) == 1
+        before = vocab.cache.hits
+        assert vocab.distance(a, b) == 1
+        assert vocab.cache.hits == before + 1
+
+    def test_cache_is_bounded(self):
+        vocab = Vocab(cache_size=4)
+        ids = vocab.intern_all(f"token{i}" for i in range(12))
+        for token_id in ids[1:]:
+            vocab.distance(ids[0], token_id)
+        assert len(vocab.cache) <= 4
+
+
+class TestVerifyPairsMatchesPerPair:
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        rng = random.Random(13)
+        strings = []
+        for _ in range(60):
+            n = rng.randrange(0, 70)
+            base = "".join(rng.choice(UNICODE_ALPHABET) for _ in range(n))
+            strings.append(base)
+            strings.append(_mutate(rng, base, rng.randrange(0, 4)))
+        pairs = [
+            (rng.randrange(len(strings)), rng.randrange(len(strings)))
+            for _ in range(400)
+        ]
+        # Force duplicate pairs through the memo path.
+        pairs.extend(pairs[:50])
+        return strings, pairs
+
+    @pytest.mark.parametrize("limit", [0, 2, 5])
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_every_backend(self, corpus, backend, limit):
+        strings, pairs = corpus
+        expected = [
+            levenshtein_within(strings[i], strings[j], limit) for i, j in pairs
+        ]
+        assert verify_pairs(pairs, strings, limit, backend=backend) == expected
+
+    def test_tiny_cache_still_exact(self, corpus):
+        strings, pairs = corpus
+        expected = verify_pairs(pairs, strings, 3, backend="dp")
+        assert verify_pairs(pairs, strings, 3, cache_size=2) == expected
+
+    def test_negative_limit_all_miss(self):
+        assert verify_pairs([(0, 1)], ["a", "b"], -1) == [None]
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_multiprocess_matches_serial(self, corpus, backend):
+        strings, pairs = corpus
+        serial = verify_pairs(pairs, strings, 2, backend=backend)
+        pooled = verify_pairs(
+            pairs, strings, 2, backend=backend, processes=2, chunk_size=64
+        )
+        assert pooled == serial
+
+    def test_ops_hook_charged_on_pool_path(self, corpus):
+        strings, pairs = corpus
+        units: list[int] = []
+        verify_pairs(
+            pairs, strings, 2, processes=2, chunk_size=64, ops=units.append
+        )
+        assert len(units) == 1 and units[0] > 0
+
+
+class TestOpsMetering:
+    def test_myers_charges_word_units(self):
+        counted = []
+        myers_distance("abcdefgh", "abcdefgx", ops=counted.append)
+        # Affix stripping leaves one column, one 64-bit word: one unit.
+        assert counted == [1]
+        counted = []
+        myers_distance("a" * 70, "b" * 70, ops=counted.append)
+        # 70 columns over a 70-char (2-word) pattern.
+        assert counted == [140]
+
+    def test_equal_strings_charge_one(self):
+        counted = []
+        myers_distance("same", "same", ops=counted.append)
+        assert counted == [1]
+        counted = []
+        myers_within("same", "same", 2, ops=counted.append)
+        assert counted == [1]
+
+    def test_length_gap_charges_one(self):
+        counted = []
+        assert myers_within("a", "aaaaaaaaaa", 3, ops=counted.append) is None
+        assert counted == [1]
+
+
+@settings(max_examples=30)
+@given(
+    st.lists(short_strings(10), min_size=2, max_size=8),
+    st.integers(min_value=0, max_value=4),
+)
+def test_verify_pairs_random_tables(strings, limit):
+    pairs = [(i, j) for i in range(len(strings)) for j in range(len(strings))]
+    expected = [
+        levenshtein_within(strings[i], strings[j], limit) for i, j in pairs
+    ]
+    for backend in BACKENDS:
+        assert verify_pairs(pairs, strings, limit, backend=backend) == expected

@@ -9,6 +9,9 @@ import pytest
 
 MODULES = [
     "repro.core.api",
+    "repro.accel.myers",
+    "repro.accel.vocab",
+    "repro.accel.verify",
     "repro.distances.levenshtein",
     "repro.distances.normalized",
     "repro.distances.assignment",
