@@ -13,6 +13,7 @@ Paper findings to reproduce in shape:
 from __future__ import annotations
 
 from conftest import (
+    BENCH_ENGINE,
     DEFAULT_MAX_FREQUENCY,
     DEFAULT_THRESHOLD,
     MACHINE_SWEEP,
@@ -31,12 +32,14 @@ def test_fig1_scalability(benchmark, scalability_corpus):
             threshold=DEFAULT_THRESHOLD,
             max_token_frequency=DEFAULT_MAX_FREQUENCY,
             dedup="one",
+            engine=BENCH_ENGINE,
         )
         both = run_tsj(
             records,
             threshold=DEFAULT_THRESHOLD,
             max_token_frequency=DEFAULT_MAX_FREQUENCY,
             dedup="both",
+            engine=BENCH_ENGINE,
         )
         return one, both
 

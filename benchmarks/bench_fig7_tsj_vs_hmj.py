@@ -14,6 +14,7 @@ findings to reproduce in shape:
 from __future__ import annotations
 
 from conftest import (
+    BENCH_ENGINE,
     DEFAULT_MAX_FREQUENCY,
     DEFAULT_THRESHOLD,
     MACHINE_SWEEP,
@@ -34,6 +35,7 @@ def test_fig7_tsj_vs_hmj(benchmark, scalability_corpus):
             records,
             threshold=DEFAULT_THRESHOLD,
             max_token_frequency=DEFAULT_MAX_FREQUENCY,
+            engine=BENCH_ENGINE,
         )
         engine = MapReduceEngine(ClusterConfig(n_machines=10))
         hmj = HMJ(engine, DEFAULT_THRESHOLD, seed=1).self_join(records)

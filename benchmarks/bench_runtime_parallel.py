@@ -1,0 +1,118 @@
+"""Wall-clock bench: serial vs parallel execution of an end-to-end join.
+
+Runs :func:`repro.core.nsld_join` over a 5,000-name corpus (scaled by
+``REPRO_BENCH_SCALE``) once under ``engine="serial"`` and once under
+``engine="parallel"``, checks the results are identical (pairs *and*
+simulated seconds -- the engines are provably equivalent, see
+``tests/runtime/test_parallel_engine.py``), and records the wall-clock
+of both runs plus the speedup.
+
+Unlike the simulated figures, this bench measures *real* seconds, so the
+numbers are machine-dependent: the committed
+``benchmarks/BENCH_runtime_baseline.json`` records the host it ran on
+(``cpus`` field).  On a single-CPU host the parallel engine falls back
+to the in-process path and the speedup is ~1x by construction; the >= 2x
+acceptance assertion therefore only arms when at least 4 CPUs are
+usable.
+
+Run as a pytest bench (``pytest benchmarks/bench_runtime_parallel.py``)
+or standalone (``PYTHONPATH=src python benchmarks/bench_runtime_parallel.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core import nsld_join
+from repro.data import evaluation_corpus
+from repro.runtime import available_cpus, shutdown_shared_pool
+
+_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+#: The acceptance workload: 5k names (ISSUE 2), scaled like the figures.
+CORPUS_SIZE = int(5000 * _SCALE)
+THRESHOLD = 0.1
+MAX_FREQUENCY = 1000
+
+#: Speedup the gate demands on hosts with >= 4 usable CPUs.  The
+#: acceptance bar is 2.0; CI overrides this down (see ci.yml) until a
+#: multi-core measurement is committed as the baseline, then ratchets it
+#: back up -- a hard wall-clock bar should be set from a recorded run,
+#: not guessed.
+MIN_SPEEDUP = float(os.environ.get("REPRO_RUNTIME_MIN_SPEEDUP", "2.0"))
+
+RESULTS_PATH = Path(__file__).parent / "results" / "BENCH_runtime.json"
+
+
+def _timed_join(names: list[str], engine: str):
+    start = time.perf_counter()
+    report = nsld_join(
+        names,
+        threshold=THRESHOLD,
+        max_token_frequency=MAX_FREQUENCY,
+        engine=engine,
+    )
+    return time.perf_counter() - start, report
+
+
+def run_bench() -> dict:
+    names, _ = evaluation_corpus(CORPUS_SIZE, seed=29)
+
+    serial_seconds, serial = _timed_join(names, "serial")
+    # A cold pool start is part of the parallel engine's real cost: tear
+    # down any pool a previous bench/test left behind before timing.
+    shutdown_shared_pool()
+    parallel_seconds, parallel = _timed_join(names, "parallel")
+
+    assert parallel.index_pairs == serial.index_pairs, (
+        "engines disagree on pairs"
+    )
+    assert parallel.simulated_seconds == serial.simulated_seconds, (
+        "engines disagree on simulated cost"
+    )
+
+    report = {
+        "workload": {
+            "corpus": CORPUS_SIZE,
+            "threshold": THRESHOLD,
+            "max_token_frequency": MAX_FREQUENCY,
+            "pairs": len(serial.index_pairs),
+        },
+        "cpus": available_cpus(),
+        "wall_seconds": {
+            "serial": round(serial_seconds, 3),
+            "parallel": round(parallel_seconds, 3),
+        },
+        "speedup": round(serial_seconds / parallel_seconds, 2),
+        "simulated_seconds": round(serial.simulated_seconds, 1),
+    }
+    RESULTS_PATH.parent.mkdir(exist_ok=True)
+    RESULTS_PATH.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    return report
+
+
+@pytest.mark.perf
+def test_runtime_parallel_speedup():
+    report = run_bench()
+    print("\n" + json.dumps(report, indent=2))
+    speedup = report["speedup"]
+    if report["cpus"] >= 4:
+        # The ISSUE 2 acceptance bar: >= 2x end-to-end on 4 cores
+        # (CI-tunable via REPRO_RUNTIME_MIN_SPEEDUP, see above).
+        assert speedup >= MIN_SPEEDUP, (
+            f"parallel engine only {speedup}x over serial "
+            f"(floor {MIN_SPEEDUP}x)"
+        )
+    else:
+        # Single/dual-CPU hosts: the parallel path must at least not
+        # collapse (the in-process fallback keeps it near 1x).
+        assert speedup > 0.5, f"parallel engine {speedup}x -- dispatch overrun"
+
+
+if __name__ == "__main__":
+    print(json.dumps(run_bench(), indent=2))

@@ -65,6 +65,12 @@ PAPER_COST = CostModel(
     per_shuffle_byte=2.2e-5,
 )
 
+#: Execution engine the figure benches run the pipeline under
+#: (``REPRO_BENCH_ENGINE`` overrides; ``serial`` keeps the committed
+#: tables tied to the reference oracle -- simulated curves are identical
+#: under every engine).
+BENCH_ENGINE = os.environ.get("REPRO_BENCH_ENGINE", "serial")
+
 RESULTS_DIR = Path(__file__).parent / "results"
 
 
@@ -114,14 +120,23 @@ def sweep_cache():
     return SweepCache()
 
 
-def run_tsj(records, n_machines=10, **config_kwargs):
-    """One TSJ run on a fresh simulated cluster."""
-    from repro.mapreduce import ClusterConfig, MapReduceEngine
+def run_tsj(records, n_machines=10, engine=None, **config_kwargs):
+    """One TSJ run on a fresh simulated cluster.
+
+    ``engine`` selects the execution runtime (``auto``/``serial``/
+    ``parallel``; see :mod:`repro.runtime`); it defaults to the
+    ``REPRO_BENCH_ENGINE`` environment variable, and to ``serial``
+    so the committed figure tables stay tied to the reference oracle.
+    Simulated seconds are engine-invariant either way.
+    """
+    from repro.mapreduce import ClusterConfig
+    from repro.runtime import create_engine
     from repro.tsj import TSJ, TSJConfig
 
-    engine = MapReduceEngine(ClusterConfig(n_machines=n_machines))
-    config = TSJConfig(**config_kwargs)
-    return TSJ(config, engine).self_join(records)
+    engine = engine or BENCH_ENGINE
+    mr_engine = create_engine(engine, ClusterConfig(n_machines=n_machines))
+    config = TSJConfig(engine=engine, **config_kwargs)
+    return TSJ(config, mr_engine).self_join(records)
 
 
 #: The three token matching/aligning variants of Sec. V-B.

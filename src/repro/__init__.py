@@ -20,6 +20,9 @@ Joining (Sec. III):
 Substrates and baselines:
 
 * :mod:`repro.mapreduce` -- the simulated MapReduce cluster.
+* :mod:`repro.runtime` -- the parallel execution engine and the shared
+  worker pool (``engine="auto"|"serial"|"parallel"`` everywhere
+  user-facing).
 * :mod:`repro.joins` -- PassJoin / PassJoinK / MassJoin / prefix-filter /
   Vernica string-join algorithms.
 * :mod:`repro.metricspace` -- ClusterJoin / MR-MAPSS / HMJ metric-space

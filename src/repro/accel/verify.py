@@ -6,10 +6,15 @@ that shape of work:
 
 * a bounded memoization cache collapses duplicate string pairs (the
   skewed-token case: hot tokens/records recur across candidate pairs);
-* an optional chunked ``multiprocessing`` executor spreads large batches
-  over worker processes (chunks amortise pickling; workers run the
+* an optional chunked executor spreads large batches over the shared
+  runtime worker pool (:mod:`repro.runtime.pool`) -- the same processes
+  the parallel MapReduce engine shuffles through, so verification never
+  respawns workers per job (chunks amortise pickling; workers run the
   bit-parallel kernel and report their work units back so the ``ops``
-  cost-model hook still sees the total).
+  cost-model hook still sees the total).  Calls arriving *inside* a pool
+  worker (e.g. a verify job reduced by the parallel engine) run the same
+  chunks sequentially instead -- same results, same ``ops`` metering, no
+  nested pool.
 
 Results are positionally aligned with the input pairs -- element ``k`` is
 the exact distance of ``pairs[k]`` when it is ``<= limit``, else ``None``
@@ -25,9 +30,12 @@ from typing import Mapping, Sequence
 import repro.accel as _accel
 from repro.accel.vocab import BoundedCache
 from repro.distances.levenshtein import OpsHook
+from repro.runtime.pool import in_worker_process, shared_pool
 
 
-def _verify_chunk(payload: tuple[list[tuple[str, str]], int, str]) -> tuple[list[int | None], int]:
+def _verify_chunk(
+    payload: tuple[list[tuple[str, str]], int, str],
+) -> tuple[list[int | None], int]:
     """Worker entry point: verify one chunk of string pairs.
 
     Returns the aligned results plus the total work units the kernels
@@ -85,9 +93,14 @@ def verify_pairs(
     backend:
         ``"auto" | "dp" | "bitparallel"`` (see :mod:`repro.accel`).
     processes:
-        ``None``/``0``/``1`` verifies in-process; larger values use a
-        process pool.  The pool path requires a fork/spawn-safe runtime
-        and charges ``ops`` with the workers' aggregated unit counts.
+        ``None``/``0``/``1`` verifies in-process; larger values fan the
+        chunks out over the shared runtime pool
+        (:func:`repro.runtime.pool.shared_pool`), which is reused across
+        calls and shared with the parallel MapReduce engine.  The pool
+        path requires a fork/spawn-safe runtime and charges ``ops`` with
+        the workers' aggregated unit counts; calls already inside a pool
+        worker run the identical chunked path sequentially (same results,
+        same metering, no nested pool).
     chunk_size:
         Pairs per worker task (amortises pickling; tune for batch size).
     cache_size:
@@ -117,9 +130,15 @@ def verify_pairs(
             (string_pairs[k : k + chunk_size], limit, backend)
             for k in range(0, len(string_pairs), chunk_size)
         ]
-        import multiprocessing
-
-        with multiprocessing.Pool(min(processes, len(chunks))) as pool:
+        if in_worker_process():
+            # Nested call inside a pool worker: no child pools allowed.
+            # Running the identical chunks sequentially keeps results AND
+            # ops metering byte-identical to the pooled execution, so
+            # simulated costs stay engine-invariant.
+            outcomes = [_verify_chunk(chunk) for chunk in chunks]
+        else:
+            # Never fork more persistent workers than there are chunks.
+            pool = shared_pool(min(processes, len(chunks)))
             outcomes = pool.map(_verify_chunk, chunks)
         results = list(itertools.chain.from_iterable(r for r, _ in outcomes))
         if ops is not None:

@@ -13,7 +13,12 @@ layer:
   Myers table, built lazily on first use;
 * :meth:`Vocab.distance` / :meth:`Vocab.distance_within` compute token
   LDs on interned ids through a bounded memoization cache, so the skewed
-  head of the distribution hits the cache instead of the kernel.
+  head of the distribution hits the cache instead of the kernel.  The
+  memo stores the kernel's metered work units next to each distance and
+  re-charges them on every hit, so the ``ops`` cost model sees the same
+  simulated work no matter how warm the cache is -- simulated costs are
+  byte-identical across repeated runs and across the serial/parallel
+  execution engines (the memo only saves *wall-clock*).
 
 :class:`BoundedCache` is a minimal FIFO-bounded map (insertion-ordered
 dict, evict-oldest) -- enough to bound memory on adversarial streams
@@ -143,8 +148,9 @@ class Vocab:
     def distance(self, id_a: int, id_b: int, ops: OpsHook = None) -> int:
         """Exact LD between two interned tokens, memoized.
 
-        A cache hit charges ``ops(1)`` -- the cost model's way of saying
-        the work was a table lookup, not a kernel run.
+        A cache hit re-charges the work units the kernel metered when the
+        pair was first computed, so the simulated cost of a verification
+        is independent of cache warmth (hits only save wall-clock).
         """
         if id_a == id_b:
             if ops is not None:
@@ -153,11 +159,20 @@ class Vocab:
         key = (id_a, id_b) if id_a < id_b else (id_b, id_a)
         cached = self._pair_cache.get(key)
         if cached is not None:
+            distance, units = cached
             if ops is not None:
-                ops(1)
-            return cached
-        distance = myers_distance(self._tokens[id_a], self._tokens[id_b], ops=ops)
-        self._pair_cache.put(key, distance)
+                ops(units)
+            return distance
+        units = 0
+
+        def meter(n: int) -> None:
+            nonlocal units
+            units += n
+
+        distance = myers_distance(self._tokens[id_a], self._tokens[id_b], ops=meter)
+        if ops is not None:
+            ops(units)
+        self._pair_cache.put(key, (distance, units))
         return distance
 
     def distance_within(
@@ -166,8 +181,10 @@ class Vocab:
         """Thresholded LD between interned tokens, memoized.
 
         The memo stores the *bounded* value ``min(LD, limit + 1)`` keyed by
-        ``(ids, limit)`` so different limits never alias; the precomputed
-        ``Peq`` table of the shorter token feeds the kernel directly.
+        ``(ids, limit)`` so different limits never alias, together with the
+        kernel's metered work units (re-charged on every hit, see
+        :meth:`distance`); the precomputed ``Peq`` table of the shorter
+        token feeds the kernel directly.
         """
         if limit < 0:
             return None
@@ -178,9 +195,16 @@ class Vocab:
         key = (id_a, id_b, limit) if id_a < id_b else (id_b, id_a, limit)
         cached = self._pair_cache.get(key)
         if cached is not None:
+            bounded, units = cached
             if ops is not None:
-                ops(1)
-            return None if cached > limit else cached
+                ops(units)
+            return None if bounded > limit else bounded
+        units = 0
+
+        def meter(n: int) -> None:
+            nonlocal units
+            units += n
+
         text_a, text_b = self._tokens[id_a], self._tokens[id_b]
         # Pattern is the shorter token so its cached masks serve the kernel.
         if len(text_a) < len(text_b):
@@ -190,9 +214,10 @@ class Vocab:
         peq, pattern_length = self.masks(pattern_id)
         if pattern_length == 0:
             distance = len(text) if len(text) <= limit else None
-            if ops is not None:
-                ops(1)
+            meter(1)
         else:
-            distance = myers_within_masks(peq, pattern_length, text, limit, ops=ops)
-        self._pair_cache.put(key, limit + 1 if distance is None else distance)
+            distance = myers_within_masks(peq, pattern_length, text, limit, ops=meter)
+        if ops is not None:
+            ops(units)
+        self._pair_cache.put(key, (limit + 1 if distance is None else distance, units))
         return distance

@@ -86,9 +86,7 @@ def tune_parameters(
             from repro.tsj import TSJ, TSJConfig
 
             engine = MapReduceEngine(ClusterConfig(n_machines=4))
-            config = TSJConfig(
-                threshold=threshold, max_token_frequency=max_frequency
-            )
+            config = TSJConfig(threshold=threshold, max_token_frequency=max_frequency)
             return TSJ(config, engine).self_join(records).pairs
 
     cache: dict[tuple[float, int | None], float] = {}
@@ -103,9 +101,7 @@ def tune_parameters(
             trace.append((threshold, max_frequency, cache[key]))
         return cache[key]
 
-    best_threshold = min(
-        threshold_grid, key=lambda t: abs(t - start[0])
-    )
+    best_threshold = min(threshold_grid, key=lambda t: abs(t - start[0]))
     best_frequency = start[1] if start[1] in frequency_grid else frequency_grid[-1]
     best_score = score(best_threshold, best_frequency)
 

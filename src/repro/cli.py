@@ -26,6 +26,7 @@ from repro.analysis import auc, roc_curve
 from repro.core import compare_names, nsld_join
 from repro.data import evaluation_corpus, name_change_dataset
 from repro.distances import fuzzy_cosine, fuzzy_dice, fuzzy_jaccard
+from repro.runtime import ENGINES
 from repro.tokenize import tokenize
 
 
@@ -36,6 +37,17 @@ def _add_backend_argument(parser: argparse.ArgumentParser) -> None:
         default="auto",
         help="edit-distance verification kernel (auto = fast path, "
         "dp = reference dynamic program)",
+    )
+
+
+def _add_engine_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--engine",
+        choices=list(ENGINES),
+        default="auto",
+        help="execution engine for the MapReduce pipeline (auto = parallel "
+        "over the shared worker pool when multiple CPUs are usable, "
+        "serial = the deterministic reference engine)",
     )
 
 
@@ -64,6 +76,7 @@ def _cmd_join(args: argparse.Namespace) -> int:
         matching=args.matching,
         aligning=args.aligning,
         verify_backend=args.backend,
+        engine=args.engine,
     )
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
@@ -123,13 +136,7 @@ def _cmd_tune(args: argparse.Namespace) -> int:
         args.background, args.rings, args.ring_size, seed=args.seed
     )
     records = [tokenize(name) for name in names]
-    truth = {
-        (a, b)
-        for ring in rings
-        for a in ring
-        for b in ring
-        if a < b
-    }
+    truth = {(a, b) for ring in rings for a in ring for b in ring if a < b}
     result = tune_parameters(records, truth, beta=args.beta)
     print(
         f"best: T = {result.threshold}, M = {result.max_token_frequency}, "
@@ -167,6 +174,7 @@ def build_parser() -> argparse.ArgumentParser:
     join.add_argument("--limit", type=int, default=50)
     join.add_argument("--output", help="also write all pairs to a TSV file")
     _add_backend_argument(join)
+    _add_engine_argument(join)
     join.set_defaults(func=_cmd_join)
 
     compare = sub.add_parser("compare", help="NSLD between two names")

@@ -12,7 +12,8 @@ from typing import Sequence
 
 from repro.analysis.graphs import cluster_pairs
 from repro.distances import nsld
-from repro.mapreduce import ClusterConfig, MapReduceEngine
+from repro.mapreduce import ClusterConfig
+from repro.runtime import create_engine
 from repro.tokenize import Tokenizer
 from repro.tsj import TSJ, TSJConfig
 
@@ -37,6 +38,7 @@ def nsld_join(
     max_token_frequency: int | None = 1000,
     n_machines: int = 10,
     tokenizer: Tokenizer | None = None,
+    engine: str = "auto",
     **config_overrides,
 ) -> JoinReport:
     """Self-join raw name strings under NSLD with the TSJ framework.
@@ -53,6 +55,12 @@ def nsld_join(
         Simulated cluster size.
     tokenizer:
         Defaults to whitespace+punctuation with case folding.
+    engine:
+        Execution engine for the pipeline's MapReduce jobs: ``"auto"``
+        (parallel over the shared worker pool when multiple CPUs are
+        usable), ``"serial"`` or ``"parallel"`` (see
+        :mod:`repro.runtime`).  Pairs and simulated seconds are
+        identical under every engine; only wall-clock changes.
     config_overrides:
         Any further :class:`repro.tsj.TSJConfig` field (``matching``,
         ``aligning``, ``dedup``, ``verify_backend``, ...).
@@ -69,10 +77,11 @@ def nsld_join(
     config = TSJConfig(
         threshold=threshold,
         max_token_frequency=max_token_frequency,
+        engine=engine,
         **config_overrides,
     )
-    engine = MapReduceEngine(ClusterConfig(n_machines=n_machines))
-    result = TSJ(config, engine).self_join(records)
+    mr_engine = create_engine(engine, ClusterConfig(n_machines=n_machines))
+    result = TSJ(config, mr_engine).self_join(records)
 
     named_pairs = sorted(
         (
@@ -112,6 +121,4 @@ def compare_names(
     0.182
     """
     tokenizer = tokenizer or Tokenizer()
-    return nsld(
-        tokenizer.tokenize(name_a), tokenizer.tokenize(name_b), backend=backend
-    )
+    return nsld(tokenizer.tokenize(name_a), tokenizer.tokenize(name_b), backend=backend)

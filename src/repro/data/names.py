@@ -113,9 +113,7 @@ def synthesize_surnames(count: int) -> list[str]:
                     return names
                 names.append(prefix + middle + suffix)
     if len(names) < count:
-        raise ValueError(
-            f"cannot synthesise {count} surnames (max {len(names)})"
-        )
+        raise ValueError(f"cannot synthesise {count} surnames (max {len(names)})")
     return names
 
 

@@ -29,6 +29,14 @@ equivalent and what the join layers default to.  The accelerated kernels
 and the batched :func:`verify_pairs` API are re-exported here.
 """
 
+from repro.accel import (
+    Vocab,
+    edit_distance,
+    edit_distance_within,
+    myers_distance,
+    myers_within,
+    verify_pairs,
+)
 from repro.distances.assignment import (
     greedy_assignment,
     hungarian,
@@ -40,14 +48,6 @@ from repro.distances.fuzzy_set_measures import (
     fuzzy_jaccard,
     fuzzy_overlap,
     soft_tfidf,
-)
-from repro.accel import (
-    Vocab,
-    edit_distance,
-    edit_distance_within,
-    myers_distance,
-    myers_within,
-    verify_pairs,
 )
 from repro.distances.jaro import jaro, jaro_winkler
 from repro.distances.levenshtein import (

@@ -124,9 +124,7 @@ def afms(
             if token_u == token_v:
                 best = 0.0
                 break
-            candidate = weight_u * levenshtein(token_u, token_v) / max(
-                len(token_u), 1
-            )
+            candidate = weight_u * levenshtein(token_u, token_v) / max(len(token_u), 1)
             if candidate < best:
                 best = candidate
         cost += best

@@ -68,7 +68,9 @@ def jaro(x: str, y: str) -> float:
     return (m / len(x) + m / len(y) + (m - transpositions) / m) / 3.0
 
 
-def jaro_winkler(x: str, y: str, prefix_scale: float = 0.1, max_prefix: int = 4) -> float:
+def jaro_winkler(
+    x: str, y: str, prefix_scale: float = 0.1, max_prefix: int = 4
+) -> float:
     """Jaro-Winkler similarity: Jaro boosted for common prefixes.
 
     ``JW = J + len(common prefix, capped) * prefix_scale * (1 - J)``.

@@ -310,9 +310,7 @@ def sld_lower_bound_from_histograms(
         # orientations of the lemma apply and we may take the stronger one.
         lemma10 = min_ld_exceeding_for_shorter(threshold, longer) + 1
         if len_a != len_b:
-            lemma10 = max(
-                lemma10, min_ld_exceeding_for_longer(threshold, shorter) + 1
-            )
+            lemma10 = max(lemma10, min_ld_exceeding_for_longer(threshold, shorter) + 1)
         return max(longer - shorter, lemma10)
 
     def side_bound(

@@ -17,19 +17,19 @@
 
 from repro.joins.massjoin import MassJoin
 from repro.joins.mgjoin import mgjoin_jaccard_self_join
-from repro.joins.passjoin_kmr import PassJoinKMR
-from repro.joins.qgram import qgram_ld_self_join
 from repro.joins.naive import (
-    naive_nsld_join,
     naive_ld_join,
     naive_ld_self_join,
     naive_nld_join,
     naive_nld_self_join,
+    naive_nsld_join,
     naive_nsld_self_join,
 )
 from repro.joins.passjoin import PassJoin, even_partition, passjoin_nld_self_join
 from repro.joins.passjoin_k import PassJoinK
+from repro.joins.passjoin_kmr import PassJoinKMR
 from repro.joins.prefix_filter import prefix_filter_jaccard_self_join
+from repro.joins.qgram import qgram_ld_self_join
 from repro.joins.vernica import VernicaJoin
 
 __all__ = [

@@ -285,7 +285,8 @@ def passjoin_nld_self_join(
         for candidate in candidates:
             if candidate == identifier:
                 continue
-            if nld_within(strings[candidate], s, threshold, backend=backend) is not None:
+            within = nld_within(strings[candidate], s, threshold, backend=backend)
+            if within is not None:
                 results.add(tuple(sorted((candidate, identifier))))
         # ---- index s for longer probes to find ----------------------------
         u_index = max_ld_for_longer(threshold, probe_length)

@@ -69,9 +69,7 @@ class PassJoinK:
                     lo = max(0, p_i - u)
                     hi = min(probe_length - size, p_i + u)
                     for start in range(lo, hi + 1):
-                        found = index.get(
-                            (i, indexed_length, s[start : start + size])
-                        )
+                        found = index.get((i, indexed_length, s[start : start + size]))
                         if found:
                             for candidate in found:
                                 matched[candidate].add(i)

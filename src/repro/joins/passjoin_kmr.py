@@ -195,9 +195,7 @@ class PassJoinKMR:
         engine = self.engine
         records = list(enumerate(strings))
 
-        hits = engine.run(
-            _SignatureJob(self.threshold, self.k_signatures), records
-        )
+        hits = engine.run(_SignatureJob(self.threshold, self.k_signatures), records)
         counted = engine.run(_CountJob(self.k_signatures), hits.outputs)
         resolve_input = [("pair", pair) for pair in counted.outputs]
         resolve_input += [("string", record) for record in records]

@@ -48,9 +48,7 @@ def estimate_size(value: object) -> int:
     if isinstance(value, (tuple, list, set, frozenset)):
         return 4 + sum(estimate_size(item) for item in value)
     if isinstance(value, dict):
-        return 4 + sum(
-            estimate_size(k) + estimate_size(v) for k, v in value.items()
-        )
+        return 4 + sum(estimate_size(k) + estimate_size(v) for k, v in value.items())
     return 16
 
 
@@ -233,9 +231,7 @@ class JobMetrics:
         1.0 is perfectly balanced.  The metric the paper's load-balancing
         discussion (grouping strategies, dropping popular tokens) is about.
         """
-        loads = [
-            r + t for r, t in zip(self.reduce_records, self.reduce_tasks)
-        ]
+        loads = [r + t for r, t in zip(self.reduce_records, self.reduce_tasks)]
         total = sum(loads)
         if total == 0:
             return 1.0

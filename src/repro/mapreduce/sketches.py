@@ -109,9 +109,7 @@ class SpaceSaving:
         combined_errors: dict[str, int] = dict(self._errors)
         for item, count in other._counts.items():
             combined_counts[item] = combined_counts.get(item, 0) + count
-            combined_errors[item] = combined_errors.get(item, 0) + other._errors[
-                item
-            ]
+            combined_errors[item] = combined_errors.get(item, 0) + other._errors[item]
         keep = sorted(
             combined_counts, key=lambda key: (-combined_counts[key], key)
         )[: self.capacity]

@@ -27,8 +27,8 @@ from typing import Iterator, Sequence
 
 from repro.mapreduce import (
     MapReduceContext,
-    MapReduceJob,
     MapReduceEngine,
+    MapReduceJob,
     PipelineResult,
 )
 from repro.metricspace.clusterjoin import (

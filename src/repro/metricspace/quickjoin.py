@@ -16,7 +16,7 @@ MR-MAPSS / HMJ and cross-checked against them in tests.
 from __future__ import annotations
 
 import random
-from typing import Callable, Sequence
+from typing import Sequence
 
 from repro.metricspace.clusterjoin import (
     Metric,
@@ -75,9 +75,7 @@ class QuickJoin:
                 if pair in distances:
                     continue
                 self.last_join_evaluations += 1
-                distance = self.metric_within(
-                    value_a, value_b, self.threshold, None
-                )
+                distance = self.metric_within(value_a, value_b, self.threshold, None)
                 if distance is not None:
                     results.add(pair)
                     distances[pair] = distance
@@ -97,9 +95,7 @@ class QuickJoin:
                 if pair in distances:
                     continue
                 self.last_join_evaluations += 1
-                distance = self.metric_within(
-                    value_a, value_b, self.threshold, None
-                )
+                distance = self.metric_within(value_a, value_b, self.threshold, None)
                 if distance is not None:
                     results.add(pair)
                     distances[pair] = distance

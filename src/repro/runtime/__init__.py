@@ -1,0 +1,109 @@
+"""Execution runtime: parallel engines and the shared worker pool.
+
+The paper's scalability claims are about real clusters; the simulated
+:class:`repro.mapreduce.MapReduceEngine` is single-threaded by design so
+its metered costs stay deterministic.  This package adds the execution
+layer that actually uses the machine's cores **without** giving up that
+determinism:
+
+* :mod:`repro.runtime.pool` -- one process-wide worker pool shared by
+  the parallel engine and :func:`repro.accel.verify_pairs`, so shuffle
+  workers and verification workers are the same processes;
+* :mod:`repro.runtime.parallel` -- :class:`ParallelMapReduceEngine`,
+  which shards map/combine/shuffle/reduce across the pool and merges
+  per-worker :class:`JobMetrics` back into results that compare equal
+  to a serial run.
+
+Engine selection
+----------------
+
+Everything user-facing accepts ``engine``, mirroring PR 1's verification
+``backend`` selector:
+
+* ``"serial"``   -- the deterministic reference engine (the oracle);
+* ``"parallel"`` -- the multiprocessing engine;
+* ``"auto"``     -- ``"parallel"`` when more than one CPU is usable and
+  the platform forks workers by default (Linux), else ``"serial"``; the
+  conservative choice keeps unguarded scripts safe on spawn platforms
+  (macOS/Windows), where ``"parallel"`` can still be requested
+  explicitly under the standard ``__main__`` guard.  The default
+  everywhere user-facing.
+
+Both engines return identical outputs and identical metrics (property-
+tested in ``tests/runtime/test_parallel_engine.py``), so the selector is
+purely a wall-clock knob: simulated seconds never change.  Future native
+kernels and true sharded deployments slot in behind the same selector.
+"""
+
+from __future__ import annotations
+
+from repro.mapreduce.cluster import ClusterConfig
+from repro.mapreduce.engine import MapReduceEngine
+from repro.runtime.parallel import (
+    DEFAULT_MIN_PARALLEL_RECORDS,
+    ParallelMapReduceEngine,
+)
+from repro.runtime.pool import (
+    available_cpus,
+    default_worker_count,
+    fork_is_default,
+    in_worker_process,
+    shared_pool,
+    shared_pool_size,
+    shutdown_shared_pool,
+)
+
+#: The accepted engine selectors, in documentation order.
+ENGINES = ("auto", "serial", "parallel")
+
+
+def resolve_engine(engine: str) -> str:
+    """Normalise an engine selector to ``"serial"`` or ``"parallel"``.
+
+    ``"auto"`` picks ``"parallel"`` when more than one CPU is usable and
+    the platform defaults to ``fork`` worker start-up, ``"serial"``
+    otherwise; unknown names raise.
+    """
+    if engine == "auto":
+        parallel = default_worker_count() > 1 and fork_is_default()
+        return "parallel" if parallel else "serial"
+    if engine in ("serial", "parallel"):
+        return engine
+    raise ValueError(f"unknown execution engine {engine!r}; expected one of {ENGINES}")
+
+
+def create_engine(
+    engine: str = "auto",
+    config: ClusterConfig | None = None,
+    processes: int | None = None,
+) -> MapReduceEngine:
+    """Build the MapReduce engine named by ``engine``.
+
+    Parameters
+    ----------
+    engine:
+        ``"auto" | "serial" | "parallel"`` (see :func:`resolve_engine`).
+    config:
+        Simulated cluster configuration for the engine.
+    processes:
+        OS worker processes for the parallel engine (``None`` = CPU
+        count); ignored by the serial engine.
+    """
+    if resolve_engine(engine) == "serial":
+        return MapReduceEngine(config)
+    return ParallelMapReduceEngine(config, processes=processes)
+
+
+__all__ = [
+    "DEFAULT_MIN_PARALLEL_RECORDS",
+    "ENGINES",
+    "ParallelMapReduceEngine",
+    "available_cpus",
+    "create_engine",
+    "default_worker_count",
+    "in_worker_process",
+    "resolve_engine",
+    "shared_pool",
+    "shared_pool_size",
+    "shutdown_shared_pool",
+]

@@ -1,0 +1,305 @@
+"""A parallel executor for the simulated MapReduce cluster.
+
+:class:`ParallelMapReduceEngine` runs the same jobs as the serial
+:class:`repro.mapreduce.engine.MapReduceEngine`, but spreads the work
+over OS processes from the shared runtime pool
+(:mod:`repro.runtime.pool`):
+
+* the **map phase** shards input records across workers along the
+  simulated-mapper assignment (record ``index % n_machines``), so each
+  simulated mapper -- and therefore each combiner buffer -- lives whole
+  inside one worker;
+* the **shuffle** is a real partitioned exchange: workers emit
+  ``(key, value)`` pairs tagged with their position in the serial
+  emission order, the parent merges the per-worker partitions and
+  regroups values per key exactly as the serial engine's hash shuffle
+  (``stable_hash(key) % n_machines``) would;
+* the **reduce phase** shards reduce keys across workers along the
+  simulated-reducer assignment, and the parent reassembles outputs in
+  the serial engine's group order.
+
+The emission-order tags are what makes the engine *provably* equivalent
+rather than merely equivalent-up-to-reordering: outputs come back in the
+identical list order, and the merged :class:`JobMetrics` -- per-machine
+records, ops, shuffle bytes, task counts, ledgers, counters -- compare
+equal (``==``) to a serial run, so every simulated runtime and every
+``rebin`` sweep is byte-identical regardless of how many OS workers ran
+the job.  The serial engine stays the oracle;
+``tests/runtime/test_parallel_engine.py`` property-tests the equivalence
+across worker counts.
+
+Small inputs fall back to the serial path in-process (parallelism only
+pays past ``min_parallel_records``), so the engine is safe as a default
+even for tiny workloads.
+"""
+
+from __future__ import annotations
+
+from itertools import chain
+from typing import Any, Iterable
+
+from repro.mapreduce.cluster import ClusterConfig
+from repro.mapreduce.engine import (
+    JobMetrics,
+    JobResult,
+    MapReduceContext,
+    MapReduceEngine,
+    MapReduceJob,
+    estimate_size,
+)
+from repro.mapreduce.hashing import stable_hash
+from repro.runtime.pool import (
+    default_worker_count,
+    in_worker_process,
+    shared_pool,
+)
+
+#: Below this many input records a job runs serially in-process: pool
+#: dispatch and pickling would dominate any fan-out win.
+DEFAULT_MIN_PARALLEL_RECORDS = 1024
+
+#: An emission-order tag: ``(record_index, seq)`` without a combiner,
+#: ``(simulated_mapper, seq)`` with one.  Tags sort in the serial
+#: engine's global shuffle-emission order in both cases.
+_Tag = tuple[int, int]
+
+
+def _run_map_shard(
+    payload: tuple[MapReduceJob, int, list[tuple[int, Any]]],
+) -> dict[str, Any]:
+    """Worker entry point: map (and combine) one shard of input records.
+
+    The shard holds ``(index, record)`` pairs for complete simulated
+    mappers, in input order.  Returns per-mapper metrics plus the
+    worker's shuffle partition: for every key, the shuffled bytes, the
+    first-emission tag, and the tagged values.
+    """
+    job, n_machines, shard = payload
+    ctx = MapReduceContext()
+    map_records: dict[int, int] = {}
+    map_ops: dict[int, int] = {}
+    combine_ops: dict[int, int] = {}
+    ledger: list[tuple[int, int]] = []
+    output_pairs = 0
+    #: key -> [shuffle_bytes, first_tag, [(tag, value), ...]]
+    partition: dict[Any, list] = {}
+
+    phase_ops = 0
+
+    def sink(ops: int) -> None:
+        nonlocal phase_ops
+        phase_ops += ops
+
+    ctx._bind(sink)
+
+    def emit(key: Any, value: Any, tag: _Tag) -> None:
+        nbytes = estimate_size(key) + estimate_size(value)
+        entry = partition.get(key)
+        if entry is None:
+            partition[key] = [nbytes, tag, [(tag, value)]]
+        else:
+            entry[0] += nbytes
+            entry[2].append((tag, value))
+
+    use_combiner = job.has_combiner
+    buffers: dict[int, dict[Any, list[Any]]] = {}
+
+    for index, record in shard:
+        mapper = index % n_machines
+        map_records[mapper] = map_records.get(mapper, 0) + 1
+        phase_ops = 0
+        seq = 0
+        for key, value in job.map(record, ctx):
+            output_pairs += 1
+            if use_combiner:
+                buffers.setdefault(mapper, {}).setdefault(key, []).append(value)
+            else:
+                emit(key, value, (index, seq))
+            seq += 1
+        map_ops[mapper] = map_ops.get(mapper, 0) + phase_ops
+        ledger.append((index, phase_ops))
+
+    if use_combiner:
+        for mapper in sorted(buffers):
+            phase_ops = 0
+            seq = 0
+            for key, values in buffers[mapper].items():
+                combined = job.combine(key, values, ctx)
+                for value in combined if combined is not None else values:
+                    emit(key, value, (mapper, seq))
+                    seq += 1
+            combine_ops[mapper] = combine_ops.get(mapper, 0) + phase_ops
+
+    return {
+        "map_records": map_records,
+        "map_ops": map_ops,
+        "combine_ops": combine_ops,
+        "ledger": ledger,
+        "output_pairs": output_pairs,
+        "counters": ctx.counters,
+        "partition": partition,
+    }
+
+
+def _run_reduce_shard(
+    payload: tuple[MapReduceJob, list[tuple[Any, list[Any]]]],
+) -> tuple[dict[Any, tuple[list[Any], int, int]], dict[str, int]]:
+    """Worker entry point: reduce the groups of one shard of keys.
+
+    Returns ``key -> (outputs, ops, n_values)`` plus the worker's
+    counters; values arrive already merged in serial order.
+    """
+    job, groups = payload
+    ctx = MapReduceContext()
+    group_ops = 0
+
+    def sink(ops: int) -> None:
+        nonlocal group_ops
+        group_ops += ops
+
+    ctx._bind(sink)
+    results: dict[Any, tuple[list[Any], int, int]] = {}
+    for key, values in groups:
+        group_ops = 0
+        outputs = list(job.reduce(key, values, ctx))
+        results[key] = (outputs, group_ops, len(values))
+    return results, ctx.counters
+
+
+def _merge_counters(target: dict[str, int], part: dict[str, int]) -> None:
+    for name, value in part.items():
+        target[name] = target.get(name, 0) + value
+
+
+class ParallelMapReduceEngine(MapReduceEngine):
+    """Executes jobs over worker processes; results equal the serial engine.
+
+    Parameters
+    ----------
+    config:
+        The simulated cluster (machine count, cost model) -- the same
+        meaning as for :class:`MapReduceEngine`; the *simulated* size is
+        independent of how many OS workers execute the job.
+    processes:
+        OS worker processes to fan out over; ``None`` means one per
+        usable CPU.  The workers come from the shared runtime pool and
+        are reused across jobs (and by ``verify_pairs``).
+    min_parallel_records:
+        Inputs smaller than this run serially in-process (identical
+        results either way; pure dispatch-overhead heuristic).
+    """
+
+    def __init__(
+        self,
+        config: ClusterConfig | None = None,
+        processes: int | None = None,
+        min_parallel_records: int = DEFAULT_MIN_PARALLEL_RECORDS,
+    ) -> None:
+        super().__init__(config)
+        self.processes = processes
+        self.min_parallel_records = min_parallel_records
+
+    def run(self, job: MapReduceJob, records: Iterable[Any]) -> JobResult:
+        records = list(records)
+        n = self.n_machines
+        workers = self.processes or default_worker_count()
+        n_shards = min(workers, n, len(records))
+        if (
+            n_shards <= 1
+            or len(records) < self.min_parallel_records
+            # Pool workers are daemonic and cannot fan out further; a job
+            # running inside one (nested engines) falls back to serial.
+            or in_worker_process()
+        ):
+            return super().run(job, records)
+        # At most n_shards workers ever receive tasks; don't fork more.
+        pool = shared_pool(n_shards)
+
+        # ---- map phase: shard whole simulated mappers across workers ------
+        shards: list[list[tuple[int, Any]]] = [[] for _ in range(n_shards)]
+        for index, record in enumerate(records):
+            shards[(index % n) % n_shards].append((index, record))
+        map_parts = pool.map(
+            _run_map_shard,
+            [(job, n, shard) for shard in shards if shard],
+        )
+
+        metrics = JobMetrics(name=job.name, n_machines=n)
+        metrics.map_records = [0] * n
+        metrics.map_ops = [0] * n
+        metrics.shuffle_bytes = [0] * n
+        metrics.reduce_records = [0] * n
+        metrics.reduce_ops = [0] * n
+        metrics.reduce_tasks = [0] * n
+        counters: dict[str, int] = {}
+
+        ledger_entries: list[tuple[int, int]] = []
+        #: key -> [shuffle_bytes, first_tag, [tagged value lists, per worker]]
+        key_info: dict[Any, list] = {}
+        for part in map_parts:
+            for mapper, count in part["map_records"].items():
+                metrics.map_records[mapper] += count
+            for mapper, ops in part["map_ops"].items():
+                metrics.map_ops[mapper] += ops
+            for mapper, ops in part["combine_ops"].items():
+                metrics.map_ops[mapper] += ops
+                metrics.combine_ops_total += ops
+            metrics.map_output_pairs += part["output_pairs"]
+            ledger_entries.extend(part["ledger"])
+            _merge_counters(counters, part["counters"])
+            for key, (nbytes, first, tagged) in part["partition"].items():
+                entry = key_info.get(key)
+                if entry is None:
+                    key_info[key] = [nbytes, first, [tagged]]
+                else:
+                    entry[0] += nbytes
+                    if first < entry[1]:
+                        entry[1] = first
+                    entry[2].append(tagged)
+        ledger_entries.sort()
+        metrics.map_ledger = [ops for _, ops in ledger_entries]
+
+        # ---- shuffle merge: regroup in serial emission order ---------------
+        ordered_keys = sorted(key_info, key=lambda key: key_info[key][1])
+        destinations: dict[Any, int] = {}
+        groups: dict[Any, list[Any]] = {}
+        for key in ordered_keys:
+            nbytes, _, tagged_lists = key_info[key]
+            if len(tagged_lists) == 1:
+                tagged = tagged_lists[0]
+            else:
+                tagged = sorted(chain(*tagged_lists), key=lambda tv: tv[0])
+            groups[key] = [value for _, value in tagged]
+            destination = stable_hash(key) % n
+            destinations[key] = destination
+            metrics.shuffle_bytes[destination] += nbytes
+            metrics.reduce_ledger[key] = [0, 0, nbytes]
+
+        # ---- reduce phase: shard whole simulated reducers across workers --
+        reduce_shards: list[list[tuple[Any, list[Any]]]] = [[] for _ in range(n_shards)]
+        for key in ordered_keys:
+            reduce_shards[destinations[key] % n_shards].append((key, groups[key]))
+        reduce_parts = pool.map(
+            _run_reduce_shard,
+            [(job, shard) for shard in reduce_shards if shard],
+        )
+        results_by_key: dict[Any, tuple[list[Any], int, int]] = {}
+        for results, part_counters in reduce_parts:
+            results_by_key.update(results)
+            _merge_counters(counters, part_counters)
+
+        outputs: list[Any] = []
+        for key in ordered_keys:
+            key_outputs, group_ops, n_values = results_by_key[key]
+            reducer = destinations[key]
+            metrics.reduce_tasks[reducer] += 1
+            metrics.reduce_records[reducer] += n_values
+            metrics.reduce_ops[reducer] += group_ops
+            ledger = metrics.reduce_ledger[key]
+            ledger[0] += n_values
+            ledger[1] += group_ops
+            outputs.extend(key_outputs)
+
+        metrics.output_records = len(outputs)
+        metrics.counters = counters
+        return JobResult(outputs=outputs, metrics=metrics)

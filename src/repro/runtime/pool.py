@@ -1,0 +1,109 @@
+"""The shared worker pool behind every multiprocessing fast path.
+
+PR 1's batched verification (:func:`repro.accel.verify_pairs`) and the
+parallel MapReduce engine (:mod:`repro.runtime.parallel`) both fan work
+out over OS processes.  Spawning a fresh ``multiprocessing.Pool`` per
+call would pay fork + import costs on every job of a TSJ pipeline (ten
+jobs per join), so this module keeps **one** process-wide pool that all
+runtime layers share: shuffle workers and verification workers are the
+same processes.
+
+The pool is created lazily on first use, grows (by replacement) when a
+caller asks for more workers than it has, and is torn down at interpreter
+exit.  Pool worker processes are daemonic and must not create pools of
+their own; :func:`in_worker_process` lets callers detect that situation
+and fall back to in-process execution instead of crashing.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import multiprocessing.pool
+import os
+
+_POOL: multiprocessing.pool.Pool | None = None
+_POOL_SIZE: int = 0
+
+
+def available_cpus() -> int:
+    """CPUs usable by this process (affinity-aware, always >= 1)."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except (AttributeError, OSError):  # non-Linux / restricted platforms
+        return max(1, os.cpu_count() or 1)
+
+
+def default_worker_count() -> int:
+    """Default parallelism: one worker per usable CPU."""
+    return available_cpus()
+
+
+def fork_is_default() -> bool:
+    """Whether this platform forks workers by default.
+
+    Under the ``spawn`` start method (macOS, Windows) child processes
+    re-import ``__main__``, so pool creation from an unguarded script
+    crashes; ``"auto"`` engine resolution therefore only opts into
+    parallelism where ``fork`` is the default.  Explicitly requesting
+    ``engine="parallel"`` works everywhere, subject to the standard
+    ``if __name__ == "__main__"`` guard on spawn platforms.
+    """
+    return multiprocessing.get_start_method(allow_none=True) in (None, "fork")
+
+
+def in_worker_process() -> bool:
+    """Whether the caller already runs inside a pool worker.
+
+    Pool workers are daemonic and cannot create child processes; nested
+    fan-out must run in-process instead.
+    """
+    return multiprocessing.current_process().daemon
+
+
+def shared_pool(processes: int | None = None) -> multiprocessing.pool.Pool:
+    """The process-wide worker pool, created (or grown) on demand.
+
+    Parameters
+    ----------
+    processes:
+        Minimum number of workers the caller needs; ``None`` means the
+        CPU count.  A request larger than the live pool replaces it with
+        a bigger one; a smaller request reuses the existing pool (extra
+        workers just idle), so alternating callers do not thrash pools.
+    """
+    global _POOL, _POOL_SIZE
+    if in_worker_process():
+        raise RuntimeError(
+            "shared_pool() called from inside a pool worker; "
+            "guard call sites with in_worker_process()"
+        )
+    wanted = processes if processes and processes > 0 else default_worker_count()
+    if _POOL is not None and _POOL_SIZE < wanted:
+        shutdown_shared_pool()
+    if _POOL is None:
+        _POOL = multiprocessing.Pool(processes=wanted)
+        _POOL_SIZE = wanted
+    return _POOL
+
+
+def shared_pool_size() -> int:
+    """Workers in the live shared pool (0 when no pool exists yet)."""
+    return _POOL_SIZE if _POOL is not None else 0
+
+
+def shutdown_shared_pool() -> None:
+    """Tear the shared pool down (tests, run boundaries, interpreter exit).
+
+    Safe to call when no pool exists; the next :func:`shared_pool` call
+    lazily creates a fresh one.
+    """
+    global _POOL, _POOL_SIZE
+    if _POOL is not None:
+        _POOL.terminate()
+        _POOL.join()
+        _POOL = None
+        _POOL_SIZE = 0
+
+
+atexit.register(shutdown_shared_pool)

@@ -63,9 +63,7 @@ class Tokenizer:
             text = text.lower()
         tokens = (token for token in self._pattern.split(text) if token)
         if self.min_token_length > 0:
-            tokens = (
-                token for token in tokens if len(token) >= self.min_token_length
-            )
+            tokens = (token for token in tokens if len(token) >= self.min_token_length)
         return TokenizedString(tokens)
 
 

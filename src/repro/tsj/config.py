@@ -16,6 +16,11 @@ All the knobs the paper's evaluation sweeps live here:
   ``"auto"`` (the default fast path), ``"dp"`` (the reference banded DP)
   or ``"bitparallel"`` (see :mod:`repro.accel`).  All backends return
   identical pair sets; only the cost-model ops accounting differs.
+* ``engine`` -- the execution engine running the pipeline's MapReduce
+  jobs: ``"auto"`` (parallel when multiple CPUs are usable), ``"serial"``
+  (the deterministic oracle) or ``"parallel"`` (see
+  :mod:`repro.runtime`).  Engines return identical results and identical
+  simulated costs; the selector only changes wall-clock.
 """
 
 from __future__ import annotations
@@ -24,6 +29,7 @@ import enum
 from dataclasses import dataclass
 
 from repro.accel import BACKENDS
+from repro.runtime import ENGINES
 
 
 class MatchingMode(str, enum.Enum):
@@ -79,6 +85,7 @@ class TSJConfig:
     use_length_filter: bool = True
     use_histogram_filter: bool = True
     verify_backend: str = "auto"
+    engine: str = "auto"
 
     def __post_init__(self) -> None:
         if not 0 <= self.threshold < 1:
@@ -90,13 +97,13 @@ class TSJConfig:
                 f"verify_backend must be one of {BACKENDS}, "
                 f"got {self.verify_backend!r}"
             )
+        if self.engine not in ENGINES:
+            raise ValueError(f"engine must be one of {ENGINES}, got {self.engine!r}")
         # Accept plain strings for ergonomics.
         object.__setattr__(self, "matching", MatchingMode(self.matching))
         object.__setattr__(self, "aligning", AligningMode(self.aligning))
         object.__setattr__(self, "dedup", DedupStrategy(self.dedup))
-        object.__setattr__(
-            self, "frequency_mode", FrequencyMode(self.frequency_mode)
-        )
+        object.__setattr__(self, "frequency_mode", FrequencyMode(self.frequency_mode))
 
     @property
     def is_lossless(self) -> bool:

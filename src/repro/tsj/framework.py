@@ -22,7 +22,7 @@ aligning) returns exactly the brute-force NSLD-join result.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Sequence
 
 from repro.joins.massjoin import MassJoin
@@ -33,6 +33,7 @@ from repro.mapreduce import (
     PipelineResult,
 )
 from repro.mapreduce.sketches import approximate_frequent_tokens
+from repro.runtime import create_engine
 from repro.tokenize import TokenizedString
 from repro.tsj.config import (
     AligningMode,
@@ -81,7 +82,12 @@ class TSJ:
     config:
         Thresholds, approximations and strategies; see :class:`TSJConfig`.
     engine:
-        Simulated cluster; defaults to a 10-machine cluster.
+        Simulated cluster; defaults to a 10-machine cluster executed by
+        the engine ``config.engine`` selects (``"auto"`` runs the
+        pipeline's jobs over the shared worker pool when the machine has
+        more than one CPU; results are identical either way).  An
+        explicitly passed engine instance always wins -- ``config.engine``
+        is only consulted when ``engine`` is ``None``.
 
     Examples
     --------
@@ -100,7 +106,9 @@ class TSJ:
         engine: MapReduceEngine | None = None,
     ) -> None:
         self.config = config or TSJConfig()
-        self.engine = engine or MapReduceEngine(ClusterConfig(n_machines=10))
+        self.engine = engine or create_engine(
+            self.config.engine, ClusterConfig(n_machines=10)
+        )
 
     # -- pipeline ------------------------------------------------------------
 
@@ -227,17 +235,13 @@ class TSJ:
                 token_a, token_b = token_space[a], token_space[b]
                 # Recover the integer LD from the NLD value:
                 # NLD = 2*LD / (|x|+|y|+LD)  =>  LD = NLD*(|x|+|y|)/(2-NLD).
-                ld = round(
-                    distance * (len(token_a) + len(token_b)) / (2.0 - distance)
-                )
+                ld = round(distance * (len(token_a) + len(token_b)) / (2.0 - distance))
                 similar_token_pairs.append((token_a, token_b, ld))
 
             if similar_token_pairs:
                 fanout_input = [("rec", item) for item in tagged]
                 fanout_input += [("sim", pair) for pair in similar_token_pairs]
-                fanout = engine.run(
-                    TokenPairFanoutJob(frequent_tokens), fanout_input
-                )
+                fanout = engine.run(TokenPairFanoutJob(frequent_tokens), fanout_input)
                 stages.append(fanout.metrics)
                 joined = engine.run(
                     TokenPairJoinJob(
@@ -257,9 +261,7 @@ class TSJ:
         # drops tokens (a dropped shared token is a similar pair the
         # filter never hears about).  In both cases the filter falls back
         # to its unconditional length-difference bounds.
-        complete_pairs = (
-            config.matching is MatchingMode.FUZZY and not frequent_tokens
-        )
+        complete_pairs = (config.matching is MatchingMode.FUZZY and not frequent_tokens)
         dedup = engine.run(
             DedupFilterJob(
                 config.threshold,
@@ -291,9 +293,7 @@ class TSJ:
         stages.append(verified.metrics)
 
         pairs: set[tuple[int, int]] = set(extra_pairs)
-        distances: dict[tuple[int, int], float] = {
-            pair: 0.0 for pair in extra_pairs
-        }
+        distances: dict[tuple[int, int], float] = {pair: 0.0 for pair in extra_pairs}
         for left, right, distance in verified.outputs:
             pair = (left, right) if left < right else (right, left)
             pairs.add(pair)

@@ -16,7 +16,7 @@ metadata, and full strings are resolved only for final verification.
 from __future__ import annotations
 
 import math
-from typing import Iterator, Mapping, Sequence
+from typing import Iterator, Mapping
 
 from repro.distances.setwise import (
     nsld_length_lower_bound,

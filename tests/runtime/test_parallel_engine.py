@@ -1,0 +1,387 @@
+"""Equivalence tests: the parallel engine against the serial oracle.
+
+The serial :class:`MapReduceEngine` is the reference; the parallel
+engine must produce the *identical* :class:`JobResult` -- same output
+list (order included) and a :class:`JobMetrics` that compares equal
+field by field -- for every job, under every OS worker count.  These
+tests force real pool execution (``min_parallel_records=0``) across
+worker counts {1, 2, 4}; worker count 1 exercises the serial fallback
+path inside the parallel engine.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.accel import verify_pairs
+from repro.mapreduce import (
+    ClusterConfig,
+    MapReduceEngine,
+    MapReduceJob,
+)
+from repro.runtime import (
+    ENGINES,
+    ParallelMapReduceEngine,
+    create_engine,
+    default_worker_count,
+    fork_is_default,
+    resolve_engine,
+    shared_pool,
+    shared_pool_size,
+)
+
+WORKER_COUNTS = [1, 2, 4]
+
+
+class WordCount(MapReduceJob):
+    """No combiner: pairs stream straight into the shuffle."""
+
+    name = "wordcount"
+
+    def map(self, record, ctx):
+        ctx.charge(len(record))
+        for word in record.split():
+            ctx.count("words")
+            yield word, 1
+
+    def reduce(self, key, values, ctx):
+        ctx.charge(len(values))
+        ctx.count("groups")
+        yield key, sum(values)
+
+
+class WordCountCombined(WordCount):
+    """Combiner path: mapper-local pre-aggregation before the shuffle."""
+
+    name = "wordcount-combined"
+
+    def combine(self, key, values, ctx):
+        ctx.charge(1)
+        yield sum(values)
+
+
+class MultiEmitJob(MapReduceJob):
+    """Emits several keys per record and several outputs per group, so
+    output ordering mistakes in the shuffle/reduce merge become visible."""
+
+    name = "multi-emit"
+
+    def map(self, record, ctx):
+        ctx.charge(record % 5)
+        yield record % 7, record
+        yield (record % 3, "t"), record * 2
+        if record % 4 == 0:
+            yield record % 7, -record
+
+    def reduce(self, key, values, ctx):
+        ctx.charge(sum(1 for _ in values))
+        yield key, len(values)
+        yield key, sum(values)
+
+
+class SilentJob(MapReduceJob):
+    """Some records/groups emit nothing (empty-ledger edge cases)."""
+
+    name = "silent"
+
+    def map(self, record, ctx):
+        if record % 3 == 0:
+            yield record % 2, record
+
+    def reduce(self, key, values, ctx):
+        if key == 0:
+            return
+        yield key, sorted(values)
+
+
+JOBS = [WordCount, WordCountCombined, MultiEmitJob, SilentJob]
+
+
+def lines_workload():
+    return ["%d %d tok%d" % (i, i * 7 % 13, i % 5) for i in range(120)]
+
+
+def workload_for(job_cls):
+    if job_cls in (WordCount, WordCountCombined):
+        return lines_workload()
+    return list(range(150))
+
+
+def assert_results_equal(serial, parallel):
+    assert parallel.outputs == serial.outputs
+    assert parallel.metrics == serial.metrics
+
+
+class TestEngineEquivalence:
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    @pytest.mark.parametrize("job_cls", JOBS, ids=lambda c: c.name)
+    def test_jobs_equal_across_worker_counts(self, job_cls, workers):
+        records = workload_for(job_cls)
+        config = ClusterConfig(n_machines=7)
+        serial = MapReduceEngine(config).run(job_cls(), records)
+        parallel = ParallelMapReduceEngine(
+            config, processes=workers, min_parallel_records=0
+        ).run(job_cls(), records)
+        assert_results_equal(serial, parallel)
+
+    @pytest.mark.parametrize("n_machines", [1, 2, 13])
+    def test_machine_counts(self, n_machines):
+        records = lines_workload()
+        config = ClusterConfig(n_machines=n_machines)
+        serial = MapReduceEngine(config).run(WordCountCombined(), records)
+        parallel = ParallelMapReduceEngine(
+            config, processes=2, min_parallel_records=0
+        ).run(WordCountCombined(), records)
+        assert_results_equal(serial, parallel)
+
+    def test_empty_input(self):
+        config = ClusterConfig(n_machines=4)
+        serial = MapReduceEngine(config).run(WordCount(), [])
+        parallel = ParallelMapReduceEngine(
+            config, processes=2, min_parallel_records=0
+        ).run(WordCount(), [])
+        assert_results_equal(serial, parallel)
+
+    def test_small_inputs_fall_back_to_serial_inline(self):
+        engine = ParallelMapReduceEngine(
+            ClusterConfig(n_machines=4), processes=4, min_parallel_records=10_000
+        )
+        result = engine.run(WordCount(), lines_workload())
+        reference = MapReduceEngine(ClusterConfig(n_machines=4)).run(
+            WordCount(), lines_workload()
+        )
+        assert_results_equal(reference, result)
+
+    def test_rebin_identical(self):
+        """Rebinned ledgers (the scalability sweeps) agree too."""
+        config = ClusterConfig(n_machines=5)
+        serial = MapReduceEngine(config).run(MultiEmitJob(), range(150))
+        parallel = ParallelMapReduceEngine(
+            config, processes=2, min_parallel_records=0
+        ).run(MultiEmitJob(), range(150))
+        for machines in (1, 3, 20):
+            assert parallel.metrics.rebin(machines) == serial.metrics.rebin(
+                machines
+            )
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.lists(
+            st.text(alphabet="ab c", min_size=0, max_size=12),
+            min_size=0,
+            max_size=40,
+        )
+    )
+    def test_property_random_workloads(self, records):
+        config = ClusterConfig(n_machines=3)
+        serial = MapReduceEngine(config).run(WordCount(), records)
+        parallel = ParallelMapReduceEngine(
+            config, processes=2, min_parallel_records=0
+        ).run(WordCount(), records)
+        assert_results_equal(serial, parallel)
+
+
+class TestTSJUnderParallelEngine:
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        from repro.data import evaluation_corpus
+        from repro.tokenize import tokenize
+
+        names, _ = evaluation_corpus(250, seed=7)
+        return [tokenize(name) for name in names]
+
+    @pytest.mark.tier1
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_pipeline_identical(self, corpus, workers):
+        """The acceptance property: identical pairs AND identical metrics
+        (records, ops, shuffle bytes, simulated seconds) on the TSJ names
+        workload, across worker counts."""
+        from repro.tsj import TSJ, TSJConfig
+
+        config = ClusterConfig(n_machines=10)
+        serial = TSJ(TSJConfig(engine="serial"), MapReduceEngine(config)).self_join(
+            corpus
+        )
+        parallel_engine = ParallelMapReduceEngine(
+            config, processes=workers, min_parallel_records=0
+        )
+        parallel = TSJ(
+            TSJConfig(engine="parallel"), parallel_engine
+        ).self_join(corpus)
+
+        assert parallel.pairs == serial.pairs
+        assert parallel.distances == serial.distances
+        assert len(parallel.pipeline.stages) == len(serial.pipeline.stages)
+        for expected, actual in zip(
+            serial.pipeline.stages, parallel.pipeline.stages
+        ):
+            assert actual == expected, f"stage {expected.name} metrics differ"
+        assert parallel.simulated_seconds() == serial.simulated_seconds()
+
+    def test_bipartite_join_identical(self, corpus):
+        from repro.tsj import TSJ, TSJConfig
+
+        r, p = corpus[:120], corpus[120:]
+        config = ClusterConfig(n_machines=10)
+        serial = TSJ(TSJConfig(engine="serial"), MapReduceEngine(config)).join(r, p)
+        parallel = TSJ(
+            TSJConfig(engine="parallel"),
+            ParallelMapReduceEngine(config, processes=2, min_parallel_records=0),
+        ).join(r, p)
+        assert parallel.pairs == serial.pairs
+        assert parallel.simulated_seconds() == serial.simulated_seconds()
+
+
+class TestEngineSelector:
+    def test_engines_tuple(self):
+        assert ENGINES == ("auto", "serial", "parallel")
+
+    def test_resolve_explicit(self):
+        assert resolve_engine("serial") == "serial"
+        assert resolve_engine("parallel") == "parallel"
+
+    def test_resolve_auto_tracks_cpu_count_and_platform(self):
+        expected = (
+            "parallel"
+            if default_worker_count() > 1 and fork_is_default()
+            else "serial"
+        )
+        assert resolve_engine("auto") == expected
+
+    def test_resolve_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            resolve_engine("gpu")
+
+    def test_create_engine_types(self):
+        assert type(create_engine("serial")) is MapReduceEngine
+        assert isinstance(create_engine("parallel"), ParallelMapReduceEngine)
+
+    def test_create_engine_passes_config(self):
+        engine = create_engine("parallel", ClusterConfig(n_machines=3), processes=2)
+        assert engine.n_machines == 3
+        assert engine.processes == 2
+
+    def test_tsjconfig_validates_engine(self):
+        from repro.tsj import TSJConfig
+
+        assert TSJConfig(engine="parallel").engine == "parallel"
+        with pytest.raises(ValueError):
+            TSJConfig(engine="threads")
+
+    def test_nsld_join_engine_selector(self):
+        from repro.core import nsld_join
+
+        names = ["barak obama", "borak obama", "john smith"] * 4
+        reports = {
+            engine: nsld_join(
+                names, threshold=0.15, max_token_frequency=None, engine=engine
+            )
+            for engine in ("serial", "parallel")
+        }
+        assert (
+            reports["serial"].index_pairs == reports["parallel"].index_pairs
+        )
+        assert reports["serial"].simulated_seconds == pytest.approx(
+            reports["parallel"].simulated_seconds
+        )
+
+    def test_cli_engine_flag(self, tmp_path, capsys):
+        from repro.cli import main
+
+        corpus = tmp_path / "names.txt"
+        corpus.write_text(
+            "barak obama\nborak obama\njohn smith\n", encoding="utf-8"
+        )
+        assert (
+            main(
+                [
+                    "join",
+                    str(corpus),
+                    "--threshold",
+                    "0.15",
+                    "--max-frequency",
+                    "1000",
+                    "--engine",
+                    "serial",
+                ]
+            )
+            == 0
+        )
+        assert "similar pairs" in capsys.readouterr().out
+
+
+def _nested_engine_run(records):
+    """Pool-worker entry point: run a parallel engine inside a worker."""
+    engine = ParallelMapReduceEngine(
+        ClusterConfig(n_machines=4), processes=2, min_parallel_records=0
+    )
+    return engine.run(WordCount(), records).outputs
+
+
+def _nested_verify_run(payload):
+    """Pool-worker entry point: pooled-style verify inside a worker."""
+    pairs, strings, limit = payload
+    units: list[int] = []
+    results = verify_pairs(
+        pairs, strings, limit, processes=2, chunk_size=16, ops=units.append
+    )
+    return results, sum(units)
+
+
+class TestSharedPool:
+    def test_pool_is_reused(self):
+        first = shared_pool(2)
+        assert shared_pool(2) is first
+        assert shared_pool_size() >= 2
+
+    def test_pool_grows_on_demand(self):
+        shared_pool(2)
+        grown = shared_pool(3)
+        assert shared_pool_size() >= 3
+        assert shared_pool(2) is grown  # smaller requests reuse the big pool
+
+    def test_engine_and_verify_share_the_pool(self):
+        """The shuffle workers and the verification workers are the same
+        processes: running both layers leaves exactly one live pool."""
+        from repro.accel import verify_pairs
+
+        engine = ParallelMapReduceEngine(
+            ClusterConfig(n_machines=4), processes=2, min_parallel_records=0
+        )
+        engine.run(WordCount(), lines_workload())
+        pool = shared_pool(2)
+        strings = ["ann", "anne", "bob", "bobby"]
+        pairs = [(0, 1), (0, 2), (2, 3)] * 20
+        pooled = verify_pairs(pairs, strings, 2, processes=2, chunk_size=8)
+        serial = verify_pairs(pairs, strings, 2)
+        assert pooled == serial
+        assert shared_pool(2) is pool
+
+    def test_nested_engine_falls_back_to_serial(self):
+        """An engine run inside a daemonic pool worker must not crash --
+        it runs the serial path and returns the oracle's results."""
+        records = lines_workload()
+        reference = MapReduceEngine(ClusterConfig(n_machines=4)).run(
+            WordCount(), records
+        )
+        outputs = shared_pool(2).apply(_nested_engine_run, (records,))
+        assert outputs == reference.outputs
+
+    def test_nested_verify_pairs_metering_matches_pool_path(self):
+        """verify_pairs(processes>1) inside a worker runs the identical
+        chunks sequentially: same results, same total ops charge."""
+        strings = ["ann", "anne", "bob", "bobby", "carol"]
+        pairs = [(0, 1), (0, 2), (2, 3), (1, 4), (0, 1)] * 20
+        payload = (pairs, strings, 2)
+        parent_units: list[int] = []
+        parent_results = verify_pairs(
+            pairs, strings, 2, processes=2, chunk_size=16,
+            ops=parent_units.append,
+        )
+        worker_results, worker_units = shared_pool(2).apply(
+            _nested_verify_run, (payload,)
+        )
+        assert worker_results == parent_results
+        assert worker_units == sum(parent_units)

@@ -1,0 +1,160 @@
+"""Tests for the CI perf gate itself (``scripts/check_perf_regression.py``).
+
+The gate is what keeps the perf trajectory honest, so its pass / fail /
+missing-file / ``--relative`` paths get the same coverage as product
+code.  The script is not a package; it is loaded straight from its file
+path.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+SCRIPT = (
+    Path(__file__).resolve().parent.parent.parent
+    / "scripts"
+    / "check_perf_regression.py"
+)
+
+
+@pytest.fixture(scope="module")
+def gate():
+    spec = importlib.util.spec_from_file_location("check_perf_regression", SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def write_report(
+    path: Path,
+    pairs_per_sec: dict[str, float],
+    speedup_vs_dp: dict[str, float] | None = None,
+    gated: list[str] | None = None,
+) -> Path:
+    report: dict = {"pairs_per_sec": pairs_per_sec}
+    if speedup_vs_dp is not None:
+        report["speedup_vs_dp"] = speedup_vs_dp
+    if gated is not None:
+        report["gated"] = gated
+    path.write_text(json.dumps(report), encoding="utf-8")
+    return path
+
+
+BASE = {"dp": 1000.0, "bitparallel": 7000.0}
+
+
+class TestAbsoluteMode:
+    def test_passes_when_rates_hold(self, gate, tmp_path, capsys):
+        baseline = write_report(tmp_path / "base.json", BASE)
+        current = write_report(
+            tmp_path / "cur.json", {"dp": 980.0, "bitparallel": 7100.0}
+        )
+        assert gate.main(["prog", str(current), str(baseline)]) == 0
+        assert "no perf regression" in capsys.readouterr().out
+
+    def test_small_dip_within_tolerance_passes(self, gate, tmp_path):
+        baseline = write_report(tmp_path / "base.json", BASE)
+        current = write_report(
+            tmp_path / "cur.json", {"dp": 750.0, "bitparallel": 5000.0}
+        )
+        assert gate.main(["prog", str(current), str(baseline)]) == 0
+
+    def test_fails_on_regression(self, gate, tmp_path, capsys):
+        baseline = write_report(tmp_path / "base.json", BASE)
+        current = write_report(
+            tmp_path / "cur.json", {"dp": 990.0, "bitparallel": 900.0}
+        )
+        assert gate.main(["prog", str(current), str(baseline)]) == 1
+        out = capsys.readouterr().out
+        assert "perf regression detected" in out
+        assert "bitparallel" in out
+
+    def test_fails_on_missing_series(self, gate, tmp_path, capsys):
+        baseline = write_report(tmp_path / "base.json", BASE)
+        current = write_report(tmp_path / "cur.json", {"dp": 1000.0})
+        assert gate.main(["prog", str(current), str(baseline)]) == 1
+        assert "missing from the fresh bench" in capsys.readouterr().out
+
+    def test_gated_list_filters_baseline_series(self, gate, tmp_path):
+        """Series outside the baseline's ``gated`` list are trajectory-only
+        and must not fail the gate."""
+        baseline = write_report(
+            tmp_path / "base.json",
+            {"dp": 1000.0, "batched_mp2": 9000.0},
+            gated=["dp"],
+        )
+        current = write_report(
+            tmp_path / "cur.json", {"dp": 1000.0, "batched_mp2": 10.0}
+        )
+        assert gate.main(["prog", str(current), str(baseline)]) == 0
+
+
+class TestMissingFiles:
+    def test_missing_baseline_is_not_an_error(self, gate, tmp_path, capsys):
+        current = write_report(tmp_path / "cur.json", BASE)
+        missing = tmp_path / "nope.json"
+        assert gate.main(["prog", str(current), str(missing)]) == 0
+        assert "nothing to compare" in capsys.readouterr().out
+
+    def test_missing_current_fails(self, gate, tmp_path, capsys):
+        baseline = write_report(tmp_path / "base.json", BASE)
+        missing = tmp_path / "nope.json"
+        assert gate.main(["prog", str(missing), str(baseline)]) == 1
+        assert "no fresh bench" in capsys.readouterr().out
+
+
+class TestRelativeMode:
+    def test_relative_compares_speedups_not_rates(self, gate, tmp_path):
+        """A uniformly slower machine passes ``--relative``: the kernels'
+        ratio is what must hold, not the absolute pairs/sec."""
+        baseline = write_report(
+            tmp_path / "base.json",
+            BASE,
+            speedup_vs_dp={"dp": 1.0, "bitparallel": 7.0},
+        )
+        current = write_report(
+            tmp_path / "cur.json",
+            {"dp": 100.0, "bitparallel": 700.0},  # 10x slower machine
+            speedup_vs_dp={"dp": 1.0, "bitparallel": 7.0},
+        )
+        assert gate.main(["prog", "--relative", str(current), str(baseline)]) == 0
+
+    def test_relative_catches_lost_fast_path(self, gate, tmp_path, capsys):
+        baseline = write_report(
+            tmp_path / "base.json",
+            BASE,
+            speedup_vs_dp={"dp": 1.0, "bitparallel": 7.0},
+        )
+        current = write_report(
+            tmp_path / "cur.json",
+            {"dp": 1000.0, "bitparallel": 1100.0},
+            speedup_vs_dp={"dp": 1.0, "bitparallel": 1.1},
+        )
+        assert gate.main(["prog", "--relative", str(current), str(baseline)]) == 1
+        assert "x vs dp" in capsys.readouterr().out
+
+    def test_relative_flag_position_independent(self, gate, tmp_path):
+        baseline = write_report(
+            tmp_path / "base.json",
+            BASE,
+            speedup_vs_dp={"dp": 1.0, "bitparallel": 7.0},
+        )
+        current = write_report(
+            tmp_path / "cur.json",
+            BASE,
+            speedup_vs_dp={"dp": 1.0, "bitparallel": 7.0},
+        )
+        assert gate.main(["prog", str(current), str(baseline), "--relative"]) == 0
+
+
+class TestRepoBaseline:
+    def test_committed_baseline_is_wellformed(self, gate):
+        """The committed baseline must always carry the series and the
+        gated list the gate reads."""
+        baseline = json.loads(gate.DEFAULT_BASELINE.read_text(encoding="utf-8"))
+        assert set(baseline["gated"]) <= set(baseline["pairs_per_sec"])
+        assert set(baseline["gated"]) <= set(baseline["speedup_vs_dp"])
