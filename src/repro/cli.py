@@ -46,7 +46,9 @@ def _add_engine_argument(parser: argparse.ArgumentParser) -> None:
         choices=list(ENGINES),
         default="auto",
         help="execution engine for the MapReduce pipeline (auto = parallel "
-        "over the shared worker pool when multiple CPUs are usable, "
+        "over the shared worker pool when multiple CPUs are usable and the "
+        "platform forks workers by default; on spawn/forkserver platforms "
+        "such as macOS or Windows pass 'parallel' explicitly; "
         "serial = the deterministic reference engine)",
     )
 

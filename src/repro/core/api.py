@@ -58,7 +58,10 @@ def nsld_join(
     engine:
         Execution engine for the pipeline's MapReduce jobs: ``"auto"``
         (parallel over the shared worker pool when multiple CPUs are
-        usable), ``"serial"`` or ``"parallel"`` (see
+        usable and the platform forks workers by default — on
+        spawn/forkserver platforms such as macOS or Windows ``auto``
+        stays serial; request ``"parallel"`` explicitly under a
+        ``__main__`` guard), ``"serial"`` or ``"parallel"`` (see
         :mod:`repro.runtime`).  Pairs and simulated seconds are
         identical under every engine; only wall-clock changes.
     config_overrides:

@@ -212,14 +212,14 @@ class ParallelMapReduceEngine(MapReduceEngine):
             or in_worker_process()
         ):
             return super().run(job, records)
-        # At most n_shards workers ever receive tasks; don't fork more.
-        pool = shared_pool(n_shards)
-
         # ---- map phase: shard whole simulated mappers across workers ------
+        # At most n_shards workers ever receive tasks; don't fork more.
+        # shared_pool() is re-fetched per dispatch (never cached across
+        # calls): growth replaces the pool, invalidating held handles.
         shards: list[list[tuple[int, Any]]] = [[] for _ in range(n_shards)]
         for index, record in enumerate(records):
             shards[(index % n) % n_shards].append((index, record))
-        map_parts = pool.map(
+        map_parts = shared_pool(n_shards).map(
             _run_map_shard,
             [(job, n, shard) for shard in shards if shard],
         )
@@ -279,7 +279,7 @@ class ParallelMapReduceEngine(MapReduceEngine):
         reduce_shards: list[list[tuple[Any, list[Any]]]] = [[] for _ in range(n_shards)]
         for key in ordered_keys:
             reduce_shards[destinations[key] % n_shards].append((key, groups[key]))
-        reduce_parts = pool.map(
+        reduce_parts = shared_pool(n_shards).map(
             _run_reduce_shard,
             [(job, shard) for shard in reduce_shards if shard],
         )

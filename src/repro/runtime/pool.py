@@ -42,14 +42,29 @@ def default_worker_count() -> int:
 def fork_is_default() -> bool:
     """Whether this platform forks workers by default.
 
-    Under the ``spawn`` start method (macOS, Windows) child processes
-    re-import ``__main__``, so pool creation from an unguarded script
-    crashes; ``"auto"`` engine resolution therefore only opts into
-    parallelism where ``fork`` is the default.  Explicitly requesting
+    Under the ``spawn`` and ``forkserver`` start methods (macOS and
+    Windows; Linux defaults to forkserver from Python 3.14) child
+    processes re-import ``__main__``, so pool creation from an unguarded
+    script crashes — forkserver is deliberately *not* treated as safe
+    here: its workers re-run ``__main__`` just like spawn's (verified
+    empirically; the ``__main__``-guard requirement in the
+    :mod:`multiprocessing` programming guidelines covers both).
+    ``"auto"`` engine resolution therefore only opts into parallelism
+    where ``fork`` is the default.  Explicitly requesting
     ``engine="parallel"`` works everywhere, subject to the standard
-    ``if __name__ == "__main__"`` guard on spawn platforms.
+    ``if __name__ == "__main__"`` guard on spawn/forkserver platforms.
+
+    When no start method has been set yet, the platform default is read
+    from ``get_all_start_methods()`` (its first element is documented to
+    be the default: ``fork`` on Linux, ``spawn`` on macOS/Windows)
+    rather than by resolving ``get_start_method()``, which would pin the
+    global context and break a host application's later
+    ``set_start_method()`` call.
     """
-    return multiprocessing.get_start_method(allow_none=True) in (None, "fork")
+    method = multiprocessing.get_start_method(allow_none=True)
+    if method is None:
+        method = multiprocessing.get_all_start_methods()[0]
+    return method == "fork"
 
 
 def in_worker_process() -> bool:
@@ -71,6 +86,11 @@ def shared_pool(processes: int | None = None) -> multiprocessing.pool.Pool:
         CPU count.  A request larger than the live pool replaces it with
         a bigger one; a smaller request reuses the existing pool (extra
         workers just idle), so alternating callers do not thrash pools.
+
+    Growth replaces the pool via ``terminate()``, so the returned object
+    must not be cached across ``shared_pool()`` calls: re-fetch it per
+    use (as all in-tree callers do).  A held reference may point at a
+    terminated pool after another caller requests a larger size.
     """
     global _POOL, _POOL_SIZE
     if in_worker_process():
