@@ -1,0 +1,216 @@
+"""Candidate-pipeline bench: interned path vs the pre-overhaul dict path.
+
+Measures the candidate *generation* stage -- the phase that dominates
+wall-clock now that verification is bit-parallel -- on the synthetic name
+corpus, three ways:
+
+* ``passjoin``  -- Pass-Join segment-signature generation, interned
+  :class:`repro.candidates.PostingsIndex` + bitset dedup vs the
+  pre-overhaul ``dict``/``set`` generator
+  (:mod:`repro.candidates.reference`);
+* ``qgram``     -- positional q-gram generation with packed postings vs
+  the dict generator;
+* ``histogram_filter`` -- the TSJ dedup-stage distance-lower-bound filter,
+  memoized :class:`repro.candidates.HistogramBoundFilter` vs the
+  per-call :mod:`repro.distances.setwise` oracle, on the filter inputs the
+  name workload actually produces.
+
+Both paths must produce identical candidates/decisions (asserted here --
+this is the old-vs-new equivalence gate at bench scale).  Emits
+``benchmarks/results/BENCH_candidates.json``: ``candidates_per_sec``
+(absolute rates), ``speedup_vs_dict`` (machine-independent old-vs-new
+ratios, gated by ``scripts/check_perf_regression.py --relative --series
+speedup_vs_dict`` against the committed
+``benchmarks/BENCH_candidates_baseline.json``), and the filter cascade's
+``prune_ratios``.
+
+Run as a pytest bench (``pytest benchmarks/bench_candidate_pipeline.py``)
+or standalone (``PYTHONPATH=src python benchmarks/bench_candidate_pipeline.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.candidates import (
+    COUNTER_CANDIDATES,
+    HistogramBoundFilter,
+    new_counters,
+)
+from repro.candidates.reference import (
+    passjoin_candidates_dict,
+    qgram_candidates_dict,
+)
+from repro.data import evaluation_corpus
+from repro.distances.setwise import nsld_lower_bound_from_histograms
+from repro.joins.passjoin import PassJoin
+from repro.joins.qgram import qgram_ld_candidates
+
+_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+CORPUS_SIZE = int(3000 * _SCALE)
+PASSJOIN_THRESHOLD = 2
+QGRAM_THRESHOLD = 1
+NSLD_THRESHOLD = 0.1
+REPEATS = 3
+
+RESULTS_PATH = Path(__file__).parent / "results" / "BENCH_candidates.json"
+
+
+def _best_of(fn, repeats: int = REPEATS):
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def _histogram_workload(names: list[str]):
+    """(hist, hist, similar_pairs) triples like the TSJ dedup stage sees."""
+    from repro.tokenize import tokenize
+
+    records = [tokenize(name) for name in names]
+    encoded = [tuple(sorted(r.length_histogram.items())) for r in records]
+    cases = []
+    for k in range(0, len(records) - 1, 2):
+        if records[k].token_count:
+            first = len(records[k].tokens[0])
+            similar = ((first, first, 0),)
+        else:
+            similar = ()
+        cases.append((encoded[k], encoded[k + 1], similar))
+    return cases
+
+
+def run_bench() -> dict:
+    names, _ = evaluation_corpus(CORPUS_SIZE, seed=31)
+
+    timings: dict[str, float] = {}
+    volumes: dict[str, int] = {}
+
+    # ---- Pass-Join segment signatures -----------------------------------
+    join = PassJoin(PASSJOIN_THRESHOLD)
+    timings["passjoin_interned"], interned = _best_of(
+        lambda: join.self_join_candidates(names)
+    )
+    passjoin_counters = dict(join.last_counters)
+    timings["passjoin_dict"], reference = _best_of(
+        lambda: passjoin_candidates_dict(names, PASSJOIN_THRESHOLD)
+    )
+    assert set(interned) == set(reference), "pass-join candidate sets diverge"
+    assert len(interned) == len(reference), "pass-join duplicate emission"
+    volumes["passjoin"] = len(interned)
+
+    # ---- positional q-grams ---------------------------------------------
+    timings["qgram_interned"], interned_q = _best_of(
+        lambda: qgram_ld_candidates(names, QGRAM_THRESHOLD)
+    )
+    timings["qgram_dict"], reference_q = _best_of(
+        lambda: qgram_candidates_dict(names, QGRAM_THRESHOLD)
+    )
+    assert set(interned_q) == set(reference_q), "q-gram candidate sets diverge"
+    assert len(interned_q) == len(reference_q), "q-gram duplicate emission"
+    volumes["qgram"] = len(interned_q)
+
+    # ---- TSJ histogram lower-bound filter -------------------------------
+    cases = _histogram_workload(names)
+    volumes["histogram_filter"] = len(cases)
+
+    def run_memoized():
+        bound_filter = HistogramBoundFilter(NSLD_THRESHOLD)
+        return [
+            bound_filter.nsld_bound_encoded(a, b, similar)
+            for a, b, similar in cases
+        ]
+
+    def run_oracle():
+        return [
+            nsld_lower_bound_from_histograms(
+                dict(a), dict(b), similar, NSLD_THRESHOLD
+            )
+            for a, b, similar in cases
+        ]
+
+    timings["histogram_filter_interned"], memoized = _best_of(run_memoized)
+    timings["histogram_filter_dict"], oracle = _best_of(run_oracle)
+    assert memoized == oracle, "histogram filter decisions diverge"
+
+    rates = {
+        name: volumes[name.rsplit("_", 1)[0]] / seconds
+        for name, seconds in timings.items()
+    }
+    speedup_vs_dict = {
+        family: round(
+            rates[f"{family}_interned"] / rates[f"{family}_dict"], 2
+        )
+        for family in ("passjoin", "qgram", "histogram_filter")
+    }
+
+    # ---- filter-cascade prune ratios on the end-to-end pipeline ---------
+    # Pass-Join prunes structurally (in signature space, nothing reaches a
+    # per-pair filter), so the cascade effectiveness numbers come from a
+    # TSJ run, where the length/histogram filters do the per-pair work.
+    from repro.core import nsld_join
+
+    tsj_report = nsld_join(
+        names[: CORPUS_SIZE // 3],
+        threshold=NSLD_THRESHOLD,
+        max_token_frequency=1000,
+        engine="serial",
+    )
+    generated = tsj_report.counters.get(COUNTER_CANDIDATES, 0)
+    prune_ratios = {
+        name: round(tsj_report.counters.get(name, 0) / generated, 4)
+        if generated
+        else 0.0
+        for name in (
+            "pruned_by_length",
+            "pruned_by_count",
+            "pairs_verified",
+        )
+    }
+
+    report = {
+        # Series the perf gate enforces (machine-independent ratios).
+        "gated": ["passjoin", "qgram", "histogram_filter"],
+        "workload": {
+            "corpus": CORPUS_SIZE,
+            "passjoin_threshold": PASSJOIN_THRESHOLD,
+            "qgram_threshold": QGRAM_THRESHOLD,
+            "nsld_threshold": NSLD_THRESHOLD,
+            "repeats": REPEATS,
+            "candidates": volumes,
+        },
+        "candidates_per_sec": {
+            name: round(value, 1) for name, value in rates.items()
+        },
+        "speedup_vs_dict": speedup_vs_dict,
+        "passjoin_counters": passjoin_counters,
+        # Of the TSJ candidates generated, the fraction each cascade stage
+        # pruned and the fraction that reached verification.
+        "prune_ratios": prune_ratios,
+    }
+    RESULTS_PATH.parent.mkdir(exist_ok=True)
+    RESULTS_PATH.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    return report
+
+
+@pytest.mark.perf
+def test_candidate_pipeline_rates():
+    report = run_bench()
+    print("\n" + json.dumps(report, indent=2))
+    # The interned path must never fall meaningfully behind the dict path
+    # it replaced; a collapse here means the overhaul lost its point.
+    for family, speedup in report["speedup_vs_dict"].items():
+        assert speedup > 0.8, f"{family}: interned path only {speedup}x of dict path"
+
+
+if __name__ == "__main__":
+    print(json.dumps(run_bench(), indent=2))

@@ -75,7 +75,16 @@ def run_bench() -> dict:
     assert parallel.simulated_seconds == serial.simulated_seconds, (
         "engines disagree on simulated cost"
     )
+    assert parallel.counters == serial.counters, (
+        "engines disagree on pipeline counters"
+    )
 
+    canonical = (
+        "candidates_generated",
+        "pruned_by_length",
+        "pruned_by_count",
+        "pairs_verified",
+    )
     report = {
         "workload": {
             "corpus": CORPUS_SIZE,
@@ -83,6 +92,8 @@ def run_bench() -> dict:
             "max_token_frequency": MAX_FREQUENCY,
             "pairs": len(serial.index_pairs),
         },
+        # Host CPU count: wall-clock numbers are machine-dependent, and the
+        # serial/parallel speedup only arms on multi-core hosts.
         "cpus": available_cpus(),
         "wall_seconds": {
             "serial": round(serial_seconds, 3),
@@ -90,6 +101,8 @@ def run_bench() -> dict:
         },
         "speedup": round(serial_seconds / parallel_seconds, 2),
         "simulated_seconds": round(serial.simulated_seconds, 1),
+        # Candidate-pipeline filter effectiveness (engine-invariant).
+        "counters": {name: serial.counters.get(name, 0) for name in canonical},
     }
     RESULTS_PATH.parent.mkdir(exist_ok=True)
     RESULTS_PATH.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")

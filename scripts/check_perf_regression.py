@@ -23,6 +23,10 @@ one specific host.  On different hardware (CI runners, laptops) pass
 ``--relative`` to compare the ``speedup_vs_dp`` ratios instead -- both
 kernels run in the same process on the same box, so the ratio is
 machine-independent and still catches "lost the fast path" regressions.
+
+``--series NAME`` overrides the compared series entirely (both JSONs must
+carry it); the candidate-pipeline bench gates its old-vs-new
+``speedup_vs_dict`` ratios this way.
 """
 
 from __future__ import annotations
@@ -38,11 +42,22 @@ DEFAULT_CURRENT = REPO_ROOT / "benchmarks" / "results" / "BENCH_accel.json"
 DEFAULT_BASELINE = REPO_ROOT / "benchmarks" / "BENCH_accel_baseline.json"
 
 
+_UNITS = {"speedup_vs_dp": "x vs dp", "pairs_per_sec": "pairs/s"}
+
+
 def main(argv: list[str]) -> int:
     argv = list(argv)
     relative = "--relative" in argv
     if relative:
         argv.remove("--relative")
+    series_override = None
+    if "--series" in argv:
+        position = argv.index("--series")
+        if position + 1 >= len(argv):
+            print("--series requires a value (the JSON series name to compare)")
+            return 1
+        series_override = argv[position + 1]
+        del argv[position : position + 2]
     current_path = Path(argv[1]) if len(argv) > 1 else DEFAULT_CURRENT
     baseline_path = Path(argv[2]) if len(argv) > 2 else DEFAULT_BASELINE
 
@@ -58,8 +73,14 @@ def main(argv: list[str]) -> int:
 
     baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
     current = json.loads(current_path.read_text(encoding="utf-8"))
-    series = "speedup_vs_dp" if relative else "pairs_per_sec"
-    unit = "x vs dp" if relative else "pairs/s"
+    series = series_override or ("speedup_vs_dp" if relative else "pairs_per_sec")
+    unit = _UNITS.get(series, series)
+    if series not in baseline:
+        print(f"baseline {baseline_path} has no series {series!r}")
+        return 1
+    if series not in current:
+        print(f"fresh bench {current_path} has no series {series!r}")
+        return 1
     base_rates = baseline[series]
     current_rates = current[series]
     gated = baseline.get("gated")

@@ -1,0 +1,91 @@
+"""Candidate de-duplication: every unordered pair verified at most once.
+
+The signature indexes propose the same partner many times per probe (one
+hit per shared segment/gram/prefix token).  Pre-overhaul the joins
+absorbed the duplicates with per-probe ``set`` objects -- paying a hash
+insert per proposal -- and several still let duplicate *pairs* through to
+``verify_pairs``, relying on its memo to keep the kernel cost down while
+still paying per-pair metering and list churn.
+
+:class:`CandidateBuffer` replaces the per-probe set with a bitset
+(``bytearray`` indexed by record id): membership is one byte read, and
+draining touches only the candidates actually collected.  Combined with
+the shortest-first probe-then-index sweep every serial join already uses
+(a pair is only ever proposed at the probe of its later element), buffer
+dedup gives the global guarantee for free: **each unordered pair reaches
+verification exactly once**.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+
+class CandidateBuffer:
+    """Bitset-deduplicated candidate accumulation for one probe at a time.
+
+    Parameters
+    ----------
+    n_records:
+        Universe size; candidate ids must lie in ``[0, n_records)``.
+
+    Examples
+    --------
+    >>> buffer = CandidateBuffer(8)
+    >>> buffer.add(3), buffer.add(5), buffer.add(3)
+    (True, True, False)
+    >>> buffer.drain()
+    [3, 5]
+    >>> buffer.add(3)  # the drain reset the bitset
+    True
+    >>> buffer.drain()
+    [3]
+    """
+
+    __slots__ = ("_seen", "_collected")
+
+    def __init__(self, n_records: int) -> None:
+        self._seen = bytearray(n_records)
+        self._collected: list[int] = []
+
+    def __len__(self) -> int:
+        return len(self._collected)
+
+    def add(self, candidate: int) -> bool:
+        """Collect ``candidate`` once; ``True`` iff it was new this probe."""
+        seen = self._seen
+        if seen[candidate]:
+            return False
+        seen[candidate] = 1
+        self._collected.append(candidate)
+        return True
+
+    def add_all(self, candidates: Iterable[int]) -> int:
+        """Collect many candidates; returns how many were new."""
+        seen = self._seen
+        collected = self._collected
+        added = 0
+        for candidate in candidates:
+            if not seen[candidate]:
+                seen[candidate] = 1
+                collected.append(candidate)
+                added += 1
+        return added
+
+    def drain(self) -> list[int]:
+        """The deduplicated candidates, resetting for the next probe.
+
+        Only the collected entries are cleared, so a drain costs
+        ``O(candidates)`` -- not ``O(n_records)``.
+        """
+        collected = self._collected
+        seen = self._seen
+        for candidate in collected:
+            seen[candidate] = 0
+        self._collected = []
+        return collected
+
+
+def unordered(pair_a: int, pair_b: int) -> tuple[int, int]:
+    """Canonical (ascending) form of an unordered id pair."""
+    return (pair_a, pair_b) if pair_a < pair_b else (pair_b, pair_a)

@@ -1,0 +1,184 @@
+"""Interned signature indexes: signatures -> dense ids -> array postings.
+
+Every filtering join in this repository is, at heart, an inverted index
+from *signatures* (Pass-Join segments, positional q-grams, prefix tokens)
+to the record ids containing them.  The pre-overhaul implementations each
+kept a ``dict[str | tuple, list[int]]``, paying tuple hashing on every
+probe and a Python list object per posting list.
+
+:class:`SignatureInterner` generalizes :class:`repro.accel.vocab.Vocab`'s
+token interning to arbitrary hashable signatures: each distinct signature
+is mapped to a dense integer id exactly once, so repeated index/probe work
+(hashing a ``(segment_index, length, chunk)`` tuple, say) happens once per
+distinct signature.  :class:`PostingsIndex` pairs the interner with
+``array``-backed postings lists -- machine-width integers in contiguous
+memory instead of ``dict[str, set[int]]`` -- which both shrinks the index
+and makes posting scans cache-friendly.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Hashable, Iterator
+
+#: Machine-width signed integers; record ids and packed (id, payload)
+#: codes both fit.
+_POSTING_TYPECODE = "q"
+
+
+class SignatureInterner:
+    """Map hashable signatures to dense integer ids (first-seen order).
+
+    Examples
+    --------
+    >>> interner = SignatureInterner()
+    >>> interner.intern((0, 4, "ab"))
+    0
+    >>> interner.intern((1, 4, "cd"))
+    1
+    >>> interner.intern((0, 4, "ab"))  # stable
+    0
+    >>> interner.lookup((2, 9, "zz")) is None  # lookup never allocates
+    True
+    """
+
+    __slots__ = ("_ids",)
+
+    def __init__(self) -> None:
+        self._ids: dict[Hashable, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def __contains__(self, signature: Hashable) -> bool:
+        return signature in self._ids
+
+    def intern(self, signature: Hashable) -> int:
+        """The dense id of ``signature``, allocating one on first sight."""
+        ids = self._ids
+        sig_id = ids.get(signature)
+        if sig_id is None:
+            sig_id = len(ids)
+            ids[signature] = sig_id
+        return sig_id
+
+    def lookup(self, signature: Hashable) -> int | None:
+        """The dense id of ``signature`` if already interned, else ``None``."""
+        return self._ids.get(signature)
+
+    def get_ref(self):
+        """The bound C-level ``dict.get`` over the id map.
+
+        Probe loops run millions of lookups; handing them the raw bound
+        method removes a Python-level call frame per lookup.  The ref
+        stays valid as the interner grows (the dict is never replaced).
+        """
+        return self._ids.get
+
+    def signatures(self) -> Iterator[Hashable]:
+        """All interned signatures in id order."""
+        return iter(self._ids)
+
+
+class PostingsIndex:
+    """An inverted index from interned signatures to array-backed postings.
+
+    Postings are machine-width integers (record ids, or ids packed with a
+    small payload such as a gram position).  Appending keeps first-seen
+    order inside each list, matching the pre-overhaul ``dict -> list``
+    semantics exactly.
+
+    Examples
+    --------
+    >>> index = PostingsIndex()
+    >>> index.add("sig", 7); index.add("sig", 9); index.add("other", 7)
+    >>> list(index.get("sig"))
+    [7, 9]
+    >>> index.get("missing") is None
+    True
+    >>> len(index), index.total_postings
+    (2, 3)
+    """
+
+    __slots__ = ("_interner", "_postings")
+
+    def __init__(self) -> None:
+        self._interner = SignatureInterner()
+        self._postings: list[array] = []
+
+    def __len__(self) -> int:
+        """Number of distinct signatures indexed."""
+        return len(self._interner)
+
+    @property
+    def total_postings(self) -> int:
+        return sum(len(postings) for postings in self._postings)
+
+    @property
+    def interner(self) -> SignatureInterner:
+        return self._interner
+
+    def add(self, signature: Hashable, posting: int) -> None:
+        """Append ``posting`` to the signature's postings list."""
+        sig_id = self._interner.intern(signature)
+        postings = self._postings
+        if sig_id == len(postings):
+            postings.append(array(_POSTING_TYPECODE))
+        postings[sig_id].append(posting)
+
+    def get(self, signature: Hashable) -> array | None:
+        """The postings of ``signature``, or ``None`` when absent.
+
+        The returned array is the live postings list -- callers must not
+        mutate it.
+        """
+        sig_id = self._interner.lookup(signature)
+        if sig_id is None or sig_id >= len(self._postings):
+            return None
+        return self._postings[sig_id]
+
+    def lookup_ref(self):
+        """C-level signature -> id lookup for probe hot loops.
+
+        Use together with :attr:`postings`::
+
+            lookup, postings = index.lookup_ref(), index.postings
+            ...
+            sig_id = lookup(signature)          # one C dict probe
+            if sig_id is not None:
+                found.update(postings[sig_id])  # C-level bulk union
+
+        which keeps the per-lookup cost identical to a bare
+        ``dict[sig, list]`` while retaining dense ids and array postings.
+        """
+        return self._interner.get_ref()
+
+    @property
+    def postings(self) -> list[array]:
+        """The postings columns, indexed by dense signature id.
+
+        The list object is stable across :meth:`add` calls (grown in
+        place), so hot loops may hold a reference.
+        """
+        return self._postings
+
+
+def pack_posting(record_id: int, payload: int, payload_bits: int = 24) -> int:
+    """Pack ``(record_id, payload)`` into one machine integer.
+
+    Joins that need a small per-posting payload (q-gram positions) pack it
+    into the low bits so postings stay plain ints in one array.
+
+    Examples
+    --------
+    >>> unpack_posting(pack_posting(12, 7))
+    (12, 7)
+    """
+    if payload < 0 or payload >> payload_bits:
+        raise ValueError(f"payload {payload} does not fit in {payload_bits} bits")
+    return (record_id << payload_bits) | payload
+
+
+def unpack_posting(posting: int, payload_bits: int = 24) -> tuple[int, int]:
+    """Invert :func:`pack_posting`."""
+    return posting >> payload_bits, posting & ((1 << payload_bits) - 1)

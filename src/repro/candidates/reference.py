@@ -1,0 +1,117 @@
+"""Pre-overhaul candidate generation, kept as the equivalence reference.
+
+These are the string-keyed ``dict``/``set`` candidate generators the join
+layers used before the interned-signature overhaul, reduced to their
+candidate-generation cores.  They exist for two purposes:
+
+* the equivalence tests in ``tests/candidates`` assert the overhauled
+  joins propose *identical* candidate pair sets (same recall, pair for
+  pair) -- the overhaul is a data-structure change, not an algorithmic
+  one;
+* ``benchmarks/bench_candidate_pipeline.py`` measures old-vs-new
+  candidates/sec on the same workloads, which is the number the committed
+  perf baseline gates.
+
+Nothing in the production pipeline imports this module.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Sequence
+
+from repro.joins.passjoin import _segment_bounds, even_partition
+
+
+def passjoin_candidates_dict(
+    strings: Sequence[str], threshold: int
+) -> list[tuple[int, int]]:
+    """Pass-Join self-join candidates via the pre-overhaul dict index.
+
+    Returns ``(indexed_id, probe_id)`` pairs in the exact emission order
+    of the pre-overhaul ``PassJoin.self_join`` (shortest-first sweep,
+    per-probe ``set`` dedup with arbitrary-but-deterministic set order
+    replaced by sorted order for comparability).
+    """
+    segment_count = threshold + 1
+    order = sorted(range(len(strings)), key=lambda i: (len(strings[i]), i))
+    index: dict[tuple[int, int, str], list[int]] = defaultdict(list)
+    short_bucket: dict[int, list[int]] = defaultdict(list)
+    seen_lengths: list[int] = []
+    seen_length_set: set[int] = set()
+    candidates: list[tuple[int, int]] = []
+    for identifier in order:
+        s = strings[identifier]
+        probe_length = len(s)
+        found: set[int] = set()
+        for indexed_length in seen_lengths:
+            if abs(indexed_length - probe_length) > threshold:
+                continue
+            delta = probe_length - indexed_length
+            k = segment_count
+            for i, (p_i, size) in enumerate(_segment_bounds(indexed_length, k)):
+                lo = max(0, p_i - i, p_i + delta - (k - 1 - i))
+                hi = min(probe_length - size, p_i + i, p_i + delta + (k - 1 - i))
+                for start in range(lo, hi + 1):
+                    hits = index.get((i, indexed_length, s[start : start + size]))
+                    if hits:
+                        found.update(hits)
+        for bucket_length, ids in short_bucket.items():
+            if abs(bucket_length - probe_length) <= threshold:
+                found.update(ids)
+        for candidate in sorted(found):
+            if candidate != identifier:
+                candidates.append((candidate, identifier))
+        if probe_length <= threshold:
+            short_bucket[probe_length].append(identifier)
+        else:
+            for i, (_, segment) in enumerate(even_partition(s, segment_count)):
+                index[(i, probe_length, segment)].append(identifier)
+        if probe_length not in seen_length_set:
+            seen_length_set.add(probe_length)
+            seen_lengths.append(probe_length)
+    return candidates
+
+
+def qgram_candidates_dict(
+    strings: Sequence[str], threshold: int, q: int = 2
+) -> list[tuple[int, int]]:
+    """Q-gram join candidates via the pre-overhaul dict index.
+
+    Returns ``(indexed_id, probe_id)`` pairs (sorted per probe) surviving
+    the count + length + position filters, before verification.
+    """
+    from repro.joins.qgram import positional_qgrams
+
+    always_candidates: list[int] = []
+    index: dict[str, list[tuple[int, int]]] = defaultdict(list)
+    candidates: list[tuple[int, int]] = []
+    order = sorted(range(len(strings)), key=lambda i: (len(strings[i]), i))
+    for identifier in order:
+        s = strings[identifier]
+        required = len(s) + q - 1 - threshold * q
+        overlap: dict[int, int] = defaultdict(int)
+        for position, gram in positional_qgrams(s, q):
+            for other, other_position in index.get(gram, ()):
+                if abs(position - other_position) <= threshold:
+                    overlap[other] += 1
+        found = set(always_candidates)
+        for other, count in overlap.items():
+            other_length = len(strings[other])
+            if len(s) - other_length > threshold:
+                continue
+            needed = max(len(s), other_length) + q - 1 - threshold * q
+            if count >= needed or needed <= 0:
+                found.add(other)
+        for other in sorted(found):
+            if other == identifier:
+                continue
+            if len(s) - len(strings[other]) > threshold:
+                continue
+            candidates.append((other, identifier))
+        if required <= 0:
+            always_candidates.append(identifier)
+        else:
+            for position, gram in positional_qgrams(s, q):
+                index[gram].append((identifier, position))
+    return candidates

@@ -23,6 +23,7 @@ from typing import Sequence
 
 from repro.accel import BACKENDS
 from repro.analysis import auc, roc_curve
+from repro.candidates import CASCADE_COUNTERS, COUNTER_CANDIDATES, COUNTER_VERIFIED
 from repro.core import compare_names, nsld_join
 from repro.data import evaluation_corpus, name_change_dataset
 from repro.distances import fuzzy_cosine, fuzzy_dice, fuzzy_jaccard
@@ -92,7 +93,24 @@ def _cmd_join(args: argparse.Namespace) -> int:
         print("  " + " | ".join(sorted(cluster)))
     print(f"# simulated runtime: {report.simulated_seconds:.1f}s "
           f"on {args.machines} machines")
+    _print_pipeline_summary(report.counters)
     return 0
+
+
+def _print_pipeline_summary(counters: dict[str, int]) -> None:
+    """One-line candidate-pipeline effectiveness summary (filter cascade)."""
+    shown = {name: counters.get(name, 0) for name in CASCADE_COUNTERS}
+    if not any(shown.values()):
+        return
+    generated = shown[COUNTER_CANDIDATES]
+    verified = shown[COUNTER_VERIFIED]
+    parts = ", ".join(f"{name} = {value}" for name, value in shown.items() if value)
+    print(f"# candidate pipeline: {parts}")
+    if generated:
+        print(
+            "# filter cascade kept "
+            f"{verified / generated:.1%} of generated candidates"
+        )
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:

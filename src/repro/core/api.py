@@ -7,7 +7,7 @@ similarity-graph clustering of Sec. I-A -- behind two calls.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Sequence
 
 from repro.analysis.graphs import cluster_pairs
@@ -30,6 +30,10 @@ class JoinReport:
     index_pairs: set[tuple[int, int]]
     #: Simulated cluster runtime of the join (seconds).
     simulated_seconds: float
+    #: Merged pipeline job counters, including the canonical
+    #: candidate-pipeline set (``candidates_generated``,
+    #: ``pruned_by_length``, ``pruned_by_count``, ``pairs_verified``).
+    counters: dict[str, int] = field(default_factory=dict)
 
 
 def nsld_join(
@@ -102,6 +106,7 @@ def nsld_join(
         clusters=clusters,
         index_pairs=result.pairs,
         simulated_seconds=result.simulated_seconds(),
+        counters=result.counters(),
     )
 
 

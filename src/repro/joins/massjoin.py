@@ -28,6 +28,7 @@ from dataclasses import dataclass
 from typing import Iterator, Sequence
 
 from repro.accel import edit_distance_within
+from repro.candidates import COUNTER_CANDIDATES, COUNTER_VERIFIED
 from repro.distances import nld_within
 from repro.distances.normalized import (
     max_ld_for_longer,
@@ -144,13 +145,17 @@ class _CandidateJob(MapReduceJob):
         indexed = [identifier for role, identifier in values if role == "I"]
         probes = [identifier for role, identifier in values if role == "P"]
         ctx.charge(len(indexed) * len(probes))
+        emitted = 0
         for left in indexed:
             for right in probes:
                 if left == right:
                     continue
                 pair = (left, right) if left < right else (right, left)
-                ctx.count("candidates-raw")
+                emitted += 1
                 yield pair
+        if emitted:
+            ctx.count("candidates-raw", emitted)
+            ctx.count(COUNTER_CANDIDATES, emitted)
 
 
 class _DedupJob(MapReduceJob):
@@ -226,12 +231,17 @@ class _VerifyJob(MapReduceJob):
                 lefts.append(payload)
         if right_string is None:
             return
+        if lefts:
+            ctx.count("verified", len(lefts))
+            ctx.count(COUNTER_VERIFIED, len(lefts))
+        similar = 0
         for left_id, left_string in lefts:
             distance = self.scheme.verify(left_string, right_string, ctx.charge)
-            ctx.count("verified")
             if distance is not None:
-                ctx.count("similar")
+                similar += 1
                 yield (left_id, key, distance)
+        if similar:
+            ctx.count("similar", similar)
 
 
 @dataclass

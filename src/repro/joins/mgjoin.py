@@ -16,8 +16,19 @@ from __future__ import annotations
 
 import math
 import random
-from collections import Counter, defaultdict
+from collections import Counter
 from typing import Sequence
+
+from repro.candidates import (
+    COUNTER_PRUNED_COUNT,
+    COUNTER_PRUNED_LENGTH,
+    COUNTER_VERIFIED,
+    CandidateBuffer,
+    FilterCascade,
+    PostingsIndex,
+    new_counters,
+    unordered,
+)
 
 
 def _jaccard(x: frozenset[str], y: frozenset[str]) -> float:
@@ -32,6 +43,7 @@ def mgjoin_jaccard_self_join(
     threshold: float,
     n_orders: int = 3,
     seed: int = 0,
+    counters: dict[str, int] | None = None,
 ) -> set[tuple[int, int]]:
     """All index pairs with set-Jaccard ``>= threshold``, multi-order
     prefix filtering.
@@ -51,6 +63,8 @@ def mgjoin_jaccard_self_join(
         raise ValueError("Jaccard threshold must be in (0, 1]")
     if n_orders < 1:
         raise ValueError("need at least one global order")
+    if counters is None:
+        counters = new_counters()
 
     token_sets = [frozenset(record) for record in records]
     vocabulary = sorted({token for tokens in token_sets for token in tokens})
@@ -78,7 +92,8 @@ def mgjoin_jaccard_self_join(
     ]
 
     order = sorted(range(len(records)), key=lambda i: (len(token_sets[i]), i))
-    index: dict[str, list[int]] = defaultdict(list)
+    index = PostingsIndex()  # order-0 prefix token -> record ids
+    buffer = CandidateBuffer(len(records))
     results: set[tuple[int, int]] = set()
     for identifier in order:
         tokens = token_sets[identifier]
@@ -86,21 +101,33 @@ def mgjoin_jaccard_self_join(
             continue
         min_partner = math.ceil(threshold * len(tokens))
         # ---- probe with order 0 ------------------------------------------------
-        candidates: set[int] = set()
         for token in prefixes[0][identifier]:
-            candidates.update(index[token])
-        for other in candidates:
-            if len(token_sets[other]) < min_partner:
-                continue  # length filter
-            # Secondary orders: prefixes must intersect under every order.
-            if any(
-                not (prefixes[g][identifier] & prefixes[g][other])
-                for g in range(1, n_orders)
-            ):
-                continue
+            postings = index.get(token)
+            if postings:
+                buffer.add_all(postings)
+        # The probe's filter chain as a shared-subsystem cascade: the
+        # length filter first (one comparison), the multi-order prefix
+        # agreement second (n-1 set intersections), short-circuited.
+        probe_prefixes = [prefixes[g][identifier] for g in range(n_orders)]
+        cascade = FilterCascade(
+            (
+                COUNTER_PRUNED_LENGTH,
+                lambda other: len(token_sets[other]) >= min_partner,
+            ),
+            (
+                COUNTER_PRUNED_COUNT,
+                lambda other: all(
+                    probe_prefixes[g] & prefixes[g][other]
+                    for g in range(1, n_orders)
+                ),
+            ),
+            counters=counters,
+        )
+        for other in cascade.admitted(buffer.drain()):
+            counters[COUNTER_VERIFIED] += 1
             if _jaccard(tokens, token_sets[other]) >= threshold:
-                results.add(tuple(sorted((identifier, other))))
+                results.add(unordered(identifier, other))
         # ---- index the order-0 prefix -------------------------------------------
         for token in prefixes[0][identifier]:
-            index[token].append(identifier)
+            index.add(token, identifier)
     return results

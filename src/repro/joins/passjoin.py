@@ -12,6 +12,16 @@ into ``U + 1`` segments guarantees at least one segment is a substring of
    segment index;
 3. verifies surviving candidate pairs with the banded threshold DP.
 
+The candidate machinery runs on :mod:`repro.candidates`: segment
+signatures are interned to dense ids with ``array``-backed postings
+(:class:`repro.candidates.PostingsIndex`, probed through its C-level
+lookup ref), per-probe de-duplication is a bulk ``set.update`` over the
+postings (with the shortest-first sweep this guarantees each unordered
+pair is verified at most once), and verification is one batched
+:func:`repro.accel.verify_pairs` call.  Filter effectiveness lands in the
+canonical counters (see :mod:`repro.candidates.cascade`) exposed as
+``last_counters`` on the join object / via the ``counters`` argument.
+
 Two join modes are provided:
 
 * :meth:`PassJoin.self_join` / :meth:`PassJoin.join` -- classic LD-joins
@@ -30,8 +40,14 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Sequence
 
-from repro.accel import verify_pairs
-from repro.distances import nld_within
+from repro.candidates import (
+    COUNTER_CANDIDATES,
+    PostingsIndex,
+    new_counters,
+    unordered,
+    verify_ld_pairs,
+    verify_nld_pairs,
+)
 from repro.distances.normalized import (
     max_ld_for_longer,
     max_ld_for_shorter,
@@ -91,8 +107,13 @@ class PassJoin:
     backend:
         Verification kernel selector (``"auto" | "dp" | "bitparallel"``,
         see :mod:`repro.accel`); candidates are verified in one batched
-        :func:`repro.accel.verify_pairs` call, so duplicate candidate
-        pairs hit the bounded memo instead of re-running the kernel.
+        :func:`repro.accel.verify_pairs` call.
+
+    Attributes
+    ----------
+    last_counters:
+        Canonical candidate-pipeline counters of the most recent
+        :meth:`self_join` / :meth:`join` call.
     """
 
     def __init__(self, threshold: int, backend: str = "auto") -> None:
@@ -101,6 +122,11 @@ class PassJoin:
         self.threshold = threshold
         self.segment_count = threshold + 1
         self.backend = backend
+        self.last_counters: dict[str, int] = new_counters()
+        #: (probe_length, indexed_length) -> windows: the layout is a pure
+        #: function of the length pair, and corpora draw lengths from a
+        #: handful of values, so probes hit this memo almost always.
+        self._window_memo: dict[tuple[int, int], list[tuple[int, int, int, int]]] = {}
 
     # -- candidate generation ----------------------------------------------
 
@@ -116,8 +142,13 @@ class PassJoin:
              min(lx - l_i, p_i + i, p_i + D + (k-1-i))]
 
         with ``D = lx - l`` (Li et al., Sec. 4.2).  Returns tuples
-        ``(segment_index, segment_size, lo, hi)``.
+        ``(segment_index, segment_size, lo, hi)``, memoized per length
+        pair.
         """
+        memo_key = (probe_length, indexed_length)
+        windows = self._window_memo.get(memo_key)
+        if windows is not None:
+            return windows
         k = self.segment_count
         delta = probe_length - indexed_length
         windows = []
@@ -126,11 +157,12 @@ class PassJoin:
             hi = min(probe_length - size, p_i + i, p_i + delta + (k - 1 - i))
             if lo <= hi:
                 windows.append((i, size, lo, hi))
+        self._window_memo[memo_key] = windows
         return windows
 
     def _index_string(
         self,
-        index: dict[tuple[int, int, str], list[int]],
+        index: PostingsIndex,
         short_bucket: dict[int, list[int]],
         identifier: int,
         s: str,
@@ -141,43 +173,55 @@ class PassJoin:
             short_bucket[len(s)].append(identifier)
             return
         for i, (start, segment) in enumerate(even_partition(s, self.segment_count)):
-            index[(i, len(s), segment)].append(identifier)
+            index.add((i, len(s), segment), identifier)
 
     def _probe_string(
         self,
-        index: dict[tuple[int, int, str], list[int]],
+        index: PostingsIndex,
         short_bucket: dict[int, list[int]],
         s: str,
         lengths: Sequence[int],
     ) -> set[int]:
-        candidates: set[int] = set()
+        """Deduplicated candidate ids for probe ``s``.
+
+        The hot loop binds the index's C-level lookup ref once and
+        deduplicates with bulk ``set.update`` over the array postings --
+        per-probe set dedup plus the shortest-first sweep is what makes
+        every unordered pair reach verification at most once.
+        """
+        probe_length = len(s)
+        threshold = self.threshold
+        lookup = index.lookup_ref()
+        postings = index.postings
+        found: set[int] = set()
         for indexed_length in lengths:
-            if abs(indexed_length - len(s)) > self.threshold:
+            if abs(indexed_length - probe_length) > threshold:
                 continue
-            for i, size, lo, hi in self._probe_windows(len(s), indexed_length):
+            for i, size, lo, hi in self._probe_windows(probe_length, indexed_length):
                 for start in range(lo, hi + 1):
-                    key = (i, indexed_length, s[start : start + size])
-                    found = index.get(key)
-                    if found:
-                        candidates.update(found)
+                    sig_id = lookup((i, indexed_length, s[start : start + size]))
+                    if sig_id is not None:
+                        found.update(postings[sig_id])
         for bucket_length, ids in short_bucket.items():
-            if abs(bucket_length - len(s)) <= self.threshold:
-                candidates.update(ids)
-        return candidates
+            if abs(bucket_length - probe_length) <= threshold:
+                found.update(ids)
+        return found
 
     # -- public joins --------------------------------------------------------
 
-    def self_join(self, strings: Sequence[str]) -> set[tuple[int, int]]:
-        """All index pairs ``(i, j)``, ``i < j``, with ``LD <= U``.
+    def self_join_candidates(self, strings: Sequence[str]) -> list[tuple[int, int]]:
+        """The deduplicated candidate pairs of the self-join sweep.
 
         Strings are processed in increasing length order; each string
         probes the index of previously seen strings, then indexes itself,
-        so every unordered pair is examined exactly once.  Surviving
-        candidates are verified in one batched call at the end (candidate
-        generation never depends on verification outcomes).
+        so every unordered pair is proposed at most once (bitset dedup per
+        probe; the sweep makes that a global guarantee).  Exposed
+        separately from :meth:`self_join` for the candidate-pipeline bench
+        and the equivalence tests against the pre-overhaul reference.
         """
+        self.last_counters = counters = new_counters()
         order = sorted(range(len(strings)), key=lambda i: (len(strings[i]), i))
-        index: dict[tuple[int, int, str], list[int]] = defaultdict(list)
+        index = PostingsIndex()
         short_bucket: dict[int, list[int]] = defaultdict(list)
         seen_lengths: list[int] = []
         seen_length_set: set[int] = set()
@@ -191,18 +235,34 @@ class PassJoin:
             if len(s) not in seen_length_set:
                 seen_length_set.add(len(s))
                 seen_lengths.append(len(s))
-        distances = verify_pairs(
-            candidates, strings, self.threshold, backend=self.backend
+        counters[COUNTER_CANDIDATES] += len(candidates)
+        return candidates
+
+    def self_join(self, strings: Sequence[str]) -> set[tuple[int, int]]:
+        """All index pairs ``(i, j)``, ``i < j``, with ``LD <= U``.
+
+        Candidates come from :meth:`self_join_candidates` and are verified
+        in one batched call (candidate generation never depends on
+        verification outcomes).
+        """
+        candidates = self.self_join_candidates(strings)
+        distances = verify_ld_pairs(
+            candidates,
+            strings,
+            self.threshold,
+            backend=self.backend,
+            counters=self.last_counters,
         )
         return {
-            tuple(sorted(pair))
+            unordered(*pair)
             for pair, distance in zip(candidates, distances)
             if distance is not None
         }
 
     def join(self, r: Sequence[str], p: Sequence[str]) -> set[tuple[int, int]]:
         """All ``(i, j)`` with ``LD(r[i], p[j]) <= U`` (R indexed, P probes)."""
-        index: dict[tuple[int, int, str], list[int]] = defaultdict(list)
+        self.last_counters = counters = new_counters()
+        index = PostingsIndex()
         short_bucket: dict[int, list[int]] = defaultdict(list)
         lengths: list[int] = []
         length_set: set[int] = set()
@@ -219,8 +279,13 @@ class PassJoin:
         for j, s in enumerate(p):
             for candidate in self._probe_string(index, short_bucket, s, lengths):
                 candidates.append((candidate, offset + j))
-        distances = verify_pairs(
-            candidates, table, self.threshold, backend=self.backend
+        counters[COUNTER_CANDIDATES] += len(candidates)
+        distances = verify_ld_pairs(
+            candidates,
+            table,
+            self.threshold,
+            backend=self.backend,
+            counters=counters,
         )
         return {
             (i, j - offset)
@@ -230,7 +295,10 @@ class PassJoin:
 
 
 def passjoin_nld_self_join(
-    strings: Sequence[str], threshold: float, backend: str = "auto"
+    strings: Sequence[str],
+    threshold: float,
+    backend: str = "auto",
+    counters: dict[str, int] | None = None,
 ) -> set[tuple[int, int]]:
     """Self-join under ``NLD <= threshold`` via the Lemma 8/9 adaptation.
 
@@ -242,23 +310,32 @@ def passjoin_nld_self_join(
     ``U_pair`` (an indel can shift a segment by at most one position, and a
     similar pair admits at most ``U_pair`` edits).
 
+    Candidates are deduplicated per probe with a bitset and verified in
+    batched per-LD-cap :func:`repro.accel.verify_pairs` calls
+    (:func:`repro.candidates.verify_nld_pairs`); candidate generation
+    never depends on verification outcomes.
+
     Returns index pairs ``(i, j)`` with ``i < j``.
     """
     if not 0 <= threshold < 1:
         raise ValueError("NLD threshold must be in [0, 1)")
+    if counters is None:
+        counters = new_counters()
     order = sorted(range(len(strings)), key=lambda i: (len(strings[i]), i))
-    index: dict[tuple[int, int, str], list[int]] = defaultdict(list)
+    index = PostingsIndex()
     short_bucket: dict[int, list[int]] = defaultdict(list)
     seen_lengths: list[int] = []
     seen_length_set: set[int] = set()
-    results: set[tuple[int, int]] = set()
+    candidates: list[tuple[int, int]] = []
+    lookup = index.lookup_ref()
+    postings = index.postings
 
     for identifier in order:
         s = strings[identifier]
         probe_length = len(s)
         # ---- probe: partners are indexed, hence no longer than s ----------
         min_partner = min_length_for_nld(threshold, probe_length)
-        candidates: set[int] = set()
+        found: set[int] = set()
         for indexed_length in seen_lengths:
             if not (min_partner <= indexed_length <= probe_length):
                 continue
@@ -275,19 +352,15 @@ def passjoin_nld_self_join(
                 lo = max(0, p_i - u_pair)
                 hi = min(probe_length - size, p_i + u_pair)
                 for start in range(lo, hi + 1):
-                    key = (i, indexed_length, s[start : start + size])
-                    found = index.get(key)
-                    if found:
-                        candidates.update(found)
+                    sig_id = lookup((i, indexed_length, s[start : start + size]))
+                    if sig_id is not None:
+                        found.update(postings[sig_id])
         for bucket_length, ids in short_bucket.items():
             if min_partner <= bucket_length <= probe_length:
-                candidates.update(ids)
-        for candidate in candidates:
-            if candidate == identifier:
-                continue
-            within = nld_within(strings[candidate], s, threshold, backend=backend)
-            if within is not None:
-                results.add(tuple(sorted((candidate, identifier))))
+                found.update(ids)
+        for candidate in found:
+            if candidate != identifier:
+                candidates.append((candidate, identifier))
         # ---- index s for longer probes to find ----------------------------
         u_index = max_ld_for_longer(threshold, probe_length)
         if probe_length <= u_index:
@@ -296,8 +369,17 @@ def passjoin_nld_self_join(
             for i, (start, segment) in enumerate(
                 even_partition(s, u_index + 1)
             ):
-                index[(i, probe_length, segment)].append(identifier)
+                index.add((i, probe_length, segment), identifier)
         if probe_length not in seen_length_set:
             seen_length_set.add(probe_length)
             seen_lengths.append(probe_length)
-    return results
+
+    counters[COUNTER_CANDIDATES] += len(candidates)
+    values = verify_nld_pairs(
+        candidates, strings, threshold, backend=backend, counters=counters
+    )
+    return {
+        unordered(*pair)
+        for pair, value in zip(candidates, values)
+        if value is not None
+    }

@@ -18,7 +18,14 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Sequence
 
-from repro.accel import verify_pairs
+from repro.candidates import (
+    COUNTER_CANDIDATES,
+    COUNTER_PRUNED_COUNT,
+    PostingsIndex,
+    new_counters,
+    unordered,
+    verify_ld_pairs,
+)
 from repro.joins.passjoin import _segment_bounds, even_partition
 
 
@@ -26,7 +33,11 @@ class PassJoinK:
     """Serial PassJoinK for LD self-joins with threshold ``U`` and ``K``
     required signature matches.  ``backend`` selects the verification
     kernel (see :mod:`repro.accel`); surviving candidates are verified in
-    one batched :func:`repro.accel.verify_pairs` call."""
+    one batched :func:`repro.accel.verify_pairs` call.  The K-signature
+    count filter runs on the shared candidate pipeline: interned segment
+    signatures (:class:`repro.candidates.PostingsIndex`), per-candidate
+    matched-segment *bitmasks* instead of sets, and canonical counters in
+    ``last_counters`` (``pruned_by_count`` is the K-signature filter)."""
 
     def __init__(
         self, threshold: int, k_signatures: int = 2, backend: str = "auto"
@@ -39,6 +50,7 @@ class PassJoinK:
         self.k_signatures = k_signatures
         self.segment_count = threshold + k_signatures
         self.backend = backend
+        self.last_counters: dict[str, int] = new_counters()
 
     def self_join(self, strings: Sequence[str]) -> set[tuple[int, int]]:
         """All index pairs ``(i, j)``, ``i < j``, with ``LD <= U``.
@@ -46,20 +58,24 @@ class PassJoinK:
         Like Pass-Join's shortest-first sweep, but candidates must match on
         at least ``K`` distinct segment indices before verification.
         """
+        self.last_counters = counters = new_counters()
         order = sorted(range(len(strings)), key=lambda i: (len(strings[i]), i))
-        index: dict[tuple[int, int, str], list[int]] = defaultdict(list)
+        index = PostingsIndex()
         short_bucket: dict[int, list[int]] = defaultdict(list)
         seen_lengths: list[int] = []
         seen_length_set: set[int] = set()
         pending: list[tuple[int, int]] = []
         u = self.threshold
         k = self.segment_count
+        k_required = self.k_signatures
 
         for identifier in order:
             s = strings[identifier]
             probe_length = len(s)
-            # Count distinct matched segment indices per candidate id.
-            matched: dict[int, set[int]] = defaultdict(set)
+            # Distinct matched segment indices per candidate id, as a
+            # bitmask (segment indices are < U + K, comfortably machine
+            # word width).
+            matched: dict[int, int] = defaultdict(int)
             for indexed_length in seen_lengths:
                 if probe_length - indexed_length > u:
                     continue
@@ -68,18 +84,22 @@ class PassJoinK:
                 for i, (p_i, size) in enumerate(_segment_bounds(indexed_length, k)):
                     lo = max(0, p_i - u)
                     hi = min(probe_length - size, p_i + u)
+                    bit = 1 << i
                     for start in range(lo, hi + 1):
                         found = index.get((i, indexed_length, s[start : start + size]))
                         if found:
                             for candidate in found:
-                                matched[candidate].add(i)
-            candidates = {
-                candidate
-                for candidate, indices in matched.items()
-                if len(indices) >= self.k_signatures
-            }
+                                matched[candidate] |= bit
+            candidates = set()
+            for candidate, mask in matched.items():
+                if mask.bit_count() >= k_required:
+                    candidates.add(candidate)
+                else:
+                    counters[COUNTER_PRUNED_COUNT] += 1
+            counters[COUNTER_CANDIDATES] += len(matched)
             for bucket_length, ids in short_bucket.items():
                 if probe_length - bucket_length <= u:
+                    counters[COUNTER_CANDIDATES] += len(ids)
                     candidates.update(ids)
             for candidate in candidates:
                 if candidate != identifier:
@@ -91,13 +111,15 @@ class PassJoinK:
                 short_bucket[probe_length].append(identifier)
             else:
                 for i, (start, segment) in enumerate(even_partition(s, k)):
-                    index[(i, probe_length, segment)].append(identifier)
+                    index.add((i, probe_length, segment), identifier)
             if probe_length not in seen_length_set:
                 seen_length_set.add(probe_length)
                 seen_lengths.append(probe_length)
-        distances = verify_pairs(pending, strings, u, backend=self.backend)
+        distances = verify_ld_pairs(
+            pending, strings, u, backend=self.backend, counters=counters
+        )
         return {
-            tuple(sorted(pair))
+            unordered(*pair)
             for pair, distance in zip(pending, distances)
             if distance is not None
         }

@@ -21,6 +21,11 @@ from dataclasses import dataclass
 from typing import Iterator, Sequence
 
 from repro.accel import edit_distance_within
+from repro.candidates import (
+    COUNTER_CANDIDATES,
+    COUNTER_PRUNED_COUNT,
+    COUNTER_VERIFIED,
+)
 from repro.joins.passjoin import _segment_bounds, even_partition
 from repro.mapreduce import (
     MapReduceContext,
@@ -95,9 +100,12 @@ class _CountJob(MapReduceJob):
 
     def reduce(self, key, values, ctx: MapReduceContext) -> Iterator:
         indices = set(values)
+        ctx.count(COUNTER_CANDIDATES)
         if -1 in indices or len(indices) >= self.k_signatures:
             ctx.count("candidates")
             yield key
+        else:
+            ctx.count(COUNTER_PRUNED_COUNT)
 
 
 class _ResolveJob(MapReduceJob):
@@ -152,6 +160,8 @@ class _VerifyJob(MapReduceJob):
                 lefts.append(payload)
         if right_string is None:
             return
+        if lefts:
+            ctx.count(COUNTER_VERIFIED, len(lefts))
         for left_id, left_string in lefts:
             distance = edit_distance_within(
                 left_string,

@@ -9,6 +9,11 @@ least one prefix token, so an inverted index over prefixes finds all
 candidates.  A length filter (``t * |r| <= |s| <= |r| / t``) and PPJoin's
 positional upper bound prune further before exact verification.
 
+The prefix index runs on the shared candidate pipeline
+(:mod:`repro.candidates`): prefix tokens are interned signatures whose
+postings pack ``(record id, prefix position)``, and the length/positional
+filters report into the canonical counters.
+
 This is the core of the set-based joins the paper reviews (MGJoin, Vernica
 et al.); it handles token *shuffles* but -- as Sec. II-D stresses -- not
 token *edits*, which is exactly the gap NSLD fills.  Included as a baseline
@@ -18,8 +23,22 @@ and for the related-work ablation bench.
 from __future__ import annotations
 
 import math
-from collections import Counter, defaultdict
+from collections import Counter
 from typing import Sequence
+
+from repro.candidates import (
+    COUNTER_CANDIDATES,
+    COUNTER_PRUNED_LENGTH,
+    COUNTER_PRUNED_POSITION,
+    COUNTER_VERIFIED,
+    PostingsIndex,
+    new_counters,
+    pack_posting,
+    unordered,
+)
+
+#: Bits reserved for the prefix position in a packed posting.
+_POSITION_BITS = 24
 
 
 def _jaccard(x: frozenset[str], y: frozenset[str]) -> float:
@@ -30,7 +49,9 @@ def _jaccard(x: frozenset[str], y: frozenset[str]) -> float:
 
 
 def prefix_filter_jaccard_self_join(
-    records: Sequence[Sequence[str]], threshold: float
+    records: Sequence[Sequence[str]],
+    threshold: float,
+    counters: dict[str, int] | None = None,
 ) -> set[tuple[int, int]]:
     """All index pairs with set-Jaccard similarity ``>= threshold``.
 
@@ -41,6 +62,8 @@ def prefix_filter_jaccard_self_join(
         is a *set* join, matching the published algorithms).
     threshold:
         Jaccard threshold ``t`` in ``(0, 1]``.
+    counters:
+        Optional canonical candidate-pipeline counter sink.
 
     Examples
     --------
@@ -50,8 +73,11 @@ def prefix_filter_jaccard_self_join(
     """
     if not 0 < threshold <= 1:
         raise ValueError("Jaccard threshold must be in (0, 1]")
+    if counters is None:
+        counters = new_counters()
 
     token_sets = [frozenset(record) for record in records]
+    sizes = [len(tokens) for tokens in token_sets]
     frequency = Counter(token for tokens in token_sets for token in tokens)
 
     def global_order(tokens: frozenset[str]) -> list[str]:
@@ -61,7 +87,8 @@ def prefix_filter_jaccard_self_join(
     # Process records sorted by set size so the length filter is a simple
     # lower bound against already-indexed records.
     order = sorted(range(len(records)), key=lambda i: (len(token_sets[i]), i))
-    index: dict[str, list[tuple[int, int, int]]] = defaultdict(list)
+    index = PostingsIndex()  # prefix token -> packed (id, position)
+    position_mask = (1 << _POSITION_BITS) - 1
     results: set[tuple[int, int]] = set()
 
     for identifier in order:
@@ -75,12 +102,20 @@ def prefix_filter_jaccard_self_join(
         # ---- probe ---------------------------------------------------------
         candidates: dict[int, int] = {}
         for position, token in enumerate(ordered[:prefix_length]):
-            for other, other_size, other_position in index[token]:
+            postings = index.get(token)
+            if not postings:
+                continue
+            for packed in postings:
+                other = packed >> _POSITION_BITS
+                other_size = sizes[other]
+                counters[COUNTER_CANDIDATES] += 1
                 if other_size < min_partner:
+                    counters[COUNTER_PRUNED_LENGTH] += 1
                     continue  # length filter
                 if other not in candidates:
                     # PPJoin positional filter: the overlap still reachable
                     # is 1 + min(tokens after this position on both sides).
+                    other_position = packed & position_mask
                     reachable = 1 + min(
                         size - position - 1, other_size - other_position - 1
                     )
@@ -88,12 +123,14 @@ def prefix_filter_jaccard_self_join(
                         threshold / (1 + threshold) * (size + other_size)
                     )
                     if reachable < required:
+                        counters[COUNTER_PRUNED_POSITION] += 1
                         continue
                     candidates[other] = reachable
+        counters[COUNTER_VERIFIED] += len(candidates)
         for other in candidates:
             if _jaccard(tokens, token_sets[other]) >= threshold:
-                results.add(tuple(sorted((identifier, other))))
+                results.add(unordered(identifier, other))
         # ---- index the prefix ----------------------------------------------
         for position, token in enumerate(ordered[:prefix_length]):
-            index[token].append((identifier, size, position))
+            index.add(token, pack_posting(identifier, position, _POSITION_BITS))
     return results

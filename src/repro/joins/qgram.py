@@ -13,6 +13,18 @@ padded q-grams (the *count filter*).  Combined with the length filter
 displaced by more than ``U`` positions), an inverted q-gram index yields a
 candidate set verified with the banded DP.
 
+The index runs on the shared candidate pipeline
+(:mod:`repro.candidates`), with the *position filter folded into the
+signature*: the interned signature is the positional pair
+``(gram, position)``, and a probe gram at position ``p`` looks up only
+the ``2U + 1`` signatures ``(gram, p - U) ... (gram, p + U)``.  Skewed
+grams (the common bigrams of a name corpus) thus never iterate postings
+that the position filter would discard -- the pre-overhaul
+``dict[str, list[(id, pos)]]`` scanned every posting of the gram and
+tested ``abs(pos - p) <= U`` per hit.  The count/length filters report
+into the canonical counters, and survivors are verified in one batched
+:func:`repro.accel.verify_pairs` call.
+
 Included as an ablation baseline for the token-join stage -- PassJoin's
 segment signatures generate far fewer candidates on short tokens, which
 is why MassJoin builds on PassJoin (Sec. IV).
@@ -23,10 +35,18 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Sequence
 
-from repro.distances import levenshtein_within
+from repro.candidates import (
+    COUNTER_CANDIDATES,
+    COUNTER_PRUNED_COUNT,
+    COUNTER_PRUNED_LENGTH,
+    PostingsIndex,
+    new_counters,
+    unordered,
+    verify_ld_pairs,
+)
 
 #: Sentinel used to pad string ends; must not occur in real data.
-PAD = ""
+PAD = "\x01"
 
 
 def positional_qgrams(s: str, q: int) -> list[tuple[int, str]]:
@@ -43,30 +63,30 @@ def positional_qgrams(s: str, q: int) -> list[tuple[int, str]]:
     return [(i, padded[i : i + q]) for i in range(len(s) + q - 1)]
 
 
-def qgram_ld_self_join(
-    strings: Sequence[str], threshold: int, q: int = 2
-) -> set[tuple[int, int]]:
-    """All index pairs with ``LD <= threshold`` via q-gram filtering.
+def qgram_ld_candidates(
+    strings: Sequence[str],
+    threshold: int,
+    q: int = 2,
+    counters: dict[str, int] | None = None,
+) -> list[tuple[int, int]]:
+    """The candidate pairs surviving the q-gram filter cascade.
 
-    Exact: the count filter is a necessary condition, and survivors are
-    verified with the thresholded DP.  Strings shorter than the count
-    filter's reach (``|s| + q - 1 <= threshold * q``) match the filter
-    vacuously and are compared within the length window directly.
-
-    Examples
-    --------
-    >>> sorted(qgram_ld_self_join(["chan", "chank", "kalan"], 1))
-    [(0, 1)]
+    Exposed separately from :func:`qgram_ld_self_join` for the
+    candidate-pipeline bench and the reference-equivalence tests.
     """
     if threshold < 0:
         raise ValueError("edit-distance threshold must be non-negative")
     if q < 1:
         raise ValueError("q must be positive")
+    if counters is None:
+        counters = new_counters()
 
     # Strings with too few grams for the count filter to bite.
     always_candidates: list[int] = []
-    index: dict[str, list[tuple[int, int]]] = defaultdict(list)  # gram -> [(id, pos)]
-    results: set[tuple[int, int]] = set()
+    index = PostingsIndex()  # (gram, position) -> record-id postings
+    lookup = index.lookup_ref()
+    postings_columns = index.postings
+    candidates: list[tuple[int, int]] = []
 
     order = sorted(range(len(strings)), key=lambda i: (len(strings[i]), i))
     for identifier in order:
@@ -75,28 +95,72 @@ def qgram_ld_self_join(
         # ---- probe -----------------------------------------------------------
         overlap: dict[int, int] = defaultdict(int)
         for position, gram in positional_qgrams(s, q):
-            for other, other_position in index.get(gram, ()):
-                if abs(position - other_position) <= threshold:
+            # Positional signatures: only postings already within the
+            # position filter's displacement window are touched.
+            for indexed_position in range(
+                max(0, position - threshold), position + threshold + 1
+            ):
+                sig_id = lookup((gram, indexed_position))
+                if sig_id is None:
+                    continue
+                for other in postings_columns[sig_id]:
                     overlap[other] += 1
-        candidates = set(always_candidates)
+        found = set(always_candidates)
+        counters[COUNTER_CANDIDATES] += len(overlap) + len(always_candidates)
         for other, count in overlap.items():
             other_length = len(strings[other])
             if len(s) - other_length > threshold:
+                counters[COUNTER_PRUNED_LENGTH] += 1
                 continue  # length filter (indexed strings are shorter)
             needed = max(len(s), other_length) + q - 1 - threshold * q
             if count >= needed or needed <= 0:
-                candidates.add(other)
-        for other in candidates:
+                found.add(other)
+            else:
+                counters[COUNTER_PRUNED_COUNT] += 1
+        for other in found:
             if other == identifier:
                 continue
             if len(s) - len(strings[other]) > threshold:
+                counters[COUNTER_PRUNED_LENGTH] += 1
                 continue
-            if levenshtein_within(strings[other], s, threshold) is not None:
-                results.add(tuple(sorted((other, identifier))))
+            candidates.append((other, identifier))
         # ---- index -----------------------------------------------------------
         if required <= 0:
             always_candidates.append(identifier)
         else:
             for position, gram in positional_qgrams(s, q):
-                index[gram].append((identifier, position))
-    return results
+                index.add((gram, position), identifier)
+    return candidates
+
+
+def qgram_ld_self_join(
+    strings: Sequence[str],
+    threshold: int,
+    q: int = 2,
+    backend: str = "auto",
+    counters: dict[str, int] | None = None,
+) -> set[tuple[int, int]]:
+    """All index pairs with ``LD <= threshold`` via q-gram filtering.
+
+    Exact: the count filter is a necessary condition, and survivors are
+    verified with the thresholded kernel (batched, backend-selectable).
+    Strings shorter than the count filter's reach
+    (``|s| + q - 1 <= threshold * q``) match the filter vacuously and are
+    compared within the length window directly.
+
+    Examples
+    --------
+    >>> sorted(qgram_ld_self_join(["chan", "chank", "kalan"], 1))
+    [(0, 1)]
+    """
+    if counters is None:
+        counters = new_counters()
+    candidates = qgram_ld_candidates(strings, threshold, q, counters)
+    distances = verify_ld_pairs(
+        candidates, strings, threshold, backend=backend, counters=counters
+    )
+    return {
+        unordered(*pair)
+        for pair, distance in zip(candidates, distances)
+        if distance is not None
+    }

@@ -22,6 +22,11 @@ import math
 from dataclasses import dataclass
 from typing import Iterator, Sequence
 
+from repro.candidates import (
+    COUNTER_CANDIDATES,
+    COUNTER_PRUNED_LENGTH,
+    COUNTER_VERIFIED,
+)
 from repro.mapreduce import (
     MapReduceContext,
     MapReduceEngine,
@@ -76,21 +81,31 @@ class _RidPairsJob(MapReduceJob):
 
     def reduce(self, key, values, ctx: MapReduceContext) -> Iterator:
         items = [(identifier, frozenset(tokens)) for identifier, tokens in values]
+        generated = pruned = verified = 0
         for a in range(len(items)):
             id_a, set_a = items[a]
             for b in range(a + 1, len(items)):
                 id_b, set_b = items[b]
                 if id_a == id_b:
                     continue
+                generated += 1
                 # Length filter before the exact verification.
                 small, large = sorted((len(set_a), len(set_b)))
                 if small < self.threshold * large:
+                    pruned += 1
                     continue
+                verified += 1
                 ctx.charge(small + large)
                 similarity = _jaccard(set_a, set_b)
                 if similarity >= self.threshold:
                     pair = (id_a, id_b) if id_a < id_b else (id_b, id_a)
                     yield pair, similarity
+        if generated:
+            ctx.count(COUNTER_CANDIDATES, generated)
+        if pruned:
+            ctx.count(COUNTER_PRUNED_LENGTH, pruned)
+        if verified:
+            ctx.count(COUNTER_VERIFIED, verified)
 
 
 class _PairDedupJob(MapReduceJob):

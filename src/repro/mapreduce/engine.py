@@ -21,6 +21,7 @@ from typing import Any, Callable, Iterable, Iterator, Sequence
 
 from repro.mapreduce.cluster import ClusterConfig, CostModel
 from repro.mapreduce.hashing import stable_hash
+from repro.mapreduce.shuffle import ShuffleLedger, SizeMemo, memoized_stable_hash
 from repro.tokenize.tokenized_string import TokenizedString
 
 KeyValue = tuple[Any, Any]
@@ -32,10 +33,15 @@ def estimate_size(value: object) -> int:
     Uses flat per-type estimates comparable to compact binary encodings;
     exactness is irrelevant -- only relative volume between strategies
     matters for the simulated runtimes.
+
+    The estimate is a function of value *equality*: ``bool`` sizes like
+    the ``int`` it equals (``True == 1``), ``float`` like an equal int.
+    The memoized shuffle path (:class:`repro.mapreduce.shuffle.SizeMemo`)
+    relies on this -- two equal values must never account differently.
     """
-    if value is None or isinstance(value, bool):
+    if value is None:
         return 1
-    if isinstance(value, int):
+    if isinstance(value, int):  # bool included: True == 1 must size alike
         return 8
     if isinstance(value, float):
         return 8
@@ -281,6 +287,15 @@ class MapReduceEngine:
 
     def __init__(self, config: ClusterConfig | None = None) -> None:
         self.config = config or ClusterConfig()
+        # Shared accounting memos for the batched shuffle data path: keys
+        # (record ids, tokens) and payloads (records, histograms) recur
+        # across the jobs of a pipeline, so both memos outlive single runs.
+        self._size_memo = SizeMemo(estimate_size)
+        self._hash_memo: dict[Any, int] = {}
+
+    def key_hash(self, key: Any) -> int:
+        """Memoized :func:`repro.mapreduce.hashing.stable_hash` of a key."""
+        return memoized_stable_hash(self._hash_memo, key)
 
     @property
     def n_machines(self) -> int:
@@ -306,23 +321,14 @@ class MapReduceEngine:
 
         # ---- map phase ------------------------------------------------------
         # Buffered per-mapper only when a combiner needs mapper-local groups;
-        # otherwise pairs stream straight into the shuffle.
-        groups: dict[Any, list[Any]] = {}
+        # otherwise pairs stream straight into the shuffle ledger -- the
+        # batched data path (interned keys, memoized sizes/hashes, value
+        # columns) that replaces per-pair accounting.
+        shuffle = ShuffleLedger(n, self._size_memo, self._hash_memo)
         use_combiner = job.has_combiner
         mapper_buffers: list[dict[Any, list[Any]]] | None = (
             [dict() for _ in range(n)] if use_combiner else None
         )
-
-        def shuffle_pair(key: Any, value: Any) -> None:
-            destination = stable_hash(key) % n
-            nbytes = estimate_size(key) + estimate_size(value)
-            metrics.shuffle_bytes[destination] += nbytes
-            ledger = metrics.reduce_ledger.get(key)
-            if ledger is None:
-                metrics.reduce_ledger[key] = [0, 0, nbytes]
-            else:
-                ledger[2] += nbytes
-            groups.setdefault(key, []).append(value)
 
         record_ops = 0
 
@@ -340,7 +346,7 @@ class MapReduceEngine:
                 if use_combiner:
                     mapper_buffers[mapper].setdefault(key, []).append(value)
                 else:
-                    shuffle_pair(key, value)
+                    shuffle.emit(key, value)
             metrics.map_ops[mapper] += record_ops
             metrics.map_ledger.append(record_ops)
 
@@ -357,9 +363,19 @@ class MapReduceEngine:
                 for key, values in buffer.items():
                     combined = job.combine(key, values, ctx)
                     for value in combined if combined is not None else values:
-                        shuffle_pair(key, value)
+                        shuffle.emit(key, value)
                 metrics.map_ops[mapper] += combine_ops
                 metrics.combine_ops_total += combine_ops
+
+        # ---- shuffle settle -------------------------------------------------
+        # Drain the ledger columns into the metrics: per-key bytes land on
+        # the receiving reducer, and the fine-grained reduce ledger is
+        # seeded in first-emission order (the historical dict order).
+        for key, destination, nbytes in zip(
+            shuffle.keys, shuffle.destinations, shuffle.nbytes
+        ):
+            metrics.shuffle_bytes[destination] += nbytes
+            metrics.reduce_ledger[key] = [0, 0, nbytes]
 
         # ---- reduce phase ---------------------------------------------------
         outputs: list[Any] = []
@@ -369,13 +385,14 @@ class MapReduceEngine:
             nonlocal group_ops
             group_ops += ops
 
-        for key, values in groups.items():
-            reducer = stable_hash(key) % n
+        ctx._bind(reduce_sink)
+        for key, reducer, values in zip(
+            shuffle.keys, shuffle.destinations, shuffle.values
+        ):
             metrics.reduce_tasks[reducer] += 1
             metrics.reduce_records[reducer] += len(values)
 
             group_ops = 0
-            ctx._bind(reduce_sink)
             outputs.extend(job.reduce(key, values, ctx))
             metrics.reduce_ops[reducer] += group_ops
             ledger = metrics.reduce_ledger[key]

@@ -47,7 +47,7 @@ from repro.mapreduce.engine import (
     MapReduceJob,
     estimate_size,
 )
-from repro.mapreduce.hashing import stable_hash
+from repro.mapreduce.shuffle import SizeMemo
 from repro.runtime.pool import (
     default_worker_count,
     in_worker_process,
@@ -92,8 +92,13 @@ def _run_map_shard(
 
     ctx._bind(sink)
 
+    # The batched shuffle data path's size memo (see
+    # repro.mapreduce.shuffle): identical accounted bytes, computed once
+    # per distinct key/payload instead of once per emission.
+    sizes = SizeMemo(estimate_size)
+
     def emit(key: Any, value: Any, tag: _Tag) -> None:
-        nbytes = estimate_size(key) + estimate_size(value)
+        nbytes = sizes.size(key) + sizes.size(value)
         entry = partition.get(key)
         if entry is None:
             partition[key] = [nbytes, tag, [(tag, value)]]
@@ -270,7 +275,7 @@ class ParallelMapReduceEngine(MapReduceEngine):
             else:
                 tagged = sorted(chain(*tagged_lists), key=lambda tv: tv[0])
             groups[key] = [value for _, value in tagged]
-            destination = stable_hash(key) % n
+            destination = self.key_hash(key) % n
             destinations[key] = destination
             metrics.shuffle_bytes[destination] += nbytes
             metrics.reduce_ledger[key] = [0, 0, nbytes]

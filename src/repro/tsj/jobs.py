@@ -18,11 +18,14 @@ from __future__ import annotations
 import math
 from typing import Iterator, Mapping
 
-from repro.distances.setwise import (
-    nsld_length_lower_bound,
-    nsld_lower_bound_from_histograms,
-    nsld_within,
+from repro.candidates import (
+    COUNTER_CANDIDATES,
+    COUNTER_PRUNED_COUNT,
+    COUNTER_PRUNED_LENGTH,
+    COUNTER_VERIFIED,
+    HistogramBoundFilter,
 )
+from repro.distances.setwise import nsld_within
 from repro.mapreduce import MapReduceContext, MapReduceJob, stable_hash
 from repro.tokenize import TokenizedString
 
@@ -44,8 +47,18 @@ def _length_filter_passes(
     length_a: int, length_b: int, threshold: float
 ) -> bool:
     """Lemma 6 length filter (Sec. III-E.1): keep iff the aggregate-length
-    lower bound does not already exceed the threshold."""
-    return nsld_length_lower_bound(length_a, length_b) <= threshold
+    lower bound does not already exceed the threshold.
+
+    Decision-identical to ``nsld_length_lower_bound(a, b) <= threshold``,
+    inlined (no tuple sort, no call) for the per-candidate hot path.
+    """
+    if length_a <= length_b:
+        shorter, longer = length_a, length_b
+    else:
+        shorter, longer = length_b, length_a
+    if longer == 0:
+        return True  # bound 0.0; thresholds are non-negative
+    return 1.0 - shorter / longer <= threshold
 
 
 class TokenFrequencyJob(MapReduceJob):
@@ -113,6 +126,10 @@ class SharedTokenCandidatesJob(MapReduceJob):
         members = sorted(values)
         ctx.charge(len(members) * max(len(members) - 1, 0) // 2)
         boundary = self.bipartite_boundary
+        threshold = self.threshold
+        use_length_filter = self.use_length_filter
+        generated = pruned = emitted = 0
+        similar = ((token_length, token_length, 0),)
         for a in range(len(members)):
             id_a, length_a, hist_a = members[a]
             for b in range(a + 1, len(members)):
@@ -123,19 +140,27 @@ class SharedTokenCandidatesJob(MapReduceJob):
                     id_b < boundary
                 ):
                     continue  # same side of an R x P join
-                if self.use_length_filter and not _length_filter_passes(
-                    length_a, length_b, self.threshold
+                generated += 1
+                if use_length_filter and not _length_filter_passes(
+                    length_a, length_b, threshold
                 ):
-                    ctx.count("pruned-length-shared")
+                    pruned += 1
                     continue
-                ctx.count("candidates-shared")
+                emitted += 1
                 yield (id_a, id_b), (
                     length_a,
                     hist_a,
                     length_b,
                     hist_b,
-                    ((token_length, token_length, 0),),
+                    similar,
                 )
+        if generated:
+            ctx.count(COUNTER_CANDIDATES, generated)
+        if pruned:
+            ctx.count("pruned-length-shared", pruned)
+            ctx.count(COUNTER_PRUNED_LENGTH, pruned)
+        if emitted:
+            ctx.count("candidates-shared", emitted)
 
 
 class TokenPairFanoutJob(MapReduceJob):
@@ -214,6 +239,7 @@ class TokenPairJoinJob(MapReduceJob):
         ld = next(ld for _, _, ld in values)
         boundary = self.bipartite_boundary
         ctx.charge(len(side_0) * len(side_1))
+        generated = pruned = emitted = 0
         for id_a, length_a, hist_a in side_0:
             for id_b, length_b, hist_b in side_1:
                 if id_a == id_b:
@@ -222,12 +248,13 @@ class TokenPairJoinJob(MapReduceJob):
                     id_b < boundary
                 ):
                     continue  # same side of an R x P join
+                generated += 1
                 if self.use_length_filter and not _length_filter_passes(
                     length_a, length_b, self.threshold
                 ):
-                    ctx.count("pruned-length-similar")
+                    pruned += 1
                     continue
-                ctx.count("candidates-similar")
+                emitted += 1
                 if id_a < id_b:
                     pair = (id_a, id_b)
                     meta = (
@@ -247,6 +274,13 @@ class TokenPairJoinJob(MapReduceJob):
                         ((len(token_2), len(token_1), ld),),
                     )
                 yield pair, meta
+        if generated:
+            ctx.count(COUNTER_CANDIDATES, generated)
+        if pruned:
+            ctx.count("pruned-length-similar", pruned)
+            ctx.count(COUNTER_PRUNED_LENGTH, pruned)
+        if emitted:
+            ctx.count("candidates-similar", emitted)
 
 
 class DedupFilterJob(MapReduceJob):
@@ -283,6 +317,22 @@ class DedupFilterJob(MapReduceJob):
         # of NLD-similar token pairs, which only fuzzy matching provides;
         # with exact matching the bound falls back to length differences.
         self.complete_similar_pairs = complete_similar_pairs
+        # The shared-cascade form of the Sec. III-E.2 filter: identical
+        # decisions to the setwise oracle, Lemma 10 arithmetic memoized
+        # per length pair across the whole job.
+        self._histogram_filter = HistogramBoundFilter(
+            threshold, use_lemma10=complete_similar_pairs
+        )
+        #: record id -> Sec. III-G.3 fingerprint (ids recur once per
+        #: candidate pair they appear in; hash each exactly once).
+        self._fingerprints: dict[int, int] = {}
+
+    def _fingerprint(self, identifier: int) -> int:
+        fingerprint = self._fingerprints.get(identifier)
+        if fingerprint is None:
+            fingerprint = stable_hash(("dedup", identifier))
+            self._fingerprints[identifier] = fingerprint
+        return fingerprint
 
     def map(self, record, ctx: MapReduceContext) -> Iterator:
         pair, meta = record
@@ -290,40 +340,50 @@ class DedupFilterJob(MapReduceJob):
             yield pair, meta
             return
         id_a, id_b = pair
-        hash_a, hash_b = stable_hash(("dedup", id_a)), stable_hash(("dedup", id_b))
+        hash_a, hash_b = self._fingerprint(id_a), self._fingerprint(id_b)
         # Sec. III-G.3 load-balancing fingerprint rule.
         holder_is_a = int(hash_a < hash_b) == (hash_a + hash_b) % 2
         yield (id_a if holder_is_a else id_b), (pair, meta)
 
-    def _filter_and_emit(
+    #: _filter outcomes.
+    _EMIT, _PRUNED_LENGTH, _PRUNED_HISTOGRAM = 0, 1, 2
+
+    def _filter(
         self,
-        pair: tuple[int, int],
         length_a: int,
         hist_a: Histogram,
         length_b: int,
         hist_b: Histogram,
         similar_pairs: set[tuple[int, int, int]],
         ctx: MapReduceContext,
-    ) -> Iterator:
+    ) -> int:
         if self.use_length_filter and not _length_filter_passes(
             length_a, length_b, self.threshold
         ):
-            ctx.count("pruned-length-dedup")
-            return
+            return self._PRUNED_LENGTH
         if self.use_histogram_filter:
+            # The filter work is charged unconditionally (like the Vocab
+            # memo, cache hits re-cost the same simulated ops); only the
+            # wall-clock is saved by the bound memo.
             ctx.charge(len(hist_a) * len(hist_b))
-            bound = nsld_lower_bound_from_histograms(
-                decode_histogram(hist_a),
-                decode_histogram(hist_b),
-                similar_pairs,
-                self.threshold,
-                use_lemma10=self.complete_similar_pairs,
+            bound = self._histogram_filter.nsld_bound_encoded(
+                hist_a, hist_b, tuple(sorted(similar_pairs))
             )
             if bound > self.threshold:
-                ctx.count("pruned-histogram")
-                return
-        ctx.count("candidates-verified")
-        yield pair
+                return self._PRUNED_HISTOGRAM
+        return self._EMIT
+
+    def _count_outcomes(
+        self, ctx: MapReduceContext, emitted: int, by_length: int, by_histogram: int
+    ) -> None:
+        if by_length:
+            ctx.count("pruned-length-dedup", by_length)
+            ctx.count(COUNTER_PRUNED_LENGTH, by_length)
+        if by_histogram:
+            ctx.count("pruned-histogram", by_histogram)
+            ctx.count(COUNTER_PRUNED_COUNT, by_histogram)
+        if emitted:
+            ctx.count("candidates-verified", emitted)
 
     def reduce(self, key, values, ctx: MapReduceContext) -> Iterator:
         if not self.group_on_one:
@@ -333,9 +393,17 @@ class DedupFilterJob(MapReduceJob):
                 triple for _, _, _, _, triples in values for triple in triples
             }
             ctx.charge(len(values))
-            yield from self._filter_and_emit(
-                key, length_a, hist_a, length_b, hist_b, similar_pairs, ctx
+            outcome = self._filter(
+                length_a, hist_a, length_b, hist_b, similar_pairs, ctx
             )
+            self._count_outcomes(
+                ctx,
+                emitted=outcome == self._EMIT,
+                by_length=outcome == self._PRUNED_LENGTH,
+                by_histogram=outcome == self._PRUNED_HISTOGRAM,
+            )
+            if outcome == self._EMIT:
+                yield key
             return
         # key is a single record id; de-duplicate partners with a hash map
         # (the paper's hash-set strategy), merging similar pairs per pair.
@@ -347,12 +415,21 @@ class DedupFilterJob(MapReduceJob):
                 merged[pair] = [length_a, hist_a, length_b, hist_b, set(triples)]
             else:
                 entry[4].update(triples)
+        emitted = by_length = by_histogram = 0
         for pair, (length_a, hist_a, length_b, hist_b, similar_pairs) in sorted(
             merged.items()
         ):
-            yield from self._filter_and_emit(
-                pair, length_a, hist_a, length_b, hist_b, similar_pairs, ctx
+            outcome = self._filter(
+                length_a, hist_a, length_b, hist_b, similar_pairs, ctx
             )
+            if outcome == self._EMIT:
+                emitted += 1
+                yield pair
+            elif outcome == self._PRUNED_LENGTH:
+                by_length += 1
+            else:
+                by_histogram += 1
+        self._count_outcomes(ctx, emitted, by_length, by_histogram)
 
 
 class ResolveLeftJob(MapReduceJob):
@@ -422,8 +499,11 @@ class VerifyJob(MapReduceJob):
                 lefts.append(payload)
         if right_record is None:
             return
+        if lefts:
+            ctx.count("verifications", len(lefts))
+            ctx.count(COUNTER_VERIFIED, len(lefts))
+        similar = 0
         for left_id, left_record in lefts:
-            ctx.count("verifications")
             # Charge the alignment solve on top of the LD matrix cells the
             # ops hook meters: Hungarian runs O(k^3) augmenting-path scans
             # with a significant constant; greedy heap-selects k of k^2
@@ -442,5 +522,7 @@ class VerifyJob(MapReduceJob):
                 backend=self.backend,
             )
             if distance is not None:
-                ctx.count("similar-pairs")
+                similar += 1
                 yield (left_id, key, distance)
+        if similar:
+            ctx.count("similar-pairs", similar)

@@ -1,0 +1,156 @@
+"""Property tests: no join's candidate generation loses a true pair.
+
+For every join algorithm in the repository, the filter cascade is a chain
+of *necessary* conditions: on random corpora (seeded for reproducibility)
+across thresholds, the verified output must equal the naive quadratic
+oracle exactly -- a missing pair would be a false negative introduced by
+candidate generation, an extra pair a verification bug.  Where the
+candidate list is observable we additionally assert it is a superset of
+the true pairs (the no-false-negatives property itself, pre-verification).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.candidates import COUNTER_VERIFIED, new_counters
+from repro.joins.massjoin import MassJoin
+from repro.joins.mgjoin import mgjoin_jaccard_self_join
+from repro.joins.naive import (
+    naive_ld_join,
+    naive_ld_self_join,
+    naive_nld_self_join,
+)
+from repro.joins.passjoin import PassJoin, passjoin_nld_self_join
+from repro.joins.passjoin_k import PassJoinK
+from repro.joins.passjoin_kmr import PassJoinKMR
+from repro.joins.prefix_filter import prefix_filter_jaccard_self_join
+from repro.joins.qgram import qgram_ld_candidates, qgram_ld_self_join
+from repro.joins.vernica import VernicaJoin
+
+pytestmark = pytest.mark.tier1
+
+SEEDS = [7, 29, 101]
+LD_THRESHOLDS = [0, 1, 2]
+NLD_THRESHOLDS = [0.1, 0.3]
+JACCARD_THRESHOLDS = [0.5, 0.8, 1.0]
+
+
+def random_corpus(seed: int, size: int = 48, alphabet: str = "abc") -> list[str]:
+    """Short strings over a tiny alphabet: collisions and near-misses
+    everywhere, which is exactly what stresses the filters."""
+    rng = random.Random(seed)
+    return [
+        "".join(rng.choice(alphabet) for _ in range(rng.randint(0, 8)))
+        for _ in range(size)
+    ]
+
+
+def random_token_records(seed: int, size: int = 36) -> list[list[str]]:
+    rng = random.Random(seed)
+    vocabulary = ["ann", "bob", "cat", "dan", "eve", "fay", "gus", "hal"]
+    return [
+        rng.sample(vocabulary, rng.randint(0, 4)) for _ in range(size)
+    ]
+
+
+def naive_jaccard_self_join(records, threshold):
+    def jaccard(x, y):
+        if not x and not y:
+            return 1.0
+        return len(x & y) / len(x | y)
+
+    token_sets = [frozenset(record) for record in records]
+    return {
+        (i, j)
+        for i in range(len(records))
+        for j in range(i + 1, len(records))
+        if token_sets[i]
+        and token_sets[j]
+        and jaccard(token_sets[i], token_sets[j]) >= threshold
+    }
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("threshold", LD_THRESHOLDS)
+class TestLdJoins:
+    def test_passjoin_self(self, seed, threshold):
+        strings = random_corpus(seed)
+        expected = naive_ld_self_join(strings, threshold)
+        join = PassJoin(threshold)
+        assert join.self_join(strings) == expected
+        # Candidate generation itself never loses a true pair.
+        candidates = {
+            tuple(sorted(pair)) for pair in join.self_join_candidates(strings)
+        }
+        assert candidates >= expected
+
+    def test_passjoin_two_set(self, seed, threshold):
+        strings = random_corpus(seed)
+        r, p = strings[: len(strings) // 2], strings[len(strings) // 2 :]
+        assert PassJoin(threshold).join(r, p) == naive_ld_join(r, p, threshold)
+
+    @pytest.mark.parametrize("k_signatures", [1, 2])
+    def test_passjoin_k(self, seed, threshold, k_signatures):
+        strings = random_corpus(seed)
+        expected = naive_ld_self_join(strings, threshold)
+        assert PassJoinK(threshold, k_signatures).self_join(strings) == expected
+
+    def test_passjoin_kmr(self, seed, threshold):
+        strings = random_corpus(seed, size=32)
+        expected = naive_ld_self_join(strings, threshold)
+        assert PassJoinKMR(threshold=threshold).self_join(strings).pairs == expected
+
+    def test_qgram(self, seed, threshold):
+        strings = random_corpus(seed)
+        expected = naive_ld_self_join(strings, threshold)
+        counters = new_counters()
+        assert qgram_ld_self_join(strings, threshold, counters=counters) == expected
+        candidates = {
+            tuple(sorted(pair))
+            for pair in qgram_ld_candidates(strings, threshold)
+        }
+        assert candidates >= expected
+        assert counters[COUNTER_VERIFIED] == len(candidates)
+
+    def test_massjoin_ld(self, seed, threshold):
+        strings = random_corpus(seed, size=32)
+        expected = naive_ld_self_join(strings, threshold)
+        result = MassJoin(threshold=threshold, mode="ld").self_join(strings)
+        assert result.pairs == expected
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("threshold", NLD_THRESHOLDS)
+class TestNldJoins:
+    def test_passjoin_nld(self, seed, threshold):
+        strings = random_corpus(seed)
+        expected = naive_nld_self_join(strings, threshold)
+        assert passjoin_nld_self_join(strings, threshold) == expected
+
+    def test_massjoin_nld(self, seed, threshold):
+        strings = random_corpus(seed, size=32)
+        expected = naive_nld_self_join(strings, threshold)
+        result = MassJoin(threshold=threshold, mode="nld").self_join(strings)
+        assert result.pairs == expected
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("threshold", JACCARD_THRESHOLDS)
+class TestSetJoins:
+    def test_prefix_filter(self, seed, threshold):
+        records = random_token_records(seed)
+        expected = naive_jaccard_self_join(records, threshold)
+        assert prefix_filter_jaccard_self_join(records, threshold) == expected
+
+    def test_mgjoin(self, seed, threshold):
+        records = random_token_records(seed)
+        expected = naive_jaccard_self_join(records, threshold)
+        assert mgjoin_jaccard_self_join(records, threshold) == expected
+
+    def test_vernica(self, seed, threshold):
+        records = random_token_records(seed)
+        expected = naive_jaccard_self_join(records, threshold)
+        assert VernicaJoin(threshold=threshold).self_join(records).pairs == expected

@@ -1,0 +1,101 @@
+"""Equivalence against the pre-overhaul candidate path.
+
+The overhaul swapped data structures (interned signatures, array
+postings, bitset dedup), not algorithms: on any corpus the new generators
+must propose exactly the candidate pair *sets* the pre-overhaul
+dict-based generators did (``repro.candidates.reference``), and the
+memoized :class:`HistogramBoundFilter` must make exactly the decisions of
+the :mod:`repro.distances.setwise` oracle it replaces in the TSJ dedup
+job.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.candidates import HistogramBoundFilter
+from repro.candidates.reference import (
+    passjoin_candidates_dict,
+    qgram_candidates_dict,
+)
+from repro.distances.setwise import (
+    nsld_lower_bound_from_histograms,
+    sld_lower_bound_from_histograms,
+)
+from repro.joins.passjoin import PassJoin
+from repro.joins.qgram import qgram_ld_candidates
+
+pytestmark = pytest.mark.tier1
+
+SEEDS = [3, 17, 91]
+THRESHOLDS = [0, 1, 2]
+
+
+def random_corpus(seed: int, size: int = 56) -> list[str]:
+    rng = random.Random(seed)
+    return [
+        "".join(rng.choice("abcd") for _ in range(rng.randint(0, 9)))
+        for _ in range(size)
+    ]
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("threshold", THRESHOLDS)
+def test_passjoin_candidates_match_reference(seed, threshold):
+    strings = random_corpus(seed)
+    reference = passjoin_candidates_dict(strings, threshold)
+    overhauled = PassJoin(threshold).self_join_candidates(strings)
+    # Identical candidate pair sets -- and identical *counts*: both paths
+    # deduplicate per probe, so no path pays duplicate verification.
+    assert set(overhauled) == set(reference)
+    assert len(overhauled) == len(reference)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("threshold", THRESHOLDS)
+def test_qgram_candidates_match_reference(seed, threshold):
+    strings = random_corpus(seed)
+    reference = qgram_candidates_dict(strings, threshold)
+    overhauled = qgram_ld_candidates(strings, threshold)
+    assert set(overhauled) == set(reference)
+    assert len(overhauled) == len(reference)
+
+
+def random_histogram(rng: random.Random) -> dict[int, int]:
+    return {
+        length: rng.randint(1, 3)
+        for length in rng.sample(range(1, 10), rng.randint(0, 4))
+    }
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("use_lemma10", [True, False])
+def test_histogram_filter_matches_setwise_oracle(seed, use_lemma10):
+    rng = random.Random(seed)
+    for _ in range(200):
+        threshold = rng.choice([0.05, 0.1, 0.2, 0.4])
+        hist_x, hist_y = random_histogram(rng), random_histogram(rng)
+        similar = [
+            (rng.randint(1, 9), rng.randint(1, 9), rng.randint(0, 3))
+            for _ in range(rng.randint(0, 3))
+        ]
+        bound_filter = HistogramBoundFilter(threshold, use_lemma10=use_lemma10)
+        assert bound_filter.sld_bound(
+            hist_x, hist_y, similar
+        ) == sld_lower_bound_from_histograms(
+            hist_x, hist_y, similar, threshold, use_lemma10
+        )
+        assert bound_filter.nsld_bound(
+            hist_x, hist_y, similar
+        ) == nsld_lower_bound_from_histograms(
+            hist_x, hist_y, similar, threshold, use_lemma10
+        )
+        # The fully-memoized encoded form agrees with itself and the oracle.
+        encoded_x = tuple(sorted(hist_x.items()))
+        encoded_y = tuple(sorted(hist_y.items()))
+        similar_key = tuple(sorted(similar))
+        first = bound_filter.nsld_bound_encoded(encoded_x, encoded_y, similar_key)
+        second = bound_filter.nsld_bound_encoded(encoded_x, encoded_y, similar_key)
+        assert first == second == bound_filter.nsld_bound(hist_x, hist_y, similar)

@@ -1,0 +1,163 @@
+"""Unit tests for the repro.candidates building blocks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.candidates import (
+    COUNTER_CANDIDATES,
+    COUNTER_PRUNED_LENGTH,
+    COUNTER_VERIFIED,
+    CandidateBuffer,
+    FilterCascade,
+    PostingsIndex,
+    SignatureInterner,
+    new_counters,
+    pack_posting,
+    unordered,
+    unpack_posting,
+    verify_ld_pairs,
+    verify_nld_pairs,
+)
+
+pytestmark = pytest.mark.tier1
+
+
+class TestSignatureInterner:
+    def test_dense_stable_ids(self):
+        interner = SignatureInterner()
+        ids = [interner.intern(sig) for sig in ["a", (1, "b"), "a", (1, "b"), "c"]]
+        assert ids == [0, 1, 0, 1, 2]
+        assert len(interner) == 3
+
+    def test_lookup_never_allocates(self):
+        interner = SignatureInterner()
+        assert interner.lookup("missing") is None
+        assert len(interner) == 0
+        interner.intern("present")
+        assert interner.lookup("present") == 0
+
+    def test_signatures_in_id_order(self):
+        interner = SignatureInterner()
+        for sig in ["z", "a", "m"]:
+            interner.intern(sig)
+        assert list(interner.signatures()) == ["z", "a", "m"]
+
+
+class TestPostingsIndex:
+    def test_append_order_preserved(self):
+        index = PostingsIndex()
+        index.add("sig", 5)
+        index.add("sig", 3)
+        index.add("sig", 9)
+        assert list(index.get("sig")) == [5, 3, 9]
+
+    def test_missing_signature(self):
+        index = PostingsIndex()
+        assert index.get("nope") is None
+
+    def test_counts(self):
+        index = PostingsIndex()
+        index.add("a", 1)
+        index.add("b", 1)
+        index.add("a", 2)
+        assert len(index) == 2
+        assert index.total_postings == 3
+
+
+class TestPackPosting:
+    def test_roundtrip(self):
+        for record, payload in [(0, 0), (7, 3), (123456, (1 << 24) - 1)]:
+            assert unpack_posting(pack_posting(record, payload)) == (record, payload)
+
+    def test_payload_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            pack_posting(1, 1 << 24)
+        with pytest.raises(ValueError):
+            pack_posting(1, -1)
+
+
+class TestCandidateBuffer:
+    def test_dedup_within_probe(self):
+        buffer = CandidateBuffer(10)
+        assert buffer.add(4) is True
+        assert buffer.add(4) is False
+        assert buffer.add_all([4, 5, 5, 6]) == 2
+        assert buffer.drain() == [4, 5, 6]
+
+    def test_drain_resets(self):
+        buffer = CandidateBuffer(4)
+        buffer.add(1)
+        assert buffer.drain() == [1]
+        assert buffer.add(1) is True
+        assert buffer.drain() == [1]
+        assert buffer.drain() == []
+
+    def test_unordered(self):
+        assert unordered(3, 1) == (1, 3)
+        assert unordered(1, 3) == (1, 3)
+
+
+class TestFilterCascade:
+    def test_short_circuit_order_and_counters(self):
+        calls: list[str] = []
+
+        def first(candidate):
+            calls.append("first")
+            return candidate != 1
+
+        def second(candidate):
+            calls.append("second")
+            return candidate != 2
+
+        cascade = FilterCascade(
+            (COUNTER_PRUNED_LENGTH, first), ("pruned_by_count", second)
+        )
+        assert cascade.admitted([0, 1, 2, 3]) == [0, 3]
+        # Candidate 1 is pruned by the first filter -- the second never ran
+        # for it (short-circuit); every other candidate reached both.
+        assert calls == [
+            "first", "second",  # candidate 0: both pass
+            "first",            # candidate 1: pruned by first
+            "first", "second",  # candidate 2: pruned by second
+            "first", "second",  # candidate 3: both pass
+        ]
+        assert cascade.counters[COUNTER_CANDIDATES] == 4
+        assert cascade.counters[COUNTER_PRUNED_LENGTH] == 1
+        assert cascade.counters["pruned_by_count"] == 1
+
+    def test_external_counter_sink(self):
+        counters = new_counters()
+        cascade = FilterCascade(counters=counters)
+        assert cascade.admit(0) is True
+        assert counters[COUNTER_CANDIDATES] == 1
+
+
+class TestBatchedVerify:
+    def test_verify_ld_pairs_counts(self):
+        counters = new_counters()
+        results = verify_ld_pairs(
+            [(0, 1), (0, 2)], ["ann", "anne", "bob"], 1, counters=counters
+        )
+        assert results == [1, None]
+        assert counters[COUNTER_VERIFIED] == 2
+
+    def test_verify_nld_pairs_matches_oracle(self):
+        from repro.distances import nld_within
+
+        strings = ["", "a", "ann", "anne", "bob", "bobby", "catherine"]
+        pairs = [(i, j) for i in range(len(strings)) for j in range(len(strings))]
+        for threshold in [0.0, 0.2, 0.5, 0.9]:
+            batched = verify_nld_pairs(pairs, strings, threshold)
+            expected = [
+                nld_within(strings[i], strings[j], threshold) for i, j in pairs
+            ]
+            assert batched == expected
+
+    def test_verify_nld_pairs_degenerate_threshold(self):
+        # threshold >= 1.0 accepts everything, reporting the exact NLD.
+        from repro.distances import nld
+
+        strings = ["abc", "xyz"]
+        [value] = verify_nld_pairs([(0, 1)], strings, 1.0)
+        assert value == nld("abc", "xyz")

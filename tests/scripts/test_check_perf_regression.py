@@ -151,6 +151,66 @@ class TestRelativeMode:
         assert gate.main(["prog", str(current), str(baseline), "--relative"]) == 0
 
 
+class TestSeriesOverride:
+    def test_series_flag_selects_custom_series(self, gate, tmp_path, capsys):
+        """``--series`` gates an arbitrary series (the candidate-pipeline
+        bench ships ``speedup_vs_dict``)."""
+        baseline = tmp_path / "base.json"
+        baseline.write_text(
+            json.dumps({"speedup_vs_dict": {"passjoin": 1.4, "qgram": 1.2}}),
+            encoding="utf-8",
+        )
+        current = tmp_path / "cur.json"
+        current.write_text(
+            json.dumps({"speedup_vs_dict": {"passjoin": 1.5, "qgram": 1.1}}),
+            encoding="utf-8",
+        )
+        assert (
+            gate.main(
+                [
+                    "prog",
+                    "--relative",
+                    "--series",
+                    "speedup_vs_dict",
+                    str(current),
+                    str(baseline),
+                ]
+            )
+            == 0
+        )
+        assert "speedup_vs_dict" in capsys.readouterr().out
+
+    def test_series_flag_without_value_fails_cleanly(self, gate, tmp_path, capsys):
+        baseline = write_report(tmp_path / "base.json", BASE)
+        current = write_report(tmp_path / "cur.json", BASE)
+        assert gate.main(["prog", str(current), str(baseline), "--series"]) == 1
+        assert "--series requires a value" in capsys.readouterr().out
+
+    def test_unknown_series_fails_cleanly(self, gate, tmp_path, capsys):
+        baseline = write_report(tmp_path / "base.json", BASE)
+        current = write_report(tmp_path / "cur.json", BASE)
+        assert (
+            gate.main(["prog", "--series", "nope", str(current), str(baseline)]) == 1
+        )
+        assert "no series 'nope'" in capsys.readouterr().out
+
+    def test_series_flag_catches_regression(self, gate, tmp_path):
+        baseline = tmp_path / "base.json"
+        baseline.write_text(
+            json.dumps({"speedup_vs_dict": {"passjoin": 1.4}}), encoding="utf-8"
+        )
+        current = tmp_path / "cur.json"
+        current.write_text(
+            json.dumps({"speedup_vs_dict": {"passjoin": 0.6}}), encoding="utf-8"
+        )
+        assert (
+            gate.main(
+                ["prog", "--series", "speedup_vs_dict", str(current), str(baseline)]
+            )
+            == 1
+        )
+
+
 class TestRepoBaseline:
     def test_committed_baseline_is_wellformed(self, gate):
         """The committed baseline must always carry the series and the
@@ -158,3 +218,12 @@ class TestRepoBaseline:
         baseline = json.loads(gate.DEFAULT_BASELINE.read_text(encoding="utf-8"))
         assert set(baseline["gated"]) <= set(baseline["pairs_per_sec"])
         assert set(baseline["gated"]) <= set(baseline["speedup_vs_dp"])
+
+    def test_committed_candidates_baseline_is_wellformed(self, gate):
+        path = (
+            gate.DEFAULT_BASELINE.parent / "BENCH_candidates_baseline.json"
+        )
+        baseline = json.loads(path.read_text(encoding="utf-8"))
+        assert set(baseline["gated"]) <= set(baseline["speedup_vs_dict"])
+        for family in baseline["gated"]:
+            assert baseline["speedup_vs_dict"][family] > 0

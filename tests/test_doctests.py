@@ -23,7 +23,12 @@ MODULES = [
     "repro.distances.conversions",
     "repro.tokenize.tokenized_string",
     "repro.mapreduce.hashing",
+    "repro.mapreduce.shuffle",
     "repro.mapreduce.sketches",
+    "repro.candidates.interning",
+    "repro.candidates.cascade",
+    "repro.candidates.dedup",
+    "repro.candidates.verify",
     "repro.joins.passjoin",
     "repro.joins.qgram",
     "repro.joins.prefix_filter",
