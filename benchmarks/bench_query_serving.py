@@ -1,0 +1,171 @@
+"""Query-serving bench: the resident index vs rebuild-per-call.
+
+The build-once/query-many acceptance experiment: on the 5k-name corpus,
+ten successive joins and ten successive top-k batches are served
+
+* **rebuild-per-call** -- the pre-serving behaviour: every
+  :func:`repro.core.nsld_join` call re-tokenizes and re-indexes, every
+  top-k batch builds a fresh :class:`repro.service.SimilarityIndex`;
+* **resident** -- one :class:`SimilarityIndex` built once (its
+  construction counted inside the resident timing) answering all ten,
+  with the LRU result cache doing what serving caches do.
+
+Both paths must return **byte-identical results** (asserted here: same
+pair triples, same simulated seconds, same per-query top-k lists), so
+the speedup is pure serving-layer amortization.  Emits
+``benchmarks/results/BENCH_query.json``:
+
+* ``speedup_vs_rebuild`` -- machine-independent rebuild/resident
+  wall-clock ratios (both paths run in the same process on the same
+  box), gated against ``benchmarks/BENCH_query_baseline.json``;
+* ``resident_hit_rate`` -- the result cache's deterministic hit
+  fraction over the repeated workload (a caching regression shows up as
+  0.0 long before wall-clock noise matters).
+
+CI gates both series in one invocation::
+
+    python scripts/check_perf_regression.py --relative \
+        --series speedup_vs_rebuild --series resident_hit_rate \
+        benchmarks/results/BENCH_query.json \
+        benchmarks/BENCH_query_baseline.json
+
+Run as a pytest bench (``pytest benchmarks/bench_query_serving.py``) or
+standalone (``PYTHONPATH=src python benchmarks/bench_query_serving.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core import nsld_join
+from repro.data import evaluation_corpus
+from repro.service import COUNTER_CACHE_HITS, COUNTER_CACHE_MISSES, SimilarityIndex
+
+_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+CORPUS_SIZE = int(5000 * _SCALE)
+#: Successive operations per workload family (the acceptance criterion's
+#: "10 successive joins/top-k batches").
+REPEATS = 10
+N_QUERIES = 32
+K = 5
+JOIN_KWARGS = dict(threshold=0.1, max_token_frequency=1000)
+ENGINE = os.environ.get("REPRO_BENCH_ENGINE", "serial")
+
+RESULTS_PATH = Path(__file__).parent / "results" / "BENCH_query.json"
+
+
+def _queries(names: list[str]) -> list[str]:
+    """A repeated-workload query batch: hot corpus names plus edits."""
+    step = max(1, len(names) // (N_QUERIES * 3 // 4))
+    base = names[::step][: N_QUERIES * 3 // 4]
+    edited = [name.replace("a", "o", 1) for name in base][: N_QUERIES - len(base)]
+    return base + edited
+
+
+def _hit_rate(index: SimilarityIndex) -> float:
+    hits = index.counters[COUNTER_CACHE_HITS]
+    misses = index.counters[COUNTER_CACHE_MISSES]
+    return hits / (hits + misses) if hits + misses else 0.0
+
+
+def run_bench() -> dict:
+    names, _ = evaluation_corpus(CORPUS_SIZE, seed=47)
+    queries = _queries(names)
+
+    # ---- joins: rebuild-per-call vs one resident index -------------------
+    start = time.perf_counter()
+    rebuild_reports = [
+        nsld_join(names, engine=ENGINE, **JOIN_KWARGS) for _ in range(REPEATS)
+    ]
+    join_rebuild_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    join_index = SimilarityIndex(names)  # construction counted as resident cost
+    resident_reports = [
+        join_index.join(engine=ENGINE, **JOIN_KWARGS) for _ in range(REPEATS)
+    ]
+    join_resident_seconds = time.perf_counter() - start
+
+    reference = rebuild_reports[0]
+    for report in rebuild_reports[1:] + resident_reports:
+        assert report.pairs == reference.pairs, "join pairs diverge"
+        assert report.simulated_seconds == reference.simulated_seconds, (
+            "simulated seconds diverge"
+        )
+        assert report.counters == reference.counters, "join counters diverge"
+
+    # ---- top-k batches: rebuild-per-batch vs one resident index ----------
+    start = time.perf_counter()
+    rebuild_batches = []
+    for _ in range(REPEATS):
+        fresh = SimilarityIndex(names)
+        rebuild_batches.append(fresh.topk(queries, k=K))
+    topk_rebuild_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    topk_index = SimilarityIndex(names)
+    resident_batches = [topk_index.topk(queries, k=K) for _ in range(REPEATS)]
+    topk_resident_seconds = time.perf_counter() - start
+
+    for batch in rebuild_batches[1:] + resident_batches:
+        assert batch == rebuild_batches[0], "top-k results diverge"
+
+    report = {
+        # Series the perf gate enforces (ratios of same-process runs).
+        "gated": ["join_x10", "topk_x10", "join", "topk"],
+        "workload": {
+            "corpus": CORPUS_SIZE,
+            "repeats": REPEATS,
+            "queries": len(queries),
+            "k": K,
+            "engine": ENGINE,
+            **JOIN_KWARGS,
+            "join_pairs": len(reference.pairs),
+        },
+        "seconds": {
+            "join_rebuild_x10": round(join_rebuild_seconds, 3),
+            "join_resident_x10": round(join_resident_seconds, 3),
+            "topk_rebuild_x10": round(topk_rebuild_seconds, 3),
+            "topk_resident_x10": round(topk_resident_seconds, 3),
+        },
+        "speedup_vs_rebuild": {
+            "join_x10": round(join_rebuild_seconds / join_resident_seconds, 2),
+            "topk_x10": round(topk_rebuild_seconds / topk_resident_seconds, 2),
+        },
+        "resident_hit_rate": {
+            "join": round(_hit_rate(join_index), 4),
+            "topk": round(_hit_rate(topk_index), 4),
+        },
+        "counters": {
+            name: value
+            for name, value in topk_index.counters.items()
+            if name not in (COUNTER_CACHE_HITS, COUNTER_CACHE_MISSES)
+        },
+    }
+    RESULTS_PATH.parent.mkdir(exist_ok=True)
+    RESULTS_PATH.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    return report
+
+
+@pytest.mark.perf
+def test_query_serving_speedup():
+    report = run_bench()
+    print("\n" + json.dumps(report, indent=2))
+    # The acceptance bar: ten repeated operations against one resident
+    # index must beat ten rebuild-per-call invocations >= 5x, with the
+    # byte-identical-results assertions inside run_bench() as the
+    # correctness side of the bargain.
+    for family, speedup in report["speedup_vs_rebuild"].items():
+        assert speedup >= 5.0, f"{family}: resident serving only {speedup}x"
+    for family, rate in report["resident_hit_rate"].items():
+        assert rate >= 0.8, f"{family}: result cache barely hitting ({rate})"
+
+
+if __name__ == "__main__":
+    print(json.dumps(run_bench(), indent=2))

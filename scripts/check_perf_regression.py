@@ -26,7 +26,11 @@ machine-independent and still catches "lost the fast path" regressions.
 
 ``--series NAME`` overrides the compared series entirely (both JSONs must
 carry it); the candidate-pipeline bench gates its old-vs-new
-``speedup_vs_dict`` ratios this way.
+``speedup_vs_dict`` ratios this way.  The flag may repeat -- one
+invocation then gates several series of the same bench JSON (the
+query-serving bench gates ``speedup_vs_rebuild`` and
+``resident_hit_rate`` together); the check fails if *any* series
+regresses.
 """
 
 from __future__ import annotations
@@ -45,49 +49,32 @@ DEFAULT_BASELINE = REPO_ROOT / "benchmarks" / "BENCH_accel_baseline.json"
 _UNITS = {"speedup_vs_dp": "x vs dp", "pairs_per_sec": "pairs/s"}
 
 
-def main(argv: list[str]) -> int:
-    argv = list(argv)
-    relative = "--relative" in argv
-    if relative:
-        argv.remove("--relative")
-    series_override = None
-    if "--series" in argv:
-        position = argv.index("--series")
-        if position + 1 >= len(argv):
-            print("--series requires a value (the JSON series name to compare)")
-            return 1
-        series_override = argv[position + 1]
-        del argv[position : position + 2]
-    current_path = Path(argv[1]) if len(argv) > 1 else DEFAULT_CURRENT
-    baseline_path = Path(argv[2]) if len(argv) > 2 else DEFAULT_BASELINE
-
-    if not baseline_path.exists():
-        print(f"no baseline at {baseline_path}; nothing to compare")
-        return 0
-    if not current_path.exists():
-        print(
-            f"no fresh bench at {current_path}; run "
-            "`PYTHONPATH=src python benchmarks/bench_accel_backends.py` first"
-        )
-        return 1
-
-    baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
-    current = json.loads(current_path.read_text(encoding="utf-8"))
-    series = series_override or ("speedup_vs_dp" if relative else "pairs_per_sec")
+def _check_series(
+    series: str, baseline: dict, current: dict, failures: list[str]
+) -> None:
+    """Compare one series of the two reports, appending any failures."""
     unit = _UNITS.get(series, series)
-    if series not in baseline:
-        print(f"baseline {baseline_path} has no series {series!r}")
-        return 1
-    if series not in current:
-        print(f"fresh bench {current_path} has no series {series!r}")
-        return 1
     base_rates = baseline[series]
     current_rates = current[series]
     gated = baseline.get("gated")
     if gated is not None:
-        base_rates = {k: v for k, v in base_rates.items() if k in gated}
+        filtered = {k: v for k, v in base_rates.items() if k in gated}
+        if not filtered and base_rates:
+            # A requested series whose every key the gated list filters
+            # out would pass vacuously -- a silently disabled gate, not a
+            # green one.
+            failures.append(
+                f"{series}: no keys survive the baseline's 'gated' list; "
+                "the series is not actually gated"
+            )
+            return
+        base_rates = filtered
+    if not base_rates:
+        # Same silently-disabled-gate class: a present-but-empty series
+        # would compare zero entries and exit green.
+        failures.append(f"{series}: baseline series is empty; nothing gated")
+        return
 
-    failures = []
     for backend, base_rate in sorted(base_rates.items()):
         rate = current_rates.get(backend)
         if rate is None:
@@ -105,6 +92,55 @@ def main(argv: list[str]) -> int:
                 f"{backend}: {rate:.1f} {unit} is below the {floor:.1f} floor "
                 f"({delta:+.1f}% vs baseline)"
             )
+
+
+def main(argv: list[str]) -> int:
+    argv = list(argv)
+    relative = "--relative" in argv
+    if relative:
+        argv.remove("--relative")
+    series_overrides: list[str] = []
+    while "--series" in argv:
+        position = argv.index("--series")
+        if position + 1 >= len(argv):
+            print("--series requires a value (the JSON series name to compare)")
+            return 1
+        series_overrides.append(argv[position + 1])
+        del argv[position : position + 2]
+    current_path = Path(argv[1]) if len(argv) > 1 else DEFAULT_CURRENT
+    baseline_path = Path(argv[2]) if len(argv) > 2 else DEFAULT_BASELINE
+
+    if not baseline_path.exists():
+        print(f"no baseline at {baseline_path}; nothing to compare")
+        return 0
+    if not current_path.exists():
+        print(
+            f"no fresh bench at {current_path}; run "
+            "`PYTHONPATH=src python benchmarks/bench_accel_backends.py` first"
+        )
+        return 1
+
+    baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+    current = json.loads(current_path.read_text(encoding="utf-8"))
+    all_series = series_overrides or [
+        "speedup_vs_dp" if relative else "pairs_per_sec"
+    ]
+    failures: list[str] = []
+    for series in all_series:
+        # A missing series is recorded like any other failure (instead of
+        # returning early) so regressions already found in earlier series
+        # still reach the summary below.
+        if series not in baseline:
+            print(f"baseline {baseline_path} has no series {series!r}")
+            failures.append(f"{series}: missing from the baseline")
+            continue
+        if series not in current:
+            print(f"fresh bench {current_path} has no series {series!r}")
+            failures.append(f"{series}: missing from the fresh bench")
+            continue
+        if len(all_series) > 1:
+            print(f"-- series {series}")
+        _check_series(series, baseline, current, failures)
 
     if failures:
         print("\nperf regression detected:")

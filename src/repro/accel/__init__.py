@@ -41,7 +41,7 @@ from repro.accel.myers import (
     myers_within,
     myers_within_masks,
 )
-from repro.accel.vocab import BoundedCache, Vocab
+from repro.accel.vocab import BoundedCache, LRUCache, Vocab
 from repro.distances.levenshtein import (
     OpsHook,
     levenshtein,
@@ -171,6 +171,7 @@ __all__ = [
     "BACKENDS",
     "WORD_BITS",
     "BoundedCache",
+    "LRUCache",
     "Vocab",
     "build_peq",
     "edit_distance",

@@ -22,7 +22,11 @@ layer:
 
 :class:`BoundedCache` is a minimal FIFO-bounded map (insertion-ordered
 dict, evict-oldest) -- enough to bound memory on adversarial streams
-without the bookkeeping cost of a true LRU.
+without the bookkeeping cost of a true LRU.  :class:`LRUCache` is its
+true-LRU sibling for *result* caches (the serving layer's query/join
+results, :class:`repro.knn.FuzzyMatchIndex`'s query cache), where a
+``move_to_end`` per hit is noise next to the work a miss would redo and
+recency actually tracks the skewed query stream.
 """
 
 from __future__ import annotations
@@ -75,6 +79,88 @@ class BoundedCache:
         self._data.clear()
         self.hits = 0
         self.misses = 0
+
+
+#: Canonical counter names for result-cache effectiveness, reported
+#: alongside the :data:`repro.candidates.CASCADE_COUNTERS` set.
+COUNTER_CACHE_HITS = "result_cache_hits"
+COUNTER_CACHE_MISSES = "result_cache_misses"
+
+
+class LRUCache:
+    """A least-recently-used key/value cache with a hard capacity bound.
+
+    Python dicts iterate in insertion order, so moving a key to the back
+    on every hit makes the front the least-recently-used entry and
+    eviction ``O(1)``.  ``capacity == 0`` disables the cache entirely
+    (every ``get`` misses, ``put`` is a no-op) -- callers need no special
+    casing to turn caching off.
+
+    Examples
+    --------
+    >>> cache = LRUCache(2)
+    >>> cache.put("a", 1); cache.put("b", 2)
+    >>> cache.get("a")
+    1
+    >>> cache.put("c", 3)  # evicts "b" (least recently used), not "a"
+    >>> cache.get("b") is None
+    True
+    >>> cache.get("a"), cache.hits, cache.misses
+    (1, 2, 1)
+    """
+
+    __slots__ = ("capacity", "_data", "hits", "misses")
+
+    _MISSING = object()
+
+    def __init__(self, capacity: int = 128) -> None:
+        if capacity < 0:
+            raise ValueError("cache capacity must be non-negative")
+        self.capacity = capacity
+        self._data: dict = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._data
+
+    def get(self, key: Hashable, default=None):
+        """The cached value, refreshing its recency; counts the outcome."""
+        data = self._data
+        value = data.get(key, self._MISSING)
+        if value is self._MISSING:
+            self.misses += 1
+            return default
+        self.hits += 1
+        # Re-insert to mark as most recently used.
+        del data[key]
+        data[key] = value
+        return value
+
+    def put(self, key: Hashable, value) -> None:
+        """Insert (or refresh) an entry, evicting the LRU at capacity."""
+        if self.capacity == 0:
+            return
+        data = self._data
+        if key in data:
+            del data[key]
+        elif len(data) >= self.capacity:
+            del data[next(iter(data))]
+        data[key] = value
+
+    def clear(self) -> None:
+        """Drop all entries; the hit/miss counters keep accumulating."""
+        self._data.clear()
+
+    def stats(self) -> dict[str, int]:
+        """The canonical counter view (see module docstring)."""
+        return {
+            COUNTER_CACHE_HITS: self.hits,
+            COUNTER_CACHE_MISSES: self.misses,
+        }
 
 
 class Vocab:

@@ -9,8 +9,11 @@ Subcommands
               pairs and detected clusters.
 ``compare``   Print the NSLD between two names.
 ``roc``       Run the Fig. 6 name-change ROC comparison and print AUCs.
-``knn``       Query a file of names for the nearest neighbours of a name
-              (VP-tree over NSLD).
+``knn``       Nearest neighbours of one or more names from a resident
+              index (VP-tree over NSLD, built once for the whole batch).
+``search``    Serve top-k or range queries from a resident
+              :class:`repro.service.SimilarityIndex` (build once, query
+              many; cascade, VP-tree, BK-tree or FuzzyMatch backends).
 ``tune``      Coordinate-descent search for (T, M) against a corpus with
               planted rings (footnote 5 of the paper).
 """
@@ -19,6 +22,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import Sequence
 
 from repro.accel import BACKENDS
@@ -28,6 +32,12 @@ from repro.core import compare_names, nsld_join
 from repro.data import evaluation_corpus, name_change_dataset
 from repro.distances import fuzzy_cosine, fuzzy_dice, fuzzy_jaccard
 from repro.runtime import ENGINES
+from repro.service import (
+    COUNTER_CACHE_HITS,
+    COUNTER_CACHE_MISSES,
+    SERVE_METHODS,
+    SimilarityIndex,
+)
 from repro.tokenize import tokenize
 
 
@@ -137,14 +147,90 @@ def _cmd_roc(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_knn(args: argparse.Namespace) -> int:
-    from repro.knn import VPTree
+def _read_names(path: str) -> list[str]:
+    with open(path, encoding="utf-8") as handle:
+        return [line.strip() for line in handle if line.strip()]
 
-    with open(args.input, encoding="utf-8") as handle:
-        names = [line.strip() for line in handle if line.strip()]
-    tree = VPTree([tokenize(name) for name in names], backend=args.backend)
-    for item, distance in tree.nearest(tokenize(args.query), args.k):
-        print(f"{distance:.4f}\t{item}")
+
+def _print_serve_summary(index, n_names, n_queries, build_seconds, query_seconds):
+    """The resident-index summary: build-vs-query split plus cache use."""
+    print(
+        f"# resident index: {n_names} names built once in {build_seconds:.3f}s; "
+        f"{n_queries} queries served in {query_seconds:.3f}s"
+    )
+    counters = index.counters
+    print(
+        f"# result cache: {counters[COUNTER_CACHE_HITS]} hits, "
+        f"{counters[COUNTER_CACHE_MISSES]} misses "
+        f"({len(index.result_cache)} resident)"
+    )
+    _print_pipeline_summary(counters)
+
+
+def _cmd_knn(args: argparse.Namespace) -> int:
+    if args.k < 1:
+        print("-k must be positive")
+        return 2
+    names = _read_names(args.input)
+    build_start = time.perf_counter()
+    index = SimilarityIndex(names, backend=args.backend).prepare("vptree")
+    build_seconds = time.perf_counter() - build_start
+    query_start = time.perf_counter()
+    results = index.topk(args.queries, k=args.k, method="vptree")
+    query_seconds = time.perf_counter() - query_start
+    for query, matches in zip(args.queries, results):
+        if len(args.queries) > 1:
+            print(f"# query: {query}")
+        for name, distance in matches:
+            print(f"{distance:.4f}\t{name}")
+    _print_serve_summary(
+        index, len(names), len(args.queries), build_seconds, query_seconds
+    )
+    return 0
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    names = _read_names(args.input)
+    queries = list(args.queries)
+    if args.queries_file:
+        queries.extend(_read_names(args.queries_file))
+    if not queries:
+        print("no queries given (positional arguments or --queries-file)")
+        return 2
+    if args.radius is None and args.k < 1:
+        print("-k must be positive")
+        return 2
+    if args.radius is not None:
+        if args.radius < 0:
+            print("--radius must be non-negative")
+            return 2
+        if args.method == "fuzzymatch":
+            print(
+                "--radius is not supported with --method fuzzymatch "
+                "(FMS similarity has no range semantics); use top-k mode"
+            )
+            return 2
+    build_start = time.perf_counter()
+    index = SimilarityIndex(names, backend=args.backend).prepare(args.method)
+    build_seconds = time.perf_counter() - build_start
+    query_start = time.perf_counter()
+    if args.radius is not None:
+        results = index.within(
+            queries,
+            radius=args.radius,
+            method=args.method,
+            processes=args.processes,
+        )
+    else:
+        results = index.topk(
+            queries, k=args.k, method=args.method, processes=args.processes
+        )
+    query_seconds = time.perf_counter() - query_start
+    for query, matches in zip(queries, results):
+        print(f"# query: {query}")
+        for name, score in matches:
+            print(f"{score:.4f}\t{name}")
+    _print_serve_summary(index, len(names), len(queries), build_seconds, query_seconds)
     return 0
 
 
@@ -208,12 +294,47 @@ def build_parser() -> argparse.ArgumentParser:
     roc.add_argument("--seed", type=int, default=0)
     roc.set_defaults(func=_cmd_roc)
 
-    knn = sub.add_parser("knn", help="nearest neighbours of a name")
+    knn = sub.add_parser(
+        "knn", help="nearest neighbours of one or more names (resident index)"
+    )
     knn.add_argument("input", help="file of names, one per line")
-    knn.add_argument("query")
+    knn.add_argument("queries", nargs="+", help="one or more query names")
     knn.add_argument("-k", type=int, default=5)
     _add_backend_argument(knn)
     knn.set_defaults(func=_cmd_knn)
+
+    search = sub.add_parser(
+        "search",
+        help="serve top-k/range queries from a resident index "
+        "(build once, query many)",
+    )
+    search.add_argument("input", help="file of names, one per line")
+    search.add_argument("queries", nargs="*", help="query names")
+    search.add_argument(
+        "--queries-file", help="file of additional queries, one per line"
+    )
+    search.add_argument("-k", type=int, default=5)
+    search.add_argument(
+        "--radius",
+        type=float,
+        help="range mode: all matches within this distance "
+        "(default: top-k mode)",
+    )
+    search.add_argument(
+        "--method",
+        choices=list(SERVE_METHODS),
+        default="cascade",
+        help="serving backend (cascade = exact NSLD through the candidate "
+        "pipeline; vptree/bktree = metric trees; fuzzymatch = FMS top-k)",
+    )
+    search.add_argument(
+        "--processes",
+        type=int,
+        help="fan the query batch out over the shared worker pool "
+        "(pool-shared snapshot; results identical)",
+    )
+    _add_backend_argument(search)
+    search.set_defaults(func=_cmd_search)
 
     tune = sub.add_parser("tune", help="search (T, M) on a ring corpus")
     tune.add_argument("--background", type=int, default=100)

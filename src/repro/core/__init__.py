@@ -11,6 +11,6 @@ tokenizer, engine or config machinery::
     report.clusters         # [{"barak obama", "borak obama"}]
 """
 
-from repro.core.api import JoinReport, compare_names, nsld_join
+from repro.core.api import JoinReport, compare_names, join_records, nsld_join
 
-__all__ = ["nsld_join", "compare_names", "JoinReport"]
+__all__ = ["nsld_join", "compare_names", "join_records", "JoinReport"]

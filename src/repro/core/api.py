@@ -36,51 +36,28 @@ class JoinReport:
     counters: dict[str, int] = field(default_factory=dict)
 
 
-def nsld_join(
+def join_records(
     names: Sequence[str],
+    records: Sequence,
     threshold: float = 0.1,
     max_token_frequency: int | None = 1000,
     n_machines: int = 10,
-    tokenizer: Tokenizer | None = None,
     engine: str = "auto",
     **config_overrides,
 ) -> JoinReport:
-    """Self-join raw name strings under NSLD with the TSJ framework.
+    """:func:`nsld_join` over an already-tokenized collection.
 
-    Parameters
-    ----------
-    names:
-        The raw strings to compare pairwise.
-    threshold:
-        NSLD join threshold ``T`` (paper default 0.1).
-    max_token_frequency:
-        The popular-token cut-off ``M`` (``None`` = lossless).
-    n_machines:
-        Simulated cluster size.
-    tokenizer:
-        Defaults to whitespace+punctuation with case folding.
-    engine:
-        Execution engine for the pipeline's MapReduce jobs: ``"auto"``
-        (parallel over the shared worker pool when multiple CPUs are
-        usable and the platform forks workers by default — on
-        spawn/forkserver platforms such as macOS or Windows ``auto``
-        stays serial; request ``"parallel"`` explicitly under a
-        ``__main__`` guard), ``"serial"`` or ``"parallel"`` (see
-        :mod:`repro.runtime`).  Pairs and simulated seconds are
-        identical under every engine; only wall-clock changes.
-    config_overrides:
-        Any further :class:`repro.tsj.TSJConfig` field (``matching``,
-        ``aligning``, ``dedup``, ``verify_backend``, ...).
-
-    Examples
-    --------
-    >>> report = nsld_join(["barak obama", "borak obama", "john smith"],
-    ...                    threshold=0.15, max_token_frequency=None)
-    >>> [(a, b) for a, b, _ in report.pairs]
-    [('barak obama', 'borak obama')]
+    The build-once path: callers holding a tokenized snapshot (the
+    serving layer's :class:`repro.service.SimilarityIndex`) skip
+    re-tokenization; ``records[i]`` must be the tokenization of
+    ``names[i]``.  Everything downstream -- pipeline, counters,
+    simulated seconds -- is identical to :func:`nsld_join`.
     """
-    tokenizer = tokenizer or Tokenizer()
-    records = [tokenizer.tokenize(name) for name in names]
+    if len(names) != len(records):
+        raise ValueError(
+            f"names and records must align: got {len(names)} names "
+            f"for {len(records)} records"
+        )
     config = TSJConfig(
         threshold=threshold,
         max_token_frequency=max_token_frequency,
@@ -107,6 +84,84 @@ def nsld_join(
         index_pairs=result.pairs,
         simulated_seconds=result.simulated_seconds(),
         counters=result.counters(),
+    )
+
+
+def nsld_join(
+    names: Sequence[str] | None = None,
+    threshold: float = 0.1,
+    max_token_frequency: int | None = 1000,
+    n_machines: int = 10,
+    tokenizer: Tokenizer | None = None,
+    engine: str = "auto",
+    index=None,
+    **config_overrides,
+) -> JoinReport:
+    """Self-join raw name strings under NSLD with the TSJ framework.
+
+    Parameters
+    ----------
+    names:
+        The raw strings to compare pairwise.
+    threshold:
+        NSLD join threshold ``T`` (paper default 0.1).
+    max_token_frequency:
+        The popular-token cut-off ``M`` (``None`` = lossless).
+    n_machines:
+        Simulated cluster size.
+    tokenizer:
+        Defaults to whitespace+punctuation with case folding.
+    engine:
+        Execution engine for the pipeline's MapReduce jobs: ``"auto"``
+        (parallel over the shared worker pool when multiple CPUs are
+        usable and the platform forks workers by default — on
+        spawn/forkserver platforms such as macOS or Windows ``auto``
+        stays serial; request ``"parallel"`` explicitly under a
+        ``__main__`` guard), ``"serial"`` or ``"parallel"`` (see
+        :mod:`repro.runtime`).  Pairs and simulated seconds are
+        identical under every engine; only wall-clock changes.
+    index:
+        A resident :class:`repro.service.SimilarityIndex` to join
+        instead of ``names`` -- the index-reuse entry point.  The
+        snapshot's tokenization is reused and the report comes from (and
+        lands in) the index's LRU result cache, so repeated joins cost a
+        dict probe.  Mutually exclusive with ``names``/``tokenizer``.
+    config_overrides:
+        Any further :class:`repro.tsj.TSJConfig` field (``matching``,
+        ``aligning``, ``dedup``, ``verify_backend``, ...).
+
+    Examples
+    --------
+    >>> report = nsld_join(["barak obama", "borak obama", "john smith"],
+    ...                    threshold=0.15, max_token_frequency=None)
+    >>> [(a, b) for a, b, _ in report.pairs]
+    [('barak obama', 'borak obama')]
+    """
+    if index is not None:
+        if names is not None or tokenizer is not None:
+            raise ValueError(
+                "pass either names (with an optional tokenizer) or a "
+                "resident index, not both"
+            )
+        return index.join(
+            threshold=threshold,
+            max_token_frequency=max_token_frequency,
+            n_machines=n_machines,
+            engine=engine,
+            **config_overrides,
+        )
+    if names is None:
+        raise ValueError("names is required when no index is given")
+    tokenizer = tokenizer or Tokenizer()
+    records = [tokenizer.tokenize(name) for name in names]
+    return join_records(
+        names,
+        records,
+        threshold=threshold,
+        max_token_frequency=max_token_frequency,
+        n_machines=n_machines,
+        engine=engine,
+        **config_overrides,
     )
 
 

@@ -121,10 +121,21 @@ def max_ld_for_shorter(threshold: float, len_y: int) -> int:
 
     ``LD(x, y) <= floor(2*T*|y| / (2-T))``.  ``len_y`` is the length of the
     *longer* string ``y``.
+
+    The closed form is floor-of-float, which can land one below the true
+    cap when the exact NLD sits on the threshold (the ``2*T*|y|/(2-T)``
+    rounding differs from the ``2*LD/(|x|+|y|+LD)`` value the verifier
+    compares).  The cap is therefore widened while ``cap + 1`` still
+    satisfies the value-shaped inequality at the loosest lengths
+    (``|x| = |y|``), so a thresholded verification never misses a pair
+    whose computed NLD is ``<= T``.
     """
     if threshold >= 2.0:
         raise ValueError("NLD threshold must be < 2 (it is at most 1)")
-    return math.floor(2.0 * threshold * len_y / (2.0 - threshold))
+    cap = math.floor(2.0 * threshold * len_y / (2.0 - threshold))
+    while 2.0 * (cap + 1) / (2.0 * len_y + (cap + 1)) <= threshold:
+        cap += 1
+    return cap
 
 
 def max_ld_for_longer(threshold: float, len_y: int) -> int:
@@ -132,10 +143,18 @@ def max_ld_for_longer(threshold: float, len_y: int) -> int:
 
     ``LD(x, y) <= floor(T*|y| / (1-T))``.  ``len_y`` is the length of the
     *shorter* string ``y``.
+
+    Widened against the float knife edge exactly like
+    :func:`max_ld_for_shorter`: ``cap + 1`` is admitted while it still
+    satisfies the value-shaped inequality at the loosest lengths
+    (``|x| = |y| + LD``, where ``NLD = LD/(|y|+LD)``).
     """
     if threshold >= 1.0:
         raise ValueError("this bound requires T < 1")
-    return math.floor(threshold * len_y / (1.0 - threshold))
+    cap = math.floor(threshold * len_y / (1.0 - threshold))
+    while (cap + 1.0) / (len_y + (cap + 1.0)) <= threshold:
+        cap += 1
+    return cap
 
 
 # ---------------------------------------------------------------------------
@@ -148,8 +167,22 @@ def min_length_for_nld(threshold: float, len_y: int) -> int:
 
     ``ceil((1-T) * |y|) <= |x|``.  Two tokens whose lengths violate this
     window cannot be NLD-similar, so MassJoin never compares them.
+
+    Tightened against the float knife edge like the Lemma 8 caps: the
+    floor of the window is lowered while a length just below it could
+    still produce an NLD value ``<= T`` under the verifier's own
+    arithmetic (``NLD >= 2*(|y|-|x|)/(|x|+|y|+(|y|-|x|))``), so the
+    length condition never prunes a pair whose computed NLD meets the
+    threshold.
     """
-    return math.ceil((1.0 - threshold) * len_y)
+    minimum = math.ceil((1.0 - threshold) * len_y)
+    while minimum > 0:
+        shorter = minimum - 1
+        difference = len_y - shorter
+        if 2.0 * difference / (shorter + len_y + difference) > threshold:
+            break
+        minimum = shorter
+    return minimum
 
 
 def length_window(threshold: float, len_y: int) -> tuple[int, int]:

@@ -48,6 +48,7 @@ def _token_cost_matrix(
     y: TokenizedString,
     ops: OpsHook = None,
     backend: str = "dp",
+    token_ld=None,
 ) -> list[list[int]]:
     """The padded token-vs-token LD matrix of Sec. III-F.
 
@@ -60,9 +61,16 @@ def _token_cost_matrix(
     Myers tables and the skewed head of the token distribution answers
     from the bounded memo instead of re-running the kernel;
     ``backend="dp"`` dispatches straight to the plain DP oracle (no
-    interning, no memo).
+    interning, no memo).  ``token_ld`` overrides the token-distance
+    source entirely (it must return exact LDs) -- the serving layer
+    routes it to a snapshot-private vocab so the padding/aligning/
+    normalisation logic stays single-sourced here.
     """
-    from repro.accel import token_distance
+    if token_ld is None:
+        from repro.accel import token_distance
+
+        def token_ld(tx, ty):
+            return token_distance(tx, ty, ops=ops, backend=backend)
 
     k = max(x.token_count, y.token_count)
     x_tokens = list(x.tokens) + [""] * (k - x.token_count)
@@ -76,7 +84,7 @@ def _token_cost_matrix(
             elif not ty:
                 row.append(len(tx))
             else:
-                row.append(token_distance(tx, ty, ops=ops, backend=backend))
+                row.append(token_ld(tx, ty))
         matrix.append(row)
     return matrix
 
@@ -86,8 +94,13 @@ def sld(
     y: TokenizedString,
     ops: OpsHook = None,
     backend: str = "dp",
+    token_ld=None,
 ) -> int:
     """Exact Setwise Levenshtein Distance (Def. 3).
+
+    ``token_ld`` optionally overrides the token-distance source (see
+    :func:`_token_cost_matrix`); values are identical whenever the
+    callable returns exact LDs.
 
     Examples
     --------
@@ -103,7 +116,7 @@ def sld(
         return y.aggregate_length
     if y.token_count == 0:
         return x.aggregate_length
-    matrix = _token_cost_matrix(x, y, ops=ops, backend=backend)
+    matrix = _token_cost_matrix(x, y, ops=ops, backend=backend, token_ld=token_ld)
     _, total = hungarian(matrix)
     return int(total)
 
@@ -138,6 +151,7 @@ def nsld(
     y: TokenizedString,
     ops: OpsHook = None,
     backend: str = "dp",
+    token_ld=None,
 ) -> float:
     """Exact Normalized Setwise Levenshtein Distance (Def. 4).
 
@@ -147,7 +161,7 @@ def nsld(
     >>> nsld(TokenizedString(["chan", "kalan"]), TokenizedString(["chank", "alan"]))
     0.2
     """
-    return _normalize(sld(x, y, ops=ops, backend=backend), x, y)
+    return _normalize(sld(x, y, ops=ops, backend=backend, token_ld=token_ld), x, y)
 
 
 def nsld_greedy(
@@ -198,11 +212,20 @@ def nsld_length_lower_bound(length_x: int, length_y: int) -> float:
     With ``L(y) >= L(x)``: ``NSLD(x, y) >= 1 - L(x)/L(y)``.  Symmetric.
     This is TSJ's length filter (Sec. III-E.1): ship ``L(.)`` with each
     tokenized-string id and discard pairs whose bound already exceeds ``T``.
+
+    Computed as ``2*d / (L(x)+L(y)+d)`` with ``d = |L(x)-L(y)|`` -- the
+    normalisation shape of :func:`nsld` evaluated at ``SLD = d``, which
+    is algebraically equal to ``1 - L(x)/L(y)`` but rounds to the
+    *identical* float as the exact NSLD whenever the true SLD is the
+    length difference.  The ``1 - shorter/longer`` form can round one
+    ulp above the exact value and prune a pair whose NSLD sits exactly
+    on the threshold (found by the property tests).
     """
     shorter, longer = sorted((length_x, length_y))
     if longer == 0:
         return 0.0
-    return 1.0 - shorter / longer
+    difference = longer - shorter
+    return 2.0 * difference / (shorter + longer + difference)
 
 
 def nsld_length_upper_bound(length_x: int, length_y: int) -> float:

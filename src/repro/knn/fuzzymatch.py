@@ -13,7 +13,9 @@ that related-work system:
   candidates are scored in decreasing index-overlap order and scoring
   stops once the remaining candidates' best-possible overlap cannot beat
   the current K-th score;
-* a query **cache** (the paper's caching enhancement).
+* a bounded LRU query **cache** (the paper's caching enhancement) with
+  hit/miss counters (:attr:`FuzzyMatchIndex.cache_hits` /
+  :attr:`FuzzyMatchIndex.cache_misses`).
 
 FuzzyMatch retrieves with the *asymmetric, order-sensitive* FMS -- exactly
 the drawbacks that motivated NSLD -- making it the natural related-work
@@ -26,7 +28,11 @@ import math
 from collections import Counter, defaultdict
 from typing import Sequence
 
+from repro.accel.vocab import LRUCache
 from repro.distances.fms import fms
+
+
+_CACHE_MISS = object()
 
 
 def _qgrams(token: str, q: int) -> set[str]:
@@ -46,7 +52,10 @@ class FuzzyMatchIndex:
         Q-gram size for the fuzzy token index (default 3, as in the
         original's gram-based signatures).
     cache_size:
-        Number of query results memoised (0 disables caching).
+        Capacity of the LRU query-result cache (0 disables caching).
+        The cache is bounded -- a long query stream can never grow it
+        past ``cache_size`` entries -- and its effectiveness is
+        observable through :attr:`cache_hits` / :attr:`cache_misses`.
 
     Examples
     --------
@@ -68,7 +77,7 @@ class FuzzyMatchIndex:
         self.records = [list(record) for record in records]
         self.q = q
         self.cache_size = cache_size
-        self._cache: dict = {}
+        self._cache = LRUCache(cache_size)
 
         # IDF weights over the collection.
         document_frequency = Counter(
@@ -98,6 +107,16 @@ class FuzzyMatchIndex:
     def __len__(self) -> int:
         return len(self.records)
 
+    @property
+    def cache_hits(self) -> int:
+        """Queries answered from the LRU cache since construction."""
+        return self._cache.hits
+
+    @property
+    def cache_misses(self) -> int:
+        """Queries that had to be scored since construction."""
+        return self._cache.misses
+
     def query(
         self, tokens: Sequence[str], k: int = 3
     ) -> list[tuple[list[str], float]]:
@@ -109,9 +128,12 @@ class FuzzyMatchIndex:
         if k < 1:
             raise ValueError("k must be positive")
         key = (tuple(tokens), k)
-        if key in self._cache:
+        cached = self._cache.get(key, _CACHE_MISS)
+        if cached is not _CACHE_MISS:
             self.last_query_evaluations = 0
-            return self._cache[key]
+            # Callers own their copy (records included) -- mutating a
+            # returned result must never corrupt the cached one.
+            return [(list(record), score) for record, score in cached]
 
         # ---- candidate generation: token hits count double, gram hits once.
         overlap: Counter = Counter()
@@ -124,7 +146,7 @@ class FuzzyMatchIndex:
         if not overlap:
             result: list[tuple[list[str], float]] = []
             self._remember(key, result)
-            return result
+            return []
 
         # ---- optimistic short-circuiting: score by decreasing overlap; a
         # candidate whose overlap is a small fraction of the best cannot
@@ -148,11 +170,7 @@ class FuzzyMatchIndex:
             for similarity, identifier in scored[:k]
         ]
         self._remember(key, result)
-        return result
+        return [(list(record), score) for record, score in result]
 
     def _remember(self, key, result) -> None:
-        if self.cache_size == 0:
-            return
-        if len(self._cache) >= self.cache_size:
-            self._cache.pop(next(iter(self._cache)))  # FIFO eviction
-        self._cache[key] = result
+        self._cache.put(key, result)

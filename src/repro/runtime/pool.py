@@ -21,9 +21,24 @@ import atexit
 import multiprocessing
 import multiprocessing.pool
 import os
+from typing import Callable
 
 _POOL: multiprocessing.pool.Pool | None = None
 _POOL_SIZE: int = 0
+
+#: Worker initializers, keyed so re-registration replaces (rather than
+#: accumulates) state for the same publisher.  Each entry runs once in
+#: every worker at pool start-up: under the ``fork`` start method the
+#: arguments are inherited copy-on-write, under ``spawn``/``forkserver``
+#: they are pickled to each worker exactly once -- the explicit
+#: broadcast fallback used by the snapshot-sharing layer
+#: (:mod:`repro.service.sharing`).
+_INITIALIZERS: dict[str, tuple[Callable, tuple]] = {}
+#: Bumped on every (re-)registration; a live pool built under an older
+#: generation is replaced on the next :func:`shared_pool` call so its
+#: workers pick the new state up.
+_INIT_GENERATION: int = 0
+_POOL_GENERATION: int = -1
 
 
 def available_cpus() -> int:
@@ -76,6 +91,38 @@ def in_worker_process() -> bool:
     return multiprocessing.current_process().daemon
 
 
+def _bootstrap_worker(entries: tuple[tuple[Callable, tuple], ...]) -> None:
+    """Pool-worker entry point: run every registered initializer once."""
+    for initializer, args in entries:
+        initializer(*args)
+
+
+def register_worker_initializer(
+    key: str, initializer: Callable, args: tuple = ()
+) -> None:
+    """Run ``initializer(*args)`` in every worker of the shared pool.
+
+    Registration under an existing ``key`` replaces the previous entry,
+    so a publisher refreshing its state (e.g. a snapshot re-published
+    after an append) does not accumulate stale payloads.  A live pool
+    created before the registration is replaced on the next
+    :func:`shared_pool` call -- that rebuild is what broadcasts the new
+    state to every worker on spawn/forkserver platforms, and what makes
+    fork workers re-inherit the parent's memory (copy-on-write, no
+    pickling) on fork platforms.
+    """
+    global _INIT_GENERATION
+    _INITIALIZERS[key] = (initializer, args)
+    _INIT_GENERATION += 1
+
+
+def unregister_worker_initializer(key: str) -> None:
+    """Drop a registration (no-op when absent); frees the held payload."""
+    global _INIT_GENERATION
+    if _INITIALIZERS.pop(key, None) is not None:
+        _INIT_GENERATION += 1
+
+
 def shared_pool(processes: int | None = None) -> multiprocessing.pool.Pool:
     """The process-wide worker pool, created (or grown) on demand.
 
@@ -92,18 +139,29 @@ def shared_pool(processes: int | None = None) -> multiprocessing.pool.Pool:
     use (as all in-tree callers do).  A held reference may point at a
     terminated pool after another caller requests a larger size.
     """
-    global _POOL, _POOL_SIZE
+    global _POOL, _POOL_SIZE, _POOL_GENERATION
     if in_worker_process():
         raise RuntimeError(
             "shared_pool() called from inside a pool worker; "
             "guard call sites with in_worker_process()"
         )
     wanted = processes if processes and processes > 0 else default_worker_count()
-    if _POOL is not None and _POOL_SIZE < wanted:
+    if _POOL is not None and (
+        _POOL_SIZE < wanted or _POOL_GENERATION != _INIT_GENERATION
+    ):
+        # An initializer-driven rebuild keeps the pool grow-only: a small
+        # request must not shrink a pool a larger consumer already paid
+        # for (that would just thrash pools between alternating callers).
+        wanted = max(wanted, _POOL_SIZE)
         shutdown_shared_pool()
     if _POOL is None:
-        _POOL = multiprocessing.Pool(processes=wanted)
+        _POOL = multiprocessing.Pool(
+            processes=wanted,
+            initializer=_bootstrap_worker,
+            initargs=(tuple(_INITIALIZERS.values()),),
+        )
         _POOL_SIZE = wanted
+        _POOL_GENERATION = _INIT_GENERATION
     return _POOL
 
 

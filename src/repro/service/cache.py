@@ -1,0 +1,25 @@
+"""The serving layer's bounded LRU result cache (re-exported).
+
+The serving layer answers a skewed query stream: the same joins, top-k
+batches and range probes recur endlessly once an index is resident, so
+the second identical request should cost a dict probe, not a pipeline
+run.  The cache class itself lives with the other cache primitives in
+:mod:`repro.accel.vocab` (next to :class:`~repro.accel.vocab.BoundedCache`),
+keeping low-level packages such as :mod:`repro.knn` free of serving-layer
+imports; this module is the serving-facing name for it.
+
+:data:`COUNTER_CACHE_HITS` / :data:`COUNTER_CACHE_MISSES` are the
+canonical counter names under which
+:class:`repro.service.SimilarityIndex` surfaces cache effectiveness next
+to the candidate-pipeline cascade counters.
+"""
+
+from __future__ import annotations
+
+from repro.accel.vocab import (
+    COUNTER_CACHE_HITS,
+    COUNTER_CACHE_MISSES,
+    LRUCache,
+)
+
+__all__ = ["COUNTER_CACHE_HITS", "COUNTER_CACHE_MISSES", "LRUCache"]

@@ -1,0 +1,676 @@
+"""The resident :class:`SimilarityIndex`: build once, query many.
+
+Every pre-existing entry point -- :func:`repro.core.nsld_join`, the CLI
+``knn``/``join`` commands, :class:`repro.knn.FuzzyMatchIndex` -- paid
+full index construction per call: tokenize the collection, intern the
+tokens, precompute the Myers ``Peq`` masks, build the postings, then
+answer exactly one request and throw everything away.  A serving system
+does the opposite: construction is rare, queries are endless.
+
+:class:`SimilarityIndex` snapshots the expensive state exactly once:
+
+* the tokenized collection and its raw names;
+* a private :class:`repro.accel.Vocab` with every collection token
+  interned and its Myers match table prebuilt;
+* a candidate-pipeline :class:`repro.candidates.PostingsIndex` from
+  interned token ids to record ids (the shared-token probe index);
+* the aggregate-length order and encoded token-length histograms that
+  drive the Lemma 6 / Sec. III-E.2 filters.
+
+Against that snapshot it serves:
+
+* :meth:`join` -- the full TSJ self-join, byte-identical to
+  :func:`repro.core.nsld_join` (same pairs, same counters, same
+  simulated seconds) with tokenization amortized away;
+* :meth:`topk` / :meth:`within` -- batched probe paths over the
+  candidate pipeline: Lemma 6 length window (complete by construction),
+  the shared :class:`repro.candidates.FilterCascade` with the canonical
+  counters, a histogram lower-bound prune, and exact verification
+  through the snapshot vocab (single-token records go through the
+  batched :func:`repro.candidates.verify_nld_pairs` fast path);
+* :meth:`append` -- incremental growth: new records extend the
+  interners, postings and length order in place, no rebuild;
+* a bounded LRU result cache (hits/misses surfaced next to the cascade
+  counters) so repeated requests cost a dict probe.
+
+The metric-space indexes (:class:`repro.knn.VPTree`,
+:class:`repro.knn.BKTree`, :class:`repro.knn.FuzzyMatchIndex`) are
+reachable behind the same API via ``method=`` and built lazily over the
+same snapshot.
+
+Snapshots are picklable and can be **published to the shared worker
+pool** (:mod:`repro.service.sharing`): batched ``topk``/``within`` calls
+with ``processes > 1`` fan queries out over the PR 2 pool without
+re-shipping the snapshot per task -- fork platforms share it
+copy-on-write, spawn platforms receive one explicit broadcast at pool
+start-up.
+
+Correctness contract (property-tested in ``tests/service/``):
+``topk``/``within`` agree exactly with the brute-force NSLD oracle,
+``append`` + query equals rebuild + query, and pool-served results are
+byte-identical to in-process serving.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+import os
+from bisect import bisect_left, bisect_right
+from collections import Counter
+from typing import Sequence
+
+from repro.accel import Vocab
+from repro.candidates import (
+    COUNTER_CANDIDATES,
+    COUNTER_PRUNED_COUNT,
+    COUNTER_PRUNED_LENGTH,
+    COUNTER_VERIFIED,
+    FilterCascade,
+    HistogramBoundFilter,
+    PostingsIndex,
+    new_counters,
+    verify_nld_pairs,
+)
+from repro.distances.setwise import nsld, nsld_length_lower_bound, sld
+from repro.service.cache import COUNTER_CACHE_HITS, COUNTER_CACHE_MISSES, LRUCache
+from repro.tokenize import TokenizedString, Tokenizer
+from repro.tsj.jobs import encode_histogram
+
+#: Serving methods: the cascade probe path plus the metric-space indexes.
+SERVE_METHODS = ("cascade", "vptree", "bktree", "fuzzymatch")
+
+#: Upper bound on token-postings seeds fully verified per top-k query
+#: (as a multiple of ``k``, floored at ``_MIN_SEED_CAP``).  Seeding only
+#: tightens the initial search radius; capping it never loses results.
+_SEED_FACTOR = 4
+_MIN_SEED_CAP = 32
+
+_MISS = object()
+_SHARE_KEYS = itertools.count()
+
+
+class SimilarityIndex:
+    """A frozen, resident NSLD index over a collection of raw names.
+
+    Parameters
+    ----------
+    names:
+        The collection to index (raw strings; tokenized once, here).
+    tokenizer:
+        Defaults to whitespace+punctuation with case folding -- the same
+        default as :func:`repro.core.nsld_join`, so :meth:`join` results
+        are byte-identical.
+    backend:
+        Edit-distance kernel for verification (``"auto" | "dp" |
+        "bitparallel"``; values are backend-invariant).
+    cache_size:
+        Capacity of the LRU result cache (0 disables result caching).
+
+    Notes
+    -----
+    The result cache is bounded; the *interning* tables are not, by
+    design (the same trade as :func:`repro.accel.token_vocab`): the
+    snapshot vocab grows with every distinct token seen -- including
+    novel *query* tokens, whose masks and memoized distances are what
+    make repeated probes cheap -- and the probe filter's bound memo
+    grows with distinct histogram pairs.  A deployment streaming an
+    unbounded adversarial query vocabulary should rebuild the index at
+    run boundaries (``SimilarityIndex(index.names)``), exactly as
+    :func:`repro.accel.reset_token_vocab` is the documented valve for
+    the process-wide vocab.
+
+    Examples
+    --------
+    >>> index = SimilarityIndex(["barak obama", "borak obama", "john smith"])
+    >>> index.topk(["barak obana"], k=2)[0][0]
+    ('barak obama', 0.09523809523809523)
+    >>> [name for name, _ in index.within(["john smith"], radius=0.1)[0]]
+    ['john smith']
+    """
+
+    def __init__(
+        self,
+        names: Sequence[str] = (),
+        tokenizer: Tokenizer | None = None,
+        backend: str = "auto",
+        cache_size: int = 256,
+    ) -> None:
+        self.tokenizer = tokenizer or Tokenizer()
+        self.backend = backend
+        self._names: list[str] = []
+        self._records: list[TokenizedString] = []
+        self._vocab = Vocab()
+        #: Interned token id -> record ids containing it.
+        self._token_postings = PostingsIndex()
+        #: ``(aggregate_length, record_id)`` in ascending order -- the
+        #: Lemma 6 length partition probed by binary search.
+        self._lengths: list[tuple[int, int]] = []
+        self._histograms: list[tuple[tuple[int, int], ...]] = []
+        self._cache = LRUCache(cache_size)
+        #: Canonical cascade + result-cache counters (cumulative).
+        self.counters: dict[str, int] = new_counters()
+        self.counters[COUNTER_CACHE_HITS] = 0
+        self.counters[COUNTER_CACHE_MISSES] = 0
+        #: The probe paths' histogram bound filter.  Lemma 10 needs the
+        #: complete similar-token-pair set, which a probe never has;
+        #: without it (``use_lemma10=False``) the filter's per-token
+        #: charges (length differences, pad costs) are unconditionally
+        #: sound *and* threshold-independent, so one shared instance --
+        #: and one warm memo -- serves every radius (the threshold field
+        #: is unused on this path).
+        self._probe_filter = HistogramBoundFilter(0.0, use_lemma10=False)
+        #: Lazily built metric-space serving backends (not pickled).
+        self._knn: dict[str, object] = {}
+        #: Stable identity for pool-publication bookkeeping.
+        self.share_key = f"{os.getpid()}-{next(_SHARE_KEYS)}"
+        self._published: str | None = None
+        if names:
+            self.append(names)
+
+    # -- snapshot construction / growth ---------------------------------------
+
+    def append(self, names: Sequence[str]) -> None:
+        """Extend the collection in place -- no rebuild.
+
+        New records extend the vocab interner (masks prebuilt), the token
+        postings and the length order incrementally; querying an appended
+        index returns exactly what a fresh build over the full collection
+        would (property-tested).  Cached results and lazily built
+        metric-space backends are invalidated, and a pool-published
+        snapshot is re-published on its next pooled serve.
+        """
+        added = False
+        for name in names:
+            record = self.tokenizer.tokenize(name)
+            record_id = len(self._records)
+            self._names.append(name)
+            self._records.append(record)
+            token_ids = self._vocab.intern_all(record.tokens)
+            for token_id in set(token_ids):
+                self._token_postings.add(token_id, record_id)
+                self._vocab.masks(token_id)  # snapshot the Peq table now
+            self._lengths.append((record.aggregate_length, record_id))
+            self._histograms.append(encode_histogram(record.length_histogram))
+            added = True
+        if added:
+            # One sort per append call, not one insort per record (which
+            # is O(n) element moves each -- quadratic for large builds).
+            self._lengths.sort()
+            self._cache.clear()
+            self._knn.clear()
+            self.unpublish()  # the next pooled serve re-publishes
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    @property
+    def names(self) -> list[str]:
+        """The indexed raw names, in insertion order (do not mutate)."""
+        return self._names
+
+    @property
+    def records(self) -> list[TokenizedString]:
+        """The tokenized collection, aligned with :attr:`names`."""
+        return self._records
+
+    @property
+    def vocab(self) -> Vocab:
+        """The snapshot's token interner (exposed for instrumentation)."""
+        return self._vocab
+
+    @property
+    def token_postings(self) -> PostingsIndex:
+        """The shared-token probe index (interned token id -> record ids)."""
+        return self._token_postings
+
+    @property
+    def result_cache(self) -> LRUCache:
+        """The bounded LRU result cache (exposed for instrumentation).
+
+        The cache object's own hit/miss counters are process-local;
+        :attr:`counters` is the aggregated view, which pooled serving
+        extends with the workers' deltas.
+        """
+        return self._cache
+
+    def stats(self) -> dict[str, int]:
+        """Size snapshot: records, distinct tokens, postings, cached results."""
+        return {
+            "records": len(self._records),
+            "distinct_tokens": len(self._vocab),
+            "token_postings": self._token_postings.total_postings,
+            "cached_results": len(self._cache),
+        }
+
+    def prepare(self, *methods: str) -> "SimilarityIndex":
+        """Eagerly build serving backends (otherwise built lazily on first
+        use), so callers can separate build time from query time; returns
+        ``self`` for chaining.  ``"cascade"`` needs no extra build."""
+        for method in methods:
+            if method != "cascade":
+                self._knn_index(method)
+        return self
+
+    # -- pickling / pool publication ------------------------------------------
+
+    def __getstate__(self) -> dict:
+        # Metric-space backends hold metric closures (unpicklable) and
+        # rebuild lazily per process; publication tokens are per-process.
+        state = dict(self.__dict__)
+        state["_knn"] = {}
+        state["_published"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        # A clone is a distinct publishable identity: keeping the
+        # original's share_key would make the clone's publication evict
+        # the original's from the sharing registry.
+        self.share_key = f"{os.getpid()}-{next(_SHARE_KEYS)}"
+
+    def ensure_published(self) -> str:
+        """Publish this snapshot to the shared pool once; return its token."""
+        if self._published is None:
+            from repro.service.sharing import publish_snapshot
+
+            self._published = publish_snapshot(self)
+        return self._published
+
+    def unpublish(self) -> None:
+        """Withdraw this snapshot from the shared pool.
+
+        A publication pins the snapshot in the process-wide registry and
+        in the pool start-up payload; a long-lived server discarding an
+        index should unpublish it first (``append`` does this
+        automatically before its re-publication).  Safe to call when
+        never published; the next pooled serve re-publishes.
+        """
+        from repro.service.sharing import unpublish_snapshot
+
+        unpublish_snapshot(self)
+        self._published = None
+
+    # -- result cache ----------------------------------------------------------
+
+    def _cache_get(self, key):
+        value = self._cache.get(key, _MISS)
+        if value is _MISS:
+            self.counters[COUNTER_CACHE_MISSES] += 1
+            return None
+        self.counters[COUNTER_CACHE_HITS] += 1
+        return value
+
+    def _cache_put(self, key, value) -> None:
+        self._cache.put(key, value)
+
+    # -- the full join ----------------------------------------------------------
+
+    def join(
+        self,
+        threshold: float = 0.1,
+        max_token_frequency: int | None = 1000,
+        n_machines: int = 10,
+        engine: str = "auto",
+        **config_overrides,
+    ):
+        """TSJ self-join of the collection; byte-identical to ``nsld_join``.
+
+        Tokenization is amortized into the snapshot and the resulting
+        :class:`repro.core.JoinReport` -- same pairs, same clusters, same
+        counters, same simulated seconds as
+        ``nsld_join(index.names, ...)`` -- is cached in the LRU, so a
+        repeated join costs a dict probe.  ``engine`` is excluded from
+        the cache key on purpose: results and simulated seconds are
+        engine-invariant by construction, so a serial-run cache entry
+        answers a parallel request too.  Treat returned reports as
+        read-only (cache hits return the same object).
+        """
+        key = (
+            "join",
+            threshold,
+            max_token_frequency,
+            n_machines,
+            tuple(sorted(config_overrides.items())),
+        )
+        cached = self._cache_get(key)
+        if cached is not None:
+            return cached
+        from repro.core.api import join_records
+
+        report = join_records(
+            self._names,
+            self._records,
+            threshold=threshold,
+            max_token_frequency=max_token_frequency,
+            n_machines=n_machines,
+            engine=engine,
+            **config_overrides,
+        )
+        self._cache_put(key, report)
+        return report
+
+    # -- batched probe paths -----------------------------------------------------
+
+    def topk(
+        self,
+        queries: Sequence[str] | str,
+        k: int = 5,
+        method: str = "cascade",
+        processes: int | None = None,
+    ) -> list[list[tuple[str, float]]]:
+        """The ``k`` best matches per query, one result list per query.
+
+        ``method`` selects the serving backend and its native score:
+
+        * ``"cascade"`` (default) -- exact NSLD through the candidate
+          pipeline; equals the brute-force oracle, ascending distance
+          (ties broken by record id);
+        * ``"vptree"`` -- exact NSLD via the vantage-point tree;
+        * ``"bktree"`` -- exact **SLD** (integer) via the BK-tree;
+        * ``"fuzzymatch"`` -- **FMS similarity, descending** via the
+          FuzzyMatch index (results are token-joined strings).
+
+        ``processes > 1`` fans the batch out over the shared worker pool
+        against the published snapshot (results identical, see
+        :mod:`repro.service.sharing`).
+        """
+        if k < 1:
+            raise ValueError("k must be positive")
+        return self._serve("topk", queries, {"k": k, "method": method}, processes)
+
+    def within(
+        self,
+        queries: Sequence[str] | str,
+        radius: float,
+        method: str = "cascade",
+        processes: int | None = None,
+    ) -> list[list[tuple[str, float]]]:
+        """All matches within ``radius`` per query (ascending distance).
+
+        ``radius`` is interpreted in the serving method's native metric
+        (NSLD for ``cascade``/``vptree``, SLD for ``bktree``);
+        ``fuzzymatch`` has no range semantics and is rejected.
+        """
+        if radius < 0:
+            raise ValueError("radius must be non-negative")
+        if method == "fuzzymatch":
+            raise ValueError("within() is not defined for the fuzzymatch method")
+        return self._serve(
+            "within", queries, {"radius": radius, "method": method}, processes
+        )
+
+    def _serve(self, operation, queries, kwargs, processes):
+        if isinstance(queries, str):
+            queries = [queries]
+        from repro.service.sharing import serve_batch
+
+        return serve_batch(self, operation, queries, kwargs, processes or 0)
+
+    # -- per-query serving (also the pool workers' entry points) ----------------
+
+    def _topk_one(
+        self, query: str, k: int, method: str = "cascade"
+    ) -> list[tuple[str, float]]:
+        key = ("topk", method, query, k)
+        cached = self._cache_get(key)
+        if cached is not None:
+            return list(cached)  # callers own their copy, never the cache's
+        if method != "cascade":
+            result = self._knn_topk(query, k, method)
+        else:
+            record, token_ids = self._prepare(query)
+            k_effective = min(k, len(self._records))
+            if k_effective == 0:
+                result = []
+            else:
+                known = self._seed_candidates(record, token_ids, k_effective)
+                if len(known) >= k_effective:
+                    radius = sorted(known.values())[k_effective - 1]
+                else:
+                    radius = 0.25
+                while True:
+                    # ``known`` accumulates every exact distance verified
+                    # so far, so an expansion pass never re-verifies the
+                    # previous window.
+                    hits = self._within_ids(record, radius, known)
+                    if len(hits) >= k_effective or radius >= 1.0:
+                        break
+                    radius = min(1.0, radius * 2.0)
+                result = [
+                    (self._names[record_id], distance)
+                    for record_id, distance in hits[:k_effective]
+                ]
+        self._cache_put(key, result)
+        return list(result)
+
+    def _within_one(
+        self, query: str, radius: float, method: str = "cascade"
+    ) -> list[tuple[str, float]]:
+        key = ("within", method, query, radius)
+        cached = self._cache_get(key)
+        if cached is not None:
+            return list(cached)  # callers own their copy, never the cache's
+        if method != "cascade":
+            result = self._knn_within(query, radius, method)
+        else:
+            record, token_ids = self._prepare(query)
+            result = [
+                (self._names[record_id], distance)
+                for record_id, distance in self._within_ids(record, radius)
+            ]
+        self._cache_put(key, result)
+        return list(result)
+
+    def _prepare(self, query: str) -> tuple[TokenizedString, tuple[int, ...]]:
+        record = self.tokenizer.tokenize(query)
+        return record, self._vocab.intern_all(record.tokens)
+
+    def _seed_candidates(
+        self,
+        record: TokenizedString,
+        token_ids: tuple[int, ...],
+        k: int,
+    ) -> dict[int, float]:
+        """Probe the token postings and verify the best-overlapping seeds.
+
+        Seeds tighten the initial top-k radius to the k-th seed distance
+        (one complete ``within`` pass instead of blind expansion); they
+        never affect correctness, so the fully-verified set is capped.
+        """
+        lookup = self._token_postings.lookup_ref()
+        postings = self._token_postings.postings
+        overlap: Counter = Counter()
+        for token_id in set(token_ids):
+            signature_id = lookup(token_id)
+            if signature_id is not None:
+                overlap.update(postings[signature_id])
+        cap = max(_MIN_SEED_CAP, _SEED_FACTOR * k)
+        ranked = sorted(overlap.items(), key=lambda item: (-item[1], item[0]))
+        counters = self.counters
+        known: dict[int, float] = {}
+        for record_id, _ in ranked[:cap]:
+            counters[COUNTER_CANDIDATES] += 1
+            counters[COUNTER_VERIFIED] += 1
+            known[record_id] = self._nsld_to(record, record_id)
+        return known
+
+    def _within_ids(
+        self,
+        record: TokenizedString,
+        radius: float,
+        known: dict[int, float] | None = None,
+    ) -> list[tuple[int, float]]:
+        """All record ids within NSLD ``radius`` of ``record``.
+
+        Complete by construction: Lemma 6 makes the aggregate-length
+        window a superset of every qualifying record, the filter cascade
+        only prunes on sound lower bounds, and survivors are verified
+        exactly.  Returns ``(record_id, distance)`` sorted by
+        ``(distance, record_id)`` -- the oracle tie-break.
+
+        ``known`` is a read/write memo of exact distances: entries are
+        trusted instead of re-verified, and every exact distance this
+        pass computes is written back (so the top-k expansion loop never
+        re-verifies a previous, smaller window).
+        """
+        query_length = record.aggregate_length
+        lengths = self._lengths
+        if radius >= 1.0:
+            window = range(len(self._records))
+        else:
+            low = math.floor((1.0 - radius) * query_length)
+            high = math.ceil(query_length / (1.0 - radius))
+            start = bisect_left(lengths, (low, -1))
+            stop = bisect_right(lengths, (high, len(self._records)))
+            window = [record_id for _, record_id in lengths[start:stop]]
+
+        records = self._records
+        bound_filter = self._probe_filter
+        query_histogram = encode_histogram(record.length_histogram)
+        histograms = self._histograms
+
+        def length_admits(candidate: int) -> bool:
+            other_length = records[candidate].aggregate_length
+            return nsld_length_lower_bound(query_length, other_length) <= radius
+
+        def histogram_admits(candidate: int) -> bool:
+            bound = bound_filter.nsld_bound_encoded(
+                query_histogram, histograms[candidate], ()
+            )
+            return bound <= radius
+
+        cascade = FilterCascade(
+            (COUNTER_PRUNED_LENGTH, length_admits),
+            (COUNTER_PRUNED_COUNT, histogram_admits),
+            counters=self.counters,
+        )
+
+        counters = self.counters
+        results: list[tuple[float, int]] = []
+        single_token_ids: list[int] = []
+        query_is_single = record.token_count == 1
+        for record_id in window:
+            if known is not None:
+                distance = known.get(record_id)
+                if distance is not None:
+                    if distance <= radius:
+                        results.append((distance, record_id))
+                    continue
+            if not cascade.admit(record_id):
+                continue
+            if query_is_single and records[record_id].token_count == 1:
+                single_token_ids.append(record_id)
+                continue
+            counters[COUNTER_VERIFIED] += 1
+            distance = self._nsld_to(record, record_id)
+            if known is not None:
+                known[record_id] = distance
+            if distance <= radius:
+                results.append((distance, record_id))
+
+        if single_token_ids:
+            # Single-token records: NSLD == NLD of the two tokens, so the
+            # whole group verifies in one batched call.
+            strings = [record.tokens[0]] + [
+                records[record_id].tokens[0] for record_id in single_token_ids
+            ]
+            pairs = [(0, position + 1) for position in range(len(single_token_ids))]
+            distances = verify_nld_pairs(
+                pairs, strings, radius, backend=self.backend, counters=counters
+            )
+            for record_id, distance in zip(single_token_ids, distances):
+                if distance is not None:
+                    # Within-radius values are exact -- memoize them so an
+                    # expansion pass reuses them like the Hungarian path's.
+                    # (A ``None`` only proves > radius; nothing to keep.)
+                    if known is not None:
+                        known[record_id] = distance
+                    results.append((distance, record_id))
+
+        results.sort()
+        return [(record_id, distance) for distance, record_id in results]
+
+    def _nsld_to(self, record: TokenizedString, record_id: int) -> float:
+        """Exact NSLD between a prepared query and an indexed record.
+
+        Delegates to :func:`repro.distances.setwise.nsld` -- padding,
+        Hungarian aligning and normalisation stay single-sourced in the
+        oracle -- with the token distances routed through the snapshot
+        vocab (interned memo, prebuilt Myers masks; every token involved
+        is already interned, so ``intern`` is a dict probe).
+        """
+        vocab = self._vocab
+
+        def token_ld(token_x: str, token_y: str) -> int:
+            return vocab.distance(vocab.intern(token_x), vocab.intern(token_y))
+
+        return nsld(record, self._records[record_id], token_ld=token_ld)
+
+    # -- metric-space serving backends ------------------------------------------
+
+    def _knn_topk(self, query: str, k: int, method: str) -> list[tuple[str, float]]:
+        backend_index = self._knn_index(method)
+        record, _ = self._prepare(query)
+        if method == "fuzzymatch":
+            return [
+                (" ".join(tokens), score)
+                for tokens, score in backend_index.query(list(record.tokens), k=k)
+            ]
+        return [
+            (self._names[record_id], float(distance))
+            for record_id, distance in backend_index.nearest(record, k)
+        ]
+
+    def _knn_within(
+        self, query: str, radius: float, method: str
+    ) -> list[tuple[str, float]]:
+        backend_index = self._knn_index(method)
+        record, _ = self._prepare(query)
+        return [
+            (self._names[record_id], float(distance))
+            for record_id, distance in backend_index.within(record, radius)
+        ]
+
+    def _knn_index(self, method: str):
+        if method not in SERVE_METHODS:
+            raise ValueError(
+                f"unknown serving method {method!r}; expected one of {SERVE_METHODS}"
+            )
+        built = self._knn.get(method)
+        if built is None:
+            # Deferred imports: the metric-tree backends are optional
+            # serving paths, so plain cascade serving never pays them.
+            if method == "vptree":
+                from repro.knn import VPTree
+
+                built = VPTree(
+                    list(range(len(self._records))),
+                    metric=self._id_metric("nsld"),
+                )
+            elif method == "bktree":
+                from repro.knn import BKTree
+
+                built = BKTree(metric=self._id_metric("sld"))
+                built.extend(range(len(self._records)))
+            else:  # fuzzymatch
+                from repro.knn import FuzzyMatchIndex
+
+                built = FuzzyMatchIndex(
+                    [list(record.tokens) for record in self._records]
+                )
+            self._knn[method] = built
+        return built
+
+    def _id_metric(self, kind: str):
+        """NSLD/SLD over record ids (queries pass TokenizedStrings)."""
+        measure = nsld if kind == "nsld" else sld
+        records = self._records
+        backend = self.backend
+
+        def metric(a, b):
+            record_a = records[a] if isinstance(a, int) else a
+            record_b = records[b] if isinstance(b, int) else b
+            return measure(record_a, record_b, backend=backend)
+
+        return metric

@@ -50,7 +50,10 @@ def _length_filter_passes(
     lower bound does not already exceed the threshold.
 
     Decision-identical to ``nsld_length_lower_bound(a, b) <= threshold``,
-    inlined (no tuple sort, no call) for the per-candidate hot path.
+    inlined (no tuple sort, no call) for the per-candidate hot path --
+    including that function's oracle-shaped float evaluation
+    ``2*d / (a+b+d)``, so a pair whose exact NSLD sits on the threshold
+    is never length-pruned.
     """
     if length_a <= length_b:
         shorter, longer = length_a, length_b
@@ -58,7 +61,8 @@ def _length_filter_passes(
         shorter, longer = length_b, length_a
     if longer == 0:
         return True  # bound 0.0; thresholds are non-negative
-    return 1.0 - shorter / longer <= threshold
+    difference = longer - shorter
+    return 2.0 * difference / (shorter + longer + difference) <= threshold
 
 
 class TokenFrequencyJob(MapReduceJob):

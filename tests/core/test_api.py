@@ -108,8 +108,86 @@ class TestCli:
         corpus.write_text("barak obama\nborak obama\njohn smith\n")
         assert main(["knn", str(corpus), "barak obana", "-k", "2"]) == 0
         output = capsys.readouterr().out.strip().splitlines()
-        assert len(output) == 2
-        assert "obama" in output[0]
+        matches = [line for line in output if not line.startswith("#")]
+        assert len(matches) == 2
+        assert "obama" in matches[0]
+        # The resident-index summary reports the build-vs-query split.
+        assert any("built once" in line for line in output)
+
+    def test_knn_multiple_queries_build_once(self, tmp_path, capsys):
+        from repro.cli import main
+
+        corpus = tmp_path / "names.txt"
+        corpus.write_text("barak obama\nborak obama\njohn smith\n")
+        assert (
+            main(["knn", str(corpus), "barak obana", "jon smith", "-k", "1"])
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "# query: barak obana" in output
+        assert "# query: jon smith" in output
+        assert "2 queries served" in output
+
+    def test_search_topk(self, tmp_path, capsys):
+        from repro.cli import main
+
+        corpus = tmp_path / "names.txt"
+        corpus.write_text("barak obama\nborak obama\njohn smith\nmary lee\n")
+        assert main(["search", str(corpus), "barak obana", "-k", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "# query: barak obana" in output
+        assert "barak obama" in output
+        assert "result cache" in output
+
+    def test_search_radius_mode(self, tmp_path, capsys):
+        from repro.cli import main
+
+        corpus = tmp_path / "names.txt"
+        corpus.write_text("barak obama\nborak obama\njohn smith\n")
+        assert (
+            main(["search", str(corpus), "barak obama", "--radius", "0.2"])
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "0.0000\tbarak obama" in output
+        assert "john smith" not in output.split("# resident")[0]
+
+    def test_search_queries_file(self, tmp_path, capsys):
+        from repro.cli import main
+
+        corpus = tmp_path / "names.txt"
+        corpus.write_text("barak obama\nborak obama\njohn smith\n")
+        queries = tmp_path / "queries.txt"
+        queries.write_text("jon smith\n")
+        assert (
+            main(["search", str(corpus), "--queries-file", str(queries)]) == 0
+        )
+        assert "# query: jon smith" in capsys.readouterr().out
+
+    def test_search_without_queries_fails(self, tmp_path, capsys):
+        from repro.cli import main
+
+        corpus = tmp_path / "names.txt"
+        corpus.write_text("barak obama\n")
+        assert main(["search", str(corpus)]) == 2
+        assert "no queries" in capsys.readouterr().out
+
+    def test_search_rejects_radius_with_fuzzymatch(self, tmp_path, capsys):
+        from repro.cli import main
+
+        corpus = tmp_path / "names.txt"
+        corpus.write_text("barak obama\n")
+        command = ["search", str(corpus), "x", "--radius", "0.2"]
+        assert main(command + ["--method", "fuzzymatch"]) == 2
+        assert "not supported" in capsys.readouterr().out
+
+    def test_search_rejects_negative_radius(self, tmp_path, capsys):
+        from repro.cli import main
+
+        corpus = tmp_path / "names.txt"
+        corpus.write_text("barak obama\n")
+        assert main(["search", str(corpus), "x", "--radius", "-1"]) == 2
+        assert "non-negative" in capsys.readouterr().out
 
     def test_tune(self, capsys):
         from repro.cli import main

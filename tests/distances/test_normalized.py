@@ -154,6 +154,15 @@ class TestNLDWithin:
     def test_negative_threshold(self):
         assert nld_within("a", "a", -0.5) is None
 
+    def test_threshold_exactly_on_boundary(self):
+        """Regression: a threshold equal to the exact NLD must verify.
+        ``NLD("a", "b") = 2/3`` while the closed-form Lemma 8 cap
+        ``floor(2*T/(2-T))`` evaluates to 0 at ``T = 2/3`` (float
+        rounding), which used to reject the distance-1 verification."""
+        exact = nld("a", "b")
+        assert nld_within("a", "b", exact) == exact
+        assert max_ld_for_shorter(exact, 1) == 1
+
     def test_threshold_one_returns_exact(self):
         assert nld_within("", "abc", 1.0) == 1.0
 

@@ -220,6 +220,16 @@ class TestNSLDWithin:
         x = TokenizedString(["a"])
         assert nsld_within(x, x, -0.1) is None
 
+    def test_threshold_exactly_on_boundary(self):
+        """Regression (hypothesis-found): a threshold equal to the exact
+        NSLD must verify.  The Lemma 6 bound ``1 - L(x)/L(y)`` rounds one
+        ulp above the exact ``2*SLD/(L(x)+L(y)+SLD)`` here (both are 1/3
+        in the reals), so the length shortcut used to prune the pair."""
+        x = TokenizedString(["a", "a", "aa", "aa"])
+        y = TokenizedString(["aa", "aa"])
+        exact = nsld(x, y)
+        assert nsld_within(x, y, exact) == exact
+
 
 class TestHistogramLowerBound:
     def _exhaustive_similar_pairs(self, x, y, threshold):

@@ -59,6 +59,14 @@ class TestExamplesRun:
         assert "nearest accounts" in output
         assert "verified against linear scan" in output
 
+    def test_query_serving(self, capsys):
+        load_example("query_serving.py").main(120)
+        output = capsys.readouterr().out
+        assert "built once" in output
+        assert "result cache" in output
+        assert "after append" in output
+        assert "resident join" in output
+
     def test_parameter_tuning(self, capsys):
         load_example("parameter_tuning.py").main(60, 3)
         output = capsys.readouterr().out

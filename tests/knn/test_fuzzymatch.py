@@ -74,6 +74,32 @@ class TestFuzzyMatchIndex:
         assert index.last_query_evaluations > 0  # re-scored after eviction
         assert again == first
 
+    def test_cache_is_lru_not_fifo(self):
+        """A re-touched entry survives; the least recently used goes."""
+        index = FuzzyMatchIndex(RECORDS, cache_size=2)
+        index.query(["john"], k=1)
+        index.query(["mary"], k=1)
+        index.query(["john"], k=1)  # refresh "john": "mary" is now LRU
+        index.query(["peter"], k=1)  # evicts "mary", not "john"
+        index.query(["john"], k=1)
+        assert index.last_query_evaluations == 0  # still cached
+        index.query(["mary"], k=1)
+        assert index.last_query_evaluations > 0  # was evicted
+
+    def test_cache_bound_holds_under_query_stream(self):
+        index = FuzzyMatchIndex(RECORDS, cache_size=3)
+        for position in range(20):
+            index.query([f"q{position}"], k=1)
+        assert len(index._cache) <= 3
+
+    def test_cache_hit_miss_counters(self):
+        index = FuzzyMatchIndex(RECORDS, cache_size=4)
+        assert (index.cache_hits, index.cache_misses) == (0, 0)
+        index.query(["john"], k=1)
+        index.query(["john"], k=1)
+        index.query(["mary"], k=1)
+        assert (index.cache_hits, index.cache_misses) == (1, 2)
+
     def test_cache_disabled(self):
         index = FuzzyMatchIndex(RECORDS, cache_size=0)
         index.query(["john"], k=1)

@@ -211,6 +211,181 @@ class TestSeriesOverride:
         )
 
 
+class TestRepeatedSeries:
+    """One invocation gating several series of the same bench JSON."""
+
+    def write_multi(self, path: Path, speedups, hit_rates) -> Path:
+        path.write_text(
+            json.dumps(
+                {
+                    "speedup_vs_rebuild": speedups,
+                    "resident_hit_rate": hit_rates,
+                }
+            ),
+            encoding="utf-8",
+        )
+        return path
+
+    def test_all_series_pass(self, gate, tmp_path, capsys):
+        baseline = self.write_multi(
+            tmp_path / "base.json", {"join_x10": 9.0}, {"join": 0.9}
+        )
+        current = self.write_multi(
+            tmp_path / "cur.json", {"join_x10": 9.5}, {"join": 0.9}
+        )
+        assert (
+            gate.main(
+                [
+                    "prog",
+                    "--series",
+                    "speedup_vs_rebuild",
+                    "--series",
+                    "resident_hit_rate",
+                    str(current),
+                    str(baseline),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "-- series speedup_vs_rebuild" in out
+        assert "-- series resident_hit_rate" in out
+
+    def test_any_series_regression_fails(self, gate, tmp_path, capsys):
+        """A healthy first series must not mask a regressed second one."""
+        baseline = self.write_multi(
+            tmp_path / "base.json", {"join_x10": 9.0}, {"join": 0.9}
+        )
+        current = self.write_multi(
+            tmp_path / "cur.json", {"join_x10": 9.5}, {"join": 0.1}
+        )
+        assert (
+            gate.main(
+                [
+                    "prog",
+                    "--series",
+                    "speedup_vs_rebuild",
+                    "--series",
+                    "resident_hit_rate",
+                    str(current),
+                    str(baseline),
+                ]
+            )
+            == 1
+        )
+        assert "perf regression detected" in capsys.readouterr().out
+
+    def test_missing_series_fails_cleanly(self, gate, tmp_path, capsys):
+        baseline = self.write_multi(
+            tmp_path / "base.json", {"join_x10": 9.0}, {"join": 0.9}
+        )
+        current = self.write_multi(
+            tmp_path / "cur.json", {"join_x10": 9.0}, {"join": 0.9}
+        )
+        assert (
+            gate.main(
+                [
+                    "prog",
+                    "--series",
+                    "speedup_vs_rebuild",
+                    "--series",
+                    "nope",
+                    str(current),
+                    str(baseline),
+                ]
+            )
+            == 1
+        )
+        assert "no series 'nope'" in capsys.readouterr().out
+
+    def test_single_series_output_unchanged(self, gate, tmp_path, capsys):
+        """No ``-- series`` headers when only one series is gated."""
+        baseline = self.write_multi(
+            tmp_path / "base.json", {"join_x10": 9.0}, {"join": 0.9}
+        )
+        current = self.write_multi(
+            tmp_path / "cur.json", {"join_x10": 9.0}, {"join": 0.9}
+        )
+        assert (
+            gate.main(
+                [
+                    "prog",
+                    "--series",
+                    "speedup_vs_rebuild",
+                    str(current),
+                    str(baseline),
+                ]
+            )
+            == 0
+        )
+        assert "-- series" not in capsys.readouterr().out
+
+    def test_series_fully_filtered_by_gated_fails(self, gate, tmp_path, capsys):
+        """A requested series whose keys are all outside 'gated' must not
+        pass vacuously -- that is a disabled gate, not a green one."""
+        baseline = tmp_path / "base.json"
+        baseline.write_text(
+            json.dumps(
+                {
+                    "gated": ["join_x10"],  # no resident_hit_rate keys
+                    "speedup_vs_rebuild": {"join_x10": 9.0},
+                    "resident_hit_rate": {"join": 0.9},
+                }
+            ),
+            encoding="utf-8",
+        )
+        current = self.write_multi(
+            tmp_path / "cur.json", {"join_x10": 9.0}, {"join": 0.0}
+        )
+        assert (
+            gate.main(
+                [
+                    "prog",
+                    "--series",
+                    "speedup_vs_rebuild",
+                    "--series",
+                    "resident_hit_rate",
+                    str(current),
+                    str(baseline),
+                ]
+            )
+            == 1
+        )
+        assert "not actually gated" in capsys.readouterr().out
+
+    def test_gated_list_applies_per_series(self, gate, tmp_path):
+        baseline = tmp_path / "base.json"
+        baseline.write_text(
+            json.dumps(
+                {
+                    "gated": ["join_x10", "join"],
+                    "speedup_vs_rebuild": {"join_x10": 9.0, "extra": 99.0},
+                    "resident_hit_rate": {"join": 0.9, "extra": 1.0},
+                }
+            ),
+            encoding="utf-8",
+        )
+        current = self.write_multi(
+            tmp_path / "cur.json",
+            {"join_x10": 9.0, "extra": 1.0},  # "extra" collapsed: not gated
+            {"join": 0.9, "extra": 0.0},
+        )
+        assert (
+            gate.main(
+                [
+                    "prog",
+                    "--series",
+                    "speedup_vs_rebuild",
+                    "--series",
+                    "resident_hit_rate",
+                    str(current),
+                    str(baseline),
+                ]
+            )
+            == 0
+        )
+
+
 class TestRepoBaseline:
     def test_committed_baseline_is_wellformed(self, gate):
         """The committed baseline must always carry the series and the
@@ -227,3 +402,15 @@ class TestRepoBaseline:
         assert set(baseline["gated"]) <= set(baseline["speedup_vs_dict"])
         for family in baseline["gated"]:
             assert baseline["speedup_vs_dict"][family] > 0
+
+    def test_committed_query_baseline_is_wellformed(self, gate):
+        """The query-serving baseline must carry both gated series and
+        record the acceptance bar: >= 5x over rebuild-per-call."""
+        path = gate.DEFAULT_BASELINE.parent / "BENCH_query_baseline.json"
+        baseline = json.loads(path.read_text(encoding="utf-8"))
+        for series in ("speedup_vs_rebuild", "resident_hit_rate"):
+            assert series in baseline
+        for family, speedup in baseline["speedup_vs_rebuild"].items():
+            assert speedup >= 5.0, f"{family} below the 5x acceptance bar"
+        for family, rate in baseline["resident_hit_rate"].items():
+            assert 0.0 < rate <= 1.0

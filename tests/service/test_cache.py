@@ -1,0 +1,118 @@
+"""Tests for the serving layer's bounded LRU result cache."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.service import COUNTER_CACHE_HITS, COUNTER_CACHE_MISSES, LRUCache
+
+
+class TestLRUCache:
+    def test_capacity_bound_holds(self):
+        cache = LRUCache(3)
+        for value in range(10):
+            cache.put(value, value)
+        assert len(cache) == 3
+
+    def test_evicts_least_recently_used_not_oldest(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh "a": "b" is now the LRU
+        cache.put("c", 3)
+        assert cache.get("b") is None
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+
+    def test_put_refreshes_recency(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)  # re-put refreshes; "b" becomes LRU
+        cache.put("c", 3)
+        assert cache.get("b") is None
+        assert cache.get("a") == 10
+
+    def test_hit_miss_counters(self):
+        cache = LRUCache(2)
+        assert cache.get("missing") is None
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert cache.stats() == {
+            COUNTER_CACHE_HITS: 1,
+            COUNTER_CACHE_MISSES: 1,
+        }
+
+    def test_zero_capacity_disables(self):
+        cache = LRUCache(0)
+        cache.put("a", 1)
+        assert cache.get("a") is None
+        assert len(cache) == 0
+        assert cache.get("a") is None
+        assert cache.misses == 2  # both gets missed
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            LRUCache(-1)
+
+    def test_clear_keeps_counters(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.hits == 1
+
+    def test_default_sentinel(self):
+        cache = LRUCache(2)
+        sentinel = object()
+        assert cache.get("nope", sentinel) is sentinel
+
+    def test_pickle_roundtrip(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        clone = pickle.loads(pickle.dumps(cache))
+        assert clone.get("a") == 1
+        assert clone.capacity == 2
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 9), st.integers(0, 99)), max_size=60
+        ),
+        st.integers(1, 5),
+    )
+    def test_matches_reference_lru(self, operations, capacity):
+        """The cache agrees with a straightforward ordered-list LRU model."""
+        cache = LRUCache(capacity)
+        model: list[tuple[int, int]] = []  # (key, value), LRU first
+
+        def model_get(key):
+            for position, (existing, value) in enumerate(model):
+                if existing == key:
+                    model.append(model.pop(position))
+                    return value
+            return None
+
+        def model_put(key, value):
+            for position, (existing, _) in enumerate(model):
+                if existing == key:
+                    model.pop(position)
+                    break
+            else:
+                if len(model) >= capacity:
+                    model.pop(0)
+            model.append((key, value))
+
+        for key, value in operations:
+            if value % 2:
+                assert cache.get(key) == model_get(key)
+            else:
+                cache.put(key, value)
+                model_put(key, value)
+        assert len(cache) == len(model)

@@ -35,6 +35,8 @@ MODULES = [
     "repro.joins.mgjoin",
     "repro.knn.bktree",
     "repro.knn.vptree",
+    "repro.service.cache",
+    "repro.service.index",
     "repro.analysis.roc",
     "repro.analysis.recall",
     "repro.analysis.graphs",
