@@ -12,10 +12,8 @@ the full fuzzy join.
 Run:  python examples/data_cleaning_dedup.py
 """
 
-from repro.analysis import cluster_pairs, join_quality
-from repro.mapreduce import ClusterConfig, MapReduceEngine
-from repro.tokenize import tokenize
-from repro.tsj import TSJ, TSJConfig
+from repro import JoinSpec, Session
+from repro.analysis import join_quality
 
 #: Customer records from three "sources" with characteristic noise.
 CUSTOMERS = [
@@ -44,32 +42,41 @@ CUSTOMERS = [
 ]
 
 
-def run(matching: str):
-    records = [tokenize(name) for name in CUSTOMERS]
-    config = TSJConfig(
-        threshold=0.15, max_token_frequency=None, matching=matching
-    )
-    engine = MapReduceEngine(ClusterConfig(n_machines=4))
-    return TSJ(config, engine).self_join(records)
-
-
 def main() -> None:
-    fuzzy = run("fuzzy")
-    exact = run("exact")
+    # One session, one tokenization of the corpus -- the two joins below
+    # (and any further spec) reuse the resident records.
+    session = Session(CUSTOMERS, engine="serial")
+
+    def dedup(matching: str):
+        return session.run(
+            JoinSpec(
+                threshold=0.15,
+                params={
+                    "max_token_frequency": None,
+                    "matching": matching,
+                    "n_machines": 4,
+                },
+            )
+        )
+
+    fuzzy = dedup("fuzzy")
+    exact = dedup("exact")
+    fuzzy_pairs = {tuple(pair) for pair in fuzzy.index_pairs}
+    exact_pairs = {tuple(pair) for pair in exact.index_pairs}
 
     print(f"fuzzy matching : {len(fuzzy.pairs)} duplicate pairs, "
-          f"{fuzzy.simulated_seconds():.1f}s simulated")
+          f"{fuzzy.simulated_seconds:.1f}s simulated")
     print(f"exact matching : {len(exact.pairs)} duplicate pairs, "
-          f"{exact.simulated_seconds():.1f}s simulated")
-    quality = join_quality(exact.pairs, fuzzy.pairs)
+          f"{exact.simulated_seconds:.1f}s simulated")
+    quality = join_quality(exact_pairs, fuzzy_pairs)
     print(f"exact-matching recall vs fuzzy: {quality.recall:.3f} "
           f"(precision {quality.precision:.1f})")
 
     print("\nduplicate groups (fuzzy join):")
-    for cluster in cluster_pairs(fuzzy.pairs):
-        print("  " + " | ".join(sorted(CUSTOMERS[i] for i in cluster)))
+    for cluster in fuzzy.clusters:
+        print("  " + " | ".join(cluster))
 
-    missed = fuzzy.pairs - exact.pairs
+    missed = fuzzy_pairs - exact_pairs
     if missed:
         print("\npairs only the fuzzy join finds (every token edited):")
         for a, b in sorted(missed):

@@ -1,0 +1,100 @@
+"""The declarative front door: specs in, uniform envelopes out.
+
+One :class:`repro.Session` serves every request shape against a resident
+corpus: a join under any registered algorithm (the paper's TSJ pipeline
+is just the default choice), top-k and range search over the resident
+:class:`repro.service.SimilarityIndex`, and bare comparisons.  Requests
+and results are plain JSON on the wire -- exactly what the CLI's
+``run --spec spec.json`` / ``--json`` modes speak, and what a future
+server/router would ship between processes.
+
+Run:  python examples/declarative_api.py [corpus_size]
+"""
+
+import sys
+
+from repro import (
+    CompareSpec,
+    JoinSpec,
+    ResultSet,
+    Session,
+    TopKSpec,
+    WithinSpec,
+    spec_from_json,
+)
+from repro.api import join_algorithms, search_methods
+from repro.data import FraudRingGenerator, NameGenerator
+
+
+def main(corpus_size: int = 400) -> None:
+    generator = NameGenerator(seed=13)
+    names = generator.generate(corpus_size)
+    fraud = FraudRingGenerator(seed=14, max_edits=2)
+    names.extend(fraud.make_ring("vladimir aleksandrov", 5))
+
+    # One session owns the tokenizer and the resident corpus: every spec
+    # below reuses the same tokenization and the same serving index.
+    session = Session(names)
+    print(f"registered join algorithms: {', '.join(join_algorithms())}")
+    print(f"registered search methods:  {', '.join(search_methods())}")
+
+    # ------------------------------------------------------------------
+    # 1. Joins are one algorithm choice in a spec.  Same corpus, same
+    #    session -- different algorithms, uniform envelopes.
+    # ------------------------------------------------------------------
+    print("\n== joins ==")
+    for spec in (
+        JoinSpec(algorithm="tsj", threshold=0.15),
+        JoinSpec(algorithm="quickjoin", threshold=0.15),
+        JoinSpec(algorithm="passjoin", threshold=2),
+    ):
+        result = session.run(spec)
+        simulated = (
+            f", {result.simulated_seconds:.0f}s simulated"
+            if result.simulated_seconds is not None
+            else ""
+        )
+        print(
+            f"  {spec.algorithm:10s} {len(result.pairs):3d} similar pairs "
+            f"({result.score_kind}){simulated}; "
+            f"{len(result.clusters)} clusters"
+        )
+
+    # ------------------------------------------------------------------
+    # 2. Search specs hit the resident index (built once, reused).
+    # ------------------------------------------------------------------
+    print("\n== search ==")
+    signup = fraud.perturb("vladimir aleksandrov")
+    topk = session.run(TopKSpec(queries=(signup,), k=3))
+    print(f"  top-3 for new signup {signup!r}:")
+    for name, distance in topk.matches[0]:
+        print(f"    {distance:.4f}  {name}")
+    print(
+        f"  (index built once in {topk.build_seconds:.3f}s, "
+        f"query served in {topk.query_seconds:.3f}s)"
+    )
+    within = session.run(WithinSpec(queries=(signup,), radius=0.25))
+    print(f"  {len(within.matches[0])} accounts within NSLD 0.25")
+
+    compare = session.run(CompareSpec(name_a=signup, name_b=names[-1]))
+    print(f"  NSLD(signup, ring member) = {compare.value:.4f}")
+
+    # ------------------------------------------------------------------
+    # 3. The wire format: specs and envelopes round-trip through JSON.
+    # ------------------------------------------------------------------
+    print("\n== wire format ==")
+    spec = JoinSpec(algorithm="tsj", threshold=0.15)
+    wire = spec.to_json()
+    print(f"  spec on the wire: {wire}")
+    assert spec_from_json(wire) == spec
+    envelope = session.run(spec)
+    restored = ResultSet.from_json(envelope.to_json())
+    assert restored == envelope
+    print(
+        f"  envelope round-trips: {len(envelope.to_json())} JSON bytes, "
+        f"{len(restored.pairs)} pairs intact"
+    )
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 400)

@@ -1,9 +1,13 @@
-"""Quickstart: compare names and join a small corpus with TSJ.
+"""Quickstart: compare names and join a small corpus through the front door.
+
+Every request is a declarative spec executed by :func:`repro.run` (the
+process-default :class:`repro.Session`); results come back in the
+uniform :class:`repro.ResultSet` envelope.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import compare_names, nsld_join
+import repro
 from repro.distances import nld, nsld
 from repro.tokenize import tokenize
 
@@ -21,7 +25,8 @@ def main() -> None:
         ("barak obama", "john smith"),        # unrelated
     ]
     for left, right in examples:
-        print(f"  NSLD({left!r}, {right!r}) = {compare_names(left, right):.4f}")
+        value = repro.run(repro.CompareSpec(name_a=left, name_b=right)).value
+        print(f"  NSLD({left!r}, {right!r}) = {value:.4f}")
 
     print("\n  Tokenized-string vs plain-string view of the same edit:")
     print(f"  NLD ('thomson', 'thompson')  = {nld('thomson', 'thompson'):.4f}")
@@ -31,7 +36,8 @@ def main() -> None:
     )
 
     # ------------------------------------------------------------------
-    # 2. Joining.  TSJ self-joins a corpus under a single threshold T.
+    # 2. Joining.  TSJ self-joins a corpus under a single threshold T --
+    #    one JoinSpec; swap `algorithm=` for any registered join.
     # ------------------------------------------------------------------
     print("\n== joining ==")
     accounts = [
@@ -46,19 +52,25 @@ def main() -> None:
         "peter parker",
         "unrelated person",
     ]
-    report = nsld_join(accounts, threshold=0.2, max_token_frequency=None)
+    result = repro.run(
+        repro.JoinSpec(
+            names=accounts,
+            threshold=0.2,
+            params={"max_token_frequency": None},
+        )
+    )
 
-    print(f"  {len(report.pairs)} similar pairs at T = 0.2:")
-    for name_a, name_b, distance in report.pairs:
+    print(f"  {len(result.pairs)} similar pairs at T = 0.2:")
+    for name_a, name_b, distance in result.pairs:
         print(f"    {distance:.4f}  {name_a:22s} ~ {name_b}")
 
-    print(f"\n  {len(report.clusters)} suspicious clusters:")
-    for cluster in report.clusters:
-        print("    " + " | ".join(sorted(cluster)))
+    print(f"\n  {len(result.clusters)} suspicious clusters:")
+    for cluster in result.clusters:
+        print("    " + " | ".join(cluster))
 
     print(
         f"\n  simulated runtime on a 10-machine cluster: "
-        f"{report.simulated_seconds:.1f}s"
+        f"{result.simulated_seconds:.1f}s"
     )
 
 

@@ -4,6 +4,18 @@
 Public API highlights
 ---------------------
 
+The front door (see README.md "Public API"):
+
+* :func:`repro.run` / :class:`repro.Session` -- execute declarative,
+  JSON-serializable request specs (:class:`repro.JoinSpec`,
+  :class:`repro.TopKSpec`, :class:`repro.WithinSpec`,
+  :class:`repro.CompareSpec`) against resident corpora; every join
+  algorithm and search backend in the repository is one
+  ``algorithm=``/``method=`` choice (:mod:`repro.api.registry`).
+* :class:`repro.ResultSet` -- the uniform result envelope (pairs or
+  matches, clusters, cascade + cache counters, simulated seconds,
+  build/query wall-clock split) with a lossless JSON wire form.
+
 Distances (Sec. II):
 
 * :func:`repro.distances.nsld` / :func:`repro.distances.sld` -- the paper's
@@ -31,6 +43,16 @@ Substrates and baselines:
 * :mod:`repro.analysis` -- ROC, recall and similarity-graph clustering.
 """
 
+from repro.api import (
+    CompareSpec,
+    JoinSpec,
+    ResultSet,
+    Session,
+    TopKSpec,
+    WithinSpec,
+    run,
+    spec_from_json,
+)
 from repro.core import JoinReport, compare_names, nsld_join
 from repro.distances import (
     levenshtein,
@@ -47,20 +69,28 @@ from repro.tsj import TSJ, TSJConfig
 __version__ = "1.0.0"
 
 __all__ = [
-    "TokenizedString",
-    "Tokenizer",
-    "tokenize",
-    "levenshtein",
-    "nld",
-    "sld",
-    "sld_greedy",
-    "nsld",
-    "nsld_greedy",
-    "nsld_within",
+    "CompareSpec",
+    "JoinReport",
+    "JoinSpec",
+    "ResultSet",
+    "Session",
     "TSJ",
     "TSJConfig",
-    "nsld_join",
-    "compare_names",
-    "JoinReport",
+    "TokenizedString",
+    "Tokenizer",
+    "TopKSpec",
+    "WithinSpec",
     "__version__",
+    "compare_names",
+    "levenshtein",
+    "nld",
+    "nsld",
+    "nsld_greedy",
+    "nsld_join",
+    "nsld_within",
+    "run",
+    "sld",
+    "sld_greedy",
+    "spec_from_json",
+    "tokenize",
 ]

@@ -155,6 +155,10 @@ class LRUCache:
         """Drop all entries; the hit/miss counters keep accumulating."""
         self._data.clear()
 
+    def items(self) -> list[tuple[Hashable, object]]:
+        """Snapshot of the resident entries, LRU first (recency untouched)."""
+        return list(self._data.items())
+
     def stats(self) -> dict[str, int]:
         """The canonical counter view (see module docstring)."""
         return {

@@ -1,0 +1,371 @@
+"""The :class:`Session` facade: one front door for every request.
+
+``Session.run(spec)`` executes any declarative spec
+(:mod:`repro.api.specs`) and returns the uniform
+:class:`repro.api.ResultSet` envelope.  The session owns the pieces the
+specs deliberately do not carry:
+
+* the **tokenizer** (one per session, so every algorithm sees the same
+  token view of a corpus);
+* the default **verification backend** and **execution engine**
+  selectors (spec fields override per request);
+* the **resident-corpus lifecycle**: corpora named by specs (or passed
+  to ``run``) are tokenized once and kept in a small LRU, and the
+  serving paths build one :class:`repro.service.SimilarityIndex` per
+  corpus (build-once/query-many via :mod:`repro.service` under the
+  hood), reused across specs.
+
+The module-level :func:`run` serves the one-liner case through a shared
+process-default session, so repeated calls amortize tokenization and
+index builds exactly like an explicit session would::
+
+    import repro
+    result = repro.run(repro.JoinSpec(names=names, threshold=0.15))
+    repro.run(repro.TopKSpec(names=names, queries=("jon smiht",), k=3))
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence
+
+from repro.accel import BACKENDS
+from repro.accel.vocab import LRUCache
+from repro.api.registry import resolve_join, resolve_search, validate_choice
+from repro.api.result import COUNTER_CACHE_RESIDENT, ResultSet
+from repro.api.specs import CompareSpec, JoinSpec, TopKSpec, WithinSpec
+from repro.runtime import ENGINES
+from repro.tokenize import Tokenizer
+
+__all__ = ["Session", "default_session", "run"]
+
+
+class _Corpus:
+    """One resident collection: raw names plus lazily built views.
+
+    Tokenization happens at most once; the serving index (and its
+    postings/vocab snapshot) is built lazily on the first search spec
+    and reused by every later one.  ``build_seconds`` accumulates the
+    wall-clock spent materializing resident state, so the session can
+    report a per-request build/query split.
+    """
+
+    __slots__ = (
+        "names",
+        "_tokenizer",
+        "_records",
+        "_token_lists",
+        "_indexes",
+        "build_seconds",
+    )
+
+    def __init__(self, names, tokenizer, records=None) -> None:
+        self.names = tuple(names)
+        self._tokenizer = tokenizer
+        self._records = list(records) if records is not None else None
+        self._token_lists = None
+        self._indexes: dict = {}
+        self.build_seconds = 0.0
+
+    @property
+    def strings(self) -> tuple:
+        """The collection as raw strings (the LD/NLD string joins)."""
+        return self.names
+
+    @property
+    def records(self) -> list:
+        """The collection tokenized (tokenized once, then resident)."""
+        if self._records is None:
+            start = time.perf_counter()
+            tokenize = self._tokenizer.tokenize
+            self._records = [tokenize(name) for name in self.names]
+            self.build_seconds += time.perf_counter() - start
+        return self._records
+
+    @property
+    def token_lists(self) -> list:
+        """The collection as plain token lists (the set joins)."""
+        if self._token_lists is None:
+            self._token_lists = [list(record.tokens) for record in self.records]
+        return self._token_lists
+
+    def index(self, backend: str, cache_size: int):
+        """The resident :class:`repro.service.SimilarityIndex` (lazy)."""
+        built = self._indexes.get(backend)
+        if built is None:
+            from repro.service import SimilarityIndex
+
+            start = time.perf_counter()
+            built = SimilarityIndex(
+                self.names,
+                tokenizer=self._tokenizer,
+                backend=backend,
+                cache_size=cache_size,
+            )
+            self.build_seconds += time.perf_counter() - start
+            self._indexes[backend] = built
+        return built
+
+
+class Session:
+    """The facade executing declarative specs against resident corpora.
+
+    Parameters
+    ----------
+    names:
+        Optional default corpus; specs without inline ``names`` (and
+        ``run`` calls without data) run against it.
+    tokenizer:
+        Defaults to whitespace+punctuation with case folding -- the same
+        default as every legacy entry point.
+    backend / engine:
+        Session-wide verification-kernel and execution-engine defaults
+        (specs override per request).
+    cache_size:
+        LRU result-cache capacity of each resident serving index.
+    max_resident:
+        How many distinct corpora the session keeps resident at once.
+
+    Examples
+    --------
+    >>> session = Session(["barak obama", "borak obama", "john smith"])
+    >>> result = session.run(JoinSpec(threshold=0.15,
+    ...                               params={"max_token_frequency": None}))
+    >>> [(a, b) for a, b, _ in result.pairs]
+    [('barak obama', 'borak obama')]
+    >>> session.run(TopKSpec(queries=("barak obana",), k=1)).matches
+    [[['barak obama', 0.09523809523809523]]]
+    """
+
+    def __init__(
+        self,
+        names: Sequence[str] | None = None,
+        *,
+        tokenizer: Tokenizer | None = None,
+        backend: str = "auto",
+        engine: str = "auto",
+        cache_size: int = 256,
+        max_resident: int = 4,
+    ) -> None:
+        self.tokenizer = tokenizer or Tokenizer()
+        self.backend = validate_choice("verification backend", backend, BACKENDS)
+        self.engine = validate_choice("execution engine", engine, ENGINES)
+        self.cache_size = cache_size
+        self._corpora = LRUCache(max_resident)
+        self._default_names = tuple(names) if names is not None else None
+
+    # -- corpus residency -------------------------------------------------------
+
+    def _corpus(self, spec, names=None, records=None) -> _Corpus:
+        spec_names = getattr(spec, "names", None)
+        if records is not None:
+            # Out-of-band pre-tokenized data (the legacy ``join_records``
+            # path): ephemeral, never cached -- the caller owns residency.
+            resolved = names if names is not None else spec_names
+            if resolved is None or len(resolved) != len(records):
+                raise ValueError(
+                    "records must align with names: got "
+                    f"{'no' if resolved is None else len(resolved)} names "
+                    f"for {len(records)} records"
+                )
+            return _Corpus(resolved, self.tokenizer, records=records)
+        chosen = spec_names if spec_names is not None else names
+        if chosen is None:
+            chosen = self._default_names
+        if chosen is None:
+            raise ValueError(
+                "no corpus to run against: set spec.names, pass names= to "
+                "run(), or construct the Session with a default corpus"
+            )
+        key = tuple(chosen)
+        corpus = self._corpora.get(key)
+        if corpus is None:
+            corpus = _Corpus(key, self.tokenizer)
+            self._corpora.put(key, corpus)
+        return corpus
+
+    def stats(self) -> dict:
+        """Residency snapshot: corpora held and their built state."""
+        corpora = []
+        for key, corpus in self._corpora.items():
+            corpora.append(
+                {
+                    "records": len(key),
+                    "tokenized": corpus._records is not None,
+                    "indexes": len(corpus._indexes),
+                    "build_seconds": corpus.build_seconds,
+                }
+            )
+        return {"resident_corpora": len(corpora), "corpora": corpora}
+
+    # -- execution --------------------------------------------------------------
+
+    def run(self, spec, *, names=None, records=None) -> ResultSet:
+        """Execute one spec; returns the uniform :class:`ResultSet`.
+
+        ``names``/``records`` supply data out-of-band (the resident /
+        pre-tokenized paths); ``spec.names`` wins when set, then
+        ``names``, then the session's default corpus.
+        """
+        if isinstance(spec, JoinSpec):
+            return self._run_join(spec, names, records)
+        if isinstance(spec, TopKSpec):
+            return self._run_search(spec, names, records, "topk")
+        if isinstance(spec, WithinSpec):
+            return self._run_search(spec, names, records, "within")
+        if isinstance(spec, CompareSpec):
+            return self._run_compare(spec)
+        raise TypeError(
+            f"Session.run expects a JoinSpec/TopKSpec/WithinSpec/CompareSpec, "
+            f"got {type(spec).__name__}"
+        )
+
+    def _run_join(self, spec: JoinSpec, names, records) -> ResultSet:
+        adapter = resolve_join(spec.algorithm)
+        corpus = self._corpus(spec, names, records)
+        build_before = corpus.build_seconds
+        start = time.perf_counter()
+        outcome = adapter.runner(corpus, spec, self)
+        elapsed = time.perf_counter() - start
+        build_seconds = corpus.build_seconds - build_before
+
+        distances = outcome.distances
+        scorer = adapter.scorer
+
+        def score(i: int, j: int):
+            if distances is not None:
+                found = distances.get((i, j))
+                if found is not None:
+                    return found
+            return scorer(corpus, i, j)
+
+        descending = adapter.score_kind == "similarity"
+        named_pairs = sorted(
+            (
+                (corpus.names[i], corpus.names[j], score(i, j))
+                for i, j in outcome.pairs
+            ),
+            key=lambda row: (-row[2] if descending else row[2], row[0], row[1]),
+        )
+        from repro.analysis.graphs import cluster_pairs
+
+        clusters = [
+            sorted(corpus.names[i] for i in cluster)
+            for cluster in cluster_pairs(outcome.pairs)
+        ]
+        return ResultSet(
+            kind="join",
+            algorithm=adapter.name,
+            score_kind=adapter.score_kind,
+            collection_size=len(corpus.names),
+            pairs=named_pairs,
+            index_pairs=sorted(outcome.pairs),
+            clusters=clusters,
+            counters=dict(outcome.counters or {}),
+            simulated_seconds=outcome.simulated_seconds,
+            build_seconds=build_seconds,
+            query_seconds=max(0.0, elapsed - build_seconds),
+            request=spec.to_dict(),
+        )
+
+    def _run_search(self, spec, names, records, operation: str) -> ResultSet:
+        backend_entry = resolve_search(spec.method)
+        corpus = self._corpus(spec, names, records)
+        build_before = corpus.build_seconds
+        index = corpus.index(spec.backend or self.backend, self.cache_size)
+        start = time.perf_counter()
+        index.prepare(backend_entry.serve_method)
+        prepare_seconds = time.perf_counter() - start
+        build_seconds = (corpus.build_seconds - build_before) + prepare_seconds
+
+        counters_before = dict(index.counters)
+        queries = list(spec.queries)
+        start = time.perf_counter()
+        if operation == "topk":
+            rows = index.topk(
+                queries,
+                k=spec.k,
+                method=backend_entry.serve_method,
+                processes=spec.processes,
+            )
+        else:
+            rows = index.within(
+                queries,
+                radius=spec.radius,
+                method=backend_entry.serve_method,
+                processes=spec.processes,
+            )
+        query_seconds = time.perf_counter() - start
+
+        counters = {
+            name: value - counters_before.get(name, 0)
+            for name, value in index.counters.items()
+        }
+        counters[COUNTER_CACHE_RESIDENT] = len(index.result_cache)
+        return ResultSet(
+            kind=operation,
+            algorithm=backend_entry.name,
+            score_kind=backend_entry.score_kind,
+            collection_size=len(corpus.names),
+            queries=queries,
+            matches=[
+                [[name, score] for name, score in matches] for matches in rows
+            ],
+            counters=counters,
+            build_seconds=build_seconds,
+            query_seconds=query_seconds,
+            request=spec.to_dict(),
+        )
+
+    def compare(self, name_a: str, name_b: str, backend: str | None = None) -> float:
+        """NSLD between two raw strings, envelope-free.
+
+        The scalar fast path behind ``CompareSpec`` (and the legacy
+        ``compare_names`` shim): same tokenizer, same backend defaults,
+        none of the per-request envelope overhead -- for callers scoring
+        in tight loops.
+        """
+        from repro.distances import nsld
+
+        return nsld(
+            self.tokenizer.tokenize(name_a),
+            self.tokenizer.tokenize(name_b),
+            backend=backend or self.backend,
+        )
+
+    def _run_compare(self, spec: CompareSpec) -> ResultSet:
+        start = time.perf_counter()
+        value = self.compare(spec.name_a, spec.name_b, spec.backend)
+        elapsed = time.perf_counter() - start
+        return ResultSet(
+            kind="compare",
+            algorithm="nsld",
+            value=value,
+            query_seconds=elapsed,
+            request=spec.to_dict(),
+        )
+
+
+_DEFAULT_SESSION: Session | None = None
+
+
+def default_session() -> Session:
+    """The shared process-default session behind :func:`repro.run`."""
+    global _DEFAULT_SESSION
+    if _DEFAULT_SESSION is None:
+        _DEFAULT_SESSION = Session()
+    return _DEFAULT_SESSION
+
+
+def run(spec, *, names=None, records=None) -> ResultSet:
+    """Execute one spec on the process-default session.
+
+    Examples
+    --------
+    >>> result = run(JoinSpec(names=("ann lee", "ann leex", "bob stone"),
+    ...                       threshold=0.2,
+    ...                       params={"max_token_frequency": None}))
+    >>> [(a, b) for a, b, _ in result.pairs]
+    [('ann lee', 'ann leex')]
+    """
+    return default_session().run(spec, names=names, records=records)

@@ -1,19 +1,29 @@
 """Command-line interface: ``repro-tsj`` (or ``python -m repro``).
 
+Every data-path subcommand is a thin veneer over the declarative
+front door (:mod:`repro.api`): it builds a spec, executes it through one
+:class:`repro.api.Session`, and renders the uniform
+:class:`repro.api.ResultSet` envelope -- as human-readable summary lines
+by default, or as the JSON wire format with ``--json`` (what a future
+server/router speaks).
+
 Subcommands
 -----------
 
 ``generate``  Write a synthetic name corpus (optionally with planted fraud
               rings) to a file, one name per line.
-``join``      NSLD-self-join a file of names with TSJ and print the similar
-              pairs and detected clusters.
+``join``      Self-join a file of names under any registered join
+              algorithm (``--algorithm``; the paper's TSJ pipeline is the
+              default choice) and print pairs and clusters.
 ``compare``   Print the NSLD between two names.
 ``roc``       Run the Fig. 6 name-change ROC comparison and print AUCs.
 ``knn``       Nearest neighbours of one or more names from a resident
               index (VP-tree over NSLD, built once for the whole batch).
 ``search``    Serve top-k or range queries from a resident
               :class:`repro.service.SimilarityIndex` (build once, query
-              many; cascade, VP-tree, BK-tree or FuzzyMatch backends).
+              many; any registered search backend).
+``run``       Execute a spec from a JSON file (``--spec spec.json``) --
+              the declarative entry point; emits the ResultSet envelope.
 ``tune``      Coordinate-descent search for (T, M) against a corpus with
               planted rings (footnote 5 of the paper).
 """
@@ -21,23 +31,25 @@ Subcommands
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-import time
 from typing import Sequence
 
 from repro.accel import BACKENDS
 from repro.analysis import auc, roc_curve
-from repro.candidates import CASCADE_COUNTERS, COUNTER_CANDIDATES, COUNTER_VERIFIED
-from repro.core import compare_names, nsld_join
+from repro.api import (
+    CompareSpec,
+    JoinSpec,
+    Session,
+    TopKSpec,
+    WithinSpec,
+    join_algorithms,
+    search_methods,
+    spec_from_json,
+)
 from repro.data import evaluation_corpus, name_change_dataset
 from repro.distances import fuzzy_cosine, fuzzy_dice, fuzzy_jaccard
 from repro.runtime import ENGINES
-from repro.service import (
-    COUNTER_CACHE_HITS,
-    COUNTER_CACHE_MISSES,
-    SERVE_METHODS,
-    SimilarityIndex,
-)
 from repro.tokenize import tokenize
 
 
@@ -64,6 +76,45 @@ def _add_engine_argument(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_json_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the ResultSet envelope as JSON (the wire format) "
+        "instead of the human-readable summary",
+    )
+
+
+def _emit(result, args) -> int:
+    """Render one ResultSet: JSON envelope or summary lines."""
+    if getattr(args, "json", False):
+        print(result.to_json(indent=2))
+    else:
+        for line in result.summary(limit=getattr(args, "limit", None)):
+            print(line)
+    return 0
+
+
+def _read_names(path: str) -> list[str]:
+    with open(path, encoding="utf-8") as handle:
+        return [line.strip() for line in handle if line.strip()]
+
+
+def _parse_params(entries: Sequence[str] | None) -> dict:
+    """``--param key=value`` pairs; values parse as JSON scalars when
+    possible (``--param n_machines=20 --param mode=ld``)."""
+    params: dict = {}
+    for entry in entries or ():
+        key, separator, raw = entry.partition("=")
+        if not separator:
+            raise SystemExit(f"--param expects key=value, got {entry!r}")
+        try:
+            params[key] = json.loads(raw)
+        except json.JSONDecodeError:
+            params[key] = raw
+    return params
+
+
 def _cmd_generate(args: argparse.Namespace) -> int:
     names, rings = evaluation_corpus(
         args.size,
@@ -79,60 +130,45 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _cmd_join(args: argparse.Namespace) -> int:
-    with open(args.input, encoding="utf-8") as handle:
-        names = [line.strip() for line in handle if line.strip()]
-    report = nsld_join(
-        names,
+    names = _read_names(args.input)
+    params = _parse_params(args.param)
+    if args.algorithm == "tsj":
+        params.setdefault("max_token_frequency", args.max_frequency)
+        params.setdefault("n_machines", args.machines)
+        params.setdefault("matching", args.matching)
+        params.setdefault("aligning", args.aligning)
+    spec = JoinSpec(
+        algorithm=args.algorithm,
         threshold=args.threshold,
-        max_token_frequency=args.max_frequency,
-        n_machines=args.machines,
-        matching=args.matching,
-        aligning=args.aligning,
-        verify_backend=args.backend,
+        backend=args.backend,
         engine=args.engine,
+        params=params,
     )
+    result = Session().run(spec, names=names)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
-            for name_a, name_b, distance in report.pairs:
-                handle.write(f"{distance:.6f}\t{name_a}\t{name_b}\n")
-    print(f"# {len(report.pairs)} similar pairs (T = {args.threshold})")
-    for name_a, name_b, distance in report.pairs[: args.limit]:
-        print(f"{distance:.4f}\t{name_a}\t{name_b}")
-    print(f"# {len(report.clusters)} clusters")
-    for cluster in report.clusters[: args.limit]:
-        print("  " + " | ".join(sorted(cluster)))
-    print(f"# simulated runtime: {report.simulated_seconds:.1f}s "
-          f"on {args.machines} machines")
-    _print_pipeline_summary(report.counters)
-    return 0
-
-
-def _print_pipeline_summary(counters: dict[str, int]) -> None:
-    """One-line candidate-pipeline effectiveness summary (filter cascade)."""
-    shown = {name: counters.get(name, 0) for name in CASCADE_COUNTERS}
-    if not any(shown.values()):
-        return
-    generated = shown[COUNTER_CANDIDATES]
-    verified = shown[COUNTER_VERIFIED]
-    parts = ", ".join(f"{name} = {value}" for name, value in shown.items() if value)
-    print(f"# candidate pipeline: {parts}")
-    if generated:
-        print(
-            "# filter cascade kept "
-            f"{verified / generated:.1%} of generated candidates"
-        )
+            for name_a, name_b, score in result.pairs:
+                handle.write(f"{score:.6f}\t{name_a}\t{name_b}\n")
+    return _emit(result, args)
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
-    print(f"{compare_names(args.name_a, args.name_b, backend=args.backend):.6f}")
+    result = Session().run(
+        CompareSpec(name_a=args.name_a, name_b=args.name_b, backend=args.backend)
+    )
+    if args.json:
+        print(result.to_json(indent=2))
+    else:
+        print(f"{result.value:.6f}")
     return 0
 
 
 def _cmd_roc(args: argparse.Namespace) -> int:
     triples = name_change_dataset(args.size, seed=args.seed)
     labels = [is_fraud for _, _, is_fraud in triples]
+    session = Session()
     measures = {
-        "NSLD": lambda old, new: compare_names(old, new),
+        "NSLD": session.compare,
         "1-FJaccard": lambda old, new: 1.0
         - fuzzy_jaccard(tokenize(old).tokens, tokenize(new).tokens, 0.8),
         "1-FCosine": lambda old, new: 1.0
@@ -147,46 +183,18 @@ def _cmd_roc(args: argparse.Namespace) -> int:
     return 0
 
 
-def _read_names(path: str) -> list[str]:
-    with open(path, encoding="utf-8") as handle:
-        return [line.strip() for line in handle if line.strip()]
-
-
-def _print_serve_summary(index, n_names, n_queries, build_seconds, query_seconds):
-    """The resident-index summary: build-vs-query split plus cache use."""
-    print(
-        f"# resident index: {n_names} names built once in {build_seconds:.3f}s; "
-        f"{n_queries} queries served in {query_seconds:.3f}s"
-    )
-    counters = index.counters
-    print(
-        f"# result cache: {counters[COUNTER_CACHE_HITS]} hits, "
-        f"{counters[COUNTER_CACHE_MISSES]} misses "
-        f"({len(index.result_cache)} resident)"
-    )
-    _print_pipeline_summary(counters)
-
-
 def _cmd_knn(args: argparse.Namespace) -> int:
     if args.k < 1:
         print("-k must be positive")
         return 2
     names = _read_names(args.input)
-    build_start = time.perf_counter()
-    index = SimilarityIndex(names, backend=args.backend).prepare("vptree")
-    build_seconds = time.perf_counter() - build_start
-    query_start = time.perf_counter()
-    results = index.topk(args.queries, k=args.k, method="vptree")
-    query_seconds = time.perf_counter() - query_start
-    for query, matches in zip(args.queries, results):
-        if len(args.queries) > 1:
-            print(f"# query: {query}")
-        for name, distance in matches:
-            print(f"{distance:.4f}\t{name}")
-    _print_serve_summary(
-        index, len(names), len(args.queries), build_seconds, query_seconds
+    spec = TopKSpec(
+        queries=tuple(args.queries),
+        k=args.k,
+        method="vptree",
+        backend=args.backend,
     )
-    return 0
+    return _emit(Session().run(spec, names=names), args)
 
 
 def _cmd_search(args: argparse.Namespace) -> int:
@@ -210,27 +218,34 @@ def _cmd_search(args: argparse.Namespace) -> int:
                 "(FMS similarity has no range semantics); use top-k mode"
             )
             return 2
-    build_start = time.perf_counter()
-    index = SimilarityIndex(names, backend=args.backend).prepare(args.method)
-    build_seconds = time.perf_counter() - build_start
-    query_start = time.perf_counter()
-    if args.radius is not None:
-        results = index.within(
-            queries,
+        spec: TopKSpec | WithinSpec = WithinSpec(
+            queries=tuple(queries),
             radius=args.radius,
             method=args.method,
+            backend=args.backend,
             processes=args.processes,
         )
     else:
-        results = index.topk(
-            queries, k=args.k, method=args.method, processes=args.processes
+        spec = TopKSpec(
+            queries=tuple(queries),
+            k=args.k,
+            method=args.method,
+            backend=args.backend,
+            processes=args.processes,
         )
-    query_seconds = time.perf_counter() - query_start
-    for query, matches in zip(queries, results):
-        print(f"# query: {query}")
-        for name, score in matches:
-            print(f"{score:.4f}\t{name}")
-    _print_serve_summary(index, len(names), len(queries), build_seconds, query_seconds)
+    return _emit(Session().run(spec, names=names), args)
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    with open(args.spec, encoding="utf-8") as handle:
+        spec = spec_from_json(handle.read())
+    names = _read_names(args.input) if args.input else None
+    result = Session().run(spec, names=names)
+    if args.summary:
+        for line in result.summary(limit=args.limit):
+            print(line)
+    else:
+        print(result.to_json(indent=2))
     return 0
 
 
@@ -268,25 +283,49 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--seed", type=int, default=0)
     generate.set_defaults(func=_cmd_generate)
 
-    join = sub.add_parser("join", help="NSLD-self-join a file of names")
+    join = sub.add_parser(
+        "join", help="self-join a file of names under a registered algorithm"
+    )
     join.add_argument("input")
-    join.add_argument("--threshold", type=float, default=0.1)
+    join.add_argument(
+        "--algorithm",
+        choices=list(join_algorithms()),
+        default="tsj",
+        help="join algorithm (default: the paper's TSJ pipeline; "
+        "see repro.api.registry)",
+    )
+    join.add_argument(
+        "--threshold",
+        type=float,
+        default=0.1,
+        help="the algorithm's native threshold (NSLD/NLD distance, integer "
+        "edit distance, or Jaccard similarity)",
+    )
     join.add_argument("--max-frequency", type=int, default=1000)
     join.add_argument("--machines", type=int, default=10)
     join.add_argument("--matching", choices=["fuzzy", "exact"], default="fuzzy")
     join.add_argument(
         "--aligning", choices=["hungarian", "greedy"], default="hungarian"
     )
+    join.add_argument(
+        "--param",
+        action="append",
+        metavar="KEY=VALUE",
+        help="algorithm-specific parameter (repeatable; values parse as "
+        "JSON scalars), e.g. --param k_signatures=3",
+    )
     join.add_argument("--limit", type=int, default=50)
     join.add_argument("--output", help="also write all pairs to a TSV file")
     _add_backend_argument(join)
     _add_engine_argument(join)
+    _add_json_argument(join)
     join.set_defaults(func=_cmd_join)
 
     compare = sub.add_parser("compare", help="NSLD between two names")
     compare.add_argument("name_a")
     compare.add_argument("name_b")
     _add_backend_argument(compare)
+    _add_json_argument(compare)
     compare.set_defaults(func=_cmd_compare)
 
     roc = sub.add_parser("roc", help="Fig. 6 distance-measure ROC comparison")
@@ -301,6 +340,7 @@ def build_parser() -> argparse.ArgumentParser:
     knn.add_argument("queries", nargs="+", help="one or more query names")
     knn.add_argument("-k", type=int, default=5)
     _add_backend_argument(knn)
+    _add_json_argument(knn)
     knn.set_defaults(func=_cmd_knn)
 
     search = sub.add_parser(
@@ -322,10 +362,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     search.add_argument(
         "--method",
-        choices=list(SERVE_METHODS),
-        default="cascade",
-        help="serving backend (cascade = exact NSLD through the candidate "
-        "pipeline; vptree/bktree = metric trees; fuzzymatch = FMS top-k)",
+        choices=list(search_methods(include_aliases=True)),
+        default="similarity_index",
+        help="serving backend (similarity_index/cascade = exact NSLD "
+        "through the candidate pipeline; vptree/bktree = metric trees; "
+        "fuzzymatch = FMS top-k)",
     )
     search.add_argument(
         "--processes",
@@ -334,7 +375,27 @@ def build_parser() -> argparse.ArgumentParser:
         "(pool-shared snapshot; results identical)",
     )
     _add_backend_argument(search)
+    _add_json_argument(search)
     search.set_defaults(func=_cmd_search)
+
+    run = sub.add_parser(
+        "run",
+        help="execute a declarative spec from a JSON file "
+        "(join/topk/within/compare)",
+    )
+    run.add_argument("--spec", required=True, help="path to the spec JSON")
+    run.add_argument(
+        "--input",
+        help="file of names, one per line, when the spec carries no "
+        "inline corpus",
+    )
+    run.add_argument(
+        "--summary",
+        action="store_true",
+        help="print the human-readable summary instead of the JSON envelope",
+    )
+    run.add_argument("--limit", type=int, default=50)
+    run.set_defaults(func=_cmd_run)
 
     tune = sub.add_parser("tune", help="search (T, M) on a ring corpus")
     tune.add_argument("--background", type=int, default=100)

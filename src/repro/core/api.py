@@ -1,8 +1,14 @@
-"""The front-door API: join raw strings, get back similar pairs and rings.
+"""The legacy front-door helpers, now thin shims over :mod:`repro.api`.
 
-These helpers wrap the full pipeline -- tokenization (whitespace +
-punctuation, as in the paper's evaluation), the TSJ join, and the
-similarity-graph clustering of Sec. I-A -- behind two calls.
+These entry points predate the declarative Request/Result API and are
+kept byte-identical (enforced by ``tests/api/test_legacy_equivalence``):
+each builds the equivalent spec, runs it through the shared
+:class:`repro.api.Session` facade, and converts the uniform
+:class:`repro.api.ResultSet` envelope back to the historical shapes.
+New code should speak specs directly::
+
+    import repro
+    repro.run(repro.JoinSpec(names=names, threshold=0.1))
 """
 
 from __future__ import annotations
@@ -10,12 +16,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Sequence
 
-from repro.analysis.graphs import cluster_pairs
+from repro.api.result import join_summary_lines
 from repro.distances import nsld
-from repro.mapreduce import ClusterConfig
-from repro.runtime import create_engine
 from repro.tokenize import Tokenizer
-from repro.tsj import TSJ, TSJConfig
 
 
 @dataclass
@@ -35,6 +38,18 @@ class JoinReport:
     #: ``pruned_by_length``, ``pruned_by_count``, ``pairs_verified``).
     counters: dict[str, int] = field(default_factory=dict)
 
+    def summary(self, limit: int | None = None, threshold=None) -> list[str]:
+        """Printable report lines -- the same rendering as
+        :meth:`repro.api.ResultSet.summary` (shared helpers)."""
+        return join_summary_lines(
+            self.pairs,
+            [sorted(cluster) for cluster in self.clusters],
+            self.counters,
+            self.simulated_seconds,
+            threshold=threshold,
+            limit=limit,
+        )
+
 
 def join_records(
     names: Sequence[str],
@@ -51,40 +66,30 @@ def join_records(
     serving layer's :class:`repro.service.SimilarityIndex`) skip
     re-tokenization; ``records[i]`` must be the tokenization of
     ``names[i]``.  Everything downstream -- pipeline, counters,
-    simulated seconds -- is identical to :func:`nsld_join`.
+    simulated seconds -- is identical to :func:`nsld_join`.  A shim:
+    the work runs through ``Session.run(JoinSpec(algorithm="tsj"))``
+    with the pre-tokenized records supplied out-of-band.
     """
     if len(names) != len(records):
         raise ValueError(
             f"names and records must align: got {len(names)} names "
             f"for {len(records)} records"
         )
-    config = TSJConfig(
-        threshold=threshold,
-        max_token_frequency=max_token_frequency,
-        engine=engine,
-        **config_overrides,
-    )
-    mr_engine = create_engine(engine, ClusterConfig(n_machines=n_machines))
-    result = TSJ(config, mr_engine).self_join(records)
+    from repro.api.session import default_session
+    from repro.api.specs import JoinSpec
 
-    named_pairs = sorted(
-        (
-            (names[a], names[b], result.distances[(a, b)])
-            for a, b in result.pairs
-        ),
-        key=lambda triple: (triple[2], triple[0], triple[1]),
+    spec = JoinSpec(
+        algorithm="tsj",
+        threshold=threshold,
+        engine=engine,
+        params={
+            "max_token_frequency": max_token_frequency,
+            "n_machines": n_machines,
+            **config_overrides,
+        },
     )
-    clusters = [
-        {names[index] for index in cluster}
-        for cluster in cluster_pairs(result.pairs)
-    ]
-    return JoinReport(
-        pairs=named_pairs,
-        clusters=clusters,
-        index_pairs=result.pairs,
-        simulated_seconds=result.simulated_seconds(),
-        counters=result.counters(),
-    )
+    result = default_session().run(spec, names=names, records=records)
+    return result.to_join_report()
 
 
 def nsld_join(
@@ -174,7 +179,11 @@ def compare_names(
     """NSLD between two raw strings (tokenized with the default tokenizer).
 
     ``backend`` selects the edit-distance kernel (``"auto" | "dp" |
-    "bitparallel"``); every backend returns the same value.
+    "bitparallel"``); every backend returns the same value.  A shim over
+    the shared session's scalar fast path
+    (:meth:`repro.api.Session.compare`) when the default tokenizer is in
+    play; ``Session.run(CompareSpec(...))`` returns the same value in an
+    envelope.
 
     Examples
     --------
@@ -183,5 +192,10 @@ def compare_names(
     >>> round(compare_names("barak obama", "burak ubama"), 3)
     0.182
     """
-    tokenizer = tokenizer or Tokenizer()
-    return nsld(tokenizer.tokenize(name_a), tokenizer.tokenize(name_b), backend=backend)
+    if tokenizer is not None:
+        return nsld(
+            tokenizer.tokenize(name_a), tokenizer.tokenize(name_b), backend=backend
+        )
+    from repro.api.session import default_session
+
+    return default_session().compare(name_a, name_b, backend)

@@ -13,6 +13,11 @@
   set-similarity join (the MGJoin/Vernica family's core, Sec. IV).
 * :mod:`repro.joins.vernica` -- Vernica, Carey & Li (SIGMOD 2010) MapReduce
   set-similarity join.
+
+Every algorithm here is also a registered ``JoinSpec.algorithm`` choice
+of the declarative front door (:mod:`repro.api.registry`), with its
+native signature and result shape normalised into the uniform
+:class:`repro.ResultSet` envelope.
 """
 
 from repro.joins.massjoin import MassJoin

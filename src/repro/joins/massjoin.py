@@ -278,12 +278,13 @@ class MassJoin:
         backend: str = "auto",
     ) -> None:
         self.engine = engine or MapReduceEngine()
+        from repro.api.registry import validate_choice
+
+        validate_choice("MassJoin mode", mode, ("nld", "ld"))
         if mode == "nld":
             self.scheme = _NldScheme(float(threshold), backend)
-        elif mode == "ld":
-            self.scheme = _LdScheme(int(threshold), backend)
         else:
-            raise ValueError(f"unknown MassJoin mode: {mode!r}")
+            self.scheme = _LdScheme(int(threshold), backend)
 
     def self_join(self, strings: Sequence[str]) -> MassJoinResult:
         """Join ``strings`` with themselves; returns id pairs ``(i, j)``,

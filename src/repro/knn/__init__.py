@@ -15,6 +15,12 @@ NSLD over tokenized strings:
 Both support range queries (``within``) and k-NN queries (``nearest``),
 and report the number of distance evaluations so tests and benches can
 verify they beat linear scan.
+
+All three indexes are registered search backends of the declarative
+front door (``method="vptree" | "bktree" | "fuzzymatch"`` in
+:class:`repro.TopKSpec` / :class:`repro.WithinSpec`, served from the
+resident :class:`repro.service.SimilarityIndex`; see
+:mod:`repro.api.registry`).
 """
 
 from repro.knn.bktree import BKTree

@@ -18,6 +18,12 @@ apply to tokenized strings.  The paper compares TSJ against an in-house
 
 All three run on the simulated MapReduce engine and work for any metric;
 the default is NSLD over tokenized strings.
+
+The whole family (plus the serial :class:`QuickJoin`) is registered
+behind the declarative front door: ``repro.run(repro.JoinSpec(
+algorithm="clusterjoin" | "mrmapss" | "hmj" | "quickjoin", ...))``
+normalises their signatures and result shapes (see
+:mod:`repro.api.registry`).
 """
 
 from repro.metricspace.clusterjoin import ClusterJoin, MetricJoinResult

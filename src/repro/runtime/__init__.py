@@ -69,7 +69,12 @@ def resolve_engine(engine: str) -> str:
         return "parallel" if parallel else "serial"
     if engine in ("serial", "parallel"):
         return engine
-    raise ValueError(f"unknown execution engine {engine!r}; expected one of {ENGINES}")
+    from repro.api.registry import validate_choice
+
+    validate_choice("execution engine", engine, ENGINES)
+    # A name in ENGINES without a branch above is a newly added
+    # concrete engine: it resolves to itself.
+    return engine
 
 
 def create_engine(

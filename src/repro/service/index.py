@@ -633,10 +633,9 @@ class SimilarityIndex:
         ]
 
     def _knn_index(self, method: str):
-        if method not in SERVE_METHODS:
-            raise ValueError(
-                f"unknown serving method {method!r}; expected one of {SERVE_METHODS}"
-            )
+        from repro.api.registry import validate_choice
+
+        validate_choice("serving method", method, SERVE_METHODS)
         built = self._knn.get(method)
         if built is None:
             # Deferred imports: the metric-tree backends are optional

@@ -29,6 +29,7 @@ import enum
 from dataclasses import dataclass
 
 from repro.accel import BACKENDS
+from repro.api.registry import validate_choice
 from repro.runtime import ENGINES
 
 
@@ -92,18 +93,22 @@ class TSJConfig:
             raise ValueError("NSLD threshold must be in [0, 1)")
         if self.max_token_frequency is not None and self.max_token_frequency < 1:
             raise ValueError("max_token_frequency must be positive (or None)")
-        if self.verify_backend not in BACKENDS:
-            raise ValueError(
-                f"verify_backend must be one of {BACKENDS}, "
-                f"got {self.verify_backend!r}"
-            )
-        if self.engine not in ENGINES:
-            raise ValueError(f"engine must be one of {ENGINES}, got {self.engine!r}")
-        # Accept plain strings for ergonomics.
-        object.__setattr__(self, "matching", MatchingMode(self.matching))
-        object.__setattr__(self, "aligning", AligningMode(self.aligning))
-        object.__setattr__(self, "dedup", DedupStrategy(self.dedup))
-        object.__setattr__(self, "frequency_mode", FrequencyMode(self.frequency_mode))
+        validate_choice("verification backend", self.verify_backend, BACKENDS)
+        validate_choice("execution engine", self.engine, ENGINES)
+        # Accept plain strings for ergonomics; unknown names get the
+        # uniform selector error instead of the bare enum ValueError.
+        for attribute, kind, enum_type in (
+            ("matching", "matching mode", MatchingMode),
+            ("aligning", "aligning mode", AligningMode),
+            ("dedup", "dedup strategy", DedupStrategy),
+            ("frequency_mode", "frequency mode", FrequencyMode),
+        ):
+            value = getattr(self, attribute)
+            if not isinstance(value, enum_type):
+                validate_choice(
+                    kind, value, tuple(member.value for member in enum_type)
+                )
+            object.__setattr__(self, attribute, enum_type(value))
 
     @property
     def is_lossless(self) -> bool:

@@ -1,0 +1,160 @@
+"""Legacy shims are byte-identical to their pre-redesign outputs.
+
+``nsld_join`` / ``join_records`` / ``compare_names`` now run through the
+declarative facade; these tests re-implement the pre-redesign entry
+points verbatim (the exact code that shipped before the front door) and
+assert field-by-field equality on seeded corpora -- the contract the
+redesign promised.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.graphs import cluster_pairs
+from repro.core import JoinReport, compare_names, join_records, nsld_join
+from repro.data import evaluation_corpus
+from repro.distances import nsld
+from repro.mapreduce import ClusterConfig
+from repro.runtime import create_engine
+from repro.tokenize import Tokenizer
+from repro.tsj import TSJ, TSJConfig
+
+pytestmark = pytest.mark.tier1
+
+
+def legacy_join_records(
+    names,
+    records,
+    threshold=0.1,
+    max_token_frequency=1000,
+    n_machines=10,
+    engine="auto",
+    **config_overrides,
+):
+    """The pre-redesign ``join_records`` body, verbatim."""
+    config = TSJConfig(
+        threshold=threshold,
+        max_token_frequency=max_token_frequency,
+        engine=engine,
+        **config_overrides,
+    )
+    mr_engine = create_engine(engine, ClusterConfig(n_machines=n_machines))
+    result = TSJ(config, mr_engine).self_join(records)
+    named_pairs = sorted(
+        (
+            (names[a], names[b], result.distances[(a, b)])
+            for a, b in result.pairs
+        ),
+        key=lambda triple: (triple[2], triple[0], triple[1]),
+    )
+    clusters = [
+        {names[index] for index in cluster}
+        for cluster in cluster_pairs(result.pairs)
+    ]
+    return JoinReport(
+        pairs=named_pairs,
+        clusters=clusters,
+        index_pairs=result.pairs,
+        simulated_seconds=result.simulated_seconds(),
+        counters=result.counters(),
+    )
+
+
+def legacy_nsld_join(names, tokenizer=None, **kwargs):
+    tokenizer = tokenizer or Tokenizer()
+    records = [tokenizer.tokenize(name) for name in names]
+    return legacy_join_records(names, records, **kwargs)
+
+
+NAMES, _ = evaluation_corpus(60, ring_fraction=0.4, ring_size=4, seed=11)
+
+
+def assert_reports_identical(got: JoinReport, expected: JoinReport) -> None:
+    assert got.pairs == expected.pairs
+    assert got.clusters == expected.clusters
+    assert got.index_pairs == expected.index_pairs
+    assert got.simulated_seconds == expected.simulated_seconds
+    assert got.counters == expected.counters
+    assert got == expected
+
+
+class TestNsldJoinShim:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"threshold": 0.1},
+            {"threshold": 0.15, "max_token_frequency": None},
+            {"threshold": 0.2, "max_token_frequency": 5, "n_machines": 4},
+            {"threshold": 0.15, "matching": "exact"},
+            {"threshold": 0.15, "aligning": "greedy"},
+            {"threshold": 0.15, "verify_backend": "dp", "engine": "serial"},
+        ],
+    )
+    def test_byte_identical(self, kwargs):
+        assert_reports_identical(
+            nsld_join(NAMES, **kwargs), legacy_nsld_join(NAMES, **kwargs)
+        )
+
+    def test_empty_corpus(self):
+        assert_reports_identical(nsld_join([]), legacy_nsld_join([]))
+
+    def test_custom_tokenizer(self):
+        tokenizer = Tokenizer()
+        assert_reports_identical(
+            nsld_join(NAMES[:20], tokenizer=tokenizer, threshold=0.15),
+            legacy_nsld_join(NAMES[:20], tokenizer=tokenizer, threshold=0.15),
+        )
+
+    def test_argument_errors_preserved(self):
+        with pytest.raises(ValueError, match="names is required"):
+            nsld_join()
+        with pytest.raises(ValueError, match="not both"):
+            nsld_join(NAMES, index=object())
+
+
+class TestJoinRecordsShim:
+    def test_byte_identical(self):
+        tokenizer = Tokenizer()
+        records = [tokenizer.tokenize(name) for name in NAMES]
+        assert_reports_identical(
+            join_records(NAMES, records, threshold=0.15),
+            legacy_join_records(NAMES, records, threshold=0.15),
+        )
+
+    def test_length_mismatch_preserved(self):
+        with pytest.raises(ValueError, match="must align"):
+            join_records(["a"], [])
+
+
+class TestCompareNamesShim:
+    @pytest.mark.parametrize(
+        ("name_a", "name_b"),
+        [
+            ("barak obama", "obama, barak"),
+            ("barak obama", "burak ubama"),
+            ("ann lee", "completely different"),
+            ("", ""),
+        ],
+    )
+    def test_equals_direct_nsld(self, name_a, name_b):
+        tokenizer = Tokenizer()
+        expected = nsld(tokenizer.tokenize(name_a), tokenizer.tokenize(name_b))
+        assert compare_names(name_a, name_b) == expected
+
+    def test_backend_and_tokenizer_arguments(self):
+        tokenizer = Tokenizer()
+        assert compare_names("ann lee", "lee ann", tokenizer=tokenizer) == 0.0
+        assert compare_names("chan", "chank", backend="dp") == compare_names(
+            "chan", "chank", backend="bitparallel"
+        )
+
+
+class TestIndexShimPath:
+    def test_resident_index_join_is_byte_identical(self):
+        from repro.service import SimilarityIndex
+
+        index = SimilarityIndex(NAMES[:30])
+        via_index = nsld_join(index=index, threshold=0.15)
+        direct = nsld_join(NAMES[:30], threshold=0.15)
+        assert_reports_identical(via_index, direct)

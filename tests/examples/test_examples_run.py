@@ -71,3 +71,11 @@ class TestExamplesRun:
         load_example("parameter_tuning.py").main(60, 3)
         output = capsys.readouterr().out
         assert "best: T =" in output
+
+    def test_declarative_api(self, capsys):
+        load_example("declarative_api.py").main(120)
+        output = capsys.readouterr().out
+        assert "registered join algorithms" in output
+        assert "similar pairs" in output
+        assert "top-3 for new signup" in output
+        assert "envelope round-trips" in output

@@ -9,6 +9,9 @@ import pytest
 
 MODULES = [
     "repro.core.api",
+    "repro.api.registry",
+    "repro.api.specs",
+    "repro.api.session",
     "repro.accel.myers",
     "repro.accel.vocab",
     "repro.accel.verify",

@@ -1,0 +1,62 @@
+"""The exported API surface, pinned against a committed snapshot.
+
+An accidental rename/removal in ``repro.__all__``, a spec field, the
+``ResultSet`` envelope (the JSON wire format!), or the registered
+algorithm/method names is a breaking change for every consumer -- this
+test makes it fail CI instead of shipping silently.  Deliberate changes
+update ``tests/public_api_snapshot.json`` in the same PR (regenerate
+with ``python tests/test_public_api.py``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import fields
+from pathlib import Path
+
+import pytest
+
+pytestmark = pytest.mark.tier1
+
+SNAPSHOT_PATH = Path(__file__).resolve().parent / "public_api_snapshot.json"
+
+
+def current_surface() -> dict:
+    import repro
+    from repro.api import ResultSet, join_algorithms, search_methods
+    from repro.api.specs import CompareSpec, JoinSpec, TopKSpec, WithinSpec
+
+    return {
+        "repro.__all__": sorted(repro.__all__),
+        "specs": {
+            spec.__name__: [f.name for f in fields(spec)]
+            for spec in (JoinSpec, TopKSpec, WithinSpec, CompareSpec)
+        },
+        "result_set_fields": [f.name for f in fields(ResultSet)],
+        "join_algorithms": list(join_algorithms()),
+        "search_methods": list(search_methods(include_aliases=True)),
+    }
+
+
+def test_public_surface_matches_snapshot():
+    snapshot = json.loads(SNAPSHOT_PATH.read_text(encoding="utf-8"))
+    surface = current_surface()
+    assert surface == snapshot, (
+        "public API surface drifted from tests/public_api_snapshot.json; "
+        "if the change is deliberate, regenerate the snapshot with "
+        "`PYTHONPATH=src python tests/test_public_api.py`"
+    )
+
+
+def test_all_exports_resolve():
+    import repro
+
+    for name in repro.__all__:
+        assert getattr(repro, name, None) is not None, name
+
+
+if __name__ == "__main__":  # regenerate the committed snapshot
+    SNAPSHOT_PATH.write_text(
+        json.dumps(current_surface(), indent=2) + "\n", encoding="utf-8"
+    )
+    print(f"wrote {SNAPSHOT_PATH}")
