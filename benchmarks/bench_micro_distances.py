@@ -1,14 +1,19 @@
 """Microbenchmarks of the distance kernels (real wall-clock).
 
 The verification workhorses of the whole system: full-matrix vs banded
-thresholded Levenshtein, and Hungarian vs greedy NSLD verification
-(Sec. III-F vs III-G.5).  Real timings via pytest-benchmark.
+thresholded Levenshtein, Hungarian vs greedy NSLD verification
+(Sec. III-F vs III-G.5), and the thresholded kernel under each
+verification backend (``dp``/``bitparallel``/``vector``).  Real timings
+via pytest-benchmark; ``REPRO_BENCH_BACKEND`` pins the highlighted
+backend row the same way ``REPRO_BENCH_ENGINE`` pins the engine benches.
 """
 
 from __future__ import annotations
 
 import pytest
+from conftest import BENCH_BACKEND
 
+from repro.accel import available_backends, resolve_backend, verify_pairs
 from repro.data import NameGenerator
 from repro.distances import (
     levenshtein,
@@ -48,6 +53,46 @@ class TestLevenshteinKernels:
                 1
                 for a, b in name_pairs
                 if levenshtein_within(a, b, 2) is not None
+            )
+        )
+        assert found >= 0
+
+
+class TestVerificationBackends:
+    """One column per backend: the same thresholded batch, every kernel."""
+
+    @pytest.fixture(scope="class")
+    def verify_batch(self, name_pairs):
+        table: list[str] = []
+        pairs: list[tuple[int, int]] = []
+        for a, b in name_pairs:
+            pairs.append((len(table), len(table) + 1))
+            table.extend((a, b))
+        return pairs, table
+
+    @pytest.mark.parametrize("backend", available_backends())
+    def test_backend_column(self, benchmark, verify_batch, backend):
+        benchmark.group = "verify-backend"
+        pairs, table = verify_batch
+        found = benchmark(
+            lambda: sum(
+                1
+                for value in verify_pairs(pairs, table, 2, backend=backend)
+                if value is not None
+            )
+        )
+        assert found >= 0
+
+    def test_selected_backend(self, benchmark, verify_batch):
+        """The ``REPRO_BENCH_BACKEND`` row (defaults to the auto fast path)."""
+        benchmark.group = "verify-backend"
+        benchmark.extra_info["backend"] = resolve_backend(BENCH_BACKEND)
+        pairs, table = verify_batch
+        found = benchmark(
+            lambda: sum(
+                1
+                for value in verify_pairs(pairs, table, 2, backend=BENCH_BACKEND)
+                if value is not None
             )
         )
         assert found >= 0

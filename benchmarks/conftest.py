@@ -71,6 +71,12 @@ PAPER_COST = CostModel(
 #: under every engine).
 BENCH_ENGINE = os.environ.get("REPRO_BENCH_ENGINE", "serial")
 
+#: Verification backend the micro-distance benches time
+#: (``REPRO_BENCH_BACKEND`` overrides, same convention as
+#: ``REPRO_BENCH_ENGINE``; ``auto`` picks the process's fast path --
+#: ``vector`` when numpy imports, else ``bitparallel``).
+BENCH_BACKEND = os.environ.get("REPRO_BENCH_BACKEND", "auto")
+
 RESULTS_DIR = Path(__file__).parent / "results"
 
 

@@ -21,15 +21,23 @@ All verification entry points accept ``backend``:
 
 * ``"dp"`` -- the reference banded dynamic program (the oracle);
 * ``"bitparallel"`` -- the Myers kernel;
-* ``"auto"`` -- the fast path (currently always ``"bitparallel"``: in pure
-  Python the word-parallel column step beats the banded DP at every limit
-  except 0, and ``limit == 0`` is already a string-equality fast path in
-  both kernels).  ``"auto"`` is the default everywhere user-facing; future
-  native/SIMD backends slot in behind the same selector.
+* ``"vector"`` -- the numpy-batched Myers kernel
+  (:mod:`repro.accel.vector`): batched calls (``verify_pairs`` and the
+  probe paths built on it) advance every pair's DP columns in lockstep;
+  single-pair calls share the scalar Myers kernel, so ``vector`` and
+  ``bitparallel`` are value- and metering-identical everywhere and differ
+  only in batched wall-clock.  Requires numpy: an explicit
+  ``backend="vector"`` without it raises with an install hint
+  (``pip install numpy`` / ``pip install 'repro[vector]'``);
+* ``"auto"`` -- the fast path: ``"vector"`` when numpy imports, silently
+  falling back to ``"bitparallel"`` when it does not.  ``"auto"`` is the
+  default everywhere user-facing; future native/SIMD backends slot in
+  behind the same selector.
 
 Backends agree *exactly* on every value-or-``None`` result (property-tested
 in ``tests/test_accel_equivalence.py``); only ``ops`` metering differs (DP
-cells vs bit-parallel word units -- see :mod:`repro.accel.myers`).
+cells vs bit-parallel word units -- see :mod:`repro.accel.myers`; the
+``vector`` batch charges the same totals as the scalar Myers kernel).
 """
 
 from __future__ import annotations
@@ -41,6 +49,10 @@ from repro.accel.myers import (
     myers_within,
     myers_within_masks,
 )
+from repro.accel.vector import (
+    numpy_available,
+    verify_within_batch,
+)
 from repro.accel.vocab import BoundedCache, LRUCache, Vocab
 from repro.distances.levenshtein import (
     OpsHook,
@@ -50,24 +62,50 @@ from repro.distances.levenshtein import (
 )
 
 #: The accepted backend selectors, in documentation order.
-BACKENDS = ("auto", "dp", "bitparallel")
+BACKENDS = ("auto", "dp", "bitparallel", "vector")
+
+#: What ``"auto"`` resolved to, probed once per process (numpy import is
+#: not free; tests monkeypatch this back to ``None`` to re-probe).
+_AUTO_RESOLVED: str | None = None
 
 
 def resolve_backend(backend: str) -> str:
     """Normalise a backend selector to a concrete kernel name.
 
-    ``"auto"`` resolves to the fast path; unknown names raise.
+    ``"auto"`` resolves to the fast path (``"vector"`` when numpy is
+    importable, else ``"bitparallel"``); an explicit ``"vector"``
+    without numpy raises with an install hint; unknown names raise the
+    uniform selector error.
     """
+    global _AUTO_RESOLVED
     if backend == "auto":
-        return "bitparallel"
+        if _AUTO_RESOLVED is None:
+            _AUTO_RESOLVED = "vector" if numpy_available() else "bitparallel"
+        return _AUTO_RESOLVED
     if backend in ("dp", "bitparallel"):
         return backend
+    if backend == "vector":
+        if not numpy_available():
+            raise ValueError(
+                "verification backend 'vector' requires numpy, which is "
+                "not installed; `pip install numpy` (or the packaged "
+                "extra, `pip install 'repro[vector]'`), or use "
+                "backend='auto' to fall back to 'bitparallel'"
+            )
+        return "vector"
     from repro.api.registry import validate_choice
 
     validate_choice("verification backend", backend, BACKENDS)
     # A name in BACKENDS without a branch above is a newly added
     # concrete kernel: it resolves to itself.
     return backend
+
+
+def available_backends() -> tuple[str, ...]:
+    """The selectors usable in this process (``vector`` needs numpy)."""
+    if numpy_available():
+        return BACKENDS
+    return tuple(name for name in BACKENDS if name != "vector")
 
 
 def edit_distance(x: str, y: str, ops: OpsHook = None, backend: str = "auto") -> int:
@@ -176,6 +214,7 @@ __all__ = [
     "BoundedCache",
     "LRUCache",
     "Vocab",
+    "available_backends",
     "build_peq",
     "edit_distance",
     "edit_distance_bounded",
@@ -183,8 +222,10 @@ __all__ = [
     "myers_distance",
     "myers_within",
     "myers_within_masks",
+    "numpy_available",
     "resolve_backend",
     "reset_token_vocab",
+    "verify_within_batch",
     "token_distance",
     "token_distance_within",
     "token_nld",

@@ -1,0 +1,455 @@
+"""Numpy-batched Myers verification: the ``vector`` backend.
+
+:func:`verify_within_batch` answers a whole batch of thresholded
+edit-distance queries at once.  Instead of one Python-level
+:func:`repro.accel.myers.myers_within` call per pair, it packs every
+pair's ``Peq`` match masks into uint64 ndarrays (the batched counterpart
+of :class:`repro.accel.Vocab`'s prebuilt per-token tables) and advances
+*all* pairs' DP columns in lockstep with vectorized bitwise ops -- the
+same interpreter-out-of-the-hot-loop move the interned posting arrays
+made for candidate generation.  A lane that finishes its text or trips
+the banded early abandon retires from the ``alive`` mask; the column
+loop stops as soon as every lane has retired, so a batch costs its
+slowest lane, not ``max_len`` columns for everyone.
+
+Equivalence contract
+--------------------
+
+``verify_within_batch(pairs, limit)`` returns exactly
+``[myers_within(x, y, limit) for x, y in pairs]`` -- the same
+value-or-``None`` results *and* the same total ``ops`` work units
+(equality / length-gap pre-checks charge 1, kernel lanes charge
+``word_cost`` for the columns they processed before retiring) -- so
+simulated cluster seconds stay backend-invariant.  Lanes the vector
+layout cannot host (stripped patterns wider than one 64-bit word, or
+strings past ``_SCALAR_CUTOFF`` where padded code matrices would
+balloon) fall back to the scalar kernel per pair, which preserves both
+results and metering by construction.
+
+When numpy is not installed the batch degrades to the scalar loop --
+same contract, no speedup.  ``resolve_backend`` never hands out
+``"vector"`` in that situation (``auto`` falls back to
+``"bitparallel"``; an explicit ``backend="vector"`` raises with an
+install hint), so the degraded path only runs when callers invoke this
+module directly.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.accel.myers import WORD_BITS, myers_within
+from repro.distances.levenshtein import OpsHook
+
+#: Pairs with a string longer than this verify via the scalar kernel:
+#: the padded (pairs x max_len) code matrices scale with the longest
+#: string in the batch, and one pathological megabyte string must not
+#: blow up memory for thousands of short neighbours.
+_SCALAR_CUTOFF = 512
+
+#: "No result" sentinel inside the int64 result array (distances are
+#: non-negative); swapped for ``None`` in the final list conversion.
+_MISS = -1
+
+_UNSET = object()
+_NUMPY: object = _UNSET
+
+
+def numpy_or_none():
+    """The ``numpy`` module, or ``None`` when it is not importable.
+
+    Probed once per process.  Tests monkeypatch the module-level
+    ``_NUMPY`` slot (to ``None``, or back to ``_UNSET`` to re-probe) to
+    simulate a missing numpy without uninstalling it.
+    """
+    global _NUMPY
+    if _NUMPY is _UNSET:
+        try:
+            import numpy
+        except ImportError:
+            _NUMPY = None
+        else:
+            _NUMPY = numpy
+    return _NUMPY
+
+
+def numpy_available() -> bool:
+    """Whether the ``vector`` backend can actually vectorize here."""
+    return numpy_or_none() is not None
+
+
+def _code_matrix(np, strings: list[str], width: int):
+    """Strings as a zero-padded (batch, max_len) uint32 code matrix.
+
+    ``numpy``'s fixed-width unicode dtype *is* that matrix -- UTF-32
+    code units, NUL-padded to the row width -- so a single ``np.array``
+    call builds the whole batch at C speed.
+
+    NUL pads compare equal across rows, so a pad column does not flag a
+    length mismatch on its own; every consumer caps its scan with a
+    true-length bound (``min(len)`` at most), below which both rows are
+    guaranteed real characters.  Pad collisions -- including against
+    embedded *real* NULs -- can therefore only occur at or past the
+    cap, where they are clipped away.
+    """
+    matrix = np.array(strings, dtype=f"U{width}")
+    return matrix.view(np.uint32).reshape(len(strings), width)
+
+
+def _prefix_lengths(np, left, right, caps):
+    """Per-pair common-prefix lengths from two padded code matrices.
+
+    The first differing column per row, capped to ``caps``; rows with
+    no difference anywhere report the cap itself.
+    """
+    difference = left != right
+    any_difference = difference.any(axis=1)
+    first = np.where(any_difference, np.argmax(difference, axis=1), 0)
+    return np.where(any_difference, np.minimum(first, caps), caps)
+
+
+def _suffix_lengths(np, left, right, rows, len_left, len_right, caps, window=12):
+    """Common-suffix lengths for the given rows, via right-justified gathers.
+
+    Shifting row ``r`` right by ``width - len`` aligns every string's
+    last character at the matrix edge, so a single elementwise compare
+    lines ``x[len_x - 1 - j]`` up with ``y[len_y - 1 - j]`` at column
+    ``width - 1 - j``.  The shifted gather reads garbage (clipped
+    neighbours) where a row has no character; those columns correspond
+    to offsets ``j >= min(len)``, which the caps clip away -- whether
+    the garbage happened to compare equal or not.
+
+    The scan is two-phase: a narrow trailing ``window`` settles every
+    row that differs inside it (or whose cap fits), and only the rest
+    -- genuinely long common suffixes -- rescan at full cap width.
+    """
+    width = np.int32(left.shape[1])
+    # Suffixes are capped at ``caps`` per row, so only the trailing
+    # ``max(caps)`` aligned columns can ever matter: a row with no
+    # difference inside that span already has suffix >= its own cap.
+    scan = min(max(int(caps.max()), 1), window)
+    cols = np.arange(int(width) - scan, int(width), dtype=np.int32)[None, :]
+    base = (rows.astype(np.int32) * width - width)[:, None] + cols
+    aligned_left = left.reshape(-1).take(
+        base + len_left.astype(np.int32)[:, None], mode="clip"
+    )
+    aligned_right = right.reshape(-1).take(
+        base + len_right.astype(np.int32)[:, None], mode="clip"
+    )
+    difference = aligned_left != aligned_right
+    any_difference = difference.any(axis=1)
+    first = np.where(
+        any_difference, np.argmax(difference[:, ::-1], axis=1), 0
+    )
+    result = np.where(
+        any_difference, np.minimum(first, caps), np.minimum(caps, scan)
+    )
+    deep = np.nonzero(~any_difference & (caps > scan))[0]
+    if deep.size:
+        result[deep] = _suffix_lengths(
+            np, left, right, rows[deep],
+            len_left[deep], len_right[deep], caps[deep],
+            window=int(caps[deep].max()),
+        )
+    return result
+
+
+
+
+def verify_within_batch(
+    pairs: Sequence[tuple[str, str]],
+    limit: int,
+    ops: OpsHook = None,
+) -> list[int | None]:
+    """Batched :func:`repro.accel.myers.myers_within` over string pairs.
+
+    Returns ``[myers_within(x, y, limit) for x, y in pairs]`` -- same
+    values, same total ``ops`` charge -- computed with all pairs'
+    bit-parallel columns advancing in lockstep (see module docstring).
+
+    Examples
+    --------
+    >>> verify_within_batch([("kalan", "alan"), ("kalan", "chan")], 1)
+    [1, None]
+    """
+    np = numpy_or_none()
+    if np is None:
+        return [myers_within(x, y, limit, ops=ops) for x, y in pairs]
+    count = len(pairs)
+    if count == 0:
+        return []
+    if limit < 0:
+        return [None] * count
+
+    xs = [x for x, _ in pairs]
+    ys = [y for _, y in pairs]
+    len_x = np.fromiter(map(len, xs), dtype=np.int64, count=count)
+    len_y = np.fromiter(map(len, ys), dtype=np.int64, count=count)
+
+    oversized = np.maximum(len_x, len_y) > _SCALAR_CUTOFF
+    if oversized.any():
+        results: list[int | None] = [None] * count
+        small = np.nonzero(~oversized)[0].tolist()
+        for k, value in zip(
+            small, verify_within_batch([pairs[k] for k in small], limit, ops=ops)
+        ):
+            results[k] = value
+        for k in np.nonzero(oversized)[0].tolist():
+            results[k] = myers_within(xs[k], ys[k], limit, ops=ops)
+        return results
+
+    min_lengths = np.minimum(len_x, len_y)
+    # One build for both sides: the suffix scan's flipped-row alignment
+    # needs x and y padded to a common width.
+    codes = _code_matrix(np, xs + ys, max(int(len_x.max()), int(len_y.max()), 1))
+    codes_x = codes[:count]
+    codes_y = codes[count:]
+    prefix = _prefix_lengths(np, codes_x, codes_y, min_lengths)
+
+    # Same shape as the scalar pre-checks: equality, then the
+    # abs-length-gap lower bound, then the empty-stripped-pattern case.
+    # Both need only lengths and prefixes, so the (pricier) suffix scan
+    # runs on the surviving rows alone; dead rows keep suffix 0, which
+    # nothing below consults.
+    equal = (len_x == len_y) & (prefix == len_x)
+    gap = ~equal & (np.abs(len_x - len_y) > limit)
+    live = ~equal & ~gap
+    live_rows = np.nonzero(live)[0]
+    suffix = np.zeros(count, dtype=np.int64)
+    if live_rows.size:
+        suffix[live_rows] = _suffix_lengths(
+            np, codes_x, codes_y, live_rows,
+            len_x[live_rows], len_y[live_rows],
+            (min_lengths - prefix)[live_rows],
+        )
+    stripped_x = len_x - prefix - suffix
+    stripped_y = len_y - prefix - suffix
+    pattern_len = np.minimum(stripped_x, stripped_y)
+    text_len = np.maximum(stripped_x, stripped_y)
+    empty = live & (pattern_len == 0)
+    wide = live & (pattern_len > WORD_BITS)
+    lanes = np.nonzero(live & ~empty & ~wide)[0]
+
+    out = np.full(count, _MISS, dtype=np.int64)
+    out[equal] = 0
+    out[empty] = text_len[empty]  # == |len_x - len_y| <= limit, checked above
+    precheck_units = int(equal.sum() + gap.sum() + empty.sum())
+    wide_rows = np.nonzero(wide)[0].tolist()
+
+    if lanes.size:
+        precheck_units += _advance_lanes(
+            np, out, codes, count, lanes,
+            prefix[lanes], pattern_len[lanes], text_len[lanes],
+            stripped_x[lanes] < stripped_y[lanes], limit,
+        )
+    if ops is not None and precheck_units:
+        ops(precheck_units)
+    results = [value if value >= 0 else None for value in out.tolist()]
+    for k in wide_rows:
+        results[k] = myers_within(xs[k], ys[k], limit, ops=ops)
+    return results
+
+
+def _advance_lanes(
+    np, out, codes, count, lanes, offsets, m, n, pattern_is_x, limit
+) -> int:
+    """Run the lockstep Hyyrö recurrence over the kernel lanes.
+
+    Writes each lane's score-or-``_MISS`` into ``out`` and returns the
+    total work units (patterns here fit one 64-bit word, so units ==
+    columns each lane processed before retiring).
+    """
+    # Longest text first: each per-column op below then touches only
+    # the contiguous prefix of lanes still inside their own text, so
+    # element work tracks sum(n), not lanes * max(n).
+    order = np.argsort(-n, kind="stable")
+    lanes = lanes[order]
+    offsets = offsets[order]
+    m = m[order]
+    n = n[order]
+    pattern_is_x = pattern_is_x[order]
+    lane_count = lanes.size
+    max_m = int(m.max())
+    max_n = int(n[0])
+    rows = np.arange(lane_count)
+    #: lanes [0, active[j]) are the ones with n > j
+    active = np.searchsorted(-n, -np.arange(max_n, dtype=np.int64), side="left")
+
+    # Patterns all fit one machine word (wider ones were routed to the
+    # scalar kernel), so pick the narrowest word that still holds
+    # max_m bits: every DP op below then moves half (or a quarter) the
+    # bytes.  Wraparound at the word width plays the role of the scalar
+    # kernel's ``& ones`` masking -- see the Peq comment.
+    if max_m <= 16:
+        word = np.uint16
+    elif max_m <= 32:
+        word = np.uint32
+    else:
+        word = np.uint64
+
+    # Gather each lane's stripped pattern/text code windows straight
+    # from the shared code matrix (x rows sit at ``lane``, y rows at
+    # ``lane + count``), resolving the shorter-is-pattern rule in the
+    # per-lane flat *start index* so each window is one fused take --
+    # no full-width elementwise selects or index clamps.  Indexes past
+    # a lane's span read the next row's codes; that garbage never
+    # matters (pattern positions past ``m`` are remapped below, text
+    # columns past ``n`` are never consulted) and only the final row
+    # can run off the buffer itself, which ``mode="clip"`` absorbs.
+    row_width = np.int32(codes.shape[1])
+    flat = codes.reshape(-1)
+    steps = np.arange(max_n, dtype=np.int32)[None, :]
+    start_x = lanes.astype(np.int32) * row_width + offsets.astype(np.int32)
+    shift = np.int32(count) * row_width
+    pattern_start = np.where(pattern_is_x, start_x, start_x + shift)
+    text_start = np.where(pattern_is_x, start_x + shift, start_x)
+    pattern = flat.take(pattern_start[:, None] + steps[:, :max_m], mode="clip")
+    text = flat.take(text_start[:, None] + steps, mode="clip")
+    pattern_valid = np.arange(max_m)[None, :] < m[:, None]
+
+    # Per-lane Peq over the batch's distinct pattern code points: the
+    # ndarray analogue of Vocab's prebuilt per-token match tables.  The
+    # lut maps a code point to 1 + its alphabet rank (a presence
+    # bincount + cumsum -- O(n), where np.unique would sort); slot 0 is
+    # a deliberate all-zeros column, so any character outside a lane's
+    # pattern -- or outside the lut range entirely -- reads eq == 0
+    # with no matched-mask bookkeeping.  Positions at or past a lane's
+    # own pattern length are remapped to the lane's first character:
+    # they contribute only bits at or above bit m, which are harmless,
+    # because every operation in the recurrence propagates information
+    # upward only (bitwise ops stay per-bit, addition carries go up,
+    # overflow truncates at the word width), so bits below m are never
+    # contaminated.  The same argument lets the loop below skip the
+    # scalar kernel's per-pattern ``& ones`` masking entirely.
+    pattern = np.where(pattern_valid, pattern, pattern[:, :1])
+    low = np.uint32(pattern.min())
+    present = (
+        np.bincount(
+            (pattern - low).ravel(), minlength=int(pattern.max() - low) + 1
+        )
+        > 0
+    )
+    ranks = np.cumsum(present)
+    alphabet_size = int(ranks[-1])
+    lut = np.where(present, ranks, 0).astype(np.uint32)
+    # One trailing guaranteed-miss entry: unsigned wraparound sends
+    # below-``low`` codes far above the table, so ``take``'s clip mode
+    # routes every out-of-range code straight to it.
+    lut = np.append(lut, np.uint32(0))
+
+    def slots_for(codes):
+        return lut.take(codes - low, mode="clip")
+
+    pattern_slots = slots_for(pattern)
+    text_slots = slots_for(text)
+    width = alphabet_size + 1
+    if word is np.uint64:
+        peq = np.zeros((lane_count, width), dtype=word)
+        for i in range(max_m):
+            peq[rows, pattern_slots[:, i]] |= word(1 << i)
+    else:
+        # Bit ORs as float64 sums: each (lane, position) adds a distinct
+        # power of two (exact below 2**53, and max_m <= 32 here), so one
+        # weighted bincount assembles every Peq word at once.
+        flat_slots = (rows * width)[:, None] + pattern_slots
+        weights = np.broadcast_to(
+            np.exp2(np.arange(max_m)), pattern_slots.shape
+        )
+        peq = (
+            np.bincount(
+                flat_slots.ravel(),
+                weights=weights.ravel(),
+                minlength=lane_count * width,
+            )
+            .astype(word)
+            .reshape(lane_count, width)
+        )
+    peq[:, 0] = 0
+    # eq per (column, lane), contiguous per column: a flat ``take``
+    # through lane-major Peq beats a 2-d fancy gather + transpose.
+    eq_rows = peq.reshape(-1).take(text_slots.T + (rows * width)[None, :])
+
+    one = word(1)
+    high = one << (m.astype(word) - one)
+    vp = np.full(lane_count, np.iinfo(word).max, dtype=word)
+    vn = np.zeros(lane_count, dtype=word)
+    # Score tracking is deferred: the loop only records each column's
+    # high-order hp/hn bits, and the running scores are recovered below
+    # with two cumulative sums -- five fewer ufunc dispatches per
+    # column than carrying the +1/-1 updates inline.
+    hp_high = np.zeros((max_n, lane_count), dtype=word)
+    hn_high = np.zeros((max_n, lane_count), dtype=word)
+    d0 = np.empty(lane_count, dtype=word)
+    horizontal = np.empty(lane_count, dtype=word)
+    carry = np.empty(lane_count, dtype=word)
+    scratch = np.empty(lane_count, dtype=word)
+    last = 0
+    for column in range(max_n):
+        k = int(active[column])
+        eq = eq_rows[column, :k]
+        d = d0[:k]
+        h = horizontal[:k]
+        c = carry[:k]
+        g = scratch[:k]
+        v_pos = vp[:k]
+        v_neg = vn[:k]
+        # d0 = (((eq & vp) + vp) ^ vp) | eq | vn
+        np.bitwise_and(eq, v_pos, out=d)
+        np.add(d, v_pos, out=d)
+        np.bitwise_xor(d, v_pos, out=d)
+        np.bitwise_or(d, eq, out=d)
+        np.bitwise_or(d, v_neg, out=d)
+        # hp = vn | ~(d0 | vp); hn = vp & d0
+        np.bitwise_or(d, v_pos, out=h)
+        np.invert(h, out=h)
+        np.bitwise_or(h, v_neg, out=h)
+        np.bitwise_and(h, high[:k], out=hp_high[column, :k])
+        np.bitwise_and(v_pos, d, out=c)
+        np.bitwise_and(c, high[:k], out=hn_high[column, :k])
+        # shifted = (hp << 1) | 1  (reusing the hp buffer)
+        np.left_shift(h, one, out=h)
+        np.bitwise_or(h, one, out=h)
+        # vp = (hn << 1) | ~(d0 | shifted); vn = shifted & d0
+        np.bitwise_or(d, h, out=g)
+        np.invert(g, out=g)
+        np.left_shift(c, one, out=c)
+        np.bitwise_or(c, g, out=v_pos)
+        np.bitwise_and(h, d, out=v_neg)
+        last = column + 1
+        # Periodic all-lanes-hopeless probe (lanes with n > last whose
+        # banded lower bound still fits the limit): a break may only be
+        # delayed by the probe stride, never premature.
+        if (column & 7) == 7 and last < max_n:
+            k = int(active[last])
+            score = (
+                m[:k]
+                + (hp_high[:last, :k] != 0).sum(axis=0)
+                - (hn_high[:last, :k] != 0).sum(axis=0)
+            )
+            if not (score - (n[:k] - last) <= limit).any():
+                break
+
+    # A lane retires at its first column j (1-based) with j == n (text
+    # consumed) or score_j - (n - j) > limit (the banded abandon) --
+    # exactly the scalar kernel's exit -- and is charged j units.
+    # score_j + j never decreases (the score moves by at most -1 per
+    # column while j moves +1), so the abandon condition
+    # ``score_j + j - n > limit`` is monotone in j and its first
+    # violation is simply 1 + the count of non-violating columns; no
+    # argmax over a retirement matrix needed.  Columns a lane never ran
+    # keep their zero-initialized history, so its trace plateaus there
+    # and the ``min(n, ...)`` clamp supplies the j == n retirement.
+    # int16 is plenty (scores stay below the _SCALAR_CUTOFF) and keeps
+    # these full-trace temporaries a quarter the size.
+    j = np.arange(1, last + 1, dtype=np.int16)[:, None]
+    narrow = n.astype(np.int16)[None, :]
+    sign = (hp_high[:last] != 0).view(np.int8)
+    sign -= (hn_high[:last] != 0).view(np.int8)
+    trace = m.astype(np.int16)[None, :] + np.cumsum(
+        sign, axis=0, dtype=np.int16
+    )
+    surviving = ((trace + j) - narrow <= limit).sum(axis=0)
+    retired_at = np.minimum(n, surviving + 1)
+    final = trace[retired_at - 1, rows]
+    out[lanes] = np.where(final <= limit, final, _MISS)
+    return int(retired_at.sum())

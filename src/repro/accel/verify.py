@@ -28,9 +28,47 @@ import itertools
 from typing import Mapping, Sequence
 
 import repro.accel as _accel
+from repro.accel.vector import verify_within_batch
 from repro.accel.vocab import BoundedCache
 from repro.distances.levenshtein import OpsHook
 from repro.runtime.pool import in_worker_process, shared_pool
+
+
+def _verify_vector(
+    string_pairs: Sequence[tuple[str, str]],
+    limit: int,
+    cache_size: int,
+    ops: OpsHook,
+) -> list[int | None]:
+    """The ``vector`` backend's take on the memoized sequential loop.
+
+    The memo walk is identical to the scalar path -- same keys, same
+    first-seen puts, same FIFO evictions -- but instead of a distance,
+    each entry records the batch *slot* of the pair's first unanswered
+    occurrence.  Hits charge ``ops(1)`` like the scalar memo; only the
+    misses reach the batched kernel, which charges the same units the
+    scalar kernel would.  Results and total metering are therefore
+    byte-identical to the ``bitparallel`` loop, just batched.
+    """
+    cache: BoundedCache = BoundedCache(cache_size)
+    miss = object()
+    slots: list[int] = []
+    batch: list[tuple[str, str]] = []
+    hits = 0
+    for x, y in string_pairs:
+        key = (x, y) if x <= y else (y, x)
+        slot = cache.get(key, miss)
+        if slot is miss:
+            slot = len(batch)
+            batch.append((x, y))
+            cache.put(key, slot)
+        else:
+            hits += 1
+        slots.append(slot)  # type: ignore[arg-type]
+    values = verify_within_batch(batch, limit, ops=ops)
+    if ops is not None and hits:
+        ops(hits)
+    return [values[slot] for slot in slots]
 
 
 def _verify_chunk(
@@ -47,6 +85,10 @@ def _verify_chunk(
     def meter(n: int) -> None:
         nonlocal units
         units += n
+
+    if _accel.resolve_backend(backend) == "vector":
+        results = _verify_vector(string_pairs, limit, 1 << 14, meter)
+        return results, units
 
     cache: BoundedCache = BoundedCache(1 << 14)
     results: list[int | None] = []
@@ -91,7 +133,9 @@ def verify_pairs(
     limit:
         Inclusive verification threshold (negative: everything misses).
     backend:
-        ``"auto" | "dp" | "bitparallel"`` (see :mod:`repro.accel`).
+        ``"auto" | "dp" | "bitparallel" | "vector"`` (see
+        :mod:`repro.accel`); ``vector`` answers each chunk's memo misses
+        through the numpy-batched kernel, same values and metering.
     processes:
         ``None``/``0``/``1`` verifies in-process; larger values fan the
         chunks out over the shared runtime pool
@@ -120,7 +164,7 @@ def verify_pairs(
     >>> verify_pairs([(0, 1), (0, 2)], ["ann", "anne", "bob"], 1)
     [1, None]
     """
-    _accel.resolve_backend(backend)  # fail fast on typos, any path
+    resolved = _accel.resolve_backend(backend)  # fail fast on typos, any path
     if limit < 0:
         return [None] * len(pairs)
 
@@ -144,6 +188,11 @@ def verify_pairs(
         if ops is not None:
             ops(sum(units for _, units in outcomes))
         return results
+
+    if resolved == "vector":
+        return _verify_vector(
+            [(strings[i], strings[j]) for i, j in pairs], limit, cache_size, ops
+        )
 
     cache: BoundedCache = BoundedCache(cache_size)
     miss = object()

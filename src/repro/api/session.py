@@ -120,7 +120,11 @@ class Session:
         default as every legacy entry point.
     backend / engine:
         Session-wide verification-kernel and execution-engine defaults
-        (specs override per request).
+        (specs override per request).  ``backend="auto"`` serves through
+        the numpy-batched ``vector`` kernel when numpy is importable and
+        falls back to ``bitparallel`` silently when it is not; an
+        explicit ``"vector"`` without numpy raises (with an install
+        hint) when the first verification resolves it.
     cache_size:
         LRU result-cache capacity of each resident serving index.
     max_resident:

@@ -176,6 +176,15 @@ def pack_posting(record_id: int, payload: int, payload_bits: int = 24) -> int:
     """
     if payload < 0 or payload >> payload_bits:
         raise ValueError(f"payload {payload} does not fit in {payload_bits} bits")
+    # Postings live in array('q') buffers: the packed value must fit a
+    # signed 64-bit slot, so the record id gets the 63 - payload_bits
+    # above the payload.  Overflowing ids used to wrap into the payload
+    # silently; now they fail loudly at pack time.
+    if record_id < 0 or record_id >> (63 - payload_bits):
+        raise ValueError(
+            f"record id {record_id} does not fit in {63 - payload_bits} bits "
+            f"(payload_bits={payload_bits})"
+        )
     return (record_id << payload_bits) | payload
 
 

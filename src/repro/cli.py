@@ -58,8 +58,9 @@ def _add_backend_argument(parser: argparse.ArgumentParser) -> None:
         "--backend",
         choices=list(BACKENDS),
         default="auto",
-        help="edit-distance verification kernel (auto = fast path, "
-        "dp = reference dynamic program)",
+        help="edit-distance verification kernel (auto = fast path: "
+        "vector when numpy is installed, else bitparallel; "
+        "dp = reference dynamic program; vector requires numpy)",
     )
 
 

@@ -179,7 +179,8 @@ def compare_names(
     """NSLD between two raw strings (tokenized with the default tokenizer).
 
     ``backend`` selects the edit-distance kernel (``"auto" | "dp" |
-    "bitparallel"``); every backend returns the same value.  A shim over
+    "bitparallel" | "vector"``); every backend returns the same value.  A
+    shim over
     the shared session's scalar fast path
     (:meth:`repro.api.Session.compare`) when the default tokenizer is in
     play; ``Session.run(CompareSpec(...))`` returns the same value in an

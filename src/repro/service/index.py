@@ -27,7 +27,11 @@ Against that snapshot it serves:
   the shared :class:`repro.candidates.FilterCascade` with the canonical
   counters, a histogram lower-bound prune, and exact verification
   through the snapshot vocab (single-token records go through the
-  batched :func:`repro.candidates.verify_nld_pairs` fast path);
+  batched :func:`repro.candidates.verify_nld_pairs` fast path).  Under
+  the ``vector`` backend the per-candidate loop is replaced by the
+  numpy array probe (``searchsorted`` length window, masked filter
+  arrays, one histogram bound per distinct histogram) -- identical
+  results and counter totals, batched wall-clock;
 * :meth:`append` -- incremental growth: new records extend the
   interners, postings and length order in place, no rebuild;
 * a bounded LRU result cache (hits/misses surfaced next to the cascade
@@ -60,7 +64,8 @@ from bisect import bisect_left, bisect_right
 from collections import Counter
 from typing import Sequence
 
-from repro.accel import Vocab
+from repro.accel import Vocab, resolve_backend
+from repro.accel.vector import numpy_or_none
 from repro.candidates import (
     COUNTER_CANDIDATES,
     COUNTER_PRUNED_COUNT,
@@ -103,7 +108,10 @@ class SimilarityIndex:
         are byte-identical.
     backend:
         Edit-distance kernel for verification (``"auto" | "dp" |
-        "bitparallel"``; values are backend-invariant).
+        "bitparallel" | "vector"``; values are backend-invariant).
+        Under ``vector`` (what ``auto`` resolves to when numpy is
+        importable) the probe paths also swap the per-candidate cascade
+        loop for the array probe -- same results, same counters.
     cache_size:
         Capacity of the LRU result cache (0 disables result caching).
 
@@ -160,6 +168,10 @@ class SimilarityIndex:
         #: and one warm memo -- serves every radius (the threshold field
         #: is unused on this path).
         self._probe_filter = HistogramBoundFilter(0.0, use_lemma10=False)
+        #: Lazily built probe arrays for the ``vector`` backend's
+        #: array-based cascade (see :meth:`_arrays`); derived state,
+        #: invalidated on append and rebuilt per process.
+        self._probe_arrays: tuple | None = None
         #: Lazily built metric-space serving backends (not pickled).
         self._knn: dict[str, object] = {}
         #: Stable identity for pool-publication bookkeeping.
@@ -199,6 +211,7 @@ class SimilarityIndex:
             self._lengths.sort()
             self._cache.clear()
             self._knn.clear()
+            self._probe_arrays = None
             self.unpublish()  # the next pooled serve re-publishes
 
     def __len__(self) -> int:
@@ -260,6 +273,7 @@ class SimilarityIndex:
         state = dict(self.__dict__)
         state["_knn"] = {}
         state["_published"] = None
+        state["_probe_arrays"] = None  # derived; rebuilt lazily per process
         return state
 
     def __setstate__(self, state: dict) -> None:
@@ -513,7 +527,13 @@ class SimilarityIndex:
         trusted instead of re-verified, and every exact distance this
         pass computes is written back (so the top-k expansion loop never
         re-verifies a previous, smaller window).
+
+        Under the ``vector`` backend the per-candidate cascade loop is
+        replaced by the array probe (:meth:`_within_ids_vector`):
+        identical results, identical counter totals, batched filters.
         """
+        if resolve_backend(self.backend) == "vector":
+            return self._within_ids_vector(record, radius, known)
         query_length = record.aggregate_length
         lengths = self._lengths
         if radius >= 1.0:
@@ -569,15 +589,170 @@ class SimilarityIndex:
             if distance <= radius:
                 results.append((distance, record_id))
 
+        return self._finish_within(record, radius, known, results, single_token_ids)
+
+    def _arrays(self) -> tuple:
+        """The ``vector`` probe's array mirror of the snapshot, built lazily.
+
+        Columns, all aligned or keyed by record id:
+
+        * the length partition (sorted aggregate lengths + their record
+          ids -- ``self._lengths`` unzipped, for ``searchsorted``);
+        * per-record aggregate lengths and token counts;
+        * per-record *dense histogram ids* plus the distinct encoded
+          histograms, so the histogram bound is computed once per
+          distinct histogram in a window and fanned out by gather.
+        """
+        built = self._probe_arrays
+        if built is None:
+            np = numpy_or_none()
+            records = self._records
+            length_vals = np.fromiter(
+                (length for length, _ in self._lengths),
+                dtype=np.int64,
+                count=len(records),
+            )
+            length_ids = np.fromiter(
+                (record_id for _, record_id in self._lengths),
+                dtype=np.int64,
+                count=len(records),
+            )
+            aggregate = np.fromiter(
+                (record.aggregate_length for record in records),
+                dtype=np.int64,
+                count=len(records),
+            )
+            token_counts = np.fromiter(
+                (record.token_count for record in records),
+                dtype=np.int64,
+                count=len(records),
+            )
+            slots: dict[tuple, int] = {}
+            distinct: list[tuple] = []
+            histogram_ids = np.empty(len(records), dtype=np.int64)
+            for record_id, histogram in enumerate(self._histograms):
+                slot = slots.get(histogram)
+                if slot is None:
+                    slot = slots[histogram] = len(distinct)
+                    distinct.append(histogram)
+                histogram_ids[record_id] = slot
+            built = self._probe_arrays = (
+                length_vals,
+                length_ids,
+                aggregate,
+                token_counts,
+                histogram_ids,
+                distinct,
+            )
+        return built
+
+    def _within_ids_vector(
+        self,
+        record: TokenizedString,
+        radius: float,
+        known: dict[int, float] | None,
+    ) -> list[tuple[int, float]]:
+        """The array-probe twin of the cascade loop in :meth:`_within_ids`.
+
+        Counter-identical by construction: every candidate the scalar
+        loop would charge ``candidates_generated`` for is in ``fresh``;
+        the length mask reproduces ``nsld_length_lower_bound`` in IEEE
+        float64 exactly (``2d / (L(x) + L(y) + d)``, 0 for two empties),
+        so ``pruned_by_length`` / ``pruned_by_count`` are the same mask
+        sums the scalar cascade tallies one admit() at a time; survivors
+        flow through the identical verification tail in the identical
+        (window) order.
+        """
+        np = numpy_or_none()
+        (
+            length_vals,
+            length_ids,
+            aggregate,
+            token_counts,
+            histogram_ids,
+            distinct,
+        ) = self._arrays()
+        query_length = record.aggregate_length
+        if radius >= 1.0:
+            window_ids = np.arange(len(self._records), dtype=np.int64)
+        else:
+            low = math.floor((1.0 - radius) * query_length)
+            high = math.ceil(query_length / (1.0 - radius))
+            start = int(np.searchsorted(length_vals, low, side="left"))
+            stop = int(np.searchsorted(length_vals, high, side="right"))
+            window_ids = length_ids[start:stop]
+
+        results: list[tuple[float, int]] = []
+        if known:
+            known_ids = np.fromiter(known.keys(), dtype=np.int64, count=len(known))
+            for record_id in known_ids[np.isin(known_ids, window_ids)].tolist():
+                distance = known[record_id]
+                if distance <= radius:
+                    results.append((distance, record_id))
+            fresh = window_ids[~np.isin(window_ids, known_ids)]
+        else:
+            fresh = window_ids
+
+        counters = self.counters
+        counters[COUNTER_CANDIDATES] += int(fresh.size)
+
+        gaps = np.abs(aggregate[fresh] - query_length)
+        denominators = aggregate[fresh] + query_length + gaps
+        # maximum(..., 1) only masks the two-empty-strings case, where the
+        # scalar bound is defined as 0.0 (and the numerator is 0 anyway).
+        length_ok = (2.0 * gaps / np.maximum(denominators, 1)) <= radius
+        counters[COUNTER_PRUNED_LENGTH] += int(fresh.size - length_ok.sum())
+        survivors = fresh[length_ok]
+
+        if survivors.size:
+            bound_filter = self._probe_filter
+            query_histogram = encode_histogram(record.length_histogram)
+            slots = histogram_ids[survivors]
+            bounds = np.empty(len(distinct), dtype=np.float64)
+            for slot in np.unique(slots).tolist():
+                bounds[slot] = bound_filter.nsld_bound_encoded(
+                    query_histogram, distinct[slot], ()
+                )
+            histogram_ok = bounds[slots] <= radius
+            counters[COUNTER_PRUNED_COUNT] += int(slots.size - histogram_ok.sum())
+            survivors = survivors[histogram_ok]
+
+        single_token_ids: list[int] = []
+        if record.token_count == 1 and survivors.size:
+            singles = token_counts[survivors] == 1
+            single_token_ids = survivors[singles].tolist()
+            survivors = survivors[~singles]
+
+        counters[COUNTER_VERIFIED] += int(survivors.size)
+        for record_id in survivors.tolist():
+            distance = self._nsld_to(record, record_id)
+            if known is not None:
+                known[record_id] = distance
+            if distance <= radius:
+                results.append((distance, record_id))
+
+        return self._finish_within(record, radius, known, results, single_token_ids)
+
+    def _finish_within(
+        self,
+        record: TokenizedString,
+        radius: float,
+        known: dict[int, float] | None,
+        results: list[tuple[float, int]],
+        single_token_ids: list[int],
+    ) -> list[tuple[int, float]]:
+        """Shared tail of both probe paths: the batched single-token group,
+        then the oracle's ``(distance, record_id)`` ordering."""
         if single_token_ids:
             # Single-token records: NSLD == NLD of the two tokens, so the
             # whole group verifies in one batched call.
+            records = self._records
             strings = [record.tokens[0]] + [
                 records[record_id].tokens[0] for record_id in single_token_ids
             ]
             pairs = [(0, position + 1) for position in range(len(single_token_ids))]
             distances = verify_nld_pairs(
-                pairs, strings, radius, backend=self.backend, counters=counters
+                pairs, strings, radius, backend=self.backend, counters=self.counters
             )
             for record_id, distance in zip(single_token_ids, distances):
                 if distance is not None:

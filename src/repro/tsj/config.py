@@ -13,9 +13,12 @@ All the knobs the paper's evaluation sweeps live here:
   ``GREEDY`` is the greedy-token-aligning approximation (Sec. III-G.5).
 * ``dedup`` -- ``GROUP_ON_ONE`` vs ``GROUP_ON_BOTH`` (Sec. III-G.3).
 * ``verify_backend`` -- the edit-distance kernel behind verification:
-  ``"auto"`` (the default fast path), ``"dp"`` (the reference banded DP)
-  or ``"bitparallel"`` (see :mod:`repro.accel`).  All backends return
-  identical pair sets; only the cost-model ops accounting differs.
+  ``"auto"`` (the default fast path: ``vector`` when numpy imports, else
+  ``bitparallel``), ``"dp"`` (the reference banded DP), ``"bitparallel"``
+  (the scalar Myers kernel) or ``"vector"`` (the numpy-batched Myers
+  kernel; see :mod:`repro.accel`).  All backends return identical pair
+  sets; only the cost-model ops accounting differs (and ``vector``
+  matches ``bitparallel`` exactly there too).
 * ``engine`` -- the execution engine running the pipeline's MapReduce
   jobs: ``"auto"`` (parallel when multiple CPUs are usable), ``"serial"``
   (the deterministic oracle) or ``"parallel"`` (see

@@ -76,6 +76,21 @@ class TestPackPosting:
         with pytest.raises(ValueError):
             pack_posting(1, -1)
 
+    def test_record_id_overflow_rejected(self):
+        """Packed postings live in signed 64-bit array('q') slots: a record
+        id past 63 - payload_bits would wrap into the payload silently."""
+        largest = (1 << 39) - 1
+        assert unpack_posting(pack_posting(largest, 5)) == (largest, 5)
+        with pytest.raises(ValueError):
+            pack_posting(1 << 39, 5)
+        with pytest.raises(ValueError):
+            pack_posting(-1, 5)
+        # The bound tracks payload_bits: narrower payloads leave more id room.
+        wide = (1 << 53) - 1
+        assert unpack_posting(pack_posting(wide, 3, payload_bits=10), 10) == (wide, 3)
+        with pytest.raises(ValueError):
+            pack_posting(1 << 53, 3, payload_bits=10)
+
 
 class TestCandidateBuffer:
     def test_dedup_within_probe(self):

@@ -1,0 +1,105 @@
+"""The ``vector`` array probe vs the scalar cascade: identical serving.
+
+:meth:`SimilarityIndex._within_ids` swaps the per-candidate cascade loop
+for the array probe under the ``vector`` backend.  The contract is
+*counter-identical* equivalence: same results, same cumulative cascade /
+verification counters, through ``topk``, ``within``, append-then-query
+and pickle round-trips.
+"""
+
+from __future__ import annotations
+
+import pickle
+import random
+
+import pytest
+
+from repro.accel import numpy_available
+from repro.data import NameGenerator
+from repro.service import SimilarityIndex
+
+pytestmark = [
+    pytest.mark.tier1,
+    pytest.mark.skipif(not numpy_available(), reason="vector backend needs numpy"),
+]
+
+
+@pytest.fixture(scope="module")
+def names():
+    return NameGenerator(seed=3).generate(250)
+
+
+@pytest.fixture(scope="module")
+def queries(names):
+    rng = random.Random(9)
+    picked = [names[index] for index in rng.sample(range(len(names)), 15)]
+    return picked + ["zzz qqq", "a", "", "barak obama jr"]
+
+
+def test_results_and_counters_match_scalar(names, queries):
+    scalar = SimilarityIndex(names, backend="bitparallel")
+    vectorized = SimilarityIndex(names, backend="vector")
+    for query in queries:
+        for radius in (0.0, 0.05, 0.15, 0.4, 1.0, 2.0):
+            assert scalar.within([query], radius) == vectorized.within(
+                [query], radius
+            ), (query, radius)
+        for k in (1, 3, 10):
+            assert scalar.topk([query], k=k) == vectorized.topk([query], k=k)
+    assert scalar.counters == vectorized.counters
+
+
+def test_single_token_collections_match(names):
+    """Single-token queries route through the batched NLD group."""
+    tokens = [name.split()[0] for name in names[:60]]
+    scalar = SimilarityIndex(tokens, backend="bitparallel")
+    vectorized = SimilarityIndex(tokens, backend="vector")
+    for query in tokens[:10] + ["zzzz", ""]:
+        assert scalar.within([query], 0.3) == vectorized.within([query], 0.3)
+        assert scalar.topk([query], k=4) == vectorized.topk([query], k=4)
+    assert scalar.counters == vectorized.counters
+
+
+def test_append_invalidates_probe_arrays(names, queries):
+    scalar = SimilarityIndex(names[:100], backend="bitparallel")
+    vectorized = SimilarityIndex(names[:100], backend="vector")
+    for index in (scalar, vectorized):
+        index.within([queries[0]], 0.2)  # force the lazy build pre-append
+        index.append(names[100:150])
+    for query in queries[:8]:
+        assert scalar.within([query], 0.25) == vectorized.within([query], 0.25)
+        assert scalar.topk([query], k=5) == vectorized.topk([query], k=5)
+    assert scalar.counters == vectorized.counters
+
+
+def test_pickle_roundtrip_rebuilds_arrays(names, queries):
+    vectorized = SimilarityIndex(names[:80], backend="vector")
+    vectorized.within([queries[0]], 0.2)  # build the arrays pre-pickle
+    clone = pickle.loads(pickle.dumps(vectorized))
+    for query in queries[:6]:
+        assert clone.within([query], 0.25) == vectorized.within([query], 0.25)
+        assert clone.topk([query], k=3) == vectorized.topk([query], k=3)
+
+
+def test_matches_bruteforce_oracle(names):
+    """The vector probe agrees with brute-force NSLD, not just the scalar
+    probe: guards against a shared bug in both cascade paths."""
+    from repro.distances import nsld
+    from repro.tokenize import tokenize
+
+    subset = names[:60]
+    vectorized = SimilarityIndex(subset, backend="vector")
+    records = [tokenize(name) for name in subset]
+    rng = random.Random(5)
+    for query in [subset[i] for i in rng.sample(range(len(subset)), 6)]:
+        query_record = tokenize(query)
+        for radius in (0.1, 0.35):
+            expected = sorted(
+                (nsld(query_record, record), index)
+                for index, record in enumerate(records)
+                if nsld(query_record, record) <= radius
+            )
+            got = vectorized.within([query], radius)[0]
+            assert got == [
+                (subset[index], distance) for distance, index in expected
+            ]

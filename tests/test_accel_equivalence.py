@@ -19,11 +19,13 @@ from hypothesis import strategies as st
 from repro.accel import (
     BACKENDS,
     Vocab,
+    available_backends,
     edit_distance,
     edit_distance_bounded,
     edit_distance_within,
     myers_distance,
     myers_within,
+    numpy_available,
     resolve_backend,
     verify_pairs,
 )
@@ -121,21 +123,26 @@ class TestBoundedContract:
     )
     def test_bounded_every_backend(self, x, y, limit):
         expected = min(levenshtein(x, y), limit + 1)
-        for backend in BACKENDS:
+        for backend in available_backends():
             assert edit_distance_bounded(x, y, limit, backend=backend) == expected
 
     def test_bounded_rejects_negative_limit(self):
         with pytest.raises(ValueError):
             levenshtein_bounded("a", "b", -1)
-        for backend in BACKENDS:
+        for backend in available_backends():
             with pytest.raises(ValueError):
                 edit_distance_bounded("a", "b", -1, backend=backend)
 
 
 class TestBackendDispatch:
     def test_auto_resolves_to_fast_path(self):
-        assert resolve_backend("auto") == "bitparallel"
+        expected = "vector" if numpy_available() else "bitparallel"
+        assert resolve_backend("auto") == expected
         assert resolve_backend("dp") == "dp"
+
+    def test_every_selector_is_listed(self):
+        assert set(available_backends()) <= set(BACKENDS)
+        assert "auto" in available_backends()
 
     def test_unknown_backend_raises(self):
         with pytest.raises(ValueError):
@@ -144,13 +151,13 @@ class TestBackendDispatch:
     @given(unicode_strings(8), unicode_strings(8))
     def test_edit_distance_every_backend(self, x, y):
         expected = levenshtein(x, y)
-        for backend in BACKENDS:
+        for backend in available_backends():
             assert edit_distance(x, y, backend=backend) == expected
 
     @given(short_strings(), short_strings())
     def test_nld_every_backend(self, x, y):
         expected = nld(x, y)
-        for backend in BACKENDS:
+        for backend in available_backends():
             assert nld(x, y, backend=backend) == expected
 
     @given(
@@ -160,14 +167,14 @@ class TestBackendDispatch:
     )
     def test_nld_within_every_backend(self, x, y, threshold):
         expected = nld_within(x, y, threshold)
-        for backend in BACKENDS:
+        for backend in available_backends():
             assert nld_within(x, y, threshold, backend=backend) == expected
 
     def test_nsld_every_backend(self):
         x = TokenizedString(["chan", "kalan", "chan"])
         y = TokenizedString(["chank", "alan"])
         expected = nsld(x, y)
-        for backend in BACKENDS:
+        for backend in available_backends():
             assert nsld(x, y, backend=backend) == expected
             assert nsld_within(x, y, 0.5, backend=backend) == expected
 
@@ -228,7 +235,7 @@ class TestVerifyPairsMatchesPerPair:
         return strings, pairs
 
     @pytest.mark.parametrize("limit", [0, 2, 5])
-    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("backend", available_backends())
     def test_every_backend(self, corpus, backend, limit):
         strings, pairs = corpus
         expected = [
@@ -244,7 +251,7 @@ class TestVerifyPairsMatchesPerPair:
     def test_negative_limit_all_miss(self):
         assert verify_pairs([(0, 1)], ["a", "b"], -1) == [None]
 
-    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("backend", available_backends())
     def test_multiprocess_matches_serial(self, corpus, backend):
         strings, pairs = corpus
         serial = verify_pairs(pairs, strings, 2, backend=backend)
@@ -297,5 +304,5 @@ def test_verify_pairs_random_tables(strings, limit):
     expected = [
         levenshtein_within(strings[i], strings[j], limit) for i, j in pairs
     ]
-    for backend in BACKENDS:
+    for backend in available_backends():
         assert verify_pairs(pairs, strings, limit, backend=backend) == expected

@@ -1,0 +1,204 @@
+"""Equivalence proof obligations of the numpy-batched ``vector`` backend.
+
+The contract of :mod:`repro.accel.vector` is *exact* agreement with the
+scalar kernels on every batch -- the value-or-``None`` results match the
+DP oracle, and the ``ops`` work units match the scalar Myers kernel in
+total (simulated costs stay backend-invariant) -- plus graceful
+degradation when numpy is not importable: ``verify_within_batch`` falls
+back to the scalar loop, ``backend="auto"`` resolves to ``bitparallel``,
+and an explicit ``backend="vector"`` raises with an install hint.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.accel as accel
+import repro.accel.vector as vector
+from repro.accel import (
+    available_backends,
+    myers_within,
+    resolve_backend,
+    verify_pairs,
+    verify_within_batch,
+)
+from repro.distances import levenshtein_within
+
+pytestmark = pytest.mark.tier1
+
+#: Mixed alphabet: ASCII, accented latin-1, astral-adjacent symbols.
+UNICODE_ALPHABET = "ab α☃é"
+
+pair_batches = st.lists(
+    st.tuples(
+        st.text(alphabet=UNICODE_ALPHABET, max_size=20),
+        st.text(alphabet=UNICODE_ALPHABET, max_size=20),
+    ),
+    max_size=12,
+)
+
+
+def _random_batch(rng: random.Random, count: int, max_len: int):
+    def make(n):
+        return "".join(rng.choice(UNICODE_ALPHABET) for _ in range(n))
+
+    batch = []
+    for _ in range(count):
+        x = make(rng.randrange(0, max_len))
+        if rng.random() < 0.5:
+            y = list(x)
+            for _ in range(rng.randrange(0, 5)):
+                if y and rng.random() < 0.5:
+                    del y[rng.randrange(len(y))]
+                else:
+                    y.insert(rng.randrange(len(y) + 1), rng.choice(UNICODE_ALPHABET))
+            y = "".join(y)
+        else:
+            y = make(rng.randrange(0, max_len))
+        batch.append((x, y))
+    return batch
+
+
+class TestBatchMatchesOracle:
+    @given(pair_batches, st.integers(min_value=-1, max_value=8))
+    def test_small_batches(self, batch, limit):
+        expected = [levenshtein_within(x, y, limit) for x, y in batch]
+        assert verify_within_batch(batch, limit) == expected
+
+    def test_random_batches_values_and_ops(self):
+        rng = random.Random(41)
+        for limit in (0, 2, 6, 30):
+            batch = _random_batch(rng, 300, 90)
+            scalar_units: list[int] = []
+            expected = [
+                myers_within(x, y, limit, ops=scalar_units.append) for x, y in batch
+            ]
+            vector_units: list[int] = []
+            assert verify_within_batch(batch, limit, ops=vector_units.append) == (
+                expected
+            )
+            assert sum(vector_units) == sum(scalar_units)
+
+    def test_wide_patterns_fall_back_per_pair(self):
+        """Patterns past 64 chars leave the batched kernel; values still match."""
+        rng = random.Random(7)
+        batch = _random_batch(rng, 40, 130)
+        for limit in (3, 15):
+            expected = [levenshtein_within(x, y, limit) for x, y in batch]
+            assert verify_within_batch(batch, limit) == expected
+
+    def test_oversized_strings_fall_back_per_pair(self):
+        """Strings past the padded-matrix cutoff verify scalar, same values."""
+        long = "ab" * (vector._SCALAR_CUTOFF // 2 + 10)
+        batch = [(long, long[:-3] + "bbb"), ("short", "shirt"), (long, "short")]
+        limit = 8
+        expected = [levenshtein_within(x, y, limit) for x, y in batch]
+        scalar_units: list[int] = []
+        for x, y in batch:
+            myers_within(x, y, limit, ops=scalar_units.append)
+        vector_units: list[int] = []
+        assert verify_within_batch(batch, limit, ops=vector_units.append) == expected
+        assert sum(vector_units) == sum(scalar_units)
+
+    def test_empty_and_negative(self):
+        assert verify_within_batch([], 3) == []
+        assert verify_within_batch([("a", "b"), ("", "")], -1) == [None, None]
+        assert verify_within_batch([("", ""), ("", "abc")], 3) == [0, 3]
+
+    def test_huge_limit(self):
+        """Limits far beyond any distance must not overflow the narrow
+        lane dtypes (the comparison side stays a python int)."""
+        batch = [("abc", "xyz"), ("", "aaaa")]
+        assert verify_within_batch(batch, 10**9) == [3, 4]
+
+
+class TestVerifyPairsVectorPath:
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        rng = random.Random(23)
+        strings = []
+        for _ in range(40):
+            batch = _random_batch(rng, 1, 60)
+            strings.extend(batch[0])
+        pairs = [
+            (rng.randrange(len(strings)), rng.randrange(len(strings)))
+            for _ in range(300)
+        ]
+        pairs.extend(pairs[:60])  # duplicates exercise the slot memo
+        return strings, pairs
+
+    @pytest.mark.skipif(not accel.numpy_available(), reason="needs numpy")
+    def test_matches_bitparallel_values_and_ops(self, corpus):
+        strings, pairs = corpus
+        for limit in (0, 3, 7):
+            scalar_units: list[int] = []
+            expected = verify_pairs(
+                pairs, strings, limit, backend="bitparallel", ops=scalar_units.append
+            )
+            vector_units: list[int] = []
+            assert verify_pairs(
+                pairs, strings, limit, backend="vector", ops=vector_units.append
+            ) == expected
+            assert sum(vector_units) == sum(scalar_units)
+
+    @pytest.mark.skipif(not accel.numpy_available(), reason="needs numpy")
+    def test_tiny_cache_matches(self, corpus):
+        """FIFO slot evictions replay the scalar memo's hit/miss pattern."""
+        strings, pairs = corpus
+        expected = verify_pairs(pairs, strings, 4, backend="bitparallel", cache_size=3)
+        assert (
+            verify_pairs(pairs, strings, 4, backend="vector", cache_size=3) == expected
+        )
+
+
+class TestNumpyAbsent:
+    @pytest.fixture()
+    def no_numpy(self, monkeypatch):
+        """Simulate an environment without numpy and re-probe ``auto``."""
+        monkeypatch.setattr(vector, "_NUMPY", None)
+        monkeypatch.setattr(accel, "_AUTO_RESOLVED", None)
+        yield
+        # monkeypatch restores the real module slots; force the next
+        # ``auto`` resolution to re-probe instead of trusting our stub.
+        accel._AUTO_RESOLVED = None
+
+    def test_auto_falls_back_silently(self, no_numpy):
+        assert resolve_backend("auto") == "bitparallel"
+        assert "vector" not in available_backends()
+
+    def test_explicit_vector_raises_with_hint(self, no_numpy):
+        with pytest.raises(ValueError, match="numpy"):
+            resolve_backend("vector")
+        with pytest.raises(ValueError, match="repro\\[vector\\]"):
+            verify_pairs([(0, 1)], ["ann", "anne"], 1, backend="vector")
+
+    def test_batch_serves_through_scalar_loop(self, no_numpy):
+        rng = random.Random(11)
+        batch = _random_batch(rng, 50, 40)
+        units: list[int] = []
+        result = verify_within_batch(batch, 3, ops=units.append)
+        assert result == [levenshtein_within(x, y, 3) for x, y in batch]
+        scalar_units: list[int] = []
+        assert result == [
+            myers_within(x, y, 3, ops=scalar_units.append) for x, y in batch
+        ]
+        assert sum(units) == sum(scalar_units)
+
+    def test_auto_verify_pairs_still_exact(self, no_numpy):
+        strings = ["ann", "anne", "bob", "bobby"]
+        pairs = [(0, 1), (1, 2), (2, 3), (0, 1)]
+        assert verify_pairs(pairs, strings, 2, backend="auto") == [1, None, 2, 1]
+
+
+@settings(max_examples=25)
+@given(pair_batches, st.integers(min_value=0, max_value=5))
+def test_batch_equals_scalar_property(batch, limit):
+    scalar_units: list[int] = []
+    expected = [myers_within(x, y, limit, ops=scalar_units.append) for x, y in batch]
+    units: list[int] = []
+    assert verify_within_batch(batch, limit, ops=units.append) == expected
+    assert sum(units) == sum(scalar_units)
