@@ -1,0 +1,182 @@
+"""Server bench: sustained QPS and tail latency of the HTTP service.
+
+A live :class:`repro.server.ReproServer` answers concurrent top-k spec
+POSTs against its resident corpus while the same workload runs through
+the in-process :class:`repro.api.Session` for reference.  Every query is
+unique, so nothing hides in the result cache: each request pays real
+candidate-generation and verification work, and the measured gap is
+honest service overhead (HTTP parsing, JSON, the session lock).
+
+Emits ``benchmarks/results/BENCH_server.json``:
+
+* ``qps`` -- the gated, machine-independent series: concurrent-HTTP QPS
+  over in-process QPS, both measured in the same run on the same box.
+  A transport regression (chatty serialization, lock contention, lost
+  keep-alive) drags the ratio down regardless of how fast the machine
+  is;
+* ``throughput_qps`` / ``latency_ms`` (p50/p95/p99) -- absolute numbers
+  for the record, not gated (they track the hardware).
+
+CI gates it with::
+
+    python scripts/check_perf_regression.py --relative --series qps \
+        benchmarks/results/BENCH_server.json \
+        benchmarks/BENCH_server_baseline.json
+
+Run as a pytest bench (``pytest benchmarks/bench_server_qps.py``) or
+standalone (``PYTHONPATH=src python benchmarks/bench_server_qps.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.api import Session, TopKSpec
+from repro.client import ServiceClient
+from repro.data import evaluation_corpus
+from repro.server import ReproServer
+
+_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+CORPUS_SIZE = int(2000 * _SCALE)
+N_REQUESTS = max(8, int(160 * _SCALE))
+N_CLIENTS = 8
+K = 5
+TOKEN = "bench-token"
+
+RESULTS_PATH = Path(__file__).parent / "results" / "BENCH_server.json"
+
+
+def _queries(names: list[str], count: int) -> list[str]:
+    """``count`` unique queries: corpus names with one planted edit each,
+    so every request misses the result cache and pays full serving cost."""
+    queries = []
+    for index in range(count):
+        name = names[index % len(names)]
+        queries.append(f"{name[:-1]}{index}x")
+    return queries
+
+
+def _percentile(sorted_values: list[float], fraction: float) -> float:
+    index = min(len(sorted_values) - 1, int(fraction * len(sorted_values)))
+    return sorted_values[index]
+
+
+def run_bench() -> dict:
+    names, _ = evaluation_corpus(CORPUS_SIZE, seed=53)
+    queries = _queries(names, N_REQUESTS)
+    specs = [TopKSpec(queries=(query,), k=K) for query in queries]
+
+    # ---- in-process reference: the same workload, no transport -----------
+    session = Session(names)
+    session.run(specs[0])  # build the resident index outside the timing
+    start = time.perf_counter()
+    local_results = [session.run(spec) for spec in specs]
+    inprocess_seconds = time.perf_counter() - start
+    inprocess_qps = len(specs) / inprocess_seconds
+
+    # ---- concurrent HTTP: N clients hammering one server -----------------
+    with ReproServer(token=TOKEN, session=Session(names)) as server:
+        warm = ServiceClient(server.url, token=TOKEN)
+        warm.run(specs[0])  # same warm-up as the in-process path
+        warm.close()
+
+        latencies: list[float] = []
+        remote_results: dict[int, object] = {}
+        lock = threading.Lock()
+        next_index = [0]
+
+        def worker() -> None:
+            client = ServiceClient(server.url, token=TOKEN)
+            try:
+                while True:
+                    with lock:
+                        index = next_index[0]
+                        if index >= len(specs):
+                            return
+                        next_index[0] += 1
+                    begin = time.perf_counter()
+                    result = client.run(specs[index])
+                    elapsed = time.perf_counter() - begin
+                    with lock:
+                        latencies.append(elapsed)
+                        remote_results[index] = result
+            finally:
+                client.close()
+
+        threads = [threading.Thread(target=worker) for _ in range(N_CLIENTS)]
+        start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        http_seconds = time.perf_counter() - start
+        metrics = ServiceClient(server.url, token=TOKEN).metrics()
+    http_qps = len(specs) / http_seconds
+
+    # Correctness rides along: the service must serve the same answers
+    # the in-process session computed, for every request.
+    for index, local in enumerate(local_results):
+        assert remote_results[index].matches == local.matches, (
+            f"request {index}: HTTP answer diverges from in-process"
+        )
+
+    latencies.sort()
+    latency_ms = {
+        "p50": round(1000 * _percentile(latencies, 0.50), 3),
+        "p95": round(1000 * _percentile(latencies, 0.95), 3),
+        "p99": round(1000 * _percentile(latencies, 0.99), 3),
+    }
+
+    report = {
+        # The gated series is a ratio of two same-box measurements, so
+        # the baseline transfers across machines; absolute QPS and the
+        # latency percentiles are recorded for the log only.
+        "gated": ["http_vs_inprocess"],
+        "workload": {
+            "corpus": CORPUS_SIZE,
+            "requests": N_REQUESTS,
+            "clients": N_CLIENTS,
+            "k": K,
+            "unique_queries": True,
+        },
+        "qps": {
+            "http_vs_inprocess": round(http_qps / inprocess_qps, 3),
+        },
+        "throughput_qps": {
+            "http_concurrent": round(http_qps, 1),
+            "inprocess_sequential": round(inprocess_qps, 1),
+        },
+        "latency_ms": latency_ms,
+        "server": {
+            "requests_total": metrics["requests_total"],
+            "run_200": metrics["requests"]["/v1/run"]["200"],
+        },
+    }
+    RESULTS_PATH.parent.mkdir(exist_ok=True)
+    RESULTS_PATH.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    return report
+
+
+@pytest.mark.perf
+def test_server_qps():
+    report = run_bench()
+    print("\n" + json.dumps(report, indent=2))
+    # The service bar: with the session lock serializing the actual
+    # similarity work, concurrent HTTP serving must stay within 2x of
+    # in-process throughput (ratio >= 0.5) -- the transport may not eat
+    # the serving layer.  Correctness is asserted inside run_bench().
+    assert report["qps"]["http_vs_inprocess"] >= 0.5, (
+        f"HTTP serving only {report['qps']['http_vs_inprocess']}x of "
+        "in-process throughput"
+    )
+
+
+if __name__ == "__main__":
+    print(json.dumps(run_bench(), indent=2))

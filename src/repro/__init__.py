@@ -53,6 +53,8 @@ from repro.api import (
     run,
     spec_from_json,
 )
+from repro.api.errors import ApiError, ValidationError
+from repro.client import ServiceClient
 from repro.core import JoinReport, compare_names, nsld_join
 from repro.distances import (
     levenshtein,
@@ -69,11 +71,14 @@ from repro.tsj import TSJ, TSJConfig
 __version__ = "1.0.0"
 
 __all__ = [
+    "ApiError",
     "CompareSpec",
     "JoinReport",
     "JoinSpec",
     "ResultSet",
+    "ServiceClient",
     "Session",
+    "ValidationError",
     "TSJ",
     "TSJConfig",
     "TokenizedString",

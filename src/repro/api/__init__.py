@@ -29,13 +29,17 @@ in -- and without import cycles.
 from __future__ import annotations
 
 __all__ = [
+    "ApiError",
     "CompareSpec",
     "JoinSpec",
     "ResultSet",
     "Session",
     "TopKSpec",
+    "ValidationError",
+    "WIRE_VERSION",
     "WithinSpec",
     "default_session",
+    "errors",
     "join_algorithms",
     "registry",
     "run",
@@ -45,6 +49,9 @@ __all__ = [
 ]
 
 _EXPORTS = {
+    "ApiError": ("repro.api.errors", "ApiError"),
+    "ValidationError": ("repro.api.errors", "ValidationError"),
+    "WIRE_VERSION": ("repro.api.errors", "WIRE_VERSION"),
     "CompareSpec": ("repro.api.specs", "CompareSpec"),
     "JoinSpec": ("repro.api.specs", "JoinSpec"),
     "TopKSpec": ("repro.api.specs", "TopKSpec"),
@@ -65,6 +72,10 @@ def __getattr__(name: str):
         import repro.api.registry as registry
 
         return registry
+    if name == "errors":
+        import repro.api.errors as errors
+
+        return errors
     try:
         module_name, attribute = _EXPORTS[name]
     except KeyError:

@@ -22,7 +22,8 @@ On top of that sit the two registries behind the declarative front door
   :class:`repro.service.SimilarityIndex`.
 
 This module imports nothing from the rest of the package at module
-scope; the built-in adapters (:mod:`repro.api.adapters`) are loaded
+scope except the leaf :mod:`repro.api.errors` (the typed error
+hierarchy); the built-in adapters (:mod:`repro.api.adapters`) are loaded
 lazily on first resolution, which keeps the validator importable from
 low-level packages (``repro.accel``, ``repro.runtime``) without cycles.
 """
@@ -31,6 +32,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Callable, Mapping, Sequence
+
+from repro.api.errors import ValidationError
 
 __all__ = [
     "JoinAlgorithm",
@@ -49,6 +52,11 @@ __all__ = [
 def validate_choice(kind: str, value, choices: Sequence[str]) -> str:
     """Validate a string selector; raise a uniform, helpful error.
 
+    The error is a :class:`repro.api.errors.ValidationError` -- an
+    :class:`ApiError` (so the CLI and the HTTP server render it as the
+    uniform JSON error envelope) that is also a plain
+    :class:`ValueError` for pre-existing callers.
+
     Examples
     --------
     >>> validate_choice("verification backend", "dp", ("auto", "dp"))
@@ -56,11 +64,11 @@ def validate_choice(kind: str, value, choices: Sequence[str]) -> str:
     >>> validate_choice("verification backend", "gpu", ("auto", "dp"))
     Traceback (most recent call last):
         ...
-    ValueError: unknown verification backend 'gpu'; choose from ['auto', 'dp']
+    repro.api.errors.ValidationError: unknown verification backend 'gpu'; choose from ['auto', 'dp']
     """
     if value not in choices:
         listed = ", ".join(repr(choice) for choice in choices)
-        raise ValueError(f"unknown {kind} {value!r}; choose from [{listed}]")
+        raise ValidationError(f"unknown {kind} {value!r}; choose from [{listed}]")
     return value
 
 

@@ -7,9 +7,10 @@ counters next to the result-cache counters, the simulated cluster
 seconds (for the MapReduce layers) and the wall-clock build/query split
 (for the serving layers).  The envelope is plain-JSON all the way down
 (lists and dicts only), round-trips losslessly
-(``ResultSet.from_json(rs.to_json()) == rs``), and is exactly what the
-CLI's ``--json`` mode emits -- the wire format a future server/router
-speaks.
+(``ResultSet.from_json(rs.to_json()) == rs``), carries the wire-format
+``"version"`` tag (missing means 1, unknown versions raise), and is
+exactly what the CLI's ``--json`` mode emits and the HTTP service
+(:mod:`repro.server`) answers with.
 
 The human-oriented rendering is :meth:`ResultSet.summary`, shared by the
 CLI ``join``, ``search`` and ``knn`` subcommands (and by the legacy
@@ -22,6 +23,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field, fields
 
+from repro.api.errors import WIRE_VERSION, ValidationError, take_wire_version
 from repro.candidates import (
     CASCADE_COUNTERS,
     COUNTER_CANDIDATES,
@@ -195,17 +197,22 @@ class ResultSet:
     # -- JSON wire format -------------------------------------------------------
 
     def to_dict(self) -> dict:
-        return {f.name: getattr(self, f.name) for f in fields(self)}
+        """The wire form: every field plus the ``"version"`` tag."""
+        payload = {"version": WIRE_VERSION}
+        payload.update((f.name, getattr(self, f.name)) for f in fields(self))
+        return payload
 
     def to_json(self, indent: int | None = None) -> str:
         return json.dumps(self.to_dict(), indent=indent)
 
     @classmethod
     def from_dict(cls, payload: dict) -> "ResultSet":
+        payload = dict(payload)
+        take_wire_version(payload, "ResultSet")
         known = {f.name for f in fields(cls)}
         unknown = sorted(set(payload) - known)
         if unknown:
-            raise ValueError(
+            raise ValidationError(
                 f"unknown ResultSet field(s) {unknown}; choose from {sorted(known)}"
             )
         return cls(**payload)

@@ -31,6 +31,7 @@ from typing import Sequence
 
 from repro.accel import BACKENDS
 from repro.accel.vocab import LRUCache
+from repro.api.errors import ValidationError
 from repro.api.registry import resolve_join, resolve_search, validate_choice
 from repro.api.result import COUNTER_CACHE_RESIDENT, ResultSet
 from repro.api.specs import CompareSpec, JoinSpec, TopKSpec, WithinSpec
@@ -167,7 +168,7 @@ class Session:
             # path): ephemeral, never cached -- the caller owns residency.
             resolved = names if names is not None else spec_names
             if resolved is None or len(resolved) != len(records):
-                raise ValueError(
+                raise ValidationError(
                     "records must align with names: got "
                     f"{'no' if resolved is None else len(resolved)} names "
                     f"for {len(records)} records"
@@ -177,7 +178,7 @@ class Session:
         if chosen is None:
             chosen = self._default_names
         if chosen is None:
-            raise ValueError(
+            raise ValidationError(
                 "no corpus to run against: set spec.names, pass names= to "
                 "run(), or construct the Session with a default corpus"
             )
@@ -189,8 +190,17 @@ class Session:
         return corpus
 
     def stats(self) -> dict:
-        """Residency snapshot: corpora held and their built state."""
+        """Residency snapshot: corpora held, built state, cache gauges.
+
+        The ``result_cache`` block aggregates the bounded LRU result
+        caches of every resident serving index (hits, misses, resident
+        entries) -- the gauges the HTTP service's ``/v1/metrics``
+        endpoint reports.
+        """
+        from repro.service.cache import COUNTER_CACHE_HITS, COUNTER_CACHE_MISSES
+
         corpora = []
+        cache_hits = cache_misses = cache_resident = 0
         for key, corpus in self._corpora.items():
             corpora.append(
                 {
@@ -200,7 +210,19 @@ class Session:
                     "build_seconds": corpus.build_seconds,
                 }
             )
-        return {"resident_corpora": len(corpora), "corpora": corpora}
+            for index in corpus._indexes.values():
+                cache_hits += index.counters.get(COUNTER_CACHE_HITS, 0)
+                cache_misses += index.counters.get(COUNTER_CACHE_MISSES, 0)
+                cache_resident += len(index.result_cache)
+        return {
+            "resident_corpora": len(corpora),
+            "corpora": corpora,
+            "result_cache": {
+                "hits": cache_hits,
+                "misses": cache_misses,
+                "resident": cache_resident,
+            },
+        }
 
     # -- execution --------------------------------------------------------------
 

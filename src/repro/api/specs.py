@@ -20,6 +20,12 @@ Four request shapes cover every entry point:
 
 :func:`spec_from_json` dispatches on the envelope's ``"type"`` tag.
 
+Every spec's JSON form carries the wire-format ``"version"`` tag
+(:data:`repro.api.errors.WIRE_VERSION`): a missing field means version
+1, an unknown version raises the uniform
+:class:`~repro.api.errors.ValidationError`, so the envelope can evolve
+without old payloads being silently misread.
+
 Selector fields (``algorithm``, ``method``, ``backend``, ``engine``) are
 validated eagerly at construction through
 :mod:`repro.api.registry`, so a typo fails with the uniform
@@ -32,6 +38,7 @@ import json
 from dataclasses import dataclass, field, fields
 from typing import Mapping
 
+from repro.api.errors import WIRE_VERSION, ValidationError, take_wire_version
 from repro.api.registry import resolve_join, resolve_search, validate_choice
 
 __all__ = [
@@ -100,8 +107,8 @@ class _SpecBase:
     type: str = ""
 
     def to_dict(self) -> dict:
-        """The JSON-ready mapping form (``"type"``-tagged)."""
-        payload: dict = {"type": self.type}
+        """The JSON-ready mapping form (``"version"``- and ``"type"``-tagged)."""
+        payload: dict = {"version": WIRE_VERSION, "type": self.type}
         for spec_field in fields(self):
             value = getattr(self, spec_field.name)
             if isinstance(value, tuple):
@@ -117,16 +124,17 @@ class _SpecBase:
     @classmethod
     def from_dict(cls, payload: Mapping) -> "_SpecBase":
         payload = dict(payload)
+        take_wire_version(payload, "spec")
         tag = payload.pop("type", cls.type)
         if tag != cls.type:
-            raise ValueError(
+            raise ValidationError(
                 f"cannot load a {tag!r} payload as {cls.__name__} "
                 f"(expected type {cls.type!r})"
             )
         known = {spec_field.name for spec_field in fields(cls)}
         unknown = sorted(set(payload) - known)
         if unknown:
-            raise ValueError(
+            raise ValidationError(
                 f"unknown {cls.__name__} field(s) {unknown}; "
                 f"choose from {sorted(known)}"
             )
@@ -196,7 +204,7 @@ class TopKSpec(_SpecBase):
     def __post_init__(self) -> None:
         resolve_search(self.method)
         if self.k < 1:
-            raise ValueError("k must be positive")
+            raise ValidationError("k must be positive")
         _normalise_queries(self)
         _normalise_common(self)
 
@@ -218,12 +226,12 @@ class WithinSpec(_SpecBase):
     def __post_init__(self) -> None:
         backend = resolve_search(self.method)
         if not backend.supports_within:
-            raise ValueError(
+            raise ValidationError(
                 f"method {backend.name!r} does not support range queries "
                 "(no distance semantics); use TopKSpec"
             )
         if self.radius < 0:
-            raise ValueError("radius must be non-negative")
+            raise ValidationError("radius must be non-negative")
         _normalise_queries(self)
         _normalise_common(self)
 
@@ -251,7 +259,10 @@ def spec_from_json(text: str | Mapping):
     """Load any spec from its JSON (or already-parsed mapping) form.
 
     Dispatches on the ``"type"`` tag; unknown tags raise the uniform
-    selector error.
+    selector error, and malformed JSON text, non-object payloads and
+    unknown wire-format versions raise the same typed
+    :class:`~repro.api.errors.ValidationError` -- what the HTTP server
+    answers 400 with.
 
     Examples
     --------
@@ -259,7 +270,18 @@ def spec_from_json(text: str | Mapping):
     >>> spec_from_json(spec.to_json()) == spec
     True
     """
-    payload = json.loads(text) if isinstance(text, str) else dict(text)
+    if isinstance(text, str):
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ValidationError(f"spec is not valid JSON: {exc}") from exc
+    else:
+        payload = text
+    if not isinstance(payload, Mapping):
+        raise ValidationError(
+            "spec must be a JSON object, got " f"{type(payload).__name__}"
+        )
+    payload = dict(payload)
     tag = payload.get("type")
     validate_choice("spec type", tag, tuple(sorted(_SPEC_TYPES)))
     return _SPEC_TYPES[tag].from_dict(payload)

@@ -22,10 +22,22 @@ Subcommands
 ``search``    Serve top-k or range queries from a resident
               :class:`repro.service.SimilarityIndex` (build once, query
               many; any registered search backend).
-``run``       Execute a spec from a JSON file (``--spec spec.json``) --
-              the declarative entry point; emits the ResultSet envelope.
+``run``       Execute a spec from a JSON file (``--spec spec.json``, or
+              ``--spec -`` for stdin) -- the declarative entry point;
+              emits the ResultSet envelope (``--output FILE`` writes it
+              to a file), so it composes in shell pipelines the same way
+              the HTTP server does.
+``serve``     Run the HTTP similarity service (:mod:`repro.server`): one
+              process-wide session answering POSTed specs with ResultSet
+              envelopes, plus health/metrics endpoints.
 ``tune``      Coordinate-descent search for (T, M) against a corpus with
               planted rings (footnote 5 of the paper).
+
+Failures raise the typed :class:`repro.api.errors.ApiError` hierarchy;
+``main`` renders them as the uniform JSON error envelope
+(``{"error": {"type", "message"}}``) on the JSON-emitting paths and as a
+one-line ``error: ...`` on the human-readable ones -- the same shapes
+the HTTP server answers with.
 """
 
 from __future__ import annotations
@@ -47,6 +59,7 @@ from repro.api import (
     search_methods,
     spec_from_json,
 )
+from repro.api.errors import ApiError
 from repro.data import evaluation_corpus, name_change_dataset
 from repro.distances import fuzzy_cosine, fuzzy_dice, fuzzy_jaccard
 from repro.runtime import ENGINES
@@ -238,15 +251,47 @@ def _cmd_search(args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    with open(args.spec, encoding="utf-8") as handle:
-        spec = spec_from_json(handle.read())
+    if args.spec == "-":
+        text = sys.stdin.read()
+    else:
+        with open(args.spec, encoding="utf-8") as handle:
+            text = handle.read()
+    spec = spec_from_json(text)
     names = _read_names(args.input) if args.input else None
     result = Session().run(spec, names=names)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(result.to_json(indent=2) + "\n")
     if args.summary:
         for line in result.summary(limit=args.limit):
             print(line)
-    else:
+    elif not args.output:
         print(result.to_json(indent=2))
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.server import serve
+
+    names = _read_names(args.input) if args.input else None
+    server = serve(
+        names,
+        host=args.host,
+        port=args.port,
+        token=args.token,
+        backend=args.backend,
+        engine=args.engine,
+        cache_size=args.cache_size,
+    )
+    corpus = f"{len(names)} resident names" if names else "no resident corpus"
+    auth = "bearer-token auth" if args.token else "no auth"
+    print(f"serving on {server.url} ({corpus}, {auth})", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
     return 0
 
 
@@ -381,14 +426,23 @@ def build_parser() -> argparse.ArgumentParser:
 
     run = sub.add_parser(
         "run",
-        help="execute a declarative spec from a JSON file "
+        help="execute a declarative spec from a JSON file or stdin "
         "(join/topk/within/compare)",
     )
-    run.add_argument("--spec", required=True, help="path to the spec JSON")
+    run.add_argument(
+        "--spec",
+        required=True,
+        help="path to the spec JSON, or '-' to read it from stdin",
+    )
     run.add_argument(
         "--input",
         help="file of names, one per line, when the spec carries no "
         "inline corpus",
+    )
+    run.add_argument(
+        "--output",
+        help="write the ResultSet envelope to this file instead of stdout "
+        "(combine with --summary to also print the human summary)",
     )
     run.add_argument(
         "--summary",
@@ -397,6 +451,33 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument("--limit", type=int, default=50)
     run.set_defaults(func=_cmd_run)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the HTTP similarity service (POST specs to /v1/run, "
+        "get ResultSet envelopes back)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8765,
+        help="TCP port (0 binds an ephemeral port, printed on startup)",
+    )
+    serve.add_argument(
+        "--input",
+        help="file of names, one per line, preloaded as the session's "
+        "resident default corpus",
+    )
+    serve.add_argument(
+        "--token",
+        help="static bearer token required on every request except "
+        "/v1/health (default: auth disabled)",
+    )
+    serve.add_argument("--cache-size", type=int, default=256)
+    _add_backend_argument(serve)
+    _add_engine_argument(serve)
+    serve.set_defaults(func=_cmd_serve)
 
     tune = sub.add_parser("tune", help="search (T, M) on a ring corpus")
     tune.add_argument("--background", type=int, default=100)
@@ -411,7 +492,20 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ApiError as exc:
+        # The uniform error shapes: the JSON-emitting paths print the
+        # same {"error": {"type", "message"}} envelope the HTTP server
+        # answers with; the human-readable paths get one clean line.
+        wants_json = getattr(args, "json", False) or (
+            args.command == "run" and not getattr(args, "summary", False)
+        )
+        if wants_json:
+            print(json.dumps(exc.to_envelope(), indent=2))
+        else:
+            print(f"error: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":

@@ -1,0 +1,279 @@
+"""The client SDK: remote similarity requests, in-process semantics.
+
+:class:`ServiceClient` speaks to a :mod:`repro.server` instance (or
+anything answering the same wire format) and returns deserialized
+:class:`repro.api.ResultSet` objects, so remote and in-process calls
+are interchangeable::
+
+    client = ServiceClient("http://127.0.0.1:8765", token="s3cret")
+    remote = client.run(spec)          # == Session.run(spec), over HTTP
+    local = Session(names).run(spec)   # same pairs/counters/seconds
+
+Stdlib only (:mod:`http.client`).  The client holds one keep-alive
+connection per instance, sends the static bearer token on every
+request, and retries with exponential backoff on connection errors and
+5xx answers -- the classes of failure a retry can fix.  4xx answers
+never retry: they are rebuilt into the typed
+:class:`repro.api.errors.ApiError` hierarchy from the uniform error
+envelope, so a remote validation failure raises the same
+``ValidationError`` the in-process facade would.
+
+Instances are not thread-safe (one connection, one in-flight request);
+give each worker thread its own client -- they are cheap.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Callable, Mapping, Sequence
+from urllib.parse import urlsplit
+
+from repro.api.errors import (
+    ApiError,
+    ServiceUnavailableError,
+    error_from_envelope,
+)
+from repro.api.result import ResultSet
+from repro.api.specs import JoinSpec, TopKSpec, WithinSpec
+
+__all__ = ["ServiceClient"]
+
+#: Transport failures worth retrying: the connection dropped, timed out,
+#: or never came up.  HTTP-level protocol errors count too (a dying
+#: server mid-response looks like a BadStatusLine).
+_RETRYABLE = (OSError, http.client.HTTPException)
+
+
+class ServiceClient:
+    """A retrying HTTP client for the repro similarity service.
+
+    Parameters
+    ----------
+    base_url:
+        ``http://host:port`` (https works too).  Paths are appended
+        verbatim, so a reverse-proxy prefix can ride along.
+    token:
+        Static bearer token; sent as ``Authorization: Bearer <token>``
+        on every request.  ``None`` sends no auth header.
+    timeout:
+        Per-attempt socket timeout in seconds.
+    retries:
+        How many *extra* attempts after the first (``retries=3`` means
+        up to four requests) on connection errors and 5xx answers.
+    backoff:
+        First retry delay in seconds; doubles per attempt
+        (``backoff * 2**(attempt-1)``).
+    sleep / connection_factory:
+        Injection points for tests: the backoff sleeper and the
+        ``(host, port, timeout) -> connection`` constructor.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        *,
+        token: str | None = None,
+        timeout: float = 30.0,
+        retries: int = 3,
+        backoff: float = 0.1,
+        sleep: Callable[[float], None] = time.sleep,
+        connection_factory: Callable | None = None,
+    ) -> None:
+        parts = urlsplit(base_url)
+        if parts.scheme not in ("http", "https") or not parts.hostname:
+            raise ValueError(
+                f"base_url must look like http://host:port, got {base_url!r}"
+            )
+        self._host = parts.hostname
+        self._port = parts.port or (443 if parts.scheme == "https" else 80)
+        self._prefix = parts.path.rstrip("/")
+        self.token = token
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+        self._sleep = sleep
+        if connection_factory is None:
+            connection_factory = (
+                http.client.HTTPSConnection
+                if parts.scheme == "https"
+                else http.client.HTTPConnection
+            )
+        self._connection_factory = connection_factory
+        self._connection = None
+
+    # -- the public surface -----------------------------------------------------
+
+    def run(self, spec) -> ResultSet:
+        """Execute any spec remotely: ``POST /v1/run`` -> ``ResultSet``.
+
+        Accepts a spec object (anything with ``to_dict()``) or an
+        already-JSON-shaped mapping.
+        """
+        payload = spec.to_dict() if hasattr(spec, "to_dict") else dict(spec)
+        return ResultSet.from_dict(self._request("POST", "/v1/run", payload))
+
+    def join(
+        self,
+        names: Sequence[str] | None = None,
+        *,
+        algorithm: str = "tsj",
+        threshold: float = 0.1,
+        backend: str | None = None,
+        engine: str | None = None,
+        params: Mapping | None = None,
+    ) -> ResultSet:
+        """Self-join under any registered algorithm (``POST /v1/join``).
+
+        ``names=None`` joins the server session's resident default
+        corpus.  The spec is built client-side, so selector typos fail
+        locally with the same uniform error the server would answer.
+        """
+        spec = JoinSpec(
+            algorithm=algorithm,
+            threshold=threshold,
+            names=names,
+            backend=backend,
+            engine=engine,
+            params=dict(params or {}),
+        )
+        return ResultSet.from_dict(
+            self._request("POST", "/v1/join", spec.to_dict())
+        )
+
+    def search(
+        self,
+        queries: Sequence[str] | str,
+        *,
+        k: int = 5,
+        radius: float | None = None,
+        method: str = "similarity_index",
+        names: Sequence[str] | None = None,
+        backend: str | None = None,
+        processes: int | None = None,
+    ) -> ResultSet:
+        """Top-k (default) or range queries (``POST /v1/search``).
+
+        ``radius`` switches to range mode, mirroring the CLI ``search``
+        subcommand.
+        """
+        if radius is not None:
+            spec: TopKSpec | WithinSpec = WithinSpec(
+                queries=queries,
+                radius=radius,
+                method=method,
+                names=names,
+                backend=backend,
+                processes=processes,
+            )
+        else:
+            spec = TopKSpec(
+                queries=queries,
+                k=k,
+                method=method,
+                names=names,
+                backend=backend,
+                processes=processes,
+            )
+        return ResultSet.from_dict(
+            self._request("POST", "/v1/search", spec.to_dict())
+        )
+
+    def knn(
+        self,
+        queries: Sequence[str] | str,
+        *,
+        k: int = 5,
+        names: Sequence[str] | None = None,
+        backend: str | None = None,
+    ) -> ResultSet:
+        """Nearest neighbours via the metric tree (``POST /v1/knn``)."""
+        spec = TopKSpec(
+            queries=queries, k=k, method="vptree", names=names, backend=backend
+        )
+        return ResultSet.from_dict(self._request("POST", "/v1/knn", spec.to_dict()))
+
+    def health(self) -> dict:
+        """Liveness probe (``GET /v1/health``; no auth required)."""
+        return self._request("GET", "/v1/health")
+
+    def metrics(self) -> dict:
+        """The server's counters and gauges (``GET /v1/metrics``)."""
+        return self._request("GET", "/v1/metrics")
+
+    # -- transport --------------------------------------------------------------
+
+    def _request(self, method: str, path: str, payload: dict | None = None):
+        body = None if payload is None else json.dumps(payload).encode("utf-8")
+        last_error: ApiError | None = None
+        for attempt in range(self.retries + 1):
+            if attempt:
+                self._sleep(self.backoff * 2 ** (attempt - 1))
+            try:
+                status, data = self._send(method, path, body)
+            except _RETRYABLE as exc:
+                self._drop_connection()
+                last_error = ServiceUnavailableError(
+                    f"{method} {path} failed after {attempt + 1} attempt(s): "
+                    f"{type(exc).__name__}: {exc}"
+                )
+                continue
+            if status >= 500:
+                # The server answered but could not serve; its envelope
+                # (when well-formed) names the failure.  Retryable.
+                last_error = error_from_envelope(_parse_json(data), status)
+                continue
+            if status >= 400:
+                raise error_from_envelope(_parse_json(data), status)
+            return _parse_json(data)
+        assert last_error is not None
+        raise last_error
+
+    def _send(self, method: str, path: str, body: bytes | None):
+        connection = self._connection
+        if connection is None:
+            connection = self._connection_factory(
+                self._host, self._port, timeout=self.timeout
+            )
+            self._connection = connection
+        headers = {"Content-Type": "application/json"}
+        if self.token is not None:
+            headers["Authorization"] = f"Bearer {self.token}"
+        try:
+            connection.request(method, self._prefix + path, body=body, headers=headers)
+            response = connection.getresponse()
+            return response.status, response.read()
+        except _RETRYABLE:
+            # Drop the (possibly half-dead) keep-alive connection so the
+            # retrying caller reconnects fresh -- covers the server
+            # closing an idle persistent connection between requests.
+            self._drop_connection()
+            raise
+
+    def _drop_connection(self) -> None:
+        if self._connection is not None:
+            try:
+                self._connection.close()
+            except Exception:
+                pass
+            self._connection = None
+
+    def close(self) -> None:
+        """Close the keep-alive connection (idempotent)."""
+        self._drop_connection()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def _parse_json(data: bytes):
+    """Decode a response body; malformed bodies degrade to a dict the
+    envelope rebuilder can still describe."""
+    try:
+        return json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        return {"raw": data[:200].decode("utf-8", "replace")}

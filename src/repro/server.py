@@ -1,0 +1,422 @@
+"""The network front door: ``repro.server`` speaks the ResultSet wire format.
+
+The engine meets a socket here.  One process-wide
+:class:`repro.api.Session` (resident corpora, built-once indexes, LRU
+result caches) serves HTTP requests carrying the exact JSON wire format
+the declarative front door already defined (PR 5): POST a spec, get the
+:class:`repro.api.ResultSet` envelope back.  Stdlib only --
+:class:`http.server.ThreadingHTTPServer` plus the facade; no new hard
+dependencies.
+
+Endpoints (all JSON, all answers carry the wire ``"version"`` tag):
+
+========================  =====================================================
+``POST /v1/join``         a :class:`~repro.api.JoinSpec` payload (``"type"``
+                          optional, must be ``"join"`` when present)
+``POST /v1/search``       a ``topk`` or ``within`` spec (default ``topk``)
+``POST /v1/knn``          a ``topk`` spec defaulting to ``method="vptree"``
+                          (the CLI ``knn`` shape)
+``POST /v1/run``          any spec with an explicit ``"type"`` tag -- the
+                          fully declarative endpoint
+``GET  /v1/health``       liveness (unauthenticated): status, uptime, version
+``GET  /v1/metrics``      request counts per route/status, the latency
+                          histogram, and the session's resident-corpus and
+                          result-cache gauges
+========================  =====================================================
+
+Failures -- malformed JSON, unknown spec types/fields/versions, bad
+parameter shapes, missing auth, unknown routes -- answer with the
+uniform error envelope ``{"error": {"type", "message"}}`` and the
+:class:`repro.api.errors.ApiError` status; unexpected exceptions
+become enveloped 500s, never tracebacks on the wire.
+
+Auth is a static bearer token (``Authorization: Bearer <token>``),
+compared constant-time; ``token=None`` disables auth.  ``/v1/health``
+is always open so load balancers can probe without credentials.
+
+The transport-free request logic lives in :class:`SimilarityService`
+(``handle(method, path, body, authorization) -> (status, payload)``), so
+tests can exercise routing/auth/errors without sockets and an asyncio
+transport can reuse it unchanged; :class:`ReproServer` is the threaded
+socket front end (``start()``/``close()`` for in-process embedding,
+``serve_forever()`` for the CLI ``serve`` subcommand).
+"""
+
+from __future__ import annotations
+
+import hmac
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.api.errors import (
+    WIRE_VERSION,
+    ApiError,
+    AuthError,
+    MethodNotAllowedError,
+    NotFoundError,
+    ValidationError,
+    error_envelope,
+)
+from repro.api.session import Session
+from repro.api.specs import spec_from_json
+
+__all__ = [
+    "LATENCY_BUCKETS_MS",
+    "ReproServer",
+    "ServiceMetrics",
+    "SimilarityService",
+    "serve",
+]
+
+#: Upper bounds (milliseconds) of the latency histogram buckets; one
+#: overflow bucket (``"+inf"``) catches everything beyond the last bound.
+LATENCY_BUCKETS_MS = (1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0)
+
+
+class ServiceMetrics:
+    """Thread-safe request counters and one latency histogram.
+
+    ``observe()`` is called once per handled request (any status, any
+    route -- unknown routes included, they cost cycles too);
+    ``snapshot()`` renders the JSON the ``/v1/metrics`` endpoint
+    answers with.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._started = time.monotonic()
+        #: route -> {str(status): count}
+        self._requests: dict[str, dict[str, int]] = {}
+        self._bucket_counts = [0] * (len(LATENCY_BUCKETS_MS) + 1)
+        self._latency_sum = 0.0
+        self._observations = 0
+
+    def observe(self, route: str, status: int, seconds: float) -> None:
+        millis = seconds * 1000.0
+        slot = len(LATENCY_BUCKETS_MS)
+        for position, bound in enumerate(LATENCY_BUCKETS_MS):
+            if millis <= bound:
+                slot = position
+                break
+        with self._lock:
+            by_status = self._requests.setdefault(route, {})
+            key = str(status)
+            by_status[key] = by_status.get(key, 0) + 1
+            self._bucket_counts[slot] += 1
+            self._latency_sum += millis
+            self._observations += 1
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            requests = {
+                route: dict(by_status) for route, by_status in self._requests.items()
+            }
+            buckets = dict(
+                zip(
+                    [f"<={bound:g}ms" for bound in LATENCY_BUCKETS_MS] + ["+inf"],
+                    self._bucket_counts,
+                )
+            )
+            return {
+                "uptime_seconds": time.monotonic() - self._started,
+                "requests_total": sum(
+                    count
+                    for by_status in requests.values()
+                    for count in by_status.values()
+                ),
+                "requests": requests,
+                "latency_ms": {
+                    "count": self._observations,
+                    "sum": self._latency_sum,
+                    "buckets": buckets,
+                },
+            }
+
+
+#: POST route -> (accepted ``"type"`` tags, defaults injected into the
+#: payload).  ``/v1/run`` accepts every tag but requires one explicitly.
+_POST_ROUTES: dict[str, tuple[tuple[str, ...], dict]] = {
+    "/v1/join": (("join",), {}),
+    "/v1/search": (("topk", "within"), {}),
+    "/v1/knn": (("topk",), {"method": "vptree"}),
+    "/v1/run": ((), {}),
+}
+
+_GET_ROUTES = ("/v1/health", "/v1/metrics")
+
+
+class SimilarityService:
+    """Transport-free request handling over one process-wide session.
+
+    ``handle()`` maps ``(method, path, body, authorization)`` to
+    ``(status, JSON-able payload)`` and never raises: every failure --
+    typed or unexpected -- lands in the uniform error envelope.  The
+    session is shared across requests (that is the point: resident
+    corpora and caches amortize), so ``Session.run`` executes under a
+    lock; metrics are updated for every request, including rejected
+    ones.
+    """
+
+    def __init__(
+        self,
+        session: Session | None = None,
+        *,
+        token: str | None = None,
+    ) -> None:
+        self.session = session if session is not None else Session()
+        self.token = token
+        self.metrics = ServiceMetrics()
+        self._run_lock = threading.Lock()
+
+    # -- request plumbing -------------------------------------------------------
+
+    def handle(
+        self,
+        method: str,
+        path: str,
+        body: bytes | None = None,
+        authorization: str | None = None,
+    ) -> tuple[int, dict]:
+        """Route one request; returns ``(http status, response payload)``."""
+        route = path.split("?", 1)[0].rstrip("/") or "/"
+        start = time.perf_counter()
+        try:
+            payload = self._dispatch(method, route, body, authorization)
+            status = 200
+        except ApiError as exc:
+            status, payload = exc.status, exc.to_envelope()
+        except Exception as exc:  # noqa: BLE001 -- envelope, never a traceback
+            status, payload = 500, error_envelope(exc)
+        self.metrics.observe(route, status, time.perf_counter() - start)
+        return status, payload
+
+    def _dispatch(self, method, route, body, authorization) -> dict:
+        if route in _POST_ROUTES:
+            if method != "POST":
+                raise MethodNotAllowedError(f"{route} accepts POST only")
+            self._authorize(authorization)
+            return self._run_spec(route, body)
+        if route in _GET_ROUTES:
+            if method != "GET":
+                raise MethodNotAllowedError(f"{route} accepts GET only")
+            if route == "/v1/health":
+                return self._health()
+            self._authorize(authorization)
+            return self._metrics()
+        known = ", ".join(sorted(_POST_ROUTES) + list(_GET_ROUTES))
+        raise NotFoundError(f"no route {route!r}; choose from [{known}]")
+
+    def _authorize(self, authorization: str | None) -> None:
+        if self.token is None:
+            return
+        expected = f"Bearer {self.token}"
+        if not authorization or not hmac.compare_digest(authorization, expected):
+            raise AuthError("missing or invalid bearer token")
+
+    # -- endpoints --------------------------------------------------------------
+
+    def _run_spec(self, route: str, body: bytes | None) -> dict:
+        spec = self._parse_spec(route, body)
+        with self._run_lock:
+            result = self.session.run(spec)
+        return result.to_dict()
+
+    def _parse_spec(self, route: str, body: bytes | None):
+        if not body:
+            raise ValidationError("request body is empty; POST a JSON spec")
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ValidationError(f"request body is not valid JSON: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise ValidationError(
+                "request body must be a JSON object (a spec), got "
+                f"{type(payload).__name__}"
+            )
+        accepted, defaults = _POST_ROUTES[route]
+        if accepted:
+            payload.setdefault("type", accepted[0])
+            if payload["type"] not in accepted:
+                listed = ", ".join(repr(tag) for tag in accepted)
+                raise ValidationError(
+                    f"{route} serves [{listed}] specs, got "
+                    f"{payload['type']!r}; POST it to /v1/run instead"
+                )
+            for key, value in defaults.items():
+                payload.setdefault(key, value)
+        elif "type" not in payload:
+            raise ValidationError(
+                '/v1/run requires an explicit "type" tag '
+                '("join", "topk", "within" or "compare")'
+            )
+        try:
+            return spec_from_json(payload)
+        except ApiError:
+            raise
+        except (TypeError, ValueError) as exc:
+            # Bad field shapes (e.g. a scalar where a list belongs) are
+            # the client's fault: a 400, not an internal error.
+            raise ValidationError(f"invalid spec: {exc}") from exc
+
+    def _health(self) -> dict:
+        return {
+            "status": "ok",
+            "version": WIRE_VERSION,
+            "uptime_seconds": self.metrics.snapshot()["uptime_seconds"],
+        }
+
+    def _metrics(self) -> dict:
+        payload = self.metrics.snapshot()
+        payload["version"] = WIRE_VERSION
+        payload["session"] = self.session.stats()
+        return payload
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """The socket-facing shim: bytes in, ``SimilarityService`` out."""
+
+    protocol_version = "HTTP/1.1"  # keep-alive: one connection, many requests
+    server_version = f"repro-server/{WIRE_VERSION}"
+
+    def log_message(self, format, *args):  # noqa: A002 -- stdlib signature
+        pass  # request logging is the metrics endpoint's job
+
+    def do_GET(self) -> None:
+        self._respond(*self.server.service.handle("GET", self.path, None, self._auth()))
+
+    def do_POST(self) -> None:
+        try:
+            body = self._read_body()
+        except ValidationError as exc:
+            self._respond(exc.status, exc.to_envelope())
+            return
+        self._respond(
+            *self.server.service.handle("POST", self.path, body, self._auth())
+        )
+
+    def _auth(self) -> str | None:
+        return self.headers.get("Authorization")
+
+    def _read_body(self) -> bytes:
+        length = self.headers.get("Content-Length")
+        if length is None:
+            return b""
+        try:
+            size = int(length)
+        except ValueError:
+            raise ValidationError(f"invalid Content-Length {length!r}") from None
+        return self.rfile.read(size)
+
+    def _respond(self, status: int, payload: dict) -> None:
+        data = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+
+class ReproServer:
+    """The threaded HTTP front end around one :class:`SimilarityService`.
+
+    ``port=0`` binds an ephemeral port (the resolved one is in
+    :attr:`port`/:attr:`url`).  ``start()`` serves from a daemon thread
+    for in-process embedding (tests, benches, examples);
+    ``serve_forever()`` blocks (the CLI).  Context-manager use closes
+    the socket on exit.
+
+    Examples
+    --------
+    ::
+
+        with ReproServer(session=Session(names), token="s3cret") as server:
+            client = ServiceClient(server.url, token="s3cret")
+            result = client.search(["jon smiht"], k=3)
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        session: Session | None = None,
+        token: str | None = None,
+    ) -> None:
+        self.service = SimilarityService(session, token=token)
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.daemon_threads = True
+        self._httpd.service = self.service
+        self._thread: threading.Thread | None = None
+        self._started = False
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "ReproServer":
+        """Serve from a background daemon thread; returns ``self``."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever,
+                name="repro-server",
+                daemon=True,
+            )
+            self._started = True
+            self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until interrupted (the CLI path)."""
+        self._started = True
+        self._httpd.serve_forever()
+
+    def close(self) -> None:
+        if self._started:
+            # shutdown() waits on serve_forever()'s exit handshake and
+            # would block forever on a server that never served.
+            self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "ReproServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def serve(
+    names=None,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 8765,
+    token: str | None = None,
+    backend: str = "auto",
+    engine: str = "auto",
+    cache_size: int = 256,
+) -> ReproServer:
+    """Build a server around a fresh session (not yet started).
+
+    ``names`` preloads the session's default corpus, so specs without
+    inline ``names`` run against it -- the resident-serving shape the
+    benches and the CLI ``serve`` subcommand use.
+    """
+    session = Session(
+        names,
+        backend=backend,
+        engine=engine,
+        cache_size=cache_size,
+    )
+    return ReproServer(host, port, session=session, token=token)

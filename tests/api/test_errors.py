@@ -1,0 +1,168 @@
+"""The typed ApiError hierarchy, the uniform envelope, wire versioning."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import JoinSpec, ResultSet, Session, TopKSpec, spec_from_json
+from repro.api.errors import (
+    WIRE_VERSION,
+    ApiError,
+    AuthError,
+    MethodNotAllowedError,
+    NotFoundError,
+    ServerError,
+    ServiceUnavailableError,
+    ValidationError,
+    error_envelope,
+    error_from_envelope,
+    take_wire_version,
+)
+from repro.api.registry import validate_choice
+
+pytestmark = pytest.mark.tier1
+
+
+class TestHierarchy:
+    def test_validation_error_is_value_error(self):
+        # Pre-hierarchy callers catch ValueError; both spellings must work.
+        assert issubclass(ValidationError, ValueError)
+        assert issubclass(ValidationError, ApiError)
+
+    def test_statuses(self):
+        assert ValidationError("x").status == 400
+        assert AuthError("x").status == 401
+        assert NotFoundError("x").status == 404
+        assert MethodNotAllowedError("x").status == 405
+        assert ServerError("x").status == 500
+        assert ServiceUnavailableError("x").status == 503
+
+    def test_validate_choice_raises_typed(self):
+        with pytest.raises(ValidationError, match="unknown colour"):
+            validate_choice("colour", "x", ("red",))
+        with pytest.raises(ValueError):  # the legacy catch still works
+            validate_choice("colour", "x", ("red",))
+
+    def test_spec_validation_is_typed(self):
+        with pytest.raises(ApiError):
+            JoinSpec(algorithm="blorp")
+        with pytest.raises(ApiError):
+            TopKSpec(k=0)
+
+    def test_session_no_corpus_is_typed(self):
+        with pytest.raises(ApiError, match="no corpus"):
+            Session().run(JoinSpec())
+
+
+class TestEnvelope:
+    def test_shape(self):
+        envelope = ValidationError("bad spec").to_envelope()
+        assert envelope == {
+            "error": {"type": "validation", "message": "bad spec"}
+        }
+
+    def test_unexpected_exception_wraps_as_internal(self):
+        envelope = error_envelope(KeyError("boom"))
+        assert envelope["error"]["type"] == "internal"
+        assert "KeyError" in envelope["error"]["message"]
+
+    def test_round_trip_through_envelope(self):
+        for exc in (
+            ValidationError("v"),
+            AuthError("a"),
+            NotFoundError("n"),
+            MethodNotAllowedError("m"),
+            ServerError("s"),
+            ServiceUnavailableError("u"),
+        ):
+            rebuilt = error_from_envelope(exc.to_envelope(), exc.status)
+            assert type(rebuilt) is type(exc)
+            assert str(rebuilt) == str(exc)
+
+    def test_malformed_envelope_degrades(self):
+        rebuilt = error_from_envelope({"oops": 1}, 502)
+        assert isinstance(rebuilt, ServerError)
+        assert rebuilt.status == 502
+        rebuilt = error_from_envelope("<html>gateway error</html>", 418)
+        assert isinstance(rebuilt, ApiError)
+        assert rebuilt.status == 418
+
+
+class TestWireVersion:
+    def test_missing_means_one(self):
+        assert take_wire_version({}) == WIRE_VERSION
+        assert take_wire_version({"type": "join"}) == 1
+
+    def test_pops_the_field(self):
+        payload = {"version": 1, "type": "join"}
+        take_wire_version(payload)
+        assert payload == {"type": "join"}
+
+    def test_unknown_raises_uniform_error(self):
+        with pytest.raises(ValidationError, match="wire format version 2"):
+            take_wire_version({"version": 2})
+        with pytest.raises(ValidationError, match="choose from"):
+            take_wire_version({"version": "1"})  # strings are not versions
+
+    def test_specs_echo_and_accept(self):
+        spec = JoinSpec(names=("a", "b"))
+        payload = spec.to_dict()
+        assert payload["version"] == WIRE_VERSION
+        assert spec_from_json(payload) == spec
+        # Missing version: the pre-versioning wire format still loads.
+        del payload["version"]
+        assert spec_from_json(payload) == spec
+
+    def test_spec_unknown_version_uniform_error(self):
+        payload = JoinSpec(names=("a",)).to_dict()
+        payload["version"] = 99
+        with pytest.raises(ValidationError, match="wire format version 99"):
+            spec_from_json(payload)
+
+    def test_result_set_echoes_and_accepts(self):
+        result = ResultSet(kind="join", pairs=[["a", "b", 0.1]])
+        payload = result.to_dict()
+        assert payload["version"] == WIRE_VERSION
+        assert ResultSet.from_dict(payload) == result
+        del payload["version"]
+        assert ResultSet.from_dict(payload) == result
+        payload["version"] = 7
+        with pytest.raises(ValidationError, match="wire format version 7"):
+            ResultSet.from_dict(payload)
+
+    def test_result_request_echo_carries_version(self):
+        result = Session(("ann lee", "ann leex")).run(
+            TopKSpec(queries=("ann",), k=1)
+        )
+        assert result.request["version"] == WIRE_VERSION
+
+
+class TestSpecFromJsonMalformed:
+    """The malformed-payload paths the server maps to 400s."""
+
+    def test_invalid_json_text(self):
+        with pytest.raises(ValidationError, match="not valid JSON"):
+            spec_from_json("{not json")
+
+    def test_non_object_payload(self):
+        with pytest.raises(ValidationError, match="must be a JSON object"):
+            spec_from_json("[1, 2, 3]")
+        with pytest.raises(ValidationError, match="must be a JSON object"):
+            spec_from_json('"join"')
+
+    def test_missing_type(self):
+        with pytest.raises(ValidationError, match="unknown spec type None"):
+            spec_from_json("{}")
+
+    def test_unknown_type(self):
+        with pytest.raises(ValidationError, match="unknown spec type 'sort'"):
+            spec_from_json('{"type": "sort"}')
+
+    def test_unknown_field(self):
+        with pytest.raises(ValidationError, match="unknown JoinSpec field"):
+            spec_from_json('{"type": "join", "thresold": 0.1}')
+
+    def test_bad_param_shapes(self):
+        # names must be a sequence of strings, not a scalar.
+        with pytest.raises((ValidationError, TypeError)):
+            spec_from_json('{"type": "join", "names": 42}')

@@ -1,0 +1,132 @@
+"""The CLI as a pipeline stage: specs on stdin, envelopes on files/stdout.
+
+``repro run --spec - --output out.json`` is the shell-pipeline twin of
+``POST /v1/run``: same wire format in, same envelope out, same uniform
+error shape when the spec is bad.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.api import ResultSet, Session, TopKSpec, spec_from_json
+from repro.api.errors import WIRE_VERSION
+from repro.cli import main
+
+pytestmark = pytest.mark.tier1
+
+NAMES = ["ann lee", "ann leex", "bob stone", "tariq hassan"]
+
+SPEC = {
+    "type": "topk",
+    "queries": ["ann lee"],
+    "k": 2,
+    "names": NAMES,
+}
+
+
+@pytest.fixture()
+def names_file(tmp_path):
+    path = tmp_path / "names.txt"
+    path.write_text("\n".join(NAMES) + "\n", encoding="utf-8")
+    return path
+
+
+class TestRunStdin:
+    def test_spec_dash_reads_stdin(self, monkeypatch, capsys):
+        monkeypatch.setattr("sys.stdin", io.StringIO(json.dumps(SPEC)))
+        assert main(["run", "--spec", "-"]) == 0
+        envelope = json.loads(capsys.readouterr().out)
+        assert envelope["version"] == WIRE_VERSION
+        remote = ResultSet.from_dict(envelope)
+        local = Session().run(spec_from_json(json.dumps(SPEC)))
+        assert remote.matches == local.matches
+
+    def test_bad_stdin_json_prints_error_envelope(self, monkeypatch, capsys):
+        monkeypatch.setattr("sys.stdin", io.StringIO("{not json"))
+        assert main(["run", "--spec", "-"]) == 1
+        envelope = json.loads(capsys.readouterr().out)
+        assert envelope["error"]["type"] == "validation"
+        assert "not valid JSON" in envelope["error"]["message"]
+
+    def test_unknown_version_prints_error_envelope(self, monkeypatch, capsys):
+        bad = dict(SPEC, version=99)
+        monkeypatch.setattr("sys.stdin", io.StringIO(json.dumps(bad)))
+        assert main(["run", "--spec", "-"]) == 1
+        envelope = json.loads(capsys.readouterr().out)
+        assert envelope["error"]["type"] == "validation"
+        assert "wire format version 99" in envelope["error"]["message"]
+
+    def test_summary_mode_errors_go_to_stderr(self, monkeypatch, capsys):
+        monkeypatch.setattr("sys.stdin", io.StringIO('{"type": "sort"}'))
+        assert main(["run", "--spec", "-", "--summary"]) == 1
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert captured.err.startswith("error: ")
+
+
+class TestRunOutput:
+    def test_output_file_holds_the_envelope(self, tmp_path, capsys):
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps(SPEC), encoding="utf-8")
+        out_path = tmp_path / "result.json"
+        assert main(["run", "--spec", str(spec_path), "--output", str(out_path)]) == 0
+        # The envelope went to the file, not stdout.
+        assert capsys.readouterr().out == ""
+        envelope = json.loads(out_path.read_text(encoding="utf-8"))
+        assert envelope["version"] == WIRE_VERSION
+        result = ResultSet.from_dict(envelope)
+        assert result.kind == "topk"
+        assert result.request == spec_from_json(json.dumps(SPEC)).to_dict()
+
+    def test_output_plus_summary_prints_summary(self, tmp_path, capsys):
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps(SPEC), encoding="utf-8")
+        out_path = tmp_path / "result.json"
+        code = main(
+            [
+                "run",
+                "--spec",
+                str(spec_path),
+                "--output",
+                str(out_path),
+                "--summary",
+            ]
+        )
+        assert code == 0
+        assert out_path.exists()
+        assert capsys.readouterr().out  # the human summary
+
+    def test_stdin_spec_with_input_corpus(self, monkeypatch, names_file, capsys):
+        spec = {"type": "topk", "queries": ["ann lee"], "k": 1}
+        monkeypatch.setattr("sys.stdin", io.StringIO(json.dumps(spec)))
+        assert main(["run", "--spec", "-", "--input", str(names_file)]) == 0
+        remote = ResultSet.from_dict(json.loads(capsys.readouterr().out))
+        local = Session().run(
+            TopKSpec(queries=("ann lee",), k=1), names=NAMES
+        )
+        assert remote.matches == local.matches
+
+
+class TestUniformErrors:
+    # An explicit --param wins over the argparse-validated flags, so a
+    # bad selector reaches the registry's uniform validator.
+    def test_join_json_mode_prints_envelope(self, names_file, capsys):
+        code = main(
+            ["join", str(names_file), "--param", "matching=bogus", "--json"]
+        )
+        assert code == 1
+        envelope = json.loads(capsys.readouterr().out)
+        assert envelope["error"]["type"] == "validation"
+        assert "matching" in envelope["error"]["message"]
+
+    def test_join_human_mode_prints_one_line(self, names_file, capsys):
+        code = main(["join", str(names_file), "--param", "matching=bogus"])
+        assert code == 1
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert captured.err.startswith("error: ")
+        assert "Traceback" not in captured.err

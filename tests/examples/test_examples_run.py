@@ -72,6 +72,15 @@ class TestExamplesRun:
         output = capsys.readouterr().out
         assert "best: T =" in output
 
+    def test_http_service(self, capsys):
+        load_example("http_service.py").main(120)
+        output = capsys.readouterr().out
+        assert "server up at http://" in output
+        assert "matches in-process run: True" in output
+        assert "served remotely" in output
+        assert "bad wire version rejected remotely" in output
+        assert "server metrics" in output
+
     def test_declarative_api(self, capsys):
         load_example("declarative_api.py").main(120)
         output = capsys.readouterr().out

@@ -1,0 +1,159 @@
+"""The client's retry policy, exercised against a scripted fake transport.
+
+No sockets here: ``connection_factory`` and ``sleep`` are the injection
+points, so every test pins down exactly which failures retry, how long
+the backoff waits, and which failures must NOT retry (4xx: re-sending a
+request the server already ruled invalid cannot help).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+
+import pytest
+
+from repro.api.errors import (
+    ApiError,
+    ServerError,
+    ServiceUnavailableError,
+    ValidationError,
+)
+from repro.client import ServiceClient
+
+pytestmark = pytest.mark.tier1
+
+
+class FakeResponse:
+    def __init__(self, status, payload):
+        self.status = status
+        self._body = json.dumps(payload).encode()
+
+    def read(self):
+        return self._body
+
+
+class FakeConnection:
+    """Replays a script of responses/exceptions, one per request."""
+
+    def __init__(self, script, log):
+        self._script = script
+        self._log = log
+        self.closed = False
+
+    def request(self, method, path, body=None, headers=None):
+        self._log.append(("request", method, path))
+
+    def getresponse(self):
+        step = self._script.pop(0)
+        if isinstance(step, Exception):
+            raise step
+        return FakeResponse(*step)
+
+    def close(self):
+        self.closed = True
+        self._log.append(("close",))
+
+
+def make_client(script, *, retries=3, backoff=0.1):
+    """A client whose transport replays ``script`` and records sleeps."""
+    log: list = []
+    sleeps: list[float] = []
+    remaining = list(script)
+
+    def factory(host, port, timeout):
+        log.append(("connect", host, port))
+        return FakeConnection(remaining, log)
+
+    client = ServiceClient(
+        "http://fake:1234",
+        retries=retries,
+        backoff=backoff,
+        sleep=sleeps.append,
+        connection_factory=factory,
+    )
+    return client, log, sleeps
+
+
+OK = (200, {"ok": True})
+ENVELOPE_500 = (500, {"error": {"type": "internal", "message": "boom"}})
+ENVELOPE_400 = (400, {"error": {"type": "validation", "message": "bad spec"}})
+
+
+class TestRetries:
+    def test_connection_error_retries_then_succeeds(self):
+        client, log, sleeps = make_client([ConnectionRefusedError("nope"), OK])
+        assert client.health() == {"ok": True}
+        # The dead connection was dropped and a fresh one dialled.
+        assert log.count(("connect", "fake", 1234)) == 2
+        assert sleeps == [0.1]
+
+    def test_5xx_retries_then_succeeds(self):
+        client, _, sleeps = make_client([ENVELOPE_500, ENVELOPE_500, OK])
+        assert client.health() == {"ok": True}
+        assert sleeps == [0.1, 0.2]
+
+    def test_backoff_doubles_per_attempt(self):
+        client, _, sleeps = make_client(
+            [ConnectionResetError()] * 3 + [OK], backoff=0.05
+        )
+        assert client.health() == {"ok": True}
+        assert sleeps == [0.05, 0.1, 0.2]
+
+    def test_exhaustion_raises_service_unavailable(self):
+        client, _, sleeps = make_client([OSError("down")] * 4, retries=3)
+        with pytest.raises(ServiceUnavailableError, match="4 attempt"):
+            client.health()
+        assert len(sleeps) == 3
+
+    def test_exhausted_5xx_raises_the_server_error(self):
+        client, _, _ = make_client([ENVELOPE_500] * 4, retries=3)
+        with pytest.raises(ServerError, match="boom"):
+            client.health()
+
+    def test_http_protocol_error_is_retryable(self):
+        # A server dying mid-response surfaces as BadStatusLine.
+        client, _, _ = make_client([http.client.BadStatusLine(""), OK])
+        assert client.health() == {"ok": True}
+
+
+class TestNoRetryOn4xx:
+    def test_400_raises_typed_immediately(self):
+        client, log, sleeps = make_client([ENVELOPE_400, OK])
+        with pytest.raises(ValidationError, match="bad spec"):
+            client.health()
+        assert sleeps == []
+        assert sum(1 for entry in log if entry[0] == "request") == 1
+
+    def test_unknown_4xx_still_typed(self):
+        answer = (418, {"error": {"type": "teapot", "message": "no"}})
+        client, _, _ = make_client([answer])
+        with pytest.raises(ApiError) as excinfo:
+            client.health()
+        assert excinfo.value.status == 418
+        assert not isinstance(excinfo.value, ServerError)
+
+
+class TestTransport:
+    def test_connection_reused_across_requests(self):
+        client, log, _ = make_client([OK, OK])
+        client.health()
+        client.health()
+        assert log.count(("connect", "fake", 1234)) == 1
+
+    def test_close_is_idempotent(self):
+        client, log, _ = make_client([OK])
+        client.health()
+        client.close()
+        client.close()
+        assert log.count(("close",)) == 1
+
+    def test_rejects_non_http_url(self):
+        with pytest.raises(ValueError, match="base_url"):
+            ServiceClient("ftp://fake:1")
+
+    def test_path_prefix_preserved(self):
+        client, log, _ = make_client([OK])
+        client._prefix = "/proxy"
+        client.health()
+        assert ("request", "GET", "/proxy/v1/health") in log

@@ -9,6 +9,7 @@ import pytest
 
 MODULES = [
     "repro.core.api",
+    "repro.api.errors",
     "repro.api.registry",
     "repro.api.specs",
     "repro.api.session",
