@@ -15,9 +15,11 @@ import os
 import subprocess
 import sys
 import tempfile
+import threading
+import time
 
 import repro
-from repro import JoinSpec, ServiceClient, Session, TopKSpec
+from repro import CompareSpec, JoinSpec, ServiceClient, Session, TopKSpec
 from repro.api.errors import ValidationError
 from repro.data import FraudRingGenerator, NameGenerator
 
@@ -44,6 +46,13 @@ def boot_server(names_path: str) -> tuple[subprocess.Popen, str]:
             TOKEN,
             "--input",
             names_path,
+            # One request at a time, no queue: overflow sheds with a 503
+            # envelope + Retry-After (the sequential demos above never
+            # overlap, so only the saturation demo below trips it).
+            "--max-inflight",
+            "1",
+            "--max-queue",
+            "0",
         ],
         stdout=subprocess.PIPE,
         text=True,
@@ -55,6 +64,55 @@ def boot_server(names_path: str) -> tuple[subprocess.Popen, str]:
         process.terminate()
         raise RuntimeError(f"server failed to start: {banner!r}")
     return process, banner.split()[2]
+
+
+def shed_and_retry(client: ServiceClient, url: str) -> None:
+    """Demonstrate load shedding: a 503 that heals through the SDK.
+
+    The server holds one admission slot (``--max-inflight 1
+    --max-queue 0``).  A background join occupies it; once the metrics
+    endpoint (which never sheds) confirms the slot is held, a compare
+    request is fired through a retrying client.  Its first attempt is
+    shed with a 503 ``overloaded`` envelope; the SDK sleeps for the
+    server's ``Retry-After`` hint and retries to success.  A fast
+    machine can finish the join before the compare arrives, so each
+    repeat doubles the saturating corpus until a shed is observed.
+    """
+    spec = CompareSpec(name_a="veronika dahl", name_b="veronika dhal")
+    expected = Session().run(spec).to_dict()
+    # A ServiceClient caches one keep-alive connection, so each thread
+    # gets its own: one to hold the slot, one to poll, one to retry.
+    patient = ServiceClient(url, token=TOKEN, retries=8, backoff=0.2)
+    holder = ServiceClient(url, token=TOKEN)
+    corpus = tuple(NameGenerator(seed=33).generate(300))
+
+    for _ in range(5):
+        blocker = threading.Thread(
+            target=holder.run,
+            args=(JoinSpec(threshold=0.25, names=corpus),),
+            daemon=True,
+        )
+        blocker.start()
+        deadline = time.monotonic() + 10
+        while time.monotonic() < deadline:
+            if client.metrics()["admission"]["inflight"] >= 1:
+                break
+            time.sleep(0.002)
+        result = patient.run(spec).to_dict()
+        blocker.join(timeout=60)
+        for volatile in ("build_seconds", "query_seconds"):
+            result.pop(volatile)
+            expected.pop(volatile, None)
+        assert result == expected
+        shed = client.metrics()["admission"]["shed_total"]
+        if shed:
+            print(
+                f"load shedding round-trip: {shed} request(s) shed with "
+                "503 + Retry-After; the SDK retried to the same answer"
+            )
+            return
+        corpus = corpus + corpus  # a slower join next round
+    raise RuntimeError("server never shed; saturation demo misconfigured?")
 
 
 def main(corpus_size: int = 300) -> None:
@@ -110,10 +168,16 @@ def main(corpus_size: int = 300) -> None:
             except ValidationError as exc:
                 print(f"bad wire version rejected remotely: {exc}")
 
+            # Saturate the one admission slot with a long join, then
+            # watch a second request get shed (503 + Retry-After) and
+            # ride the SDK's retry loop to a correct answer anyway.
+            shed_and_retry(client, url)
+
             metrics = client.metrics()
             print(
                 f"server metrics: {metrics['requests_total']} requests, "
-                f"{metrics['session']['resident_corpora']} resident corpora"
+                f"{metrics['session']['resident_corpora']} resident corpora, "
+                f"{metrics['admission']['shed_total']} shed"
             )
     finally:
         process.terminate()

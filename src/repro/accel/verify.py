@@ -31,7 +31,9 @@ import repro.accel as _accel
 from repro.accel.vector import verify_within_batch
 from repro.accel.vocab import BoundedCache
 from repro.distances.levenshtein import OpsHook
-from repro.runtime.pool import in_worker_process, shared_pool
+from repro.faults import fault_point
+from repro.runtime.deadline import check_deadline
+from repro.runtime.pool import in_worker_process, resilient_pool_map
 
 
 def _verify_vector(
@@ -80,6 +82,7 @@ def _verify_chunk(
     metered, so the parent can charge its ``ops`` hook once per chunk.
     """
     string_pairs, limit, backend = payload
+    fault_point("verify.chunk")
     units = 0
 
     def meter(n: int) -> None:
@@ -179,11 +182,21 @@ def verify_pairs(
             # Running the identical chunks sequentially keeps results AND
             # ops metering byte-identical to the pooled execution, so
             # simulated costs stay engine-invariant.
-            outcomes = [_verify_chunk(chunk) for chunk in chunks]
+            outcomes = []
+            for chunk in chunks:
+                check_deadline("verification chunk")
+                outcomes.append(_verify_chunk(chunk))
         else:
-            # Never fork more persistent workers than there are chunks.
-            pool = shared_pool(min(processes, len(chunks)))
-            outcomes = pool.map(_verify_chunk, chunks)
+            # Never fork more persistent workers than there are chunks;
+            # resilient_pool_map rebuilds the pool and retries on worker
+            # death, degrading to this process when retries run out --
+            # the chunk function is pure, so results stay identical.
+            outcomes = resilient_pool_map(
+                _verify_chunk,
+                chunks,
+                min(processes, len(chunks)),
+                label="verification chunks",
+            )
         results = list(itertools.chain.from_iterable(r for r, _ in outcomes))
         if ops is not None:
             ops(sum(units for _, units in outcomes))

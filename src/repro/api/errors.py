@@ -32,8 +32,10 @@ from __future__ import annotations
 __all__ = [
     "ApiError",
     "AuthError",
+    "DeadlineExceededError",
     "MethodNotAllowedError",
     "NotFoundError",
+    "OverloadedError",
     "ServerError",
     "ServiceUnavailableError",
     "ValidationError",
@@ -44,10 +46,12 @@ __all__ = [
 ]
 
 #: The wire-format version this build writes (and the newest it reads).
-WIRE_VERSION = 1
+#: Version 2 added the optional ``deadline_ms`` spec field (PR 8); the
+#: reader still accepts version-1 payloads unchanged.
+WIRE_VERSION = 2
 
 #: Every version this build can read.
-SUPPORTED_WIRE_VERSIONS = (1,)
+SUPPORTED_WIRE_VERSIONS = (1, 2)
 
 
 class ApiError(Exception):
@@ -115,6 +119,38 @@ class ServiceUnavailableError(ApiError):
     status = 503
 
 
+class OverloadedError(ApiError):
+    """Load shed: the admission gate is full and the queue is at its bound.
+
+    Carries a ``retry_after`` hint (seconds) that the HTTP layer also
+    sends as a ``Retry-After`` header; the client SDK honors it as the
+    backoff before its next attempt.
+    """
+
+    type = "overloaded"
+    status = 503
+
+    def __init__(self, message: str, retry_after: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+    def to_envelope(self) -> dict:
+        envelope = super().to_envelope()
+        envelope["error"]["retry_after"] = self.retry_after
+        return envelope
+
+
+class DeadlineExceededError(ApiError):
+    """The request's ``deadline_ms`` budget ran out; work was abandoned.
+
+    A 504-class answer; *not* retryable by the client -- the deadline
+    that expired server-side has expired for the caller too.
+    """
+
+    type = "deadline_exceeded"
+    status = 504
+
+
 _ERROR_TYPES = {
     cls.type: cls
     for cls in (
@@ -125,6 +161,8 @@ _ERROR_TYPES = {
         MethodNotAllowedError,
         ServerError,
         ServiceUnavailableError,
+        OverloadedError,
+        DeadlineExceededError,
     )
 }
 
@@ -161,7 +199,12 @@ def error_from_envelope(payload, status: int | None = None) -> ApiError:
     cls = _ERROR_TYPES.get(error.get("type"))
     if cls is None:
         cls = ServerError if (status or 0) >= 500 else ApiError
-    exc = cls(message)
+    if cls is OverloadedError:
+        exc: ApiError = OverloadedError(
+            message, retry_after=float(error.get("retry_after", 1.0))
+        )
+    else:
+        exc = cls(message)
     if status is not None:
         exc.status = status
     return exc
@@ -183,9 +226,9 @@ def take_wire_version(payload: dict, what: str = "payload") -> int:
     >>> take_wire_version({"version": 99})
     Traceback (most recent call last):
         ...
-    repro.api.errors.ValidationError: unknown payload wire format version 99; choose from [1]
+    repro.api.errors.ValidationError: unknown payload wire format version 99; choose from [1, 2]
     """
-    version = payload.pop("version", WIRE_VERSION)
+    version = payload.pop("version", SUPPORTED_WIRE_VERSIONS[0])
     if version not in SUPPORTED_WIRE_VERSIONS:
         listed = ", ".join(str(v) for v in SUPPORTED_WIRE_VERSIONS)
         raise ValidationError(

@@ -232,15 +232,23 @@ class Session:
         ``names``/``records`` supply data out-of-band (the resident /
         pre-tokenized paths); ``spec.names`` wins when set, then
         ``names``, then the session's default corpus.
+
+        A spec's ``deadline_ms`` becomes the ambient request deadline
+        for the execution (:mod:`repro.runtime.deadline`): the engines
+        and the pool dispatch loop check it at shard boundaries, and
+        expiry raises :class:`~repro.api.errors.DeadlineExceededError`.
         """
-        if isinstance(spec, JoinSpec):
-            return self._run_join(spec, names, records)
-        if isinstance(spec, TopKSpec):
-            return self._run_search(spec, names, records, "topk")
-        if isinstance(spec, WithinSpec):
-            return self._run_search(spec, names, records, "within")
-        if isinstance(spec, CompareSpec):
-            return self._run_compare(spec)
+        from repro.runtime.deadline import deadline_scope
+
+        with deadline_scope(getattr(spec, "deadline_ms", None)):
+            if isinstance(spec, JoinSpec):
+                return self._run_join(spec, names, records)
+            if isinstance(spec, TopKSpec):
+                return self._run_search(spec, names, records, "topk")
+            if isinstance(spec, WithinSpec):
+                return self._run_search(spec, names, records, "within")
+            if isinstance(spec, CompareSpec):
+                return self._run_compare(spec)
         raise TypeError(
             f"Session.run expects a JoinSpec/TopKSpec/WithinSpec/CompareSpec, "
             f"got {type(spec).__name__}"

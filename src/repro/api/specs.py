@@ -73,12 +73,21 @@ def _normalise_names(spec, attribute: str) -> None:
 
 def _normalise_common(spec) -> None:
     """The normalisation steps every spec shares: ``names`` to a tuple,
-    ``params`` to deep-JSON form, selector validation."""
+    ``params`` to deep-JSON form, selector and deadline validation."""
     if hasattr(spec, "names"):
         _normalise_names(spec, "names")
     if hasattr(spec, "params"):
         _frozen_set(spec, "params", _jsonify(spec.params))
     _validate_backend_engine(spec)
+    deadline_ms = spec.deadline_ms
+    if deadline_ms is not None:
+        if not isinstance(deadline_ms, (int, float)) or isinstance(
+            deadline_ms, bool
+        ):
+            raise ValidationError("deadline_ms must be a number (milliseconds)")
+        if deadline_ms <= 0:
+            raise ValidationError("deadline_ms must be positive")
+        _frozen_set(spec, "deadline_ms", float(deadline_ms))
 
 
 def _normalise_queries(spec) -> None:
@@ -171,6 +180,12 @@ class JoinSpec(_SpecBase):
         Algorithm-specific keyword arguments (JSON-able values), e.g.
         ``{"max_token_frequency": 1000, "n_machines": 10}`` for ``tsj``
         or ``{"k_signatures": 2}`` for ``passjoin_k``.
+    deadline_ms:
+        Optional request budget in milliseconds (wire version 2).  The
+        executing session installs it as the ambient deadline
+        (:mod:`repro.runtime.deadline`); expiry raises the typed
+        :class:`~repro.api.errors.DeadlineExceededError` (HTTP 504) at
+        the next shard boundary, abandoning partial work cleanly.
     """
 
     type = "join"
@@ -181,6 +196,7 @@ class JoinSpec(_SpecBase):
     backend: str | None = None
     engine: str | None = None
     params: dict = field(default_factory=dict)
+    deadline_ms: float | None = None
 
     def __post_init__(self) -> None:
         resolve_join(self.algorithm)
@@ -200,6 +216,7 @@ class TopKSpec(_SpecBase):
     backend: str | None = None
     processes: int | None = None
     params: dict = field(default_factory=dict)
+    deadline_ms: float | None = None
 
     def __post_init__(self) -> None:
         resolve_search(self.method)
@@ -222,6 +239,7 @@ class WithinSpec(_SpecBase):
     backend: str | None = None
     processes: int | None = None
     params: dict = field(default_factory=dict)
+    deadline_ms: float | None = None
 
     def __post_init__(self) -> None:
         backend = resolve_search(self.method)
@@ -245,6 +263,7 @@ class CompareSpec(_SpecBase):
     name_a: str = ""
     name_b: str = ""
     backend: str | None = None
+    deadline_ms: float | None = None
 
     def __post_init__(self) -> None:
         _normalise_common(self)

@@ -282,6 +282,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         backend=args.backend,
         engine=args.engine,
         cache_size=args.cache_size,
+        max_inflight=args.max_inflight,
+        max_queue=args.max_queue,
     )
     corpus = f"{len(names)} resident names" if names else "no resident corpus"
     auth = "bearer-token auth" if args.token else "no auth"
@@ -475,6 +477,20 @@ def build_parser() -> argparse.ArgumentParser:
         "/v1/health (default: auth disabled)",
     )
     serve.add_argument("--cache-size", type=int, default=256)
+    serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=None,
+        help="bound on concurrently executing requests; overflow beyond "
+        "the queue is shed with 503 + Retry-After (default: unbounded)",
+    )
+    serve.add_argument(
+        "--max-queue",
+        type=int,
+        default=8,
+        help="requests allowed to wait for an execution slot before "
+        "shedding starts (only meaningful with --max-inflight)",
+    )
     _add_backend_argument(serve)
     _add_engine_argument(serve)
     serve.set_defaults(func=_cmd_serve)

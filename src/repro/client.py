@@ -11,12 +11,19 @@ are interchangeable::
 
 Stdlib only (:mod:`http.client`).  The client holds one keep-alive
 connection per instance, sends the static bearer token on every
-request, and retries with exponential backoff on connection errors and
-5xx answers -- the classes of failure a retry can fix.  4xx answers
-never retry: they are rebuilt into the typed
+request, and retries with full-jitter exponential backoff on connection
+errors and 5xx answers -- the classes of failure a retry can fix.  4xx
+answers never retry: they are rebuilt into the typed
 :class:`repro.api.errors.ApiError` hierarchy from the uniform error
 envelope, so a remote validation failure raises the same
 ``ValidationError`` the in-process facade would.
+
+Retries respect the caller's time, not just an attempt count: a shed
+request's ``Retry-After`` hint replaces the computed backoff, a
+``max_elapsed`` cap (and any spec ``deadline_ms``) bounds the total
+attempts+sleeps window, and a 504 ``deadline_exceeded`` answer is never
+retried -- the budget that expired server-side has expired for the
+caller too.
 
 Instances are not thread-safe (one connection, one in-flight request);
 give each worker thread its own client -- they are cheap.
@@ -26,6 +33,7 @@ from __future__ import annotations
 
 import http.client
 import json
+import random
 import time
 from typing import Callable, Mapping, Sequence
 from urllib.parse import urlsplit
@@ -37,6 +45,7 @@ from repro.api.errors import (
 )
 from repro.api.result import ResultSet
 from repro.api.specs import JoinSpec, TopKSpec, WithinSpec
+from repro.faults import fault_point
 
 __all__ = ["ServiceClient"]
 
@@ -63,10 +72,21 @@ class ServiceClient:
         How many *extra* attempts after the first (``retries=3`` means
         up to four requests) on connection errors and 5xx answers.
     backoff:
-        First retry delay in seconds; doubles per attempt
-        (``backoff * 2**(attempt-1)``).
-    sleep / connection_factory:
-        Injection points for tests: the backoff sleeper and the
+        Base retry delay in seconds.  The actual delay before attempt
+        ``n`` is full-jitter exponential: ``backoff * 2**(n-1) * rng()``
+        -- jitter decorrelates a thundering herd of shed clients.  A
+        server ``Retry-After`` hint (a 503 shed) replaces the computed
+        delay for that attempt.
+    max_elapsed:
+        Total seconds the request (attempts + sleeps) may take; a retry
+        whose delay would overrun the cap is abandoned and the last
+        error raised instead.  A spec ``deadline_ms`` tightens the cap
+        further -- sleeping past the request's own deadline helps nobody.
+        ``None`` (default) bounds by attempt count only.
+    sleep / rng / connection_factory:
+        Injection points for tests: the backoff sleeper, the jitter
+        source (a ``() -> float in [0, 1]``; pass ``lambda: 1.0`` for
+        deterministic full-length delays) and the
         ``(host, port, timeout) -> connection`` constructor.
     """
 
@@ -78,7 +98,9 @@ class ServiceClient:
         timeout: float = 30.0,
         retries: int = 3,
         backoff: float = 0.1,
+        max_elapsed: float | None = None,
         sleep: Callable[[float], None] = time.sleep,
+        rng: Callable[[], float] = random.random,
         connection_factory: Callable | None = None,
     ) -> None:
         parts = urlsplit(base_url)
@@ -93,7 +115,9 @@ class ServiceClient:
         self.timeout = timeout
         self.retries = retries
         self.backoff = backoff
+        self.max_elapsed = max_elapsed
         self._sleep = sleep
+        self._rng = rng
         if connection_factory is None:
             connection_factory = (
                 http.client.HTTPSConnection
@@ -123,12 +147,15 @@ class ServiceClient:
         backend: str | None = None,
         engine: str | None = None,
         params: Mapping | None = None,
+        deadline_ms: float | None = None,
     ) -> ResultSet:
         """Self-join under any registered algorithm (``POST /v1/join``).
 
         ``names=None`` joins the server session's resident default
         corpus.  The spec is built client-side, so selector typos fail
         locally with the same uniform error the server would answer.
+        ``deadline_ms`` rides the spec to the server (a 504 on expiry)
+        and caps this client's retry window too.
         """
         spec = JoinSpec(
             algorithm=algorithm,
@@ -137,6 +164,7 @@ class ServiceClient:
             backend=backend,
             engine=engine,
             params=dict(params or {}),
+            deadline_ms=deadline_ms,
         )
         return ResultSet.from_dict(
             self._request("POST", "/v1/join", spec.to_dict())
@@ -152,6 +180,7 @@ class ServiceClient:
         names: Sequence[str] | None = None,
         backend: str | None = None,
         processes: int | None = None,
+        deadline_ms: float | None = None,
     ) -> ResultSet:
         """Top-k (default) or range queries (``POST /v1/search``).
 
@@ -166,6 +195,7 @@ class ServiceClient:
                 names=names,
                 backend=backend,
                 processes=processes,
+                deadline_ms=deadline_ms,
             )
         else:
             spec = TopKSpec(
@@ -175,6 +205,7 @@ class ServiceClient:
                 names=names,
                 backend=backend,
                 processes=processes,
+                deadline_ms=deadline_ms,
             )
         return ResultSet.from_dict(
             self._request("POST", "/v1/search", spec.to_dict())
@@ -206,10 +237,26 @@ class ServiceClient:
 
     def _request(self, method: str, path: str, payload: dict | None = None):
         body = None if payload is None else json.dumps(payload).encode("utf-8")
+        budget = self._time_budget(payload)
+        started = time.monotonic()
         last_error: ApiError | None = None
+        retry_after: float | None = None
         for attempt in range(self.retries + 1):
             if attempt:
-                self._sleep(self.backoff * 2 ** (attempt - 1))
+                # A server Retry-After hint beats the computed backoff;
+                # otherwise full-jitter exponential.
+                delay = (
+                    retry_after
+                    if retry_after is not None
+                    else self.backoff * 2 ** (attempt - 1) * self._rng()
+                )
+                if (
+                    budget is not None
+                    and time.monotonic() - started + delay > budget
+                ):
+                    break  # sleeping past the caller's budget helps nobody
+                self._sleep(delay)
+            retry_after = None
             try:
                 status, data = self._send(method, path, body)
             except _RETRYABLE as exc:
@@ -221,14 +268,34 @@ class ServiceClient:
                 continue
             if status >= 500:
                 # The server answered but could not serve; its envelope
-                # (when well-formed) names the failure.  Retryable.
-                last_error = error_from_envelope(_parse_json(data), status)
+                # (when well-formed) names the failure.  Retryable --
+                # except an expired deadline, which a retry can only
+                # expire again (the budget was the request's own).
+                error = error_from_envelope(_parse_json(data), status)
+                if error.type == "deadline_exceeded":
+                    raise error
+                retry_after = getattr(error, "retry_after", None)
+                last_error = error
                 continue
             if status >= 400:
                 raise error_from_envelope(_parse_json(data), status)
             return _parse_json(data)
         assert last_error is not None
         raise last_error
+
+    def _time_budget(self, payload: dict | None) -> float | None:
+        """Seconds the whole retry loop may take: ``max_elapsed``
+        tightened by the spec's own ``deadline_ms`` when present."""
+        budget = self.max_elapsed
+        deadline_ms = (payload or {}).get("deadline_ms")
+        if isinstance(deadline_ms, (int, float)) and deadline_ms > 0:
+            deadline_seconds = deadline_ms / 1000.0
+            budget = (
+                deadline_seconds
+                if budget is None
+                else min(budget, deadline_seconds)
+            )
+        return budget
 
     def _send(self, method: str, path: str, body: bytes | None):
         connection = self._connection
@@ -241,6 +308,7 @@ class ServiceClient:
         if self.token is not None:
             headers["Authorization"] = f"Bearer {self.token}"
         try:
+            fault_point("client.send")  # chaos tests: sever the connection
             connection.request(method, self._prefix + path, body=body, headers=headers)
             response = connection.getresponse()
             return response.status, response.read()

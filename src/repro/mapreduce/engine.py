@@ -307,7 +307,16 @@ class MapReduceEngine:
         Input records are split round-robin across mappers (MapReduce input
         splits); intermediate keys are hash-partitioned across reducers
         with :func:`repro.mapreduce.hashing.stable_hash`.
+
+        An ambient request deadline (:mod:`repro.runtime.deadline`) is
+        honored at phase boundaries and periodically inside the map and
+        reduce loops, so an expired request abandons the job cleanly
+        instead of running to completion first.
         """
+        # Lazy: repro.runtime's package __init__ imports this module back,
+        # so a module-level import would be circular.
+        from repro.runtime.deadline import check_deadline
+
         n = self.n_machines
         metrics = JobMetrics(name=job.name, n_machines=n)
         metrics.map_records = [0] * n
@@ -337,6 +346,8 @@ class MapReduceEngine:
             record_ops += ops
 
         for index, record in enumerate(records):
+            if not index & 0xFFF:  # every 4096 records: one clock read
+                check_deadline("map phase")
             mapper = index % n
             metrics.map_records[mapper] += 1
             record_ops = 0
@@ -386,9 +397,11 @@ class MapReduceEngine:
             group_ops += ops
 
         ctx._bind(reduce_sink)
-        for key, reducer, values in zip(
-            shuffle.keys, shuffle.destinations, shuffle.values
+        for group_index, (key, reducer, values) in enumerate(
+            zip(shuffle.keys, shuffle.destinations, shuffle.values)
         ):
+            if not group_index & 0xFFF:
+                check_deadline("reduce phase")
             metrics.reduce_tasks[reducer] += 1
             metrics.reduce_records[reducer] += len(values)
 

@@ -39,15 +39,26 @@ from __future__ import annotations
 
 from repro.mapreduce.cluster import ClusterConfig
 from repro.mapreduce.engine import MapReduceEngine
+from repro.runtime.deadline import (
+    Deadline,
+    check_deadline,
+    current_deadline,
+    deadline_scope,
+)
 from repro.runtime.parallel import (
     DEFAULT_MIN_PARALLEL_RECORDS,
     ParallelMapReduceEngine,
 )
 from repro.runtime.pool import (
+    MAX_SHARD_RETRIES,
+    PoolBrokenError,
     available_cpus,
     default_worker_count,
     fork_is_default,
     in_worker_process,
+    reset_runtime_counters,
+    resilient_pool_map,
+    runtime_counters,
     shared_pool,
     shared_pool_size,
     shutdown_shared_pool,
@@ -101,13 +112,22 @@ def create_engine(
 
 __all__ = [
     "DEFAULT_MIN_PARALLEL_RECORDS",
+    "Deadline",
     "ENGINES",
+    "MAX_SHARD_RETRIES",
     "ParallelMapReduceEngine",
+    "PoolBrokenError",
     "available_cpus",
+    "check_deadline",
     "create_engine",
+    "current_deadline",
+    "deadline_scope",
     "default_worker_count",
     "in_worker_process",
+    "reset_runtime_counters",
+    "resilient_pool_map",
     "resolve_engine",
+    "runtime_counters",
     "shared_pool",
     "shared_pool_size",
     "shutdown_shared_pool",

@@ -1,0 +1,114 @@
+"""Request deadlines: a budget that travels with the call, not the spec.
+
+A spec's optional ``deadline_ms`` is relative ("finish within 250ms");
+what the execution layers need is the *absolute* expiry of the request
+currently running on this thread.  :class:`Deadline` is that absolute
+form, and a :mod:`contextvars` variable carries it implicitly from
+:meth:`repro.api.Session.run` down into the MapReduce engines, the
+pool dispatch loop and ``verify_pairs`` -- no signature changes, and
+each server handler thread (or asyncio task) gets its own value.
+
+Expiry is checked at **shard boundaries** -- before a job dispatches,
+between poll ticks while a pool job is in flight, per verification
+chunk -- so partial work is abandoned cleanly: no shard is half-merged,
+and results that *are* returned are never deadline-dependent.  The
+check raises the typed
+:class:`~repro.api.errors.DeadlineExceededError`, which the HTTP layer
+answers as a uniform 504 envelope.
+
+This module is stdlib-only at import time (the error class loads
+lazily), so every layer -- ``repro.mapreduce`` included, which sits
+below the runtime -- can check deadlines without import cycles.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import time
+from contextlib import contextmanager
+
+__all__ = [
+    "Deadline",
+    "check_deadline",
+    "current_deadline",
+    "deadline_scope",
+]
+
+
+class Deadline:
+    """An absolute expiry on the monotonic clock.
+
+    Built from a relative budget (:meth:`from_ms`) at request admission;
+    cheap enough to consult in dispatch loops (one clock read).
+    """
+
+    __slots__ = ("expires_at", "budget_ms")
+
+    def __init__(self, expires_at: float, budget_ms: float) -> None:
+        self.expires_at = expires_at
+        self.budget_ms = budget_ms
+
+    @classmethod
+    def from_ms(cls, budget_ms: float) -> "Deadline":
+        """The deadline ``budget_ms`` milliseconds from now."""
+        return cls(time.monotonic() + budget_ms / 1000.0, budget_ms)
+
+    def remaining(self) -> float:
+        """Seconds left (clamped to ``0.0`` once expired)."""
+        return max(0.0, self.expires_at - time.monotonic())
+
+    def expired(self) -> bool:
+        return time.monotonic() >= self.expires_at
+
+    def check(self, doing: str) -> None:
+        """Raise the typed 504 error when the budget is spent.
+
+        ``doing`` names the boundary for the error message ("map phase
+        dispatch", "verification chunk", ...), so an expired request
+        reports *where* its budget ran out.
+        """
+        if self.expired():
+            from repro.api.errors import DeadlineExceededError
+
+            raise DeadlineExceededError(
+                f"deadline of {self.budget_ms:g}ms exceeded while {doing}; "
+                "partial work abandoned"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover -- debugging aid
+        return f"Deadline(remaining={self.remaining():.3f}s)"
+
+
+_CURRENT: contextvars.ContextVar[Deadline | None] = contextvars.ContextVar(
+    "repro_deadline", default=None
+)
+
+
+def current_deadline() -> Deadline | None:
+    """The deadline governing this thread's current request, if any."""
+    return _CURRENT.get()
+
+
+def check_deadline(doing: str) -> None:
+    """Check the ambient deadline at a shard boundary (no-op without one)."""
+    deadline = _CURRENT.get()
+    if deadline is not None:
+        deadline.check(doing)
+
+
+@contextmanager
+def deadline_scope(budget_ms: float | None):
+    """Install a request deadline for the duration of the block.
+
+    ``None`` leaves any ambient deadline untouched (a spec without
+    ``deadline_ms`` running under an outer budget still honors it).
+    """
+    if budget_ms is None:
+        yield None
+        return
+    deadline = Deadline.from_ms(budget_ms)
+    token = _CURRENT.set(deadline)
+    try:
+        yield deadline
+    finally:
+        _CURRENT.reset(token)

@@ -47,11 +47,13 @@ from repro.mapreduce.engine import (
     MapReduceJob,
     estimate_size,
 )
+from repro.faults import fault_point
 from repro.mapreduce.shuffle import SizeMemo
+from repro.runtime.deadline import check_deadline
 from repro.runtime.pool import (
     default_worker_count,
     in_worker_process,
-    shared_pool,
+    resilient_pool_map,
 )
 
 #: Below this many input records a job runs serially in-process: pool
@@ -75,6 +77,7 @@ def _run_map_shard(
     first-emission tag, and the tagged values.
     """
     job, n_machines, shard = payload
+    fault_point("engine.map")
     ctx = MapReduceContext()
     map_records: dict[int, int] = {}
     map_ops: dict[int, int] = {}
@@ -155,6 +158,7 @@ def _run_reduce_shard(
     counters; values arrive already merged in serial order.
     """
     job, groups = payload
+    fault_point("engine.reduce")
     ctx = MapReduceContext()
     group_ops = 0
 
@@ -219,14 +223,19 @@ class ParallelMapReduceEngine(MapReduceEngine):
             return super().run(job, records)
         # ---- map phase: shard whole simulated mappers across workers ------
         # At most n_shards workers ever receive tasks; don't fork more.
-        # shared_pool() is re-fetched per dispatch (never cached across
-        # calls): growth replaces the pool, invalidating held handles.
+        # Dispatch goes through resilient_pool_map: a worker death mid-
+        # shard rebuilds the pool and re-runs the batch (shard functions
+        # are pure), degrading to in-process execution when retries run
+        # out -- identical outputs on every path.
+        check_deadline("map phase dispatch")
         shards: list[list[tuple[int, Any]]] = [[] for _ in range(n_shards)]
         for index, record in enumerate(records):
             shards[(index % n) % n_shards].append((index, record))
-        map_parts = shared_pool(n_shards).map(
+        map_parts = resilient_pool_map(
             _run_map_shard,
             [(job, n, shard) for shard in shards if shard],
+            n_shards,
+            label="map shards",
         )
 
         metrics = JobMetrics(name=job.name, n_machines=n)
@@ -281,12 +290,15 @@ class ParallelMapReduceEngine(MapReduceEngine):
             metrics.reduce_ledger[key] = [0, 0, nbytes]
 
         # ---- reduce phase: shard whole simulated reducers across workers --
+        check_deadline("reduce phase dispatch")
         reduce_shards: list[list[tuple[Any, list[Any]]]] = [[] for _ in range(n_shards)]
         for key in ordered_keys:
             reduce_shards[destinations[key] % n_shards].append((key, groups[key]))
-        reduce_parts = shared_pool(n_shards).map(
+        reduce_parts = resilient_pool_map(
             _run_reduce_shard,
             [(job, shard) for shard in reduce_shards if shard],
+            n_shards,
+            label="reduce shards",
         )
         results_by_key: dict[Any, tuple[list[Any], int, int]] = {}
         for results, part_counters in reduce_parts:

@@ -13,6 +13,35 @@ caller asks for more workers than it has, and is torn down at interpreter
 exit.  Pool worker processes are daemonic and must not create pools of
 their own; :func:`in_worker_process` lets callers detect that situation
 and fall back to in-process execution instead of crashing.
+
+Fault tolerance
+---------------
+
+A killed worker (OOM, a crashing native kernel, an injected fault from
+:mod:`repro.faults`) must not take the whole run down -- the
+MapReduce-era systems this repo reproduces treat task re-execution
+after worker failure as table stakes.  :func:`resilient_pool_map` is
+the dispatch API every runtime layer fans out through:
+
+* the live pool is **probed on checkout** (a terminated or
+  generation-stale pool is replaced before dispatch);
+* while a job is in flight the worker set is **monitored** -- a worker
+  death (pid set change, a dead ``exitcode``) or broken pool plumbing
+  (``BrokenPipeError``/``OSError`` on the result channel) raises
+  :class:`PoolBrokenError` instead of hanging forever;
+* the broken pool is torn down and **rebuilt** (registered initializers
+  re-run, so published snapshots and fault plans survive) and the whole
+  shard batch is **retried** a bounded number of times;
+* when retries are exhausted the batch **degrades to in-process
+  execution** of the identical chunk functions -- byte-identical
+  results, no pool.
+
+Recovery is observable: :func:`runtime_counters` reports
+``pool_rebuilds`` / ``shard_retries`` / ``pool_degraded``, which the
+HTTP service surfaces under ``/v1/metrics`` and as degraded-mode flags
+in ``/v1/health``.  An ambient request deadline
+(:mod:`repro.runtime.deadline`) is honored between monitor ticks, so an
+expired request abandons its in-flight shards cleanly.
 """
 
 from __future__ import annotations
@@ -21,7 +50,10 @@ import atexit
 import multiprocessing
 import multiprocessing.pool
 import os
-from typing import Callable
+import threading
+from typing import Any, Callable, Sequence
+
+from repro.runtime.deadline import check_deadline
 
 _POOL: multiprocessing.pool.Pool | None = None
 _POOL_SIZE: int = 0
@@ -123,6 +155,21 @@ def unregister_worker_initializer(key: str) -> None:
         _INIT_GENERATION += 1
 
 
+def _pool_is_serviceable(pool: multiprocessing.pool.Pool) -> bool:
+    """Checkout probe: can this pool still accept a dispatch?
+
+    A pool that was terminated (by a crash-recovery rebuild racing this
+    checkout, or a stray ``terminate()``) rejects new jobs; detecting it
+    here turns a confusing ``ValueError: Pool not running`` at dispatch
+    into a silent replacement.  ``_state`` is stdlib-private but stable
+    across every supported CPython (the pool's own ``apply_async`` guard
+    reads it the same way).
+    """
+    return getattr(pool, "_state", multiprocessing.pool.RUN) == (
+        multiprocessing.pool.RUN
+    )
+
+
 def shared_pool(processes: int | None = None) -> multiprocessing.pool.Pool:
     """The process-wide worker pool, created (or grown) on demand.
 
@@ -147,7 +194,9 @@ def shared_pool(processes: int | None = None) -> multiprocessing.pool.Pool:
         )
     wanted = processes if processes and processes > 0 else default_worker_count()
     if _POOL is not None and (
-        _POOL_SIZE < wanted or _POOL_GENERATION != _INIT_GENERATION
+        _POOL_SIZE < wanted
+        or _POOL_GENERATION != _INIT_GENERATION
+        or not _pool_is_serviceable(_POOL)
     ):
         # An initializer-driven rebuild keeps the pool grow-only: a small
         # request must not shrink a pool a larger consumer already paid
@@ -170,18 +219,170 @@ def shared_pool_size() -> int:
     return _POOL_SIZE if _POOL is not None else 0
 
 
-def shutdown_shared_pool() -> None:
+def shutdown_shared_pool(join_timeout: float = 5.0) -> None:
     """Tear the shared pool down (tests, run boundaries, interpreter exit).
 
     Safe to call when no pool exists; the next :func:`shared_pool` call
-    lazily creates a fresh one.
+    lazily creates a fresh one.  Resilient to a *broken* pool: teardown
+    of a corpse (workers SIGKILLed, handler threads wedged) runs on a
+    daemon thread bounded by ``join_timeout``, so this function -- which
+    is also the :mod:`atexit` hook -- can neither raise nor hang
+    interpreter exit.
     """
     global _POOL, _POOL_SIZE
-    if _POOL is not None:
-        _POOL.terminate()
-        _POOL.join()
-        _POOL = None
-        _POOL_SIZE = 0
+    pool, _POOL, _POOL_SIZE = _POOL, None, 0
+    if pool is None:
+        return
+
+    def _teardown() -> None:
+        try:
+            pool.terminate()
+            pool.join()
+        except Exception:  # noqa: BLE001 -- a corpse may fail arbitrarily
+            pass
+
+    reaper = threading.Thread(
+        target=_teardown, name="repro-pool-teardown", daemon=True
+    )
+    reaper.start()
+    reaper.join(join_timeout)
 
 
 atexit.register(shutdown_shared_pool)
+
+
+# -- crash recovery ----------------------------------------------------------
+
+
+class PoolBrokenError(RuntimeError):
+    """The shared pool lost a worker (or its plumbing) mid-job.
+
+    Raised by :func:`pool_map` when worker death or a broken result
+    channel is detected; :func:`resilient_pool_map` absorbs it by
+    rebuilding the pool and retrying.
+    """
+
+
+#: Retries of a whole shard batch before degrading to in-process
+#: execution (2 retries = up to 3 pooled attempts).
+MAX_SHARD_RETRIES = 2
+
+#: Seconds between worker-liveness checks while a pooled job is in
+#: flight; also the granularity of deadline enforcement mid-dispatch.
+POOL_MONITOR_INTERVAL = 0.02
+
+_COUNTERS = {"pool_rebuilds": 0, "shard_retries": 0, "pool_degraded": 0}
+_COUNTER_LOCK = threading.Lock()
+
+
+def _bump(name: str, by: int = 1) -> None:
+    with _COUNTER_LOCK:
+        _COUNTERS[name] += by
+
+
+def runtime_counters() -> dict[str, int]:
+    """Crash-recovery counters: ``pool_rebuilds`` (pools replaced after a
+    failure), ``shard_retries`` (whole-batch re-dispatches) and
+    ``pool_degraded`` (batches that fell back to in-process execution).
+    Served under ``/v1/metrics`` and summarised as degraded-mode flags in
+    ``/v1/health``."""
+    with _COUNTER_LOCK:
+        return dict(_COUNTERS)
+
+
+def reset_runtime_counters() -> None:
+    """Zero the recovery counters (test isolation, bench boundaries)."""
+    with _COUNTER_LOCK:
+        for name in _COUNTERS:
+            _COUNTERS[name] = 0
+
+
+def _worker_snapshot(pool: multiprocessing.pool.Pool) -> tuple:
+    """The live worker pid set (private API, stable across CPythons)."""
+    workers = getattr(pool, "_pool", None) or ()
+    return tuple(sorted(worker.pid for worker in workers))
+
+
+def _workers_died(pool: multiprocessing.pool.Pool, baseline: tuple) -> bool:
+    workers = getattr(pool, "_pool", None) or ()
+    if any(worker.exitcode is not None for worker in workers):
+        return True
+    # The pool's maintenance thread replaces dead workers quickly; a pid
+    # set that changed since dispatch means a death was already papered
+    # over -- but the dead worker's tasks are lost either way.
+    return _worker_snapshot(pool) != baseline
+
+
+def pool_map(
+    func: Callable,
+    payloads: Sequence,
+    processes: int | None = None,
+    *,
+    poll_seconds: float = POOL_MONITOR_INTERVAL,
+) -> list:
+    """``shared_pool(processes).map`` with worker-death detection.
+
+    ``multiprocessing.Pool`` silently hangs when a worker is killed
+    mid-task (the in-flight task is simply lost), so the blocking wait
+    is replaced by a monitor loop: dispatch asynchronously, then poll
+    for completion, worker deaths and the ambient request deadline.
+    Worker-raised exceptions propagate unchanged (they are the *task's*
+    failure, not the pool's); transport-shaped failures raise
+    :class:`PoolBrokenError`.
+    """
+    pool = shared_pool(processes)
+    try:
+        pending = pool.map_async(func, payloads)
+    except Exception as exc:
+        raise PoolBrokenError(f"pool dispatch failed: {exc}") from exc
+    baseline = _worker_snapshot(pool)
+    while True:
+        try:
+            return pending.get(timeout=poll_seconds)
+        except multiprocessing.TimeoutError:
+            pass
+        except (BrokenPipeError, EOFError, ConnectionError, OSError) as exc:
+            raise PoolBrokenError(f"pool result channel broke: {exc}") from exc
+        check_deadline("waiting for pooled shard results")
+        if not _pool_is_serviceable(pool) or _workers_died(pool, baseline):
+            raise PoolBrokenError(
+                "worker death detected mid-job "
+                f"(workers at dispatch: {baseline})"
+            )
+
+
+def resilient_pool_map(
+    func: Callable,
+    payloads: Sequence,
+    processes: int | None = None,
+    *,
+    retries: int = MAX_SHARD_RETRIES,
+    label: str = "pool job",
+) -> list[Any]:
+    """Fan ``func`` over the shared pool, surviving worker crashes.
+
+    The one dispatch API the runtime layers share (the parallel engine's
+    map/reduce shards, ``verify_pairs`` chunks, pooled query serving).
+    On :class:`PoolBrokenError` the pool is torn down (counted in
+    ``pool_rebuilds``) and the whole batch retried -- chunk functions
+    are pure, so re-execution is safe -- up to ``retries`` times; after
+    that the batch runs **in-process** through the identical chunk
+    functions (counted in ``pool_degraded``), so results stay
+    byte-identical to both the pooled and the serial paths.  Calls
+    already inside a pool worker run in-process immediately (nested
+    fan-out is not allowed).  Deadline expiry and worker-raised
+    exceptions propagate to the caller; only pool breakage is absorbed.
+    """
+    if in_worker_process():
+        return [func(payload) for payload in payloads]
+    for attempt in range(retries + 1):
+        if attempt:
+            _bump("shard_retries")
+        try:
+            return pool_map(func, payloads, processes)
+        except PoolBrokenError:
+            _bump("pool_rebuilds")
+            shutdown_shared_pool()
+    _bump("pool_degraded")
+    check_deadline(f"degraded in-process execution of {label}")
+    return [func(payload) for payload in payloads]

@@ -30,6 +30,17 @@ uniform error envelope ``{"error": {"type", "message"}}`` and the
 :class:`repro.api.errors.ApiError` status; unexpected exceptions
 become enveloped 500s, never tracebacks on the wire.
 
+Overload has an answer (PR 8): an :class:`AdmissionGate` bounds the
+POST routes' in-flight requests (``max_inflight``) and the queue of
+requests waiting for a slot (``max_queue``); overflow is **shed** with
+the uniform 503 ``overloaded`` envelope plus a ``Retry-After`` header,
+which :class:`repro.client.ServiceClient` honors before retrying.  A
+spec's ``deadline_ms`` expires as a 504 ``deadline_exceeded`` envelope.
+``/v1/metrics`` surfaces the gate (inflight gauge, shed counts) and the
+runtime's crash-recovery counters; ``/v1/health`` reports degraded
+modes (pool rebuilt / in-process fallback) without ever shedding --
+probes must always answer.
+
 Auth is a static bearer token (``Authorization: Bearer <token>``),
 compared constant-time; ``token=None`` disables auth.  ``/v1/health``
 is always open so load balancers can probe without credentials.
@@ -48,6 +59,7 @@ import hmac
 import json
 import threading
 import time
+from contextlib import contextmanager
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro.api.errors import (
@@ -56,13 +68,17 @@ from repro.api.errors import (
     AuthError,
     MethodNotAllowedError,
     NotFoundError,
+    OverloadedError,
     ValidationError,
     error_envelope,
 )
 from repro.api.session import Session
 from repro.api.specs import spec_from_json
+from repro.faults import fault_point
+from repro.runtime.pool import runtime_counters
 
 __all__ = [
+    "AdmissionGate",
     "LATENCY_BUCKETS_MS",
     "ReproServer",
     "ServiceMetrics",
@@ -135,6 +151,77 @@ class ServiceMetrics:
             }
 
 
+class AdmissionGate:
+    """Bounded admission for the POST routes: shed instead of queue forever.
+
+    ``max_inflight`` bounds requests executing concurrently;
+    ``max_queue`` bounds requests *waiting* for an execution slot.  A
+    request arriving past both bounds is shed immediately with the
+    typed :class:`~repro.api.errors.OverloadedError` (HTTP 503 +
+    ``Retry-After``) -- under sustained overload a bounded queue and a
+    fast 503 beat an unbounded backlog of requests whose callers have
+    long given up.  ``max_inflight=None`` disables the gate (the
+    embedded/test default; the CLI ``serve`` subcommand exposes
+    ``--max-inflight``/``--max-queue``).
+    """
+
+    def __init__(
+        self, max_inflight: int | None = None, max_queue: int = 8
+    ) -> None:
+        if max_inflight is not None and max_inflight < 1:
+            raise ValidationError("max_inflight must be positive (or None)")
+        if max_queue < 0:
+            raise ValidationError("max_queue must be non-negative")
+        self.max_inflight = max_inflight
+        self.max_queue = max_queue
+        self._cond = threading.Condition()
+        self._inflight = 0
+        self._queued = 0
+        self._shed_total = 0
+
+    @contextmanager
+    def admit(self, retry_after: float = 1.0):
+        """Hold one execution slot for the block, or shed with a 503."""
+        if self.max_inflight is None:
+            yield
+            return
+        with self._cond:
+            if (
+                self._inflight >= self.max_inflight
+                and self._queued >= self.max_queue
+            ):
+                self._shed_total += 1
+                raise OverloadedError(
+                    f"server is at capacity ({self._inflight} in flight, "
+                    f"{self._queued} queued); retry later",
+                    retry_after=retry_after,
+                )
+            self._queued += 1
+            try:
+                while self._inflight >= self.max_inflight:
+                    self._cond.wait()
+            finally:
+                self._queued -= 1
+            self._inflight += 1
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._inflight -= 1
+                self._cond.notify()
+
+    def stats(self) -> dict:
+        """The gauges ``/v1/metrics`` reports for the gate."""
+        with self._cond:
+            return {
+                "max_inflight": self.max_inflight,
+                "max_queue": self.max_queue,
+                "inflight": self._inflight,
+                "queued": self._queued,
+                "shed_total": self._shed_total,
+            }
+
+
 #: POST route -> (accepted ``"type"`` tags, defaults injected into the
 #: payload).  ``/v1/run`` accepts every tag but requires one explicitly.
 _POST_ROUTES: dict[str, tuple[tuple[str, ...], dict]] = {
@@ -164,10 +251,13 @@ class SimilarityService:
         session: Session | None = None,
         *,
         token: str | None = None,
+        max_inflight: int | None = None,
+        max_queue: int = 8,
     ) -> None:
         self.session = session if session is not None else Session()
         self.token = token
         self.metrics = ServiceMetrics()
+        self.gate = AdmissionGate(max_inflight, max_queue)
         self._run_lock = threading.Lock()
 
     # -- request plumbing -------------------------------------------------------
@@ -219,9 +309,20 @@ class SimilarityService:
 
     def _run_spec(self, route: str, body: bytes | None) -> dict:
         spec = self._parse_spec(route, body)
-        with self._run_lock:
-            result = self.session.run(spec)
+        with self.gate.admit(retry_after=self._retry_after()):
+            fault_point("server.run")
+            with self._run_lock:
+                result = self.session.run(spec)
         return result.to_dict()
+
+    def _retry_after(self) -> float:
+        """The ``Retry-After`` hint for shed requests: the observed mean
+        request latency, clamped to [0.1s, 5s] (1s before any data)."""
+        latency = self.metrics.snapshot()["latency_ms"]
+        if not latency["count"]:
+            return 1.0
+        mean_seconds = latency["sum"] / latency["count"] / 1000.0
+        return min(5.0, max(0.1, mean_seconds))
 
     def _parse_spec(self, route: str, body: bytes | None):
         if not body:
@@ -261,16 +362,26 @@ class SimilarityService:
             raise ValidationError(f"invalid spec: {exc}") from exc
 
     def _health(self) -> dict:
+        counters = runtime_counters()
+        degraded = {
+            # The pool broke and was replaced at least once (recovered).
+            "pool_rebuilt": counters["pool_rebuilds"] > 0,
+            # Retries ran out; work fell back to in-process execution.
+            "pool_fallback_in_process": counters["pool_degraded"] > 0,
+        }
         return {
-            "status": "ok",
+            "status": "degraded" if any(degraded.values()) else "ok",
             "version": WIRE_VERSION,
             "uptime_seconds": self.metrics.snapshot()["uptime_seconds"],
+            "degraded": degraded,
         }
 
     def _metrics(self) -> dict:
         payload = self.metrics.snapshot()
         payload["version"] = WIRE_VERSION
         payload["session"] = self.session.stats()
+        payload["admission"] = self.gate.stats()
+        payload["runtime"] = runtime_counters()
         return payload
 
 
@@ -314,6 +425,11 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(data)))
+        # A shed request's envelope carries the retry hint; surface it
+        # as the standard header too so plain HTTP clients see it.
+        error = payload.get("error")
+        if isinstance(error, dict) and "retry_after" in error:
+            self.send_header("Retry-After", f"{error['retry_after']:g}")
         self.end_headers()
         self.wfile.write(data)
 
@@ -343,13 +459,19 @@ class ReproServer:
         *,
         session: Session | None = None,
         token: str | None = None,
+        max_inflight: int | None = None,
+        max_queue: int = 8,
     ) -> None:
-        self.service = SimilarityService(session, token=token)
+        self.service = SimilarityService(
+            session, token=token, max_inflight=max_inflight, max_queue=max_queue
+        )
         self._httpd = ThreadingHTTPServer((host, port), _Handler)
         self._httpd.daemon_threads = True
         self._httpd.service = self.service
         self._thread: threading.Thread | None = None
         self._started = False
+        self._closed = False
+        self._close_lock = threading.Lock()
 
     @property
     def host(self) -> str:
@@ -380,15 +502,39 @@ class ReproServer:
         self._started = True
         self._httpd.serve_forever()
 
-    def close(self) -> None:
+    def close(self, join_timeout: float = 5.0) -> None:
+        """Stop serving and release the listening socket.
+
+        Idempotent under concurrent callers: exactly one caller performs
+        the teardown, the rest return immediately.  The listening socket
+        is force-closed even when the serving thread is wedged; a thread
+        still alive after ``join_timeout`` raises a clear
+        :class:`RuntimeError` instead of silently leaking a zombie
+        (in-flight handler threads are daemonic and die with the
+        process, but a wedged *serving* thread must be loud).
+        """
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
         if self._started:
             # shutdown() waits on serve_forever()'s exit handshake and
             # would block forever on a server that never served.
             self._httpd.shutdown()
+        # Always release the port, even when the thread is stuck: a
+        # leaked listening socket blocks rebinding far longer than a
+        # leaked thread lives.
         self._httpd.server_close()
-        if self._thread is not None:
-            self._thread.join(timeout=5.0)
-            self._thread = None
+        thread, self._thread = self._thread, None
+        if thread is not None:
+            thread.join(timeout=join_timeout)
+            if thread.is_alive():
+                raise RuntimeError(
+                    f"repro-server thread did not exit within "
+                    f"{join_timeout:g}s; the listening socket was closed "
+                    "but the serving thread is leaked (daemonic, dies "
+                    "with the process)"
+                )
 
     def __enter__(self) -> "ReproServer":
         return self.start()
@@ -406,12 +552,15 @@ def serve(
     backend: str = "auto",
     engine: str = "auto",
     cache_size: int = 256,
+    max_inflight: int | None = None,
+    max_queue: int = 8,
 ) -> ReproServer:
     """Build a server around a fresh session (not yet started).
 
     ``names`` preloads the session's default corpus, so specs without
     inline ``names`` run against it -- the resident-serving shape the
-    benches and the CLI ``serve`` subcommand use.
+    benches and the CLI ``serve`` subcommand use.  ``max_inflight`` /
+    ``max_queue`` bound the admission gate (``None`` = no shedding).
     """
     session = Session(
         names,
@@ -419,4 +568,11 @@ def serve(
         engine=engine,
         cache_size=cache_size,
     )
-    return ReproServer(host, port, session=session, token=token)
+    return ReproServer(
+        host,
+        port,
+        session=session,
+        token=token,
+        max_inflight=max_inflight,
+        max_queue=max_queue,
+    )

@@ -35,10 +35,11 @@ import itertools
 import os
 from typing import Any, Sequence
 
+from repro.faults import fault_point
 from repro.runtime.pool import (
     in_worker_process,
     register_worker_initializer,
-    shared_pool,
+    resilient_pool_map,
     unregister_worker_initializer,
 )
 
@@ -121,6 +122,7 @@ def _serve_chunk(
     produced, so the parent can merge observability back in.
     """
     token, operation, queries, kwargs = payload
+    fault_point("serve.chunk")
     index = resolve_snapshot(token)
     before = dict(index.counters)
     serve = getattr(index, f"_{operation}_one")
@@ -161,7 +163,12 @@ def serve_batch(
         (token, operation, queries[k : k + chunk_size], kwargs)
         for k in range(0, len(queries), chunk_size)
     ]
-    outcomes = shared_pool(workers).map(_serve_chunk, chunks)
+    # The snapshot registry also holds every published snapshot in the
+    # parent, so resilient_pool_map's in-process degradation path can
+    # resolve the token and serve the identical chunks locally.
+    outcomes = resilient_pool_map(
+        _serve_chunk, chunks, workers, label="serve chunks"
+    )
     counters = index.counters
     for _, delta in outcomes:
         for name, value in delta.items():

@@ -90,8 +90,13 @@ class TestEnvelope:
 
 class TestWireVersion:
     def test_missing_means_one(self):
-        assert take_wire_version({}) == WIRE_VERSION
+        # Pre-versioning payloads (no "version" field) are version 1,
+        # regardless of the newest version this build writes.
+        assert take_wire_version({}) == 1
         assert take_wire_version({"type": "join"}) == 1
+
+    def test_current_version_accepted(self):
+        assert take_wire_version({"version": WIRE_VERSION}) == WIRE_VERSION
 
     def test_pops_the_field(self):
         payload = {"version": 1, "type": "join"}
@@ -99,8 +104,8 @@ class TestWireVersion:
         assert payload == {"type": "join"}
 
     def test_unknown_raises_uniform_error(self):
-        with pytest.raises(ValidationError, match="wire format version 2"):
-            take_wire_version({"version": 2})
+        with pytest.raises(ValidationError, match="wire format version 3"):
+            take_wire_version({"version": 3})
         with pytest.raises(ValidationError, match="choose from"):
             take_wire_version({"version": "1"})  # strings are not versions
 

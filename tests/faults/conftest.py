@@ -1,0 +1,28 @@
+"""Isolation for the chaos suite.
+
+Fault plans, the shared pool and the runtime's crash-recovery counters
+are process-global; every test here starts and ends with all three
+pristine so (a) a leaked fault cannot poison a later test and (b) tests
+collected *after* this directory (alphabetically: ``tests/faults`` runs
+before ``tests/server``) still see ``/v1/health`` report ``"ok"``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import faults
+from repro.runtime import pool
+
+
+@pytest.fixture(autouse=True)
+def chaos_isolation():
+    faults.clear()
+    faults._reset_for_tests()
+    pool.reset_runtime_counters()
+    pool.shutdown_shared_pool()
+    yield
+    faults.clear()
+    faults._reset_for_tests()
+    pool.reset_runtime_counters()
+    pool.shutdown_shared_pool()

@@ -1,0 +1,160 @@
+"""Request deadlines: the ambient scope, the specs, the 504 envelope.
+
+The contract pinned here: ``deadline_ms`` on any spec becomes the
+ambient :class:`repro.runtime.Deadline` for exactly the duration of
+``Session.run``; expiry raises the typed
+:class:`~repro.api.errors.DeadlineExceededError` at the next shard
+boundary (never a hang, never a partial result), and the HTTP layer
+turns it into a 504 envelope -- never a traceback.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api import JoinSpec, Session
+from repro.api.errors import DeadlineExceededError, ValidationError
+from repro.mapreduce import ClusterConfig, MapReduceEngine
+from repro.runtime import (
+    Deadline,
+    ParallelMapReduceEngine,
+    current_deadline,
+    deadline_scope,
+)
+from repro.server import SimilarityService
+
+pytestmark = pytest.mark.tier1
+
+NAMES = [
+    "jon smith",
+    "john smith",
+    "jane smith",
+    "bob jones",
+    "robert jones",
+    "alice brown",
+] * 5
+
+#: One nanosecond: expired before the first shard boundary is reached.
+TINY_MS = 1e-6
+
+
+class TestDeadlineScope:
+    def test_tiny_budget_expires(self):
+        deadline = Deadline.from_ms(TINY_MS)
+        assert deadline.expired()
+        assert deadline.remaining() == 0.0
+
+    def test_check_raises_the_typed_error(self):
+        with pytest.raises(DeadlineExceededError, match="partial work abandoned"):
+            Deadline.from_ms(TINY_MS).check("unit testing")
+
+    def test_scope_installs_and_restores(self):
+        assert current_deadline() is None
+        with deadline_scope(60_000):
+            assert current_deadline() is not None
+        assert current_deadline() is None
+
+    def test_none_budget_leaves_ambient_deadline_untouched(self):
+        # A spec without deadline_ms must not mask an outer deadline.
+        with deadline_scope(60_000):
+            outer = current_deadline()
+            with deadline_scope(None):
+                assert current_deadline() is outer
+
+
+class TestSpecValidation:
+    @pytest.mark.parametrize("bad", [0, -1, -0.5, True, "100"])
+    def test_non_positive_or_non_numeric_rejected(self, bad):
+        with pytest.raises(ValidationError, match="deadline_ms"):
+            JoinSpec(names=("a", "b"), deadline_ms=bad)
+
+    def test_integer_budget_coerced_to_float(self):
+        spec = JoinSpec(names=("a", "b"), deadline_ms=250)
+        assert spec.deadline_ms == 250.0
+        assert isinstance(spec.deadline_ms, float)
+
+    def test_round_trips_through_json(self):
+        spec = JoinSpec(names=("a", "b"), deadline_ms=250.0)
+        assert JoinSpec.from_json(spec.to_json()) == spec
+
+
+class TestSessionDeadline:
+    def test_expired_budget_raises_typed_error(self):
+        spec = JoinSpec(names=NAMES, threshold=0.2, deadline_ms=TINY_MS)
+        with pytest.raises(DeadlineExceededError, match="deadline of"):
+            Session().run(spec)
+
+    def test_generous_budget_changes_nothing(self):
+        relaxed = Session().run(
+            JoinSpec(names=NAMES, threshold=0.2, deadline_ms=60_000)
+        )
+        plain = Session().run(JoinSpec(names=NAMES, threshold=0.2))
+        relaxed_dict, plain_dict = relaxed.to_dict(), plain.to_dict()
+        # Only the request echo and the wall clock may differ.
+        for volatile in ("request", "build_seconds", "query_seconds"):
+            relaxed_dict.pop(volatile)
+            plain_dict.pop(volatile)
+        assert relaxed_dict == plain_dict
+
+    def test_deadline_does_not_leak_past_run(self):
+        spec = JoinSpec(names=NAMES, threshold=0.2, deadline_ms=TINY_MS)
+        session = Session()
+        with pytest.raises(DeadlineExceededError):
+            session.run(spec)
+        assert current_deadline() is None
+        # The same session still serves undeadlined requests.
+        session.run(JoinSpec(names=NAMES, threshold=0.2))
+
+
+class TestEngineDeadline:
+    def run_counting_job(self, engine):
+        from tests.runtime.test_parallel_engine import WordCount
+
+        return engine.run(WordCount(), ["a b"] * 50)
+
+    def test_serial_engine_checks_at_shard_boundaries(self):
+        with deadline_scope(TINY_MS):
+            with pytest.raises(DeadlineExceededError, match="map phase"):
+                self.run_counting_job(MapReduceEngine(ClusterConfig()))
+
+    def test_parallel_engine_checks_before_dispatch(self):
+        engine = ParallelMapReduceEngine(
+            ClusterConfig(), processes=2, min_parallel_records=1
+        )
+        with deadline_scope(TINY_MS):
+            with pytest.raises(DeadlineExceededError):
+                self.run_counting_job(engine)
+
+
+class TestServiceDeadline:
+    def post(self, service, payload):
+        return service.handle(
+            "POST", "/v1/run", json.dumps(payload).encode("utf-8")
+        )
+
+    def test_expired_budget_is_a_504_envelope(self):
+        service = SimilarityService()
+        status, payload = self.post(
+            service,
+            {
+                "type": "join",
+                "names": NAMES,
+                "threshold": 0.2,
+                "deadline_ms": TINY_MS,
+            },
+        )
+        assert status == 504
+        assert payload["error"]["type"] == "deadline_exceeded"
+        assert "deadline" in payload["error"]["message"]
+        assert "Traceback" not in json.dumps(payload)
+
+    def test_service_recovers_after_a_deadline_miss(self):
+        service = SimilarityService()
+        request = {"type": "join", "names": NAMES, "threshold": 0.2}
+        status, _ = self.post(service, {**request, "deadline_ms": TINY_MS})
+        assert status == 504
+        status, payload = self.post(service, request)
+        assert status == 200
+        assert "error" not in payload

@@ -1,0 +1,167 @@
+"""The fault-injection registry itself: arming, firing, determinism.
+
+These tests never touch the worker pool -- they pin down the contract
+the chaos tests (and the CI seeds) rely on: plans are deterministic,
+``times`` bounds firings, the environment form fails loudly on typos,
+and kill faults refuse to fire outside a pool worker.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import faults
+from repro.faults import Fault, FaultInjected, fault_point, plan_from_env
+
+pytestmark = pytest.mark.tier1
+
+
+class TestArming:
+    def test_no_plan_is_a_noop(self):
+        fault_point("verify.chunk")  # must not raise
+
+    def test_raise_fires_then_exhausts(self):
+        faults.inject("verify.chunk", "raise", push_to_pool=False)
+        with pytest.raises(FaultInjected, match="verify.chunk"):
+            fault_point("verify.chunk")
+        fault_point("verify.chunk")  # times=1: spent
+        assert faults.fault_stats() == {"verify.chunk:raise": 1}
+
+    def test_other_sites_unaffected(self):
+        faults.inject("verify.chunk", "raise", push_to_pool=False)
+        fault_point("engine.map")
+        fault_point("server.run")
+
+    def test_named_exceptions(self):
+        faults.inject(
+            "client.send",
+            "raise",
+            exception="connection_reset",
+            push_to_pool=False,
+        )
+        with pytest.raises(ConnectionResetError):
+            fault_point("client.send")
+
+    def test_callback_action(self):
+        seen = []
+        faults.inject(
+            "server.run", "call", callback=seen.append, push_to_pool=False
+        )
+        fault_point("server.run")
+        assert seen == ["server.run"]
+
+    def test_clear_disarms(self):
+        faults.inject("verify.chunk", "raise", push_to_pool=False)
+        faults.clear()
+        fault_point("verify.chunk")
+        assert faults.active_faults() == ()
+
+    def test_kill_never_fires_in_the_parent_process(self):
+        # A kill fault models a *worker* crash; in the parent (e.g. the
+        # degraded in-process fallback re-running the same chunk) it
+        # must be skipped -- reaching this assertion is the test.
+        faults.inject("verify.chunk", "kill", push_to_pool=False)
+        fault_point("verify.chunk")
+        assert faults.fault_stats() == {}
+
+    def test_unbounded_times(self):
+        faults.inject(
+            "verify.chunk", "raise", times=None, push_to_pool=False
+        )
+        for _ in range(3):
+            with pytest.raises(FaultInjected):
+                fault_point("verify.chunk")
+
+
+class TestDeterminism:
+    def fired_indices(self, seed, calls=200, probability=0.25):
+        faults.clear()
+        faults._reset_for_tests()
+        faults.inject(
+            "engine.map",
+            "raise",
+            times=None,
+            probability=probability,
+            seed=seed,
+            push_to_pool=False,
+        )
+        fired = []
+        for index in range(calls):
+            try:
+                fault_point("engine.map")
+            except FaultInjected:
+                fired.append(index)
+        return fired
+
+    def test_same_seed_same_firings(self):
+        assert self.fired_indices(seed=7) == self.fired_indices(seed=7)
+
+    def test_different_seeds_differ(self):
+        assert self.fired_indices(seed=7) != self.fired_indices(seed=8)
+
+    def test_probability_roughly_respected(self):
+        fired = self.fired_indices(seed=7, calls=400, probability=0.25)
+        assert 40 < len(fired) < 160  # wide band: determinism, not stats
+
+
+class TestEnvironmentForm:
+    def test_round_trip(self):
+        fault = Fault(
+            "verify.chunk", "raise", times=2, exception="oserror", seed=3
+        )
+        (loaded,) = plan_from_env(f"[{__import__('json').dumps(fault.to_dict())}]")
+        assert loaded == fault
+
+    def test_env_arms_lazily(self, monkeypatch):
+        monkeypatch.setenv(
+            faults.ENV_FAULTS,
+            '[{"site": "verify.chunk", "action": "raise"}]',
+        )
+        faults._reset_for_tests()
+        with pytest.raises(FaultInjected):
+            fault_point("verify.chunk")
+
+    def test_env_seed_default(self, monkeypatch):
+        monkeypatch.setenv(faults.ENV_SEED, "42")
+        (fault,) = plan_from_env('[{"site": "a", "probability": 0.5}]')
+        assert fault.seed == 42
+
+    def test_bad_json_fails_loudly(self):
+        with pytest.raises(ValueError, match="not valid JSON"):
+            plan_from_env("{nope")
+
+    def test_unknown_key_fails_loudly(self):
+        with pytest.raises(ValueError, match="unknown fault key"):
+            plan_from_env('[{"site": "a", "actoin": "kill"}]')
+
+    def test_unknown_action_fails_loudly(self):
+        with pytest.raises(ValueError, match="unknown fault action"):
+            Fault("a", "explode")
+
+    def test_unknown_exception_fails_loudly(self):
+        with pytest.raises(ValueError, match="unknown fault exception"):
+            Fault("a", "raise", exception="nope")
+
+    def test_callback_required_for_call(self):
+        with pytest.raises(ValueError, match="requires a callback"):
+            Fault("a", "call")
+
+
+class TestLedger:
+    def test_times_span_reinstalls_via_ledger(self, tmp_path):
+        ledger = str(tmp_path)
+        faults.install(
+            (Fault("verify.chunk", "raise", times=1),),
+            ledger=ledger,
+            push_to_pool=False,
+        )
+        with pytest.raises(FaultInjected):
+            fault_point("verify.chunk")
+        # A fresh install with the same ledger (what a rebuilt pool
+        # worker sees) finds the firing slot already claimed.
+        faults.install(
+            (Fault("verify.chunk", "raise", times=1),),
+            ledger=ledger,
+            push_to_pool=False,
+        )
+        fault_point("verify.chunk")  # spent: must not raise

@@ -1,0 +1,266 @@
+"""Load shedding end to end: the gate, the 503 envelope, the retry.
+
+Saturation is staged deterministically: a ``call`` fault on
+``server.run`` parks the first request inside the admission gate until
+a :class:`threading.Event` releases it -- no sleeps, no timing
+assumptions.  With the slot provably held (``gate.stats()``), the next
+request must shed as a 503 ``overloaded`` envelope carrying
+``retry_after``, which :class:`repro.client.ServiceClient` honors
+before retrying to success.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro import faults
+from repro.api import CompareSpec, Session, TopKSpec
+from repro.api.errors import OverloadedError
+from repro.client import ServiceClient
+from repro.runtime import runtime_counters
+from repro.runtime.pool import fork_is_default
+from repro.server import AdmissionGate, ReproServer, SimilarityService
+
+pytestmark = pytest.mark.tier1
+
+WAIT = 10.0  # generous upper bound; events fire in microseconds
+
+
+def spin_until(predicate, what: str) -> None:
+    limit = time.monotonic() + WAIT
+    while not predicate():
+        if time.monotonic() > limit:
+            raise AssertionError(f"timed out waiting for {what}")
+        time.sleep(0.001)
+
+
+class Holder:
+    """Occupy one admission slot until released, from a helper thread."""
+
+    def __init__(self, gate: AdmissionGate) -> None:
+        self.gate = gate
+        self.entered = threading.Event()
+        self.release = threading.Event()
+        self.thread = threading.Thread(target=self._run, daemon=True)
+        self.thread.start()
+        assert self.entered.wait(WAIT)
+
+    def _run(self) -> None:
+        with self.gate.admit():
+            self.entered.set()
+            self.release.wait(WAIT)
+
+    def done(self) -> None:
+        self.release.set()
+        self.thread.join(WAIT)
+
+
+class TestAdmissionGate:
+    def test_disabled_gate_never_sheds(self):
+        gate = AdmissionGate(None, 0)
+        for _ in range(5):
+            with gate.admit():
+                pass
+        stats = gate.stats()
+        assert stats["max_inflight"] is None
+        assert stats["shed_total"] == 0
+
+    def test_full_gate_sheds_immediately(self):
+        gate = AdmissionGate(1, 0)
+        holder = Holder(gate)
+        try:
+            with pytest.raises(OverloadedError) as caught:
+                with gate.admit(retry_after=0.7):
+                    pass
+            assert caught.value.retry_after == 0.7
+            assert caught.value.to_envelope()["error"]["retry_after"] == 0.7
+        finally:
+            holder.done()
+        assert gate.stats()["shed_total"] == 1
+        assert gate.stats()["inflight"] == 0
+
+    def test_queued_request_admits_when_the_slot_frees(self):
+        gate = AdmissionGate(1, 1)
+        holder = Holder(gate)
+        served = threading.Event()
+
+        def queued():
+            with gate.admit():
+                served.set()
+
+        waiter = threading.Thread(target=queued, daemon=True)
+        waiter.start()
+        spin_until(lambda: gate.stats()["queued"] == 1, "the request to queue")
+        assert not served.is_set()
+        holder.done()
+        assert served.wait(WAIT)
+        waiter.join(WAIT)
+        assert gate.stats() == {
+            "max_inflight": 1,
+            "max_queue": 1,
+            "inflight": 0,
+            "queued": 0,
+            "shed_total": 0,
+        }
+
+    def test_queue_overflow_sheds(self):
+        gate = AdmissionGate(1, 0)
+        holder = Holder(gate)
+        try:
+            for _ in range(3):
+                with pytest.raises(OverloadedError):
+                    with gate.admit():
+                        pass
+        finally:
+            holder.done()
+        assert gate.stats()["shed_total"] == 3
+
+
+class ServiceUnderLoad:
+    """A saturated service: one request parked inside ``server.run``."""
+
+    def __init__(self, service: SimilarityService) -> None:
+        self.service = service
+        self.entered = threading.Event()
+        self.release = threading.Event()
+        self.result = None
+        faults.inject(
+            "server.run", "call", callback=self._block, push_to_pool=False
+        )
+        self.thread = threading.Thread(target=self._run, daemon=True)
+        self.thread.start()
+        assert self.entered.wait(WAIT)
+        spin_until(
+            lambda: service.gate.stats()["inflight"] == 1,
+            "the blocked request to hold its slot",
+        )
+
+    def _block(self, site: str) -> None:
+        self.entered.set()
+        self.release.wait(WAIT)
+
+    def _run(self) -> None:
+        body = json.dumps(
+            {"type": "compare", "name_a": "jon", "name_b": "john"}
+        ).encode("utf-8")
+        self.result = self.service.handle("POST", "/v1/run", body)
+
+    def done(self):
+        self.release.set()
+        self.thread.join(WAIT)
+        return self.result
+
+
+class TestServiceShedding:
+    def test_overflow_is_a_503_envelope_with_retry_after(self):
+        service = SimilarityService(max_inflight=1, max_queue=0)
+        load = ServiceUnderLoad(service)
+        try:
+            body = json.dumps(
+                {"type": "compare", "name_a": "a", "name_b": "b"}
+            ).encode("utf-8")
+            status, payload = service.handle("POST", "/v1/run", body)
+        finally:
+            blocked_status, _ = load.done()
+        assert status == 503
+        assert payload["error"]["type"] == "overloaded"
+        assert payload["error"]["retry_after"] >= 0.1
+        assert blocked_status == 200  # the parked request still completed
+
+    def test_health_and_metrics_never_shed(self):
+        service = SimilarityService(max_inflight=1, max_queue=0)
+        load = ServiceUnderLoad(service)
+        try:
+            health_status, health = service.handle("GET", "/v1/health")
+            metrics_status, metrics = service.handle("GET", "/v1/metrics")
+        finally:
+            load.done()
+        assert health_status == 200
+        assert health["status"] == "ok"
+        assert metrics_status == 200
+        assert metrics["admission"]["inflight"] == 1
+
+    def test_shed_total_lands_in_metrics(self):
+        service = SimilarityService(max_inflight=1, max_queue=0)
+        load = ServiceUnderLoad(service)
+        try:
+            body = json.dumps(
+                {"type": "compare", "name_a": "a", "name_b": "b"}
+            ).encode("utf-8")
+            service.handle("POST", "/v1/run", body)
+        finally:
+            load.done()
+        _, metrics = service.handle("GET", "/v1/metrics")
+        assert metrics["admission"]["shed_total"] == 1
+
+
+class TestClientRetryRoundTrip:
+    def test_shed_then_retry_succeeds_end_to_end(self):
+        spec = CompareSpec(name_a="jon smith", name_b="john smith")
+        expected = Session().run(spec)
+        server = ReproServer(max_inflight=1, max_queue=0).start()
+        try:
+            load = ServiceUnderLoad(server.service)
+            sleeps = []
+
+            def backoff_sleep(delay: float) -> None:
+                # The client backs off exactly when the server asked it
+                # to; use the pause to drain the parked request so the
+                # retry finds a free slot.
+                sleeps.append(delay)
+                load.done()
+                spin_until(
+                    lambda: server.service.gate.stats()["inflight"] == 0,
+                    "the slot to free",
+                )
+
+            client = ServiceClient(
+                server.url,
+                retries=3,
+                backoff=0.05,
+                sleep=backoff_sleep,
+                rng=lambda: 1.0,
+            )
+            result = client.run(spec)
+        finally:
+            server.close()
+        assert result.to_dict()["pairs"] == expected.to_dict()["pairs"]
+        # Exactly one shed: the client slept once, for the server's
+        # Retry-After hint (1.0s before any latency data), not the
+        # configured 0.05s backoff.
+        assert sleeps == [1.0]
+
+
+class TestRemoteEquivalenceUnderChaos:
+    @pytest.mark.skipif(
+        not fork_is_default(),
+        reason="pool chaos tests assume fork workers (Linux CI)",
+    )
+    def test_topk_kill_mid_serve_chunk_matches_local(self):
+        names = [
+            "jon smith",
+            "john smith",
+            "jane smith",
+            "bob jones",
+            "robert jones",
+            "alice brown",
+            "alicia brown",
+            "carol white",
+        ] * 3
+        queries = ("jon smiht", "bob jone", "alicia brown", "karol white")
+        spec = TopKSpec(queries=queries, k=3, names=names, processes=2)
+        local = Session().run(spec)
+        faults.inject("serve.chunk", "kill")
+        with ReproServer() as server:
+            with ServiceClient(server.url) as client:
+                remote = client.run(spec)
+        remote_dict, local_dict = remote.to_dict(), local.to_dict()
+        for volatile in ("build_seconds", "query_seconds"):
+            remote_dict.pop(volatile)
+            local_dict.pop(volatile)
+        assert remote_dict == local_dict
+        assert runtime_counters()["pool_rebuilds"] >= 1

@@ -1,0 +1,151 @@
+"""Crash recovery in the shared pool, without the fault registry.
+
+These are the runtime-layer guarantees ``tests/faults`` builds on,
+exercised directly: a dead/terminated pool is replaced on checkout, a
+SIGKILLed worker turns a hang into :class:`PoolBrokenError`,
+``resilient_pool_map`` retries then degrades in-process with identical
+results, and teardown never raises -- even over a pool whose workers
+were all killed (the atexit path).
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+
+import pytest
+
+from repro.runtime import pool
+from repro.runtime.pool import (
+    MAX_SHARD_RETRIES,
+    PoolBrokenError,
+    fork_is_default,
+    in_worker_process,
+    pool_map,
+    reset_runtime_counters,
+    resilient_pool_map,
+    runtime_counters,
+    shared_pool,
+    shutdown_shared_pool,
+)
+
+pytestmark = [
+    pytest.mark.tier1,
+    pytest.mark.skipif(
+        not fork_is_default(),
+        reason="pool crash tests assume fork workers (Linux CI)",
+    ),
+]
+
+
+@pytest.fixture(autouse=True)
+def pristine_pool():
+    reset_runtime_counters()
+    shutdown_shared_pool()
+    yield
+    reset_runtime_counters()
+    shutdown_shared_pool()
+
+
+def square(x):
+    return x * x
+
+
+def suicide(x):
+    """Kill the worker on negative payloads; square everything else.
+
+    The daemon check keeps the in-process degraded path (and a serial
+    caller) alive: only pool workers ever die.
+    """
+    if x < 0 and in_worker_process():
+        os.kill(os.getpid(), signal.SIGKILL)
+    return x * x
+
+
+def suicide_once(payload):
+    """Like :func:`suicide`, but at most one kill per marker path."""
+    x, marker = payload
+    if x < 0 and in_worker_process():
+        try:
+            os.close(os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY))
+        except FileExistsError:
+            pass
+        else:
+            os.kill(os.getpid(), signal.SIGKILL)
+    return x * x
+
+
+def nested_fan_out(xs):
+    """A worker-side call into ``resilient_pool_map`` (must not fork)."""
+    return resilient_pool_map(square, list(xs), 2)
+
+
+class TestProbeOnCheckout:
+    def test_terminated_pool_is_replaced(self):
+        first = shared_pool(2)
+        first.terminate()
+        first.join()
+        second = shared_pool(2)
+        assert second is not first
+        assert pool_map(square, [1, 2, 3], 2) == [1, 4, 9]
+
+    def test_healthy_pool_is_reused(self):
+        assert shared_pool(2) is shared_pool(2)
+
+
+class TestDeathDetection:
+    def test_sigkilled_worker_raises_instead_of_hanging(self):
+        with pytest.raises(PoolBrokenError):
+            pool_map(suicide, [1, 2, -1, 3], 2)
+
+    def test_resilient_map_retries_to_success(self, tmp_path):
+        marker = str(tmp_path / "killed")
+        payloads = [(x, marker) for x in (1, 2, -1, 3)]
+        assert resilient_pool_map(suicide_once, payloads, 2) == [1, 4, 1, 9]
+        counters = runtime_counters()
+        assert counters["pool_rebuilds"] == 1
+        assert counters["shard_retries"] == 1
+        assert counters["pool_degraded"] == 0
+
+    def test_resilient_map_degrades_in_process(self):
+        # Every pooled attempt dies; the answer still comes back, from
+        # the parent, where the kill branch refuses to fire.
+        assert resilient_pool_map(suicide, [1, 2, -1, 3], 2) == [1, 4, 1, 9]
+        counters = runtime_counters()
+        assert counters["pool_rebuilds"] == MAX_SHARD_RETRIES + 1
+        assert counters["pool_degraded"] == 1
+
+    def test_nested_fan_out_runs_in_process(self):
+        # A daemonic worker cannot fork: the nested call must serve
+        # in-process rather than crash or deadlock.
+        assert pool_map(nested_fan_out, [(1, 2, 3)], 2) == [[1, 4, 9]]
+
+
+class TestHardenedShutdown:
+    def test_shutdown_survives_a_massacred_pool(self):
+        live = shared_pool(2)
+        for worker in list(live._pool):
+            os.kill(worker.pid, signal.SIGKILL)
+        shutdown_shared_pool()  # must neither raise nor hang
+        assert pool.shared_pool_size() == 0
+
+    def test_shutdown_without_a_pool_is_a_noop(self):
+        shutdown_shared_pool()
+        shutdown_shared_pool()
+
+
+class TestCounters:
+    def test_reset_zeroes_everything(self):
+        resilient_pool_map(suicide, [-1], 2)
+        assert any(runtime_counters().values())
+        reset_runtime_counters()
+        assert runtime_counters() == {
+            "pool_rebuilds": 0,
+            "shard_retries": 0,
+            "pool_degraded": 0,
+        }
+
+    def test_counters_returns_a_copy(self):
+        snapshot = runtime_counters()
+        snapshot["pool_rebuilds"] = 999
+        assert runtime_counters()["pool_rebuilds"] != 999

@@ -15,6 +15,7 @@ import pytest
 
 from repro.api.errors import (
     ApiError,
+    DeadlineExceededError,
     ServerError,
     ServiceUnavailableError,
     ValidationError,
@@ -55,8 +56,12 @@ class FakeConnection:
         self._log.append(("close",))
 
 
-def make_client(script, *, retries=3, backoff=0.1):
-    """A client whose transport replays ``script`` and records sleeps."""
+def make_client(script, *, retries=3, backoff=0.1, max_elapsed=None, rng=None):
+    """A client whose transport replays ``script`` and records sleeps.
+
+    ``rng`` defaults to a constant 1.0 so the full-jitter backoff
+    produces its maximum (deterministic) delays for exact assertions.
+    """
     log: list = []
     sleeps: list[float] = []
     remaining = list(script)
@@ -69,7 +74,9 @@ def make_client(script, *, retries=3, backoff=0.1):
         "http://fake:1234",
         retries=retries,
         backoff=backoff,
+        max_elapsed=max_elapsed,
         sleep=sleeps.append,
+        rng=rng if rng is not None else (lambda: 1.0),
         connection_factory=factory,
     )
     return client, log, sleeps
@@ -115,6 +122,57 @@ class TestRetries:
         # A server dying mid-response surfaces as BadStatusLine.
         client, _, _ = make_client([http.client.BadStatusLine(""), OK])
         assert client.health() == {"ok": True}
+
+    def test_jitter_scales_the_computed_delay(self):
+        client, _, sleeps = make_client(
+            [ENVELOPE_500, ENVELOPE_500, OK], backoff=0.1, rng=lambda: 0.5
+        )
+        assert client.health() == {"ok": True}
+        assert sleeps == [0.05, 0.1]  # half of the full 0.1 / 0.2
+
+    def test_retry_after_hint_replaces_backoff(self):
+        shed = (
+            503,
+            {
+                "error": {
+                    "type": "overloaded",
+                    "message": "at capacity",
+                    "retry_after": 0.7,
+                }
+            },
+        )
+        client, _, sleeps = make_client([shed, OK], backoff=0.1)
+        assert client.health() == {"ok": True}
+        assert sleeps == [0.7]
+
+    def test_max_elapsed_abandons_rather_than_oversleep(self):
+        # First retry (0.1s) fits the 0.15s budget; the second (0.2s)
+        # would overrun it, so the loop raises the last error instead.
+        client, _, sleeps = make_client(
+            [ENVELOPE_500] * 4, backoff=0.1, max_elapsed=0.15
+        )
+        with pytest.raises(ServerError, match="boom"):
+            client.health()
+        assert sleeps == [0.1]
+
+    def test_deadline_exceeded_is_never_retried(self):
+        expired = (
+            504,
+            {"error": {"type": "deadline_exceeded", "message": "too slow"}},
+        )
+        client, log, sleeps = make_client([expired, OK])
+        with pytest.raises(DeadlineExceededError, match="too slow"):
+            client.health()
+        assert sleeps == []
+        assert sum(1 for entry in log if entry[0] == "request") == 1
+
+    def test_spec_deadline_caps_the_retry_budget(self):
+        # deadline_ms=50 -> 0.05s budget; the first computed delay (0.1s)
+        # already overruns it, so no sleep happens at all.
+        client, _, sleeps = make_client([ENVELOPE_500] * 2, backoff=0.1)
+        with pytest.raises(ServerError, match="boom"):
+            client.run({"type": "compare", "deadline_ms": 50})
+        assert sleeps == []
 
 
 class TestNoRetryOn4xx:

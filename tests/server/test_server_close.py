@@ -1,0 +1,95 @@
+"""``ReproServer.close()``: no zombie threads, no leaked sockets.
+
+The pre-PR-8 bug: ``close()`` joined the serving thread with a timeout
+and returned silently even when the thread never exited, leaking both
+the thread and (worse) the listening socket.  Pinned here: the socket
+is force-closed unconditionally, a wedged thread is loud
+(``RuntimeError``), and concurrent/repeated closes are safe.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+import pytest
+
+from repro.server import ReproServer
+
+pytestmark = pytest.mark.tier1
+
+
+def port_is_free(host: str, port: int) -> bool:
+    probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    try:
+        return probe.connect_ex((host, port)) != 0
+    finally:
+        probe.close()
+
+
+class TestClose:
+    def test_close_stops_serving_and_releases_the_port(self):
+        server = ReproServer().start()
+        host, port = server.host, server.port
+        assert not port_is_free(host, port)
+        server.close()
+        assert server._thread is None
+        assert port_is_free(host, port)
+
+    def test_close_without_start_releases_the_port(self):
+        server = ReproServer()
+        host, port = server.host, server.port
+        server.close()  # must not hang on shutdown()'s handshake
+        probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        try:
+            probe.bind((host, port))  # the address is actually released
+        finally:
+            probe.close()
+
+    def test_close_is_idempotent(self):
+        server = ReproServer().start()
+        server.close()
+        server.close()
+        server.close()
+
+    def test_concurrent_closers_all_return(self):
+        server = ReproServer().start()
+        errors = []
+
+        def closer():
+            try:
+                server.close()
+            except Exception as exc:  # noqa: BLE001 -- collected for assert
+                errors.append(exc)
+
+        threads = [threading.Thread(target=closer) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(10)
+        assert not any(thread.is_alive() for thread in threads)
+        assert errors == []
+
+    def test_wedged_serving_thread_is_loud(self):
+        server = ReproServer()
+        wedged = threading.Thread(
+            target=threading.Event().wait, args=(30,), daemon=True
+        )
+        wedged.start()
+        # Simulate a serving thread that ignores shutdown: close() must
+        # still release the socket, then refuse to fail silently.
+        server._thread = wedged
+        with pytest.raises(RuntimeError, match="did not exit"):
+            server.close(join_timeout=0.05)
+        # The socket was force-closed before the error was raised.
+        probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        try:
+            probe.bind((server.host, server.port))
+        finally:
+            probe.close()
+
+    def test_context_manager_closes(self):
+        with ReproServer() as server:
+            host, port = server.host, server.port
+            assert not port_is_free(host, port)
+        assert port_is_free(host, port)
