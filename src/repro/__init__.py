@@ -41,6 +41,9 @@ Substrates and baselines:
   joins.
 * :mod:`repro.data` -- synthetic name corpora and the fraud-ring model.
 * :mod:`repro.analysis` -- ROC, recall and similarity-graph clustering.
+* :mod:`repro.store` -- durable indexes: crash-safe snapshots
+  (:class:`repro.SnapshotStore`), the write-ahead append log, and warm
+  restart behind ``Session(store_dir=...)`` / ``serve --store``.
 """
 
 from repro.api import (
@@ -65,6 +68,7 @@ from repro.distances import (
     sld,
     sld_greedy,
 )
+from repro.store import SnapshotStore
 from repro.tokenize import TokenizedString, Tokenizer, tokenize
 from repro.tsj import TSJ, TSJConfig
 
@@ -78,6 +82,7 @@ __all__ = [
     "ResultSet",
     "ServiceClient",
     "Session",
+    "SnapshotStore",
     "ValidationError",
     "TSJ",
     "TSJConfig",

@@ -32,6 +32,7 @@ from __future__ import annotations
 __all__ = [
     "ApiError",
     "AuthError",
+    "CorruptSnapshotError",
     "DeadlineExceededError",
     "MethodNotAllowedError",
     "NotFoundError",
@@ -39,6 +40,7 @@ __all__ = [
     "ServerError",
     "ServiceUnavailableError",
     "ValidationError",
+    "WalReplayError",
     "WIRE_VERSION",
     "error_envelope",
     "error_from_envelope",
@@ -151,6 +153,36 @@ class DeadlineExceededError(ApiError):
     status = 504
 
 
+class CorruptSnapshotError(ApiError):
+    """A durable index snapshot failed validation (magic, version, CRC).
+
+    Raised by :mod:`repro.store` when a snapshot file cannot be trusted:
+    truncated header, wrong magic, unsupported format version, a section
+    checksum mismatch, or internally inconsistent sections.  Callers
+    holding the source corpus degrade to a full rebuild
+    (:meth:`repro.store.SnapshotStore.open`); callers without one get
+    the typed failure instead of wrong results.
+    """
+
+    type = "corrupt_snapshot"
+    status = 500
+
+
+class WalReplayError(ApiError):
+    """The write-ahead append log could not be replayed.
+
+    A *torn tail* (a crash mid-append leaving a partial last record) is
+    not an error -- replay truncates it and continues.  This exception
+    marks real corruption: a damaged record in the middle of the log, a
+    record whose base offset does not chain onto the snapshot, or an
+    unreadable header.  Like :class:`CorruptSnapshotError`, it degrades
+    to a full rebuild when a source corpus is available.
+    """
+
+    type = "wal_replay"
+    status = 500
+
+
 _ERROR_TYPES = {
     cls.type: cls
     for cls in (
@@ -163,6 +195,8 @@ _ERROR_TYPES = {
         ServiceUnavailableError,
         OverloadedError,
         DeadlineExceededError,
+        CorruptSnapshotError,
+        WalReplayError,
     )
 }
 

@@ -130,6 +130,14 @@ class Session:
         LRU result-cache capacity of each resident serving index.
     max_resident:
         How many distinct corpora the session keeps resident at once.
+    store_dir:
+        Optional durable-store directory (:class:`repro.store.
+        SnapshotStore`).  On construction the session warm-restarts from
+        it -- snapshot load + WAL replay, degrading to a full rebuild
+        from ``names`` when the store is damaged -- and the restored
+        index becomes the *durable corpus* behind specs that name no
+        inline corpus.  :meth:`append` then logs to the store's WAL
+        before mutating memory, so acknowledged appends survive a crash.
 
     Examples
     --------
@@ -151,6 +159,7 @@ class Session:
         engine: str = "auto",
         cache_size: int = 256,
         max_resident: int = 4,
+        store_dir: str | None = None,
     ) -> None:
         self.tokenizer = tokenizer or Tokenizer()
         self.backend = validate_choice("verification backend", backend, BACKENDS)
@@ -158,6 +167,120 @@ class Session:
         self.cache_size = cache_size
         self._corpora = LRUCache(max_resident)
         self._default_names = tuple(names) if names is not None else None
+        self._store = None
+        self._durable: _Corpus | None = None
+        self._durable_index = None
+        if store_dir is not None:
+            from repro.store import SnapshotStore
+
+            self._store = SnapshotStore(store_dir)
+            self._install_durable(
+                self._store.open(
+                    names=names,
+                    tokenizer=self.tokenizer,
+                    backend=self.backend,
+                    cache_size=self.cache_size,
+                )
+            )
+
+    # -- durable persistence ----------------------------------------------------
+
+    def _install_durable(self, index) -> None:
+        """Adopt ``index`` as the durable corpus behind no-names specs."""
+        corpus = _Corpus(index.names, self.tokenizer)
+        corpus._records = index.records  # the live list: stays in sync
+        corpus._indexes[index.backend] = index
+        self._durable = corpus
+        self._durable_index = index
+        self._default_names = tuple(index.names)
+
+    def append(self, names: Sequence[str]) -> int:
+        """Grow the durable corpus; returns the new record count.
+
+        With a ``store_dir`` the append is **write-ahead logged and
+        fsynced before memory mutates**, so an acknowledged append is
+        never lost to a crash; past the WAL growth thresholds the store
+        compacts into a fresh snapshot.  Without a store the append is
+        memory-only (same visibility, no durability).
+        """
+        index = self._durable_index
+        if index is None:
+            if self._default_names is None:
+                raise ValidationError(
+                    "no resident corpus to append to: construct the Session "
+                    "with names= or store_dir="
+                )
+            # Materialize the default corpus as the durable one.
+            corpus = self._corpus(None)
+            self._install_durable(corpus.index(self.backend, self.cache_size))
+            index = self._durable_index
+        added = tuple(names)
+        if not added:
+            return len(index)
+        if self._store is not None:
+            self._store.log_append(added, base=len(index))
+        index.append(added)
+        corpus = self._durable
+        corpus.names = corpus.names + added
+        corpus._token_lists = None
+        # Sibling indexes under other backends predate the append; drop
+        # them so they rebuild over the full corpus on next use.
+        corpus._indexes = {
+            key: value
+            for key, value in corpus._indexes.items()
+            if value is index
+        }
+        self._default_names = corpus.names
+        if self._store is not None:
+            self._store.maybe_compact(index)
+        return len(index)
+
+    def save(self, path: str) -> str:
+        """Write an atomic snapshot of the default corpus's index at
+        ``path`` (the CLI ``repro index save``); returns ``path``.
+
+        Independent of ``store_dir``: this is the one-shot export, the
+        durable directory is the live write path.
+        """
+        from repro.store import index_to_sections, write_snapshot_file
+
+        index = self._durable_index
+        if index is None:
+            if self._default_names is None:
+                raise ValidationError(
+                    "nothing to save: construct the Session with a default "
+                    "corpus (names=) or a store_dir"
+                )
+            index = self._corpus(None).index(self.backend, self.cache_size)
+        write_snapshot_file(path, index_to_sections(index))
+        return path
+
+    @classmethod
+    def load(cls, path: str, *, engine: str = "auto", max_resident: int = 4):
+        """Rebuild a session from a :meth:`save` snapshot (strict: a
+        damaged file raises the typed
+        :class:`~repro.api.errors.CorruptSnapshotError`).
+
+        The restored index serves byte-identically to the one saved --
+        same results, same cascade counters, same simulated seconds --
+        and becomes the session's durable corpus.
+        """
+        from repro.store import index_from_sections, read_snapshot_file
+
+        index = index_from_sections(read_snapshot_file(path))
+        session = cls(
+            tokenizer=index.tokenizer,
+            backend=index.backend,
+            engine=engine,
+            cache_size=index.result_cache.capacity,
+            max_resident=max_resident,
+        )
+        session._install_durable(index)
+        return session
+
+    def store_status(self) -> dict | None:
+        """The durable store's health block (``None`` without a store)."""
+        return self._store.status() if self._store is not None else None
 
     # -- corpus residency -------------------------------------------------------
 
@@ -183,6 +306,8 @@ class Session:
                 "run(), or construct the Session with a default corpus"
             )
         key = tuple(chosen)
+        if self._durable is not None and key == self._durable.names:
+            return self._durable
         corpus = self._corpora.get(key)
         if corpus is None:
             corpus = _Corpus(key, self.tokenizer)
@@ -201,7 +326,10 @@ class Session:
 
         corpora = []
         cache_hits = cache_misses = cache_resident = 0
-        for key, corpus in self._corpora.items():
+        resident = list(self._corpora.items())
+        if self._durable is not None:
+            resident.append((self._durable.names, self._durable))
+        for key, corpus in resident:
             corpora.append(
                 {
                     "records": len(key),

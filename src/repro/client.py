@@ -225,6 +225,24 @@ class ServiceClient:
         )
         return ResultSet.from_dict(self._request("POST", "/v1/knn", spec.to_dict()))
 
+    def append(self, names: Sequence[str]) -> dict:
+        """Grow the server's durable corpus (``POST /v1/append``).
+
+        Returns ``{"records": <total>, "appended": <count>}``.  On a
+        store-backed server a 200 answer means the append was write-ahead
+        logged and fsynced -- it survives a server crash and restart.
+        Delivery is at-least-once: a retry after a dropped connection may
+        re-apply an append the server already logged (callers needing
+        exactly-once should disable retries and reconcile via ``records``).
+        """
+        from repro.api.errors import WIRE_VERSION
+
+        return self._request(
+            "POST",
+            "/v1/append",
+            {"version": WIRE_VERSION, "names": list(names)},
+        )
+
     def health(self) -> dict:
         """Liveness probe (``GET /v1/health``; no auth required)."""
         return self._request("GET", "/v1/health")

@@ -127,6 +127,13 @@ class Fault:
         ``(seed, site, call index)`` -- deterministic per plan.
     seed:
         The randomness seed for ``probability < 1`` sampling.
+    scope:
+        Where a ``kill`` fault may fire: ``"worker"`` (the default)
+        restricts it to daemonic pool workers, so an in-process fallback
+        re-running the same code cannot shoot the parent; ``"any"``
+        also kills non-worker processes -- what the durable-store chaos
+        runs use to SIGKILL a dedicated saver subprocess mid-write and
+        prove the atomic-rename guarantee.  Ignored for other actions.
     callback:
         The hook for ``action="call"`` (programmatic plans only; not
         serialisable to the environment form).
@@ -139,9 +146,15 @@ class Fault:
     exception: str = "fault"
     probability: float = 1.0
     seed: int = 0
+    scope: str = "worker"
     callback: Callable[[str], None] | None = None
 
     def __post_init__(self) -> None:
+        if self.scope not in ("worker", "any"):
+            raise ValueError(
+                f"unknown fault scope {self.scope!r}; "
+                "choose from ['worker', 'any']"
+            )
         if self.action not in ACTIONS:
             listed = ", ".join(repr(a) for a in ACTIONS)
             raise ValueError(
@@ -167,6 +180,8 @@ class Fault:
             payload["probability"] = self.probability
         if self.seed:
             payload["seed"] = self.seed
+        if self.scope != "worker":
+            payload["scope"] = self.scope
         return payload
 
 
@@ -224,6 +239,7 @@ def plan_from_env(raw: str) -> tuple[Fault, ...]:
             "exception",
             "probability",
             "seed",
+            "scope",
         }
         if unknown:
             raise ValueError(f"unknown fault key(s) {sorted(unknown)} in {entry!r}")
@@ -292,6 +308,7 @@ def inject(
     exception: str = "fault",
     probability: float = 1.0,
     seed: int = 0,
+    scope: str = "worker",
     callback: Callable[[str], None] | None = None,
     ledger: str | None = None,
     push_to_pool: bool = True,
@@ -311,6 +328,7 @@ def inject(
         exception=exception,
         probability=probability,
         seed=seed,
+        scope=scope,
         callback=callback,
     )
     existing = _PLAN.faults if _PLAN is not None else ()
@@ -413,6 +431,12 @@ def fault_point(site: str) -> None:
     ``serve.chunk``         inside a pool-served query chunk
     ``server.run``          the HTTP server, before executing a parsed spec
     ``client.send``         the SDK, before writing a request to the socket
+    ``store.write``         the durable store, before writing snapshot/WAL
+                            bytes (a kill here must leave the previous
+                            snapshot byte-identical)
+    ``store.fsync``         the durable store, before an fsync barrier
+    ``store.replay``        the durable store, before applying one WAL
+                            record on load
     ======================  ==================================================
     """
     if not _ENV_LOADED:
@@ -428,10 +452,16 @@ def fault_point(site: str) -> None:
             continue
         if not _selected(plan, fault, call_index):
             continue
-        if fault.action == "kill" and not _in_pool_worker():
+        if (
+            fault.action == "kill"
+            and fault.scope != "any"
+            and not _in_pool_worker()
+        ):
             # Kill faults model *worker* crashes; firing in the parent
             # (e.g. on the degraded in-process path re-running the same
-            # chunk function) would kill the process under test.
+            # chunk function) would kill the process under test.  A
+            # scope="any" fault opts out -- the store chaos runs arm it
+            # in a dedicated saver subprocess they expect to die.
             continue
         if not _claim_firing(plan, fault):
             continue

@@ -271,7 +271,12 @@ MAX_SHARD_RETRIES = 2
 #: flight; also the granularity of deadline enforcement mid-dispatch.
 POOL_MONITOR_INTERVAL = 0.02
 
-_COUNTERS = {"pool_rebuilds": 0, "shard_retries": 0, "pool_degraded": 0}
+_COUNTERS = {
+    "pool_rebuilds": 0,
+    "shard_retries": 0,
+    "pool_degraded": 0,
+    "store_rebuilds": 0,
+}
 _COUNTER_LOCK = threading.Lock()
 
 
@@ -282,10 +287,11 @@ def _bump(name: str, by: int = 1) -> None:
 
 def runtime_counters() -> dict[str, int]:
     """Crash-recovery counters: ``pool_rebuilds`` (pools replaced after a
-    failure), ``shard_retries`` (whole-batch re-dispatches) and
-    ``pool_degraded`` (batches that fell back to in-process execution).
-    Served under ``/v1/metrics`` and summarised as degraded-mode flags in
-    ``/v1/health``."""
+    failure), ``shard_retries`` (whole-batch re-dispatches),
+    ``pool_degraded`` (batches that fell back to in-process execution)
+    and ``store_rebuilds`` (durable-index loads that degraded to a full
+    rebuild from the corpus).  Served under ``/v1/metrics`` and
+    summarised as degraded-mode flags in ``/v1/health``."""
     with _COUNTER_LOCK:
         return dict(_COUNTERS)
 

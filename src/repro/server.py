@@ -18,6 +18,10 @@ Endpoints (all JSON, all answers carry the wire ``"version"`` tag):
                           (the CLI ``knn`` shape)
 ``POST /v1/run``          any spec with an explicit ``"type"`` tag -- the
                           fully declarative endpoint
+``POST /v1/append``       ``{"names": [...]}`` -- grow the durable corpus;
+                          with a ``--store`` directory the append is
+                          write-ahead logged and fsynced before memory
+                          mutates, so it survives a crash/restart
 ``GET  /v1/health``       liveness (unauthenticated): status, uptime, version
 ``GET  /v1/metrics``      request counts per route/status, the latency
                           histogram, and the session's resident-corpus and
@@ -38,8 +42,10 @@ which :class:`repro.client.ServiceClient` honors before retrying.  A
 spec's ``deadline_ms`` expires as a 504 ``deadline_exceeded`` envelope.
 ``/v1/metrics`` surfaces the gate (inflight gauge, shed counts) and the
 runtime's crash-recovery counters; ``/v1/health`` reports degraded
-modes (pool rebuilt / in-process fallback) without ever shedding --
-probes must always answer.
+modes (pool rebuilt / in-process fallback / durable store rebuilt from
+corpus) without ever shedding -- probes must always answer.  With a
+durable store (``serve(store_dir=...)`` / CLI ``--store``), health also
+carries a ``store`` block: ``{loaded, wal_records, last_compaction}``.
 
 Auth is a static bearer token (``Authorization: Bearer <token>``),
 compared constant-time; ``token=None`` disables auth.  ``/v1/health``
@@ -71,6 +77,7 @@ from repro.api.errors import (
     OverloadedError,
     ValidationError,
     error_envelope,
+    take_wire_version,
 )
 from repro.api.session import Session
 from repro.api.specs import spec_from_json
@@ -288,6 +295,11 @@ class SimilarityService:
                 raise MethodNotAllowedError(f"{route} accepts POST only")
             self._authorize(authorization)
             return self._run_spec(route, body)
+        if route == "/v1/append":
+            if method != "POST":
+                raise MethodNotAllowedError(f"{route} accepts POST only")
+            self._authorize(authorization)
+            return self._append(body)
         if route in _GET_ROUTES:
             if method != "GET":
                 raise MethodNotAllowedError(f"{route} accepts GET only")
@@ -295,7 +307,9 @@ class SimilarityService:
                 return self._health()
             self._authorize(authorization)
             return self._metrics()
-        known = ", ".join(sorted(_POST_ROUTES) + list(_GET_ROUTES))
+        known = ", ".join(
+            sorted([*_POST_ROUTES, "/v1/append"]) + list(_GET_ROUTES)
+        )
         raise NotFoundError(f"no route {route!r}; choose from [{known}]")
 
     def _authorize(self, authorization: str | None) -> None:
@@ -314,6 +328,47 @@ class SimilarityService:
             with self._run_lock:
                 result = self.session.run(spec)
         return result.to_dict()
+
+    def _append(self, body: bytes | None) -> dict:
+        """``POST /v1/append``: grow the session's durable corpus.
+
+        With a store-backed session the record is WAL-logged and fsynced
+        before memory mutates -- a 200 answer means the append survives
+        a crash.  Admission-gated and serialized like every other
+        mutating route.
+        """
+        if not body:
+            raise ValidationError(
+                'request body is empty; POST {"names": [...]}'
+            )
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ValidationError(f"request body is not valid JSON: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise ValidationError(
+                'request body must be a JSON object: {"names": [...]}'
+            )
+        take_wire_version(payload, "append request")
+        names = payload.pop("names", None)
+        if payload:
+            raise ValidationError(
+                f"unknown append field(s) {sorted(payload)}; "
+                'the only field is "names"'
+            )
+        if not isinstance(names, list) or not all(
+            isinstance(name, str) for name in names
+        ):
+            raise ValidationError('"names" must be a list of strings')
+        with self.gate.admit(retry_after=self._retry_after()):
+            fault_point("server.run")
+            with self._run_lock:
+                total = self.session.append(names)
+        return {
+            "version": WIRE_VERSION,
+            "records": total,
+            "appended": len(names),
+        }
 
     def _retry_after(self) -> float:
         """The ``Retry-After`` hint for shed requests: the observed mean
@@ -368,13 +423,24 @@ class SimilarityService:
             "pool_rebuilt": counters["pool_rebuilds"] > 0,
             # Retries ran out; work fell back to in-process execution.
             "pool_fallback_in_process": counters["pool_degraded"] > 0,
+            # A durable index failed validation and was rebuilt from the
+            # boot corpus (appends that lived only in the store are gone).
+            "store_rebuilt": counters["store_rebuilds"] > 0,
         }
-        return {
+        payload = {
             "status": "degraded" if any(degraded.values()) else "ok",
             "version": WIRE_VERSION,
             "uptime_seconds": self.metrics.snapshot()["uptime_seconds"],
             "degraded": degraded,
         }
+        store = self.session.store_status()
+        if store is not None:
+            payload["store"] = {
+                "loaded": store["loaded"],
+                "wal_records": store["wal_records"],
+                "last_compaction": store["last_compaction"],
+            }
+        return payload
 
     def _metrics(self) -> dict:
         payload = self.metrics.snapshot()
@@ -554,6 +620,7 @@ def serve(
     cache_size: int = 256,
     max_inflight: int | None = None,
     max_queue: int = 8,
+    store_dir: str | None = None,
 ) -> ReproServer:
     """Build a server around a fresh session (not yet started).
 
@@ -561,12 +628,16 @@ def serve(
     inline ``names`` run against it -- the resident-serving shape the
     benches and the CLI ``serve`` subcommand use.  ``max_inflight`` /
     ``max_queue`` bound the admission gate (``None`` = no shedding).
+    ``store_dir`` makes the session durable: boot warm-restarts from
+    the snapshot + WAL (degrading to a rebuild from ``names`` when
+    damaged) and ``/v1/append`` survives crashes.
     """
     session = Session(
         names,
         backend=backend,
         engine=engine,
         cache_size=cache_size,
+        store_dir=store_dir,
     )
     return ReproServer(
         host,

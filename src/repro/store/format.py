@@ -1,0 +1,263 @@
+"""The on-disk snapshot container: magic, version, checksummed sections.
+
+A snapshot is one file holding named binary *sections*.  The container
+is deliberately dumb -- it knows nothing about indexes, only about
+integrity -- so every durability property is checkable at this layer:
+
+* an 8-byte magic (:data:`MAGIC`) and a format version
+  (:data:`FORMAT_VERSION`) up front, so a foreign or future file fails
+  before any section is interpreted;
+* every section carries its payload length and a CRC32, verified on
+  read -- a flipped byte anywhere in a payload surfaces as the typed
+  :class:`~repro.api.errors.CorruptSnapshotError`, never as garbage
+  data served to a query;
+* section payloads are 8-byte aligned and the array sections
+  (:func:`pack_int_array`) are raw little-endian ``int64`` columns, so
+  a future reader can ``mmap`` the file and view postings/lengths
+  in place instead of copying.
+
+Publication is strictly atomic (:func:`write_snapshot_file`): the bytes
+go to a same-directory temp file, are fsynced, and only then renamed
+over the target (``os.replace``), followed by a directory fsync.  A
+crash at *any* point before the rename -- including mid-write, proven by
+the ``store.write`` kill fault in the chaos suite -- leaves the previous
+snapshot byte-identical; a crash after the rename leaves the new one
+complete.  There is no intermediate state.
+
+Layout (all integers little-endian)::
+
+    MAGIC (8) | format version u32 | section count u32
+    per section:
+        name length u32 | name (utf-8) | payload length u64 | crc32 u32
+        | zero padding to 8-byte alignment | payload
+        | zero padding to 8-byte alignment
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import sys
+import zlib
+from array import array
+
+from repro.api.errors import CorruptSnapshotError
+from repro.faults import fault_point
+
+__all__ = [
+    "FORMAT_VERSION",
+    "MAGIC",
+    "pack_int_array",
+    "pack_strings",
+    "read_snapshot_file",
+    "unpack_int_array",
+    "unpack_strings",
+    "write_snapshot_file",
+]
+
+#: The 8-byte file magic ("repro snapshot").
+MAGIC = b"RPROSNAP"
+
+#: The snapshot format version this build writes (and the only one it
+#: reads).  Bump on any layout change; old readers then fail loudly with
+#: the typed error instead of misreading sections.
+FORMAT_VERSION = 1
+
+_HEADER = struct.Struct("<8sII")
+_SECTION_HEAD = struct.Struct("<I")  # name length
+_SECTION_BODY = struct.Struct("<QI")  # payload length, crc32
+
+
+def _pad(length: int) -> int:
+    return (8 - length % 8) % 8
+
+
+def _aligned(chunks: list[bytes], data: bytes) -> None:
+    chunks.append(data)
+    chunks.append(b"\x00" * _pad(len(data)))
+
+
+def encode_snapshot(sections: dict[str, bytes]) -> bytes:
+    """Serialise named sections into the container byte string."""
+    chunks: list[bytes] = [_HEADER.pack(MAGIC, FORMAT_VERSION, len(sections))]
+    for name, payload in sections.items():
+        encoded = name.encode("utf-8")
+        header = (
+            _SECTION_HEAD.pack(len(encoded))
+            + encoded
+            + _SECTION_BODY.pack(len(payload), zlib.crc32(payload))
+        )
+        _aligned(chunks, header)
+        _aligned(chunks, payload)
+    return b"".join(chunks)
+
+
+def decode_snapshot(data: bytes, what: str = "snapshot") -> dict[str, bytes]:
+    """Parse and integrity-check a container; the inverse of
+    :func:`encode_snapshot`.
+
+    Raises :class:`~repro.api.errors.CorruptSnapshotError` on any
+    violation: short file, bad magic, unsupported version, truncated
+    section, checksum mismatch.
+    """
+
+    def fail(reason: str) -> CorruptSnapshotError:
+        return CorruptSnapshotError(f"corrupt {what}: {reason}")
+
+    if len(data) < _HEADER.size:
+        raise fail(f"file is {len(data)} bytes, shorter than the header")
+    magic, version, count = _HEADER.unpack_from(data)
+    if magic != MAGIC:
+        raise fail(f"bad magic {magic!r} (expected {MAGIC!r})")
+    if version != FORMAT_VERSION:
+        raise fail(
+            f"unsupported format version {version} "
+            f"(this build reads {FORMAT_VERSION})"
+        )
+    sections: dict[str, bytes] = {}
+    offset = _HEADER.size
+    for _ in range(count):
+        if offset + _SECTION_HEAD.size > len(data):
+            raise fail("truncated section header")
+        (name_length,) = _SECTION_HEAD.unpack_from(data, offset)
+        head_end = offset + _SECTION_HEAD.size + name_length + _SECTION_BODY.size
+        if name_length > 1 << 16 or head_end > len(data):
+            raise fail("truncated or oversized section name")
+        try:
+            name = data[
+                offset + _SECTION_HEAD.size : offset + _SECTION_HEAD.size + name_length
+            ].decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise fail(f"undecodable section name: {exc}") from exc
+        payload_length, crc = _SECTION_BODY.unpack_from(
+            data, offset + _SECTION_HEAD.size + name_length
+        )
+        payload_start = head_end + _pad(head_end - offset)
+        payload_end = payload_start + payload_length
+        if payload_end > len(data):
+            raise fail(f"section {name!r} is truncated")
+        payload = data[payload_start:payload_end]
+        if zlib.crc32(payload) != crc:
+            raise fail(f"checksum mismatch in section {name!r}")
+        sections[name] = payload
+        offset = payload_end + _pad(payload_length)
+    return sections
+
+
+def write_snapshot_file(path: str, sections: dict[str, bytes]) -> int:
+    """Atomically publish ``sections`` at ``path``; returns bytes written.
+
+    Write to a same-directory temp file, fsync it, ``os.replace`` over
+    the target, then fsync the directory -- the previous snapshot stays
+    byte-identical until the rename, and the rename is atomic.
+    """
+    data = encode_snapshot(sections)
+    directory = os.path.dirname(os.path.abspath(path))
+    temp_path = f"{path}.tmp.{os.getpid()}"
+    handle = os.open(temp_path, os.O_CREAT | os.O_TRUNC | os.O_WRONLY, 0o644)
+    try:
+        # The chaos suite kills the process here (and between the write
+        # and the fsync): the rename below must not have happened yet.
+        fault_point("store.write")
+        os.write(handle, data)
+        fault_point("store.fsync")
+        os.fsync(handle)
+    finally:
+        os.close(handle)
+    os.replace(temp_path, path)
+    _fsync_directory(directory)
+    return len(data)
+
+
+def read_snapshot_file(path: str, what: str = "snapshot") -> dict[str, bytes]:
+    """Read and integrity-check one snapshot container file."""
+    try:
+        with open(path, "rb") as handle:
+            data = handle.read()
+    except FileNotFoundError:
+        raise
+    except OSError as exc:
+        raise CorruptSnapshotError(f"unreadable {what}: {exc}") from exc
+    return decode_snapshot(data, what=what)
+
+
+def _fsync_directory(directory: str) -> None:
+    """Durably record a rename in its directory (no-op where unsupported)."""
+    try:
+        handle = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return  # e.g. Windows: directories are not openable; best effort
+    try:
+        os.fsync(handle)
+    except OSError:
+        pass
+    finally:
+        os.close(handle)
+
+
+# -- column encodings ---------------------------------------------------------
+
+
+def pack_int_array(values) -> bytes:
+    """Encode an int sequence as a little-endian ``int64`` column."""
+    column = values if isinstance(values, array) else array("q", values)
+    if column.typecode != "q":
+        column = array("q", column)
+    if sys.byteorder == "big":
+        column = array("q", column)
+        column.byteswap()
+    return column.tobytes()
+
+
+def unpack_int_array(payload: bytes, name: str = "array") -> array:
+    """Decode a little-endian ``int64`` column section."""
+    if len(payload) % 8:
+        raise CorruptSnapshotError(
+            f"corrupt snapshot: section {name!r} is not a whole number of "
+            f"int64 values ({len(payload)} bytes)"
+        )
+    column = array("q")
+    column.frombytes(payload)
+    if sys.byteorder == "big":
+        column.byteswap()
+    return column
+
+
+def pack_strings(strings) -> bytes:
+    """Encode a string list: count, end-offsets column, one utf-8 blob."""
+    blobs = [text.encode("utf-8") for text in strings]
+    offsets = array("q", [len(blobs)])
+    total = 0
+    for blob in blobs:
+        total += len(blob)
+        offsets.append(total)
+    return pack_int_array(offsets) + b"".join(blobs)
+
+
+def unpack_strings(payload: bytes, name: str = "strings") -> list[str]:
+    """Decode a :func:`pack_strings` section (count + offsets + blob)."""
+
+    def fail(reason: str) -> CorruptSnapshotError:
+        return CorruptSnapshotError(f"corrupt snapshot: section {name!r} {reason}")
+
+    if len(payload) < 8:
+        raise fail("is shorter than its count header")
+    (count,) = unpack_int_array(payload[:8], name)
+    blob_start = 8 + count * 8
+    if count < 0 or blob_start > len(payload):
+        raise fail(f"claims an impossible string count {count}")
+    offsets = unpack_int_array(payload[8:blob_start], name)
+    blob = payload[blob_start:]
+    if count and offsets[-1] != len(blob):
+        raise fail("has offsets inconsistent with its blob length")
+    strings: list[str] = []
+    start = 0
+    for stop in offsets:
+        if stop < start or stop > len(blob):
+            raise fail("has non-monotonic offsets")
+        try:
+            strings.append(blob[start:stop].decode("utf-8"))
+        except UnicodeDecodeError as exc:
+            raise fail(f"holds undecodable utf-8: {exc}") from exc
+        start = stop
+    return strings

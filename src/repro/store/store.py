@@ -1,0 +1,236 @@
+""":class:`SnapshotStore`: one directory holding a durable index.
+
+The store composes the container (:mod:`repro.store.format`), the
+section codec (:mod:`repro.store.snapshot`) and the append log
+(:mod:`repro.store.wal`) into the recovery contract the serving layer
+builds on::
+
+    store/
+        index.snap   the latest atomic snapshot (previous one until the
+                     publishing rename -- never a partial file)
+        index.wal    appends acknowledged since that snapshot
+
+* :meth:`save` publishes a snapshot atomically, then empties the WAL
+  (order matters: a crash between the two leaves WAL records the
+  snapshot already covers, which replay skips via their ``base``
+  offsets -- never double-applies).
+* :meth:`load` is the strict path: snapshot + WAL replay, raising the
+  typed :class:`~repro.api.errors.CorruptSnapshotError` /
+  :class:`~repro.api.errors.WalReplayError` on damage.
+* :meth:`open` is the serving path: load when possible, otherwise
+  **degrade to a full rebuild** from the supplied corpus -- counted in
+  ``runtime_counters()["store_rebuilds"]`` and in :meth:`status`, the
+  same observable-degradation pattern as the pool's crash recovery.
+  Records that lived only in a corrupted store are gone by definition;
+  the corpus the process was booted with is the recovery floor.
+* :meth:`log_append` + :meth:`maybe_compact` are the write path: WAL
+  first (fsynced), memory second, snapshot when the log grows past its
+  thresholds.
+
+Chaos hooks: the container's writer passes ``store.write`` /
+``store.fsync`` fault points (shared with :meth:`WriteAheadLog.append`),
+and every replayed WAL record passes ``store.replay`` -- an injected fault
+there surfaces as :class:`WalReplayError`, driving the degraded path
+deterministically.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.api.errors import CorruptSnapshotError, WalReplayError
+from repro.faults import FaultInjected, fault_point
+from repro.store.format import read_snapshot_file, write_snapshot_file
+from repro.store.snapshot import index_from_sections, index_to_sections
+from repro.store.wal import WriteAheadLog
+
+__all__ = ["SnapshotStore"]
+
+SNAPSHOT_NAME = "index.snap"
+WAL_NAME = "index.wal"
+
+
+class SnapshotStore:
+    """Durable snapshot + WAL lifecycle for one ``SimilarityIndex``.
+
+    Parameters
+    ----------
+    directory:
+        The store directory (created if missing).
+    compact_after_records / compact_after_bytes:
+        WAL growth thresholds past which :meth:`maybe_compact` cuts a
+        fresh snapshot; either triggers.
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        *,
+        compact_after_records: int = 256,
+        compact_after_bytes: int = 1 << 20,
+    ) -> None:
+        os.makedirs(directory, exist_ok=True)
+        self.directory = directory
+        self.snapshot_path = os.path.join(directory, SNAPSHOT_NAME)
+        self.wal = WriteAheadLog(os.path.join(directory, WAL_NAME))
+        self.compact_after_records = compact_after_records
+        self.compact_after_bytes = compact_after_bytes
+        #: Degraded loads this store performed (mirrors the process-wide
+        #: ``store_rebuilds`` runtime counter, scoped to this store).
+        self.rebuilds = 0
+        #: Whether the last :meth:`open`/:meth:`load` used the snapshot.
+        self.loaded_from_snapshot = False
+        self._wal_records = 0
+
+    # -- the write path ---------------------------------------------------------
+
+    def save(self, index) -> int:
+        """Atomically publish a snapshot of ``index``; returns its size.
+
+        The WAL empties only *after* the snapshot rename: a crash
+        between the two leaves records the snapshot already covers,
+        which replay skips by their ``base`` offsets.
+        """
+        written = write_snapshot_file(
+            self.snapshot_path, index_to_sections(index)
+        )
+        self.wal.reset()
+        self._wal_records = 0
+        return written
+
+    def log_append(self, names, base: int):
+        """Durably log one append *before* the in-memory mutation."""
+        record = self.wal.append(names, base)
+        self._wal_records += 1
+        return record
+
+    def maybe_compact(self, index) -> bool:
+        """Cut a fresh snapshot when the WAL outgrows its thresholds."""
+        if (
+            self._wal_records >= self.compact_after_records
+            or self.wal.size_bytes() >= self.compact_after_bytes
+        ):
+            self.save(index)
+            return True
+        return False
+
+    # -- the read path ----------------------------------------------------------
+
+    def load(self):
+        """The strict load: snapshot + WAL replay, typed errors on damage.
+
+        Raises :class:`FileNotFoundError` when no snapshot exists,
+        :class:`~repro.api.errors.CorruptSnapshotError` /
+        :class:`~repro.api.errors.WalReplayError` when the store cannot
+        be trusted.  A torn WAL tail is not damage: it is truncated and
+        the intact prefix served.
+        """
+        sections = read_snapshot_file(self.snapshot_path)
+        index = index_from_sections(sections)
+        records = self.wal.replay()
+        snapshot_records = len(index)
+        pending: list[str] = []
+        try:
+            for record in records:
+                fault_point("store.replay")
+                if record.base < snapshot_records:
+                    continue  # the snapshot already covers this append
+                if record.base != snapshot_records + len(pending):
+                    raise WalReplayError(
+                        f"append log {self.wal.path!r} has a gap: record "
+                        f"expects {record.base} records, snapshot+replay "
+                        f"holds {snapshot_records + len(pending)}"
+                    )
+                pending.extend(record.names)
+        except FaultInjected as exc:
+            raise WalReplayError(f"replay failed: {exc}") from exc
+        if pending:
+            # One batched append: one length-partition sort for the whole
+            # tail, not one per logged record.
+            index.append(pending)
+        self._wal_records = len(records)
+        self.loaded_from_snapshot = True
+        return index
+
+    def open(
+        self,
+        names=None,
+        *,
+        tokenizer=None,
+        backend: str = "auto",
+        cache_size: int = 256,
+    ):
+        """The serving load: use the store, degrade to a rebuild, seed.
+
+        * An intact store loads (snapshot + replay).
+        * A damaged store -- typed snapshot/WAL errors -- **rebuilds**
+          from ``names`` (the boot corpus), publishes a fresh snapshot,
+          and counts the degradation; with no corpus to rebuild from the
+          typed error propagates.
+        * An empty directory is a first boot: build from ``names`` (or
+          empty, ready for appends) and publish the initial snapshot.
+        """
+        from repro.service import SimilarityIndex
+
+        try:
+            return self.load()
+        except FileNotFoundError:
+            if self.wal.size_bytes():
+                # A WAL without its snapshot holds appends relative to
+                # state that no longer exists: unrecoverable as-is.
+                return self._rebuild(
+                    names,
+                    CorruptSnapshotError(
+                        f"snapshot {self.snapshot_path!r} is missing but "
+                        "its append log is not"
+                    ),
+                    tokenizer,
+                    backend,
+                    cache_size,
+                )
+        except (CorruptSnapshotError, WalReplayError) as exc:
+            return self._rebuild(names, exc, tokenizer, backend, cache_size)
+        # First boot: nothing on disk yet.
+        index = SimilarityIndex(
+            names or (),
+            tokenizer=tokenizer,
+            backend=backend,
+            cache_size=cache_size,
+        )
+        self.save(index)
+        return index
+
+    def _rebuild(self, names, cause, tokenizer, backend: str, cache_size: int):
+        """Degrade: full rebuild from the corpus, fresh snapshot, counted."""
+        from repro.runtime import pool
+        from repro.service import SimilarityIndex
+
+        if names is None:
+            raise cause
+        pool._bump("store_rebuilds")
+        self.rebuilds += 1
+        self.loaded_from_snapshot = False
+        index = SimilarityIndex(
+            names,
+            tokenizer=tokenizer,
+            backend=backend,
+            cache_size=cache_size,
+        )
+        self.save(index)
+        return index
+
+    # -- observability -----------------------------------------------------------
+
+    def status(self) -> dict:
+        """The ``store`` block ``/v1/health`` reports."""
+        try:
+            last_compaction = os.path.getmtime(self.snapshot_path)
+        except OSError:
+            last_compaction = None
+        return {
+            "loaded": self.loaded_from_snapshot,
+            "wal_records": self._wal_records,
+            "last_compaction": last_compaction,
+            "torn_tail_truncated": self.wal.torn_tail_truncated,
+            "rebuilds": self.rebuilds,
+        }

@@ -68,6 +68,24 @@ class TokenizedString:
     # -- construction helpers -------------------------------------------------
 
     @classmethod
+    def _from_canonical(cls, tokens: tuple[str, ...]) -> "TokenizedString":
+        """Trusted constructor for already-canonical token tuples.
+
+        ``tokens`` must be sorted and hold no empty strings -- the
+        invariants ``__init__`` establishes.  The snapshot decoder uses
+        this to skip the clean-and-sort pass on rows it has already
+        validated; everyone else should construct normally.
+        """
+        self = cls.__new__(cls)
+        object.__setattr__(self, "_tokens", tokens)
+        object.__setattr__(self, "_aggregate_length", sum(map(len, tokens)))
+        object.__setattr__(self, "_hash", hash(tokens))
+        object.__setattr__(self, "_histogram", None)
+        object.__setattr__(self, "_multiset", None)
+        object.__setattr__(self, "_distinct", None)
+        return self
+
+    @classmethod
     def from_text(cls, text: str, separator: str | None = None) -> "TokenizedString":
         """Build from raw text using naive whitespace splitting.
 

@@ -1,0 +1,58 @@
+"""The ``repro index save/load`` subcommands: snapshots from the shell."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api import Session, TopKSpec
+from repro.cli import main
+
+pytestmark = pytest.mark.tier1
+
+NAMES = ["barak obama", "borak obama", "john smith", "jon smiht", "ann lee"]
+
+
+@pytest.fixture()
+def names_file(tmp_path):
+    path = tmp_path / "names.txt"
+    path.write_text("\n".join(NAMES) + "\n", encoding="utf-8")
+    return str(path)
+
+
+@pytest.fixture()
+def snapshot(names_file, tmp_path, capsys):
+    path = str(tmp_path / "names.snap")
+    assert main(["index", "save", names_file, path]) == 0
+    capsys.readouterr()
+    return path
+
+
+class TestIndexSave:
+    def test_save_reports_size(self, names_file, tmp_path, capsys):
+        path = str(tmp_path / "x.snap")
+        assert main(["index", "save", names_file, path]) == 0
+        out = capsys.readouterr().out
+        assert f"saved {len(NAMES)}-record index snapshot" in out
+        assert "atomically published" in out
+
+
+class TestIndexLoad:
+    def test_load_reports_stats(self, snapshot, capsys):
+        assert main(["index", "load", snapshot]) == 0
+        assert f"loaded {len(NAMES)}-record index" in capsys.readouterr().out
+
+    def test_load_serves_queries(self, snapshot, capsys):
+        assert main(["index", "load", snapshot, "barak obana", "-k", "2"]) == 0
+        assert "barak obama" in capsys.readouterr().out
+
+    def test_load_json_matches_in_process(self, snapshot, capsys):
+        assert main(
+            ["index", "load", snapshot, "barak obana", "-k", "2", "--json"]
+        ) == 0
+        envelope = json.loads(capsys.readouterr().out)
+        local = Session(NAMES).run(TopKSpec(queries=("barak obana",), k=2))
+        assert envelope["matches"] == [
+            [list(match) for match in query] for query in local.matches
+        ]

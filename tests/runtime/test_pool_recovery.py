@@ -143,6 +143,7 @@ class TestCounters:
             "pool_rebuilds": 0,
             "shard_retries": 0,
             "pool_degraded": 0,
+            "store_rebuilds": 0,
         }
 
     def test_counters_returns_a_copy(self):

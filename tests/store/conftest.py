@@ -1,0 +1,27 @@
+"""Isolation for the durability suite.
+
+Store tests arm fault plans (crash-mid-save atomicity) and drive the
+degraded rebuild path, which bumps the process-global
+``store_rebuilds`` runtime counter; every test starts and ends with
+faults disarmed and counters zeroed so a leaked plan cannot poison a
+later test (or flip ``/v1/health`` to ``degraded`` for an unrelated
+suite).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import faults
+from repro.runtime import pool
+
+
+@pytest.fixture(autouse=True)
+def store_isolation():
+    faults.clear()
+    faults._reset_for_tests()
+    pool.reset_runtime_counters()
+    yield
+    faults.clear()
+    faults._reset_for_tests()
+    pool.reset_runtime_counters()

@@ -1,0 +1,142 @@
+"""Byte-flip fuzz: a damaged store never tracebacks, never lies.
+
+The property, over random byte flips in the snapshot and the WAL:
+
+* the strict path (``SnapshotStore.load``) either succeeds or raises a
+  *typed* error (:class:`CorruptSnapshotError` / :class:`WalReplayError`)
+  -- never any other exception;
+* when it succeeds anyway (flips can land in alignment padding, which
+  is deliberately outside the checksums), the loaded index answers
+  byte-identically to a freshly built oracle -- corruption is either
+  detected or semantically absent, never silently served;
+* the serving path (``open(names=...)``) always comes up, and its
+  answers match one of the two legitimate states: the durable corpus
+  (load succeeded) or the boot corpus (degraded rebuild).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import shutil
+import tempfile
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api.errors import CorruptSnapshotError, WalReplayError
+from repro.service import SimilarityIndex
+from repro.store import SnapshotStore
+
+pytestmark = pytest.mark.tier1
+
+BOOT_NAMES = ["barak obama", "borak obama", "john smith", "jon smiht", "ann lee"]
+APPENDED = ["veronika dahl", "tariq hassan"]
+QUERIES = ("barak obana", "veronika dhal", "jon smith")
+
+TYPED = (CorruptSnapshotError, WalReplayError)
+
+
+def pristine_store_bytes() -> tuple[bytes, bytes]:
+    """One snapshot + one-record-per-append WAL, as bytes."""
+    with tempfile.TemporaryDirectory() as directory:
+        store = SnapshotStore(directory)
+        index = store.open(names=BOOT_NAMES)
+        for name in APPENDED:
+            store.log_append([name], base=len(index))
+            index.append([name])
+        snapshot = open(store.snapshot_path, "rb").read()
+        wal = open(store.wal.path, "rb").read()
+    return snapshot, wal
+
+
+SNAPSHOT_BYTES, WAL_BYTES = pristine_store_bytes()
+
+ORACLE_DURABLE = SimilarityIndex(BOOT_NAMES + APPENDED)
+ORACLE_BOOT = SimilarityIndex(BOOT_NAMES)
+
+
+def flip(data: bytes, positions, masks) -> bytes:
+    damaged = bytearray(data)
+    for position, mask in zip(positions, masks):
+        damaged[position % len(damaged)] ^= mask
+    return bytes(damaged)
+
+
+@contextlib.contextmanager
+def materialize(snapshot: bytes, wal: bytes):
+    directory = tempfile.mkdtemp(prefix="fuzz-store-")
+    try:
+        with open(os.path.join(directory, "index.snap"), "wb") as handle:
+            handle.write(snapshot)
+        with open(os.path.join(directory, "index.wal"), "wb") as handle:
+            handle.write(wal)
+        yield directory
+    finally:
+        shutil.rmtree(directory, ignore_errors=True)
+
+
+def answers(index) -> list:
+    return [index.topk(query, k=3) for query in QUERIES]
+
+
+flips = st.tuples(
+    st.lists(st.integers(min_value=0), min_size=1, max_size=8),
+    st.lists(st.integers(min_value=1, max_value=255), min_size=8, max_size=8),
+)
+
+
+class TestStrictLoad:
+    @settings(max_examples=60, deadline=None)
+    @given(damage=flips, target=st.sampled_from(["snapshot", "wal"]))
+    def test_typed_error_or_oracle_identical(self, damage, target):
+        positions, masks = damage
+        snapshot, wal = SNAPSHOT_BYTES, WAL_BYTES
+        if target == "snapshot":
+            snapshot = flip(snapshot, positions, masks)
+        else:
+            wal = flip(wal, positions, masks)
+        with materialize(snapshot, wal) as directory:
+            store = SnapshotStore(directory)
+            try:
+                index = store.load()
+            except TYPED:
+                return  # detected: the contract holds
+            # Survived: the flips must have been semantically absent
+            # (padding) or behind a legitimately truncated torn tail.
+            if len(index) == len(ORACLE_DURABLE):
+                assert answers(index) == answers(ORACLE_DURABLE)
+            else:
+                # a torn-tail cut may lose a WAL suffix, never the snapshot
+                assert len(index) >= len(ORACLE_BOOT)
+                oracle = SimilarityIndex(index.names)
+                assert answers(index) == answers(oracle)
+
+
+class TestServingRecovery:
+    @settings(max_examples=40, deadline=None)
+    @given(damage=flips, target=st.sampled_from(["snapshot", "wal"]))
+    def test_open_always_comes_up_serving(self, damage, target):
+        positions, masks = damage
+        snapshot, wal = SNAPSHOT_BYTES, WAL_BYTES
+        if target == "snapshot":
+            snapshot = flip(snapshot, positions, masks)
+        else:
+            wal = flip(wal, positions, masks)
+        with materialize(snapshot, wal) as directory:
+            store = SnapshotStore(directory)
+            index = store.open(names=BOOT_NAMES)
+            # Whatever happened, the process serves; and what it serves
+            # is one of the two legitimate states, matched exactly.
+            oracle = SimilarityIndex(index.names)
+            assert answers(index) == answers(oracle)
+            if store.rebuilds:
+                assert index.names == list(BOOT_NAMES)
+            else:
+                assert index.names[: len(BOOT_NAMES)] == list(BOOT_NAMES)
+            # and the recovery republished/kept a loadable store
+            reborn = SnapshotStore(directory)
+            reloaded = reborn.open(names=BOOT_NAMES)
+            assert reloaded.names == index.names
+            assert reborn.rebuilds == 0

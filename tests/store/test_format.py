@@ -1,0 +1,157 @@
+"""The snapshot container: integrity checking and atomic publication.
+
+The container layer knows nothing about indexes, so its whole contract
+is testable with toy sections: every flipped byte surfaces as the typed
+:class:`CorruptSnapshotError`, and a crash at any point before the
+publishing rename leaves the previous file byte-identical.
+"""
+
+from __future__ import annotations
+
+import os
+from array import array
+
+import pytest
+
+from repro import faults
+from repro.api.errors import CorruptSnapshotError
+from repro.faults import FaultInjected
+from repro.store.format import (
+    FORMAT_VERSION,
+    MAGIC,
+    decode_snapshot,
+    encode_snapshot,
+    pack_int_array,
+    pack_strings,
+    read_snapshot_file,
+    unpack_int_array,
+    unpack_strings,
+    write_snapshot_file,
+)
+
+pytestmark = pytest.mark.tier1
+
+SECTIONS = {
+    "meta": b'{"records": 3}',
+    "column": pack_int_array([1, 2, 3]),
+    "empty": b"",
+}
+
+
+class TestContainerRoundTrip:
+    def test_round_trip(self):
+        assert decode_snapshot(encode_snapshot(SECTIONS)) == SECTIONS
+
+    def test_header_layout(self):
+        data = encode_snapshot(SECTIONS)
+        assert data[:8] == MAGIC
+        assert int.from_bytes(data[8:12], "little") == FORMAT_VERSION
+
+    def test_no_sections(self):
+        assert decode_snapshot(encode_snapshot({})) == {}
+
+    def test_payloads_are_eight_byte_aligned(self):
+        data = encode_snapshot({"a": b"x", "b": b"y" * 9})
+        for payload in (b"x", b"y" * 9):
+            assert data.index(payload) % 8 == 0
+
+
+class TestContainerRejection:
+    def test_short_file(self):
+        with pytest.raises(CorruptSnapshotError, match="shorter than"):
+            decode_snapshot(b"RPRO")
+
+    def test_bad_magic(self):
+        data = b"NOTMAGIC" + encode_snapshot(SECTIONS)[8:]
+        with pytest.raises(CorruptSnapshotError, match="bad magic"):
+            decode_snapshot(data)
+
+    def test_future_version(self):
+        data = bytearray(encode_snapshot(SECTIONS))
+        data[8:12] = (FORMAT_VERSION + 1).to_bytes(4, "little")
+        with pytest.raises(CorruptSnapshotError, match="unsupported format version"):
+            decode_snapshot(bytes(data))
+
+    def test_truncated_section(self):
+        data = encode_snapshot(SECTIONS)
+        with pytest.raises(CorruptSnapshotError):
+            decode_snapshot(data[:-4])
+
+    def test_flipped_payload_byte_fails_checksum(self):
+        data = bytearray(encode_snapshot(SECTIONS))
+        index = data.index(b'{"records": 3}')
+        data[index] ^= 0xFF
+        with pytest.raises(CorruptSnapshotError, match="checksum mismatch"):
+            decode_snapshot(bytes(data))
+
+    def test_what_names_the_artifact(self):
+        with pytest.raises(CorruptSnapshotError, match="corrupt the-wal-snapshot"):
+            decode_snapshot(b"", what="the-wal-snapshot")
+
+
+class TestAtomicPublication:
+    def test_write_then_read(self, tmp_path):
+        path = str(tmp_path / "x.snap")
+        written = write_snapshot_file(path, SECTIONS)
+        assert os.path.getsize(path) == written
+        assert read_snapshot_file(path) == SECTIONS
+
+    def test_no_temp_file_left_behind(self, tmp_path):
+        write_snapshot_file(str(tmp_path / "x.snap"), SECTIONS)
+        assert os.listdir(tmp_path) == ["x.snap"]
+
+    @pytest.mark.parametrize("site", ["store.write", "store.fsync"])
+    def test_crash_before_rename_preserves_previous(self, tmp_path, site):
+        # A fault raised at either pre-rename point models the process
+        # dying there: the published snapshot must remain byte-identical
+        # to the previous save.
+        path = str(tmp_path / "x.snap")
+        write_snapshot_file(path, SECTIONS)
+        before = open(path, "rb").read()
+        faults.inject(site, "raise", push_to_pool=False)
+        with pytest.raises(FaultInjected):
+            write_snapshot_file(path, {"meta": b"new state"})
+        assert open(path, "rb").read() == before
+        assert read_snapshot_file(path) == SECTIONS
+
+    def test_missing_file_is_file_not_found(self, tmp_path):
+        # FileNotFoundError (not the typed corruption error): "no store
+        # yet" and "damaged store" demand different recovery.
+        with pytest.raises(FileNotFoundError):
+            read_snapshot_file(str(tmp_path / "absent.snap"))
+
+
+class TestColumnCodecs:
+    def test_int_array_round_trip(self):
+        values = [0, 1, -1, 2**62, -(2**62)]
+        assert list(unpack_int_array(pack_int_array(values))) == values
+
+    def test_int_array_accepts_array_input(self):
+        column = array("q", [5, 6])
+        assert list(unpack_int_array(pack_int_array(column))) == [5, 6]
+
+    def test_int_array_rejects_ragged_payload(self):
+        with pytest.raises(CorruptSnapshotError, match="whole number"):
+            unpack_int_array(b"\x00" * 12)
+
+    def test_strings_round_trip(self):
+        strings = ["", "ann lee", "veronika", "naïve café", ""]
+        assert unpack_strings(pack_strings(strings)) == strings
+
+    def test_strings_empty(self):
+        assert unpack_strings(pack_strings([])) == []
+
+    def test_strings_reject_bad_count(self):
+        payload = pack_int_array([10**6]) + b"tiny"
+        with pytest.raises(CorruptSnapshotError, match="impossible string count"):
+            unpack_strings(payload)
+
+    def test_strings_reject_inconsistent_offsets(self):
+        payload = pack_int_array([2, 3, 2]) + b"abc"
+        with pytest.raises(CorruptSnapshotError):
+            unpack_strings(payload)
+
+    def test_strings_reject_bad_utf8(self):
+        payload = pack_int_array([1, 2]) + b"\xff\xfe"
+        with pytest.raises(CorruptSnapshotError, match="undecodable"):
+            unpack_strings(payload)
