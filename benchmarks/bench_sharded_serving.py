@@ -1,0 +1,178 @@
+"""Sharded-serving bench: Lemma 6 shard pruning and scatter overhead.
+
+On the 5k-name corpus a 4-shard :class:`repro.shard.ShardedIndex` under
+the ``length`` placement serves the same top-k and range batches as one
+:class:`repro.service.SimilarityIndex` -- results and counters asserted
+**equal** (the shard-count invariance contract) -- while the router's
+:attr:`routing` tallies show how many shards the Lemma 6 window pruned
+before any probe ran.  Emits ``benchmarks/results/BENCH_sharded.json``:
+
+* ``pruning_ratio`` -- ``shards_pruned / shards_total`` per workload
+  family under the length placement.  Deterministic for a fixed corpus
+  seed and therefore machine-independent; gated against
+  ``benchmarks/BENCH_sharded_baseline.json`` (the hash placement's
+  ratio rides along ungated as the no-pruning baseline);
+* ``throughput`` -- queries/sec for the single index and the sharded
+  router (same process, same box), with the scatter-gather overhead
+  ratio recorded ungated: wall-clock context, not a gate.
+
+CI gates the pruning series::
+
+    python scripts/check_perf_regression.py --relative \
+        --series pruning_ratio \
+        benchmarks/results/BENCH_sharded.json \
+        benchmarks/BENCH_sharded_baseline.json
+
+Run as a pytest bench (``pytest benchmarks/bench_sharded_serving.py``)
+or standalone (``PYTHONPATH=src python benchmarks/bench_sharded_serving.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.data import evaluation_corpus
+from repro.service import SimilarityIndex
+from repro.shard import ShardedIndex
+
+_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+CORPUS_SIZE = int(5000 * _SCALE)
+N_SHARDS = 4
+N_QUERIES = 32
+K = 5
+RADIUS = 0.15
+
+RESULTS_PATH = Path(__file__).parent / "results" / "BENCH_sharded.json"
+
+
+def _queries(names: list[str]) -> list[str]:
+    """Hot corpus names plus one-edit variants, as the query bench."""
+    step = max(1, len(names) // (N_QUERIES * 3 // 4))
+    base = names[::step][: N_QUERIES * 3 // 4]
+    edited = [name.replace("a", "o", 1) for name in base][: N_QUERIES - len(base)]
+    return base + edited
+
+
+def _serve_one(index, family: str, queries) -> tuple[list, float]:
+    """Run one workload family; returns its results and seconds."""
+    start = time.perf_counter()
+    if family == "topk":
+        results = index.topk(queries, k=K)
+    else:
+        results = index.within(queries, RADIUS)
+    return results, time.perf_counter() - start
+
+
+def _serve(index, queries) -> tuple[dict, dict]:
+    """Run both workload families; returns results and per-family seconds."""
+    results, seconds = {}, {}
+    for family in ("topk", "within"):
+        results[family], seconds[family] = _serve_one(index, family, queries)
+    return results, seconds
+
+
+def _pruning(index: ShardedIndex, reset: dict | None = None) -> dict:
+    routing = dict(index.routing)
+    if reset:
+        for key in ("shards_probed", "shards_pruned"):
+            routing[key] -= reset.get(key, 0)
+    tallied = routing["shards_probed"] + routing["shards_pruned"]
+    return {
+        "shards_pruned": routing["shards_pruned"],
+        "shards_tallied": tallied,
+        "ratio": round(routing["shards_pruned"] / tallied, 4) if tallied else 0.0,
+    }
+
+
+def run_bench() -> dict:
+    names, _ = evaluation_corpus(CORPUS_SIZE, seed=47)
+    queries = _queries(names)
+
+    single = SimilarityIndex(names)
+    oracle_results, single_seconds = _serve(single, queries)
+    oracle_counters = dict(single.counters)
+
+    ratios: dict[str, float] = {}
+    pruning_detail: dict[str, dict] = {}
+    sharded_seconds: dict[str, float] = {}
+    for placement in ("length", "hash"):
+        index = ShardedIndex(names, n_shards=N_SHARDS, placement=placement)
+        per_family = {}
+        for family, oracle in oracle_results.items():
+            before = dict(index.routing)
+            results, seconds = _serve_one(index, family, queries)
+            # The invariance contract, asserted on the bench workload:
+            # the sharded answers ARE the single-index answers.
+            assert results == oracle, (
+                f"{placement}/{family}: sharded results diverge from the "
+                "single-index oracle"
+            )
+            per_family[family] = _pruning(index, reset=before)
+            if placement == "length":
+                sharded_seconds[family] = seconds
+        # Same call sequence from a fresh index -> same counters as the
+        # fresh oracle's, cascade tallies and cache traffic alike.
+        assert index.counters == oracle_counters, (
+            f"{placement}: sharded counters diverge from the oracle"
+        )
+        pruning_detail[placement] = per_family
+        if placement == "length":
+            ratios = {
+                family: detail["ratio"] for family, detail in per_family.items()
+            }
+
+    # Lemma 6 must actually bite on the length placement: whole shards
+    # skipped before any postings probe ran.
+    assert all(
+        detail["shards_pruned"] > 0
+        for detail in pruning_detail["length"].values()
+    ), "length placement pruned no shards on the 5k corpus"
+
+    report = {
+        "gated": ["topk", "within"],
+        "workload": {
+            "corpus": CORPUS_SIZE,
+            "n_shards": N_SHARDS,
+            "queries": len(queries),
+            "k": K,
+            "radius": RADIUS,
+        },
+        "pruning_ratio": ratios,
+        "pruning_detail": pruning_detail,
+        "throughput": {
+            "single_qps": {
+                family: round(len(queries) / seconds, 1)
+                for family, seconds in single_seconds.items()
+            },
+            "sharded_qps": {
+                family: round(len(queries) / seconds, 1)
+                for family, seconds in sharded_seconds.items()
+            },
+            # > 1.0 means scatter-gather cost; ungated wall-clock context.
+            "scatter_overhead": {
+                family: round(sharded_seconds[family] / single_seconds[family], 2)
+                for family in sharded_seconds
+            },
+        },
+    }
+    RESULTS_PATH.parent.mkdir(exist_ok=True)
+    RESULTS_PATH.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    return report
+
+
+@pytest.mark.perf
+def test_sharded_serving_pruning():
+    report = run_bench()
+    print("\n" + json.dumps(report, indent=2))
+    for family, ratio in report["pruning_ratio"].items():
+        assert ratio > 0.0, f"{family}: length placement pruned nothing"
+
+
+if __name__ == "__main__":
+    print(json.dumps(run_bench(), indent=2))

@@ -44,6 +44,11 @@ Substrates and baselines:
 * :mod:`repro.store` -- durable indexes: crash-safe snapshots
   (:class:`repro.SnapshotStore`), the write-ahead append log, and warm
   restart behind ``Session(store_dir=...)`` / ``serve --store``.
+* :mod:`repro.shard` -- sharded serving: :class:`repro.ShardedIndex`
+  scatter-gathers N placement-partitioned shards with results and
+  counters invariant in the shard count (``Session(shards=N)`` /
+  ``serve --shards``), and :class:`repro.ShardedSnapshotStore` persists
+  the layout under the unsharded recovery contract.
 """
 
 from repro.api import (
@@ -68,6 +73,7 @@ from repro.distances import (
     sld,
     sld_greedy,
 )
+from repro.shard import ShardedIndex, ShardedSnapshotStore
 from repro.store import SnapshotStore
 from repro.tokenize import TokenizedString, Tokenizer, tokenize
 from repro.tsj import TSJ, TSJConfig
@@ -82,6 +88,8 @@ __all__ = [
     "ResultSet",
     "ServiceClient",
     "Session",
+    "ShardedIndex",
+    "ShardedSnapshotStore",
     "SnapshotStore",
     "ValidationError",
     "TSJ",

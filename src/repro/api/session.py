@@ -90,19 +90,41 @@ class _Corpus:
             self._token_lists = [list(record.tokens) for record in self.records]
         return self._token_lists
 
-    def index(self, backend: str, cache_size: int):
-        """The resident :class:`repro.service.SimilarityIndex` (lazy)."""
+    def index(
+        self,
+        backend: str,
+        cache_size: int,
+        shards: int = 1,
+        placement: str = "length",
+    ):
+        """The resident serving index (lazy): a
+        :class:`repro.service.SimilarityIndex`, or a
+        :class:`repro.shard.ShardedIndex` when the session serves
+        ``shards > 1`` (results and counters are shard-count invariant,
+        so the cached index is keyed by backend alone)."""
         built = self._indexes.get(backend)
         if built is None:
-            from repro.service import SimilarityIndex
-
             start = time.perf_counter()
-            built = SimilarityIndex(
-                self.names,
-                tokenizer=self._tokenizer,
-                backend=backend,
-                cache_size=cache_size,
-            )
+            if shards > 1:
+                from repro.shard import ShardedIndex
+
+                built = ShardedIndex(
+                    self.names,
+                    n_shards=shards,
+                    placement=placement,
+                    tokenizer=self._tokenizer,
+                    backend=backend,
+                    cache_size=cache_size,
+                )
+            else:
+                from repro.service import SimilarityIndex
+
+                built = SimilarityIndex(
+                    self.names,
+                    tokenizer=self._tokenizer,
+                    backend=backend,
+                    cache_size=cache_size,
+                )
             self.build_seconds += time.perf_counter() - start
             self._indexes[backend] = built
         return built
@@ -130,14 +152,26 @@ class Session:
         LRU result-cache capacity of each resident serving index.
     max_resident:
         How many distinct corpora the session keeps resident at once.
+    shards / placement:
+        Serving layout.  ``shards > 1`` builds each resident index as a
+        :class:`repro.shard.ShardedIndex` -- N partitions under the
+        given placement (``"length"`` for Lemma 6 shard pruning,
+        ``"hash"`` for the uniform baseline), scatter-gather routed --
+        with the spec surface unchanged: results, counters and simulated
+        seconds are shard-count invariant by contract.
     store_dir:
         Optional durable-store directory (:class:`repro.store.
-        SnapshotStore`).  On construction the session warm-restarts from
+        SnapshotStore`, or :class:`repro.shard.ShardedSnapshotStore`
+        when serving sharded or when the directory already holds a
+        sharded layout).  On construction the session warm-restarts from
         it -- snapshot load + WAL replay, degrading to a full rebuild
         from ``names`` when the store is damaged -- and the restored
         index becomes the *durable corpus* behind specs that name no
         inline corpus.  :meth:`append` then logs to the store's WAL
         before mutating memory, so acknowledged appends survive a crash.
+        A directory written unsharded migrates losslessly when opened
+        with ``shards > 1`` (and vice versa the sharded layout, once
+        created, is kept even at ``shards=1``).
 
     Examples
     --------
@@ -159,29 +193,54 @@ class Session:
         engine: str = "auto",
         cache_size: int = 256,
         max_resident: int = 4,
+        shards: int = 1,
+        placement: str = "length",
         store_dir: str | None = None,
     ) -> None:
+        from repro.shard.placement import PLACEMENTS
+
         self.tokenizer = tokenizer or Tokenizer()
         self.backend = validate_choice("verification backend", backend, BACKENDS)
         self.engine = validate_choice("execution engine", engine, ENGINES)
         self.cache_size = cache_size
+        if not isinstance(shards, int) or shards < 1:
+            raise ValidationError(f"shards must be a positive int, got {shards!r}")
+        self.shards = shards
+        self.placement = validate_choice("shard placement", placement, PLACEMENTS)
         self._corpora = LRUCache(max_resident)
         self._default_names = tuple(names) if names is not None else None
         self._store = None
         self._durable: _Corpus | None = None
         self._durable_index = None
         if store_dir is not None:
-            from repro.store import SnapshotStore
+            from repro.shard.store import is_sharded_store
 
-            self._store = SnapshotStore(store_dir)
-            self._install_durable(
-                self._store.open(
-                    names=names,
-                    tokenizer=self.tokenizer,
-                    backend=self.backend,
-                    cache_size=self.cache_size,
+            if shards > 1 or is_sharded_store(store_dir):
+                from repro.shard import ShardedSnapshotStore
+
+                self._store = ShardedSnapshotStore(store_dir)
+                self._install_durable(
+                    self._store.open(
+                        names=names,
+                        n_shards=shards,
+                        placement=placement,
+                        tokenizer=self.tokenizer,
+                        backend=self.backend,
+                        cache_size=self.cache_size,
+                    )
                 )
-            )
+            else:
+                from repro.store import SnapshotStore
+
+                self._store = SnapshotStore(store_dir)
+                self._install_durable(
+                    self._store.open(
+                        names=names,
+                        tokenizer=self.tokenizer,
+                        backend=self.backend,
+                        cache_size=self.cache_size,
+                    )
+                )
 
     # -- durable persistence ----------------------------------------------------
 
@@ -194,7 +253,7 @@ class Session:
         self._durable_index = index
         self._default_names = tuple(index.names)
 
-    def append(self, names: Sequence[str]) -> int:
+    def append(self, names: Sequence[str], base: int | None = None) -> int:
         """Grow the durable corpus; returns the new record count.
 
         With a ``store_dir`` the append is **write-ahead logged and
@@ -202,6 +261,13 @@ class Session:
         never lost to a crash; past the WAL growth thresholds the store
         compacts into a fresh snapshot.  Without a store the append is
         memory-only (same visibility, no durability).
+
+        ``base`` is the idempotency offset (see
+        :meth:`SimilarityIndex.append <repro.service.SimilarityIndex.append>`):
+        a replay of an already-acknowledged append -- same names at a
+        ``base`` the index has grown past -- is a no-op that skips the
+        WAL too, so retrying clients cannot double-apply; a mismatching
+        replay raises :class:`~repro.api.errors.ValidationError`.
         """
         index = self._durable_index
         if index is None:
@@ -212,11 +278,17 @@ class Session:
                 )
             # Materialize the default corpus as the durable one.
             corpus = self._corpus(None)
-            self._install_durable(corpus.index(self.backend, self.cache_size))
+            self._install_durable(
+                corpus.index(
+                    self.backend, self.cache_size, self.shards, self.placement
+                )
+            )
             index = self._durable_index
         added = tuple(names)
         if not added:
             return len(index)
+        if base is not None and index._check_append_base(added, base):
+            return len(index)  # an acknowledged replay: nothing to log or apply
         if self._store is not None:
             self._store.log_append(added, base=len(index))
         index.append(added)
@@ -240,7 +312,9 @@ class Session:
         ``path`` (the CLI ``repro index save``); returns ``path``.
 
         Independent of ``store_dir``: this is the one-shot export, the
-        durable directory is the live write path.
+        durable directory is the live write path.  The export is always
+        the single-file unsharded format (portable across shard
+        layouts); a sharded serving index is flattened for it.
         """
         from repro.store import index_to_sections, write_snapshot_file
 
@@ -252,6 +326,15 @@ class Session:
                     "corpus (names=) or a store_dir"
                 )
             index = self._corpus(None).index(self.backend, self.cache_size)
+        if hasattr(index, "shards"):
+            from repro.service import SimilarityIndex
+
+            index = SimilarityIndex(
+                index.names,
+                tokenizer=self.tokenizer,
+                backend=self.backend,
+                cache_size=index.result_cache.capacity,
+            )
         write_snapshot_file(path, index_to_sections(index))
         return path
 
@@ -281,6 +364,23 @@ class Session:
     def store_status(self) -> dict | None:
         """The durable store's health block (``None`` without a store)."""
         return self._store.status() if self._store is not None else None
+
+    def shard_status(self) -> dict | None:
+        """The serving shard layout block (``None`` when unsharded).
+
+        Prefers the durable index; otherwise reports the first resident
+        sharded index (per-shard sizes plus the router's
+        ``shards_probed``/``shards_pruned`` tallies).
+        """
+        candidates = []
+        if self._durable_index is not None:
+            candidates.append(self._durable_index)
+        for _, corpus in self._corpora.items():
+            candidates.extend(corpus._indexes.values())
+        for index in candidates:
+            if hasattr(index, "shard_status"):
+                return index.shard_status()
+        return None
 
     # -- corpus residency -------------------------------------------------------
 
@@ -434,7 +534,9 @@ class Session:
         backend_entry = resolve_search(spec.method)
         corpus = self._corpus(spec, names, records)
         build_before = corpus.build_seconds
-        index = corpus.index(spec.backend or self.backend, self.cache_size)
+        index = corpus.index(
+            spec.backend or self.backend, self.cache_size, self.shards, self.placement
+        )
         start = time.perf_counter()
         index.prepare(backend_entry.serve_method)
         prepare_seconds = time.perf_counter() - start

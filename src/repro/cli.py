@@ -30,8 +30,11 @@ Subcommands
 ``serve``     Run the HTTP similarity service (:mod:`repro.server`): one
               process-wide session answering POSTed specs with ResultSet
               envelopes, plus health/metrics endpoints.  ``--store DIR``
-              makes it durable: warm restart from snapshot + WAL, and
-              ``/v1/append`` survives crashes.
+              makes it durable: warm restart from snapshot + WAL (a
+              one-line recovery summary prints at boot), and
+              ``/v1/append`` survives crashes.  ``--shards N`` serves
+              the resident corpus from N scatter-gather shards with
+              identical results and counters.
 ``index``     Durable index snapshots: ``index save`` writes an atomic,
               checksummed snapshot of a corpus's serving index;
               ``index load`` restores it (optionally serving queries)
@@ -65,7 +68,7 @@ from repro.api import (
     search_methods,
     spec_from_json,
 )
-from repro.api.errors import ApiError
+from repro.api.errors import ApiError, ValidationError
 from repro.data import evaluation_corpus, name_change_dataset
 from repro.distances import fuzzy_cosine, fuzzy_dice, fuzzy_jaccard
 from repro.runtime import ENGINES
@@ -93,6 +96,27 @@ def _add_engine_argument(parser: argparse.ArgumentParser) -> None:
         "platform forks workers by default; on spawn/forkserver platforms "
         "such as macOS or Windows pass 'parallel' explicitly; "
         "serial = the deterministic reference engine)",
+    )
+
+
+def _add_shard_arguments(parser: argparse.ArgumentParser) -> None:
+    from repro.shard import PLACEMENTS
+
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="partition the resident index across N shards served by "
+        "scatter-gather (results and counters are shard-count invariant; "
+        "default: 1 = unsharded)",
+    )
+    parser.add_argument(
+        "--placement",
+        choices=list(PLACEMENTS),
+        default="length",
+        help="shard placement: length = contiguous token-length ranges "
+        "(the Lemma 6 window prunes whole shards), hash = uniform id "
+        "hash (no pruning)",
     )
 
 
@@ -164,7 +188,9 @@ def _cmd_join(args: argparse.Namespace) -> int:
         engine=args.engine,
         params=params,
     )
-    result = Session().run(spec, names=names)
+    result = Session(shards=args.shards, placement=args.placement).run(
+        spec, names=names
+    )
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
             for name_a, name_b, score in result.pairs:
@@ -253,7 +279,12 @@ def _cmd_search(args: argparse.Namespace) -> int:
             backend=args.backend,
             processes=args.processes,
         )
-    return _emit(Session().run(spec, names=names), args)
+    return _emit(
+        Session(shards=args.shards, placement=args.placement).run(
+            spec, names=names
+        ),
+        args,
+    )
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -291,19 +322,34 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_inflight=args.max_inflight,
         max_queue=args.max_queue,
         store_dir=args.store,
+        shards=args.shards,
+        placement=args.placement,
     )
     session = server.service.session
     if args.store:
         status = session.store_status()
         resident = len(session._default_names or ())
-        source = (
-            "warm restart: snapshot + WAL"
-            if status["loaded"]
-            else "rebuilt/fresh store"
+        # The one-line recovery summary: what the boot actually did, so
+        # operators see it without curling /v1/health.
+        snapshot = "snapshot loaded" if status["loaded"] else "no snapshot"
+        torn = (
+            ", torn WAL tail truncated" if status["torn_tail_truncated"] else ""
         )
-        corpus = f"{resident} resident names ({source})"
+        print(
+            f"store {args.store}: {snapshot}, "
+            f"{status['wal_records']} WAL record(s) replayed{torn}, "
+            f"{status['rebuilds']} rebuild(s)",
+            flush=True,
+        )
+        corpus = f"{resident} resident names (durable)"
     else:
         corpus = f"{len(names)} resident names" if names else "no resident corpus"
+    layout = session.shard_status()
+    if layout is not None:
+        corpus += (
+            f", {layout['shards']} shards "
+            f"({layout['placement']['kind']} placement)"
+        )
     auth = "bearer-token auth" if args.token else "no auth"
     print(f"serving on {server.url} ({corpus}, {auth})", flush=True)
     try:
@@ -317,6 +363,22 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 def _cmd_index_save(args: argparse.Namespace) -> int:
     names = _read_names(args.input)
+    if args.shards > 1:
+        from repro.shard import ShardedIndex, ShardedSnapshotStore
+
+        index = ShardedIndex(
+            names,
+            n_shards=args.shards,
+            placement=args.placement,
+            backend=args.backend,
+        )
+        written = ShardedSnapshotStore(args.output).save(index)
+        print(
+            f"saved {len(names)}-record sharded index to {args.output}/ "
+            f"({args.shards} shards, {args.placement} placement, "
+            f"{written} bytes, checksummed, atomically published)"
+        )
+        return 0
     session = Session(names, backend=args.backend)
     session.save(args.output)
     import os
@@ -329,8 +391,32 @@ def _cmd_index_save(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_session(snapshot: str) -> Session:
+    """``Session.load`` for a snapshot file, or a sharded store directory
+    (detected by its manifest) restored without re-tokenizing."""
+    import os
+
+    if not os.path.isdir(snapshot):
+        return Session.load(snapshot)
+    from repro.shard import ShardedSnapshotStore, is_sharded_store
+
+    if not is_sharded_store(snapshot):
+        raise ValidationError(
+            f"{snapshot} is a directory without a shard manifest; "
+            "expected a snapshot file or a sharded index store"
+        )
+    index = ShardedSnapshotStore(snapshot).load()
+    session = Session(
+        tokenizer=index.tokenizer,
+        backend=index.backend,
+        cache_size=index.result_cache.capacity,
+    )
+    session._install_durable(index)
+    return session
+
+
 def _cmd_index_load(args: argparse.Namespace) -> int:
-    session = Session.load(args.snapshot)
+    session = _load_session(args.snapshot)
     if args.queries:
         spec = TopKSpec(queries=tuple(args.queries), k=args.k)
         return _emit(session.run(spec), args)
@@ -411,6 +497,7 @@ def build_parser() -> argparse.ArgumentParser:
     join.add_argument("--output", help="also write all pairs to a TSV file")
     _add_backend_argument(join)
     _add_engine_argument(join)
+    _add_shard_arguments(join)
     _add_json_argument(join)
     join.set_defaults(func=_cmd_join)
 
@@ -468,6 +555,7 @@ def build_parser() -> argparse.ArgumentParser:
         "(pool-shared snapshot; results identical)",
     )
     _add_backend_argument(search)
+    _add_shard_arguments(search)
     _add_json_argument(search)
     search.set_defaults(func=_cmd_search)
 
@@ -545,6 +633,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_backend_argument(serve)
     _add_engine_argument(serve)
+    _add_shard_arguments(serve)
     serve.set_defaults(func=_cmd_serve)
 
     index = sub.add_parser(
@@ -559,8 +648,12 @@ def build_parser() -> argparse.ArgumentParser:
         "checksummed snapshot file",
     )
     index_save.add_argument("input", help="file of names, one per line")
-    index_save.add_argument("output", help="snapshot file to write")
+    index_save.add_argument(
+        "output",
+        help="snapshot file to write (a store directory with --shards > 1)",
+    )
     _add_backend_argument(index_save)
+    _add_shard_arguments(index_save)
     index_save.set_defaults(func=_cmd_index_save)
 
     index_load = index_sub.add_parser(
@@ -568,7 +661,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="restore a saved snapshot (and optionally serve top-k "
         "queries from it)",
     )
-    index_load.add_argument("snapshot", help="snapshot file to load")
+    index_load.add_argument(
+        "snapshot",
+        help="snapshot file -- or sharded store directory -- to load",
+    )
     index_load.add_argument(
         "queries", nargs="*", help="optional query names to serve top-k for"
     )

@@ -225,23 +225,28 @@ class ServiceClient:
         )
         return ResultSet.from_dict(self._request("POST", "/v1/knn", spec.to_dict()))
 
-    def append(self, names: Sequence[str]) -> dict:
+    def append(self, names: Sequence[str], base: int | None = None) -> dict:
         """Grow the server's durable corpus (``POST /v1/append``).
 
         Returns ``{"records": <total>, "appended": <count>}``.  On a
         store-backed server a 200 answer means the append was write-ahead
         logged and fsynced -- it survives a server crash and restart.
-        Delivery is at-least-once: a retry after a dropped connection may
-        re-apply an append the server already logged (callers needing
-        exactly-once should disable retries and reconcile via ``records``).
+
+        Delivery is **at-least-once by default**: a retry after a dropped
+        connection may re-apply an append the server already logged.
+        Passing ``base`` -- the ``records`` total from the last
+        acknowledged call (or a fresh ``health``/``search`` view) -- makes
+        the append **idempotent**: the server treats an exact replay of an
+        already-applied append as a no-op, and rejects a conflicting one
+        with a 400 instead of corrupting the corpus, so retries become
+        effectively exactly-once.
         """
         from repro.api.errors import WIRE_VERSION
 
-        return self._request(
-            "POST",
-            "/v1/append",
-            {"version": WIRE_VERSION, "names": list(names)},
-        )
+        payload = {"version": WIRE_VERSION, "names": list(names)}
+        if base is not None:
+            payload["base"] = base
+        return self._request("POST", "/v1/append", payload)
 
     def health(self) -> dict:
         """Liveness probe (``GET /v1/health``; no auth required)."""

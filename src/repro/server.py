@@ -18,10 +18,14 @@ Endpoints (all JSON, all answers carry the wire ``"version"`` tag):
                           (the CLI ``knn`` shape)
 ``POST /v1/run``          any spec with an explicit ``"type"`` tag -- the
                           fully declarative endpoint
-``POST /v1/append``       ``{"names": [...]}`` -- grow the durable corpus;
-                          with a ``--store`` directory the append is
-                          write-ahead logged and fsynced before memory
-                          mutates, so it survives a crash/restart
+``POST /v1/append``       ``{"names": [...], "base": <int, optional>}`` --
+                          grow the durable corpus; with a ``--store``
+                          directory the append is write-ahead logged and
+                          fsynced before memory mutates, so it survives a
+                          crash/restart.  ``base`` (the record count the
+                          client last saw) makes the append idempotent
+                          under retries: an exact replay of an
+                          acknowledged append is a no-op
 ``GET  /v1/health``       liveness (unauthenticated): status, uptime, version
 ``GET  /v1/metrics``      request counts per route/status, the latency
                           histogram, and the session's resident-corpus and
@@ -45,7 +49,12 @@ runtime's crash-recovery counters; ``/v1/health`` reports degraded
 modes (pool rebuilt / in-process fallback / durable store rebuilt from
 corpus) without ever shedding -- probes must always answer.  With a
 durable store (``serve(store_dir=...)`` / CLI ``--store``), health also
-carries a ``store`` block: ``{loaded, wal_records, last_compaction}``.
+carries a ``store`` block (``{loaded, wal_records, last_compaction}``)
+and ``/v1/metrics`` the full ``store.status()`` (WAL records, last
+compaction, torn-tail truncation, rebuilds).  When serving sharded
+(``serve(shards=N)`` / CLI ``--shards``), both carry a ``shards`` block:
+per-shard sizes, the placement, and the router's
+``shards_probed``/``shards_pruned`` tallies.
 
 Auth is a static bearer token (``Authorization: Bearer <token>``),
 compared constant-time; ``token=None`` disables auth.  ``/v1/health``
@@ -351,19 +360,22 @@ class SimilarityService:
             )
         take_wire_version(payload, "append request")
         names = payload.pop("names", None)
+        base = payload.pop("base", None)
         if payload:
             raise ValidationError(
                 f"unknown append field(s) {sorted(payload)}; "
-                'the only field is "names"'
+                'the fields are "names" and optionally "base"'
             )
         if not isinstance(names, list) or not all(
             isinstance(name, str) for name in names
         ):
             raise ValidationError('"names" must be a list of strings')
+        if base is not None and (not isinstance(base, int) or base < 0):
+            raise ValidationError('"base" must be a non-negative integer')
         with self.gate.admit(retry_after=self._retry_after()):
             fault_point("server.run")
             with self._run_lock:
-                total = self.session.append(names)
+                total = self.session.append(names, base=base)
         return {
             "version": WIRE_VERSION,
             "records": total,
@@ -440,6 +452,9 @@ class SimilarityService:
                 "wal_records": store["wal_records"],
                 "last_compaction": store["last_compaction"],
             }
+        shards = self.session.shard_status()
+        if shards is not None:
+            payload["shards"] = shards
         return payload
 
     def _metrics(self) -> dict:
@@ -448,6 +463,12 @@ class SimilarityService:
         payload["session"] = self.session.stats()
         payload["admission"] = self.gate.stats()
         payload["runtime"] = runtime_counters()
+        store = self.session.store_status()
+        if store is not None:
+            payload["store"] = store  # the full status(), health shows a subset
+        shards = self.session.shard_status()
+        if shards is not None:
+            payload["shards"] = shards
         return payload
 
 
@@ -620,6 +641,8 @@ def serve(
     cache_size: int = 256,
     max_inflight: int | None = None,
     max_queue: int = 8,
+    shards: int = 1,
+    placement: str = "length",
     store_dir: str | None = None,
 ) -> ReproServer:
     """Build a server around a fresh session (not yet started).
@@ -630,13 +653,18 @@ def serve(
     ``max_queue`` bound the admission gate (``None`` = no shedding).
     ``store_dir`` makes the session durable: boot warm-restarts from
     the snapshot + WAL (degrading to a rebuild from ``names`` when
-    damaged) and ``/v1/append`` survives crashes.
+    damaged) and ``/v1/append`` survives crashes.  ``shards > 1``
+    serves every resident corpus through an N-shard
+    :class:`repro.shard.ShardedIndex` (same results and counters by
+    contract; per-shard persistence when combined with ``store_dir``).
     """
     session = Session(
         names,
         backend=backend,
         engine=engine,
         cache_size=cache_size,
+        shards=shards,
+        placement=placement,
         store_dir=store_dir,
     )
     return ReproServer(

@@ -182,7 +182,7 @@ class SimilarityIndex:
 
     # -- snapshot construction / growth ---------------------------------------
 
-    def append(self, names: Sequence[str]) -> None:
+    def append(self, names: Sequence[str], base: int | None = None) -> None:
         """Extend the collection in place -- no rebuild.
 
         New records extend the vocab interner (masks prebuilt), the token
@@ -191,7 +191,21 @@ class SimilarityIndex:
         would (property-tested).  Cached results and lazily built
         metric-space backends are invalidated, and a pool-published
         snapshot is re-published on its next pooled serve.
+
+        ``base`` makes the append **idempotent** under at-least-once
+        delivery (the retrying ``/v1/append`` path): it names how many
+        records the caller believes the index held before this append.
+        ``base == len(self)`` appends normally; ``base < len(self)``
+        with ``names`` matching the already-indexed slice exactly is a
+        replay of an acknowledged append and becomes a no-op; anything
+        else -- a mismatching replay or a ``base`` past the end -- is a
+        lost-update conflict and raises
+        :class:`~repro.api.errors.ValidationError`.
         """
+        if base is not None:
+            replayed = self._check_append_base(names, base)
+            if replayed:
+                return
         added = False
         for name in names:
             record = self.tokenizer.tokenize(name)
@@ -213,6 +227,34 @@ class SimilarityIndex:
             self._knn.clear()
             self._probe_arrays = None
             self.unpublish()  # the next pooled serve re-publishes
+
+    def _check_append_base(self, names: Sequence[str], base: int) -> bool:
+        """Validate an append's ``base`` offset; True when it is a replay.
+
+        A replay is an exact duplicate of records ``base ..
+        base+len(names)`` already in the collection -- the shape a
+        retried-but-already-acknowledged append produces.
+        """
+        from repro.api.errors import ValidationError
+
+        held = len(self._records)
+        if base == held:
+            return False
+        if base > held:
+            raise ValidationError(
+                f"append base {base} is past the end: the index holds "
+                f"{held} records (acknowledged data was lost?)"
+            )
+        replay = list(names)
+        if self._names[base : base + len(replay)] == replay and base + len(
+            replay
+        ) <= held:
+            return True
+        raise ValidationError(
+            f"append at base {base} conflicts with the {held}-record "
+            "index: the replayed names do not match what is already "
+            "indexed there"
+        )
 
     def __len__(self) -> int:
         return len(self._records)
@@ -246,6 +288,17 @@ class SimilarityIndex:
         extends with the workers' deltas.
         """
         return self._cache
+
+    def length_range(self) -> tuple[int, int] | None:
+        """The (min, max) aggregate token length held, ``None`` when empty.
+
+        The shard router's pruning signal: a Lemma 6 window disjoint
+        from this range cannot contain a qualifying record, so the whole
+        index can be skipped without touching a counter.
+        """
+        if not self._lengths:
+            return None
+        return self._lengths[0][0], self._lengths[-1][0]
 
     def stats(self) -> dict[str, int]:
         """Size snapshot: records, distinct tokens, postings, cached results."""
@@ -782,6 +835,97 @@ class SimilarityIndex:
 
         return nsld(record, self._records[record_id], token_ld=token_ld)
 
+    # -- shard-router entry points ----------------------------------------------
+    #
+    # The :class:`repro.shard.ShardedIndex` router reconstructs the
+    # serial algorithms *globally* (seeding, radius expansion, caching,
+    # counter bumps all happen at the router), so the per-shard pieces
+    # it scatters -- in-process or to pool workers -- must be cache-free
+    # and, where the router does the metering itself, counter-free.
+    # They speak local record ids; the router owns the global mapping.
+
+    def _shard_overlap(self, query: str) -> dict[int, int]:
+        """Distinct-query-token overlap per local record id (no counters).
+
+        The router merges these disjoint per-shard dicts into the global
+        overlap ranking that seeds :meth:`_topk_one`'s search radius.
+        """
+        _, token_ids = self._prepare(query)
+        lookup = self._token_postings.lookup_ref()
+        postings = self._token_postings.postings
+        overlap: Counter = Counter()
+        for token_id in set(token_ids):
+            signature_id = lookup(token_id)
+            if signature_id is not None:
+                overlap.update(postings[signature_id])
+        return dict(overlap)
+
+    def _shard_verify(
+        self, query: str, record_ids: Sequence[int]
+    ) -> list[tuple[int, float]]:
+        """Exact NSLD to each listed local record (no counter bumps --
+        the router charges the canonical seed counters itself)."""
+        record, _ = self._prepare(query)
+        return [
+            (record_id, self._nsld_to(record, record_id))
+            for record_id in record_ids
+        ]
+
+    def _shard_within(
+        self,
+        query: str,
+        radius: float,
+        known: dict[int, float] | None = None,
+    ) -> tuple[list[tuple[int, float]], dict[int, float]]:
+        """One shard's slice of a ``within`` pass, cache-free.
+
+        Runs the identical :meth:`_within_ids` pipeline (cascade
+        counters land in :attr:`counters` exactly as the serial path's
+        would -- the router sums the per-shard deltas) and returns the
+        local ``(record_id, distance)`` hits plus the *fresh* exact
+        distances this pass verified, so the router can extend its
+        global memo across expansion rounds and pool round-trips.
+        """
+        record, _ = self._prepare(query)
+        if known is None:
+            return self._within_ids(record, radius), {}
+        memo = dict(known)
+        hits = self._within_ids(record, radius, memo)
+        fresh = {
+            record_id: distance
+            for record_id, distance in memo.items()
+            if record_id not in known
+        }
+        return hits, fresh
+
+    def _shard_topk_knn(
+        self, query: str, k: int, method: str
+    ) -> list[tuple[int, float]]:
+        """This shard's canonical metric-tree top-k as local-id pairs.
+
+        The global canonical top-k is a sub-multiset of the per-shard
+        canonical top-k lists (the standard scatter-gather merge
+        property), so the router can sort the union by ``(distance,
+        global id)`` and keep ``k``.
+        """
+        backend_index = self._knn_index(method)
+        record, _ = self._prepare(query)
+        return self._canonical_knn_topk(backend_index, record, k)
+
+    def _shard_within_knn(
+        self, query: str, radius: float, method: str
+    ) -> list[tuple[int, float]]:
+        """This shard's metric-tree range hits as local-id pairs."""
+        backend_index = self._knn_index(method)
+        record, _ = self._prepare(query)
+        return sorted(
+            (
+                (int(record_id), float(distance))
+                for record_id, distance in backend_index.within(record, radius)
+            ),
+            key=lambda hit: (hit[1], hit[0]),
+        )
+
     # -- metric-space serving backends ------------------------------------------
 
     def _knn_topk(self, query: str, k: int, method: str) -> list[tuple[str, float]]:
@@ -793,9 +937,38 @@ class SimilarityIndex:
                 for tokens, score in backend_index.query(list(record.tokens), k=k)
             ]
         return [
-            (self._names[record_id], float(distance))
-            for record_id, distance in backend_index.nearest(record, k)
+            (self._names[record_id], distance)
+            for record_id, distance in self._canonical_knn_topk(
+                backend_index, record, k
+            )
         ]
+
+    @staticmethod
+    def _canonical_knn_topk(
+        backend_index, record: TokenizedString, k: int
+    ) -> list[tuple[int, float]]:
+        """Metric-tree top-k under the canonical ``(distance, id)`` order.
+
+        The trees themselves break distance ties by traversal order --
+        an artifact of insertion layout that no scatter-gather merge can
+        reproduce across shard boundaries.  Serving canonicalizes: take
+        the tree's ``k`` best to learn the k-th distance, close the tie
+        set with a ``within`` sweep at that distance, and keep the first
+        ``k`` under ``(distance, record id)`` -- the same tie-break every
+        cascade path already uses.
+        """
+        neighbors = backend_index.nearest(record, k)
+        if not neighbors:
+            return []
+        bound = max(distance for _, distance in neighbors)
+        closed = sorted(
+            (
+                (int(record_id), float(distance))
+                for record_id, distance in backend_index.within(record, bound)
+            ),
+            key=lambda hit: (hit[1], hit[0]),
+        )
+        return closed[:k]
 
     def _knn_within(
         self, query: str, radius: float, method: str
@@ -803,8 +976,14 @@ class SimilarityIndex:
         backend_index = self._knn_index(method)
         record, _ = self._prepare(query)
         return [
-            (self._names[record_id], float(distance))
-            for record_id, distance in backend_index.within(record, radius)
+            (self._names[record_id], distance)
+            for record_id, distance in sorted(
+                (
+                    (int(record_id), float(distance))
+                    for record_id, distance in backend_index.within(record, radius)
+                ),
+                key=lambda hit: (hit[1], hit[0]),
+            )
         ]
 
     def _knn_index(self, method: str):

@@ -1,0 +1,680 @@
+"""Sharded serving: one corpus, N :class:`SimilarityIndex` shards.
+
+A :class:`ShardedIndex` partitions a corpus across N independent
+:class:`repro.service.SimilarityIndex` shards by a pluggable
+:mod:`placement <repro.shard.placement>` and serves the *identical*
+public surface -- ``topk`` / ``within`` / ``join`` / ``append`` -- by
+scatter-gather: route each request to the shards that can possibly
+answer it, run the ordinary per-shard pipeline there (in-process or on
+the shared :mod:`runtime.pool <repro.runtime.pool>` workers via
+:mod:`repro.service.sharing` snapshot publication), and merge the
+partial results under the canonical ``(distance, id)`` tie-break.
+
+The router is where the paper's Lemma 6 earns its second keep.  Under
+the ``length`` placement each shard owns a contiguous aggregate-length
+range, so a probe's qualifying window ``[floor((1-r)L), ceil(L/(1-r))]``
+intersects only some shards -- the others are *pruned before any probe
+runs* (counted in :attr:`routing` as ``shards_pruned``), the same move
+the per-index length partition makes one level down and the
+partition-based MapReduce joins the paper benchmarks make one level up.
+
+**Shard-count invariance** is the correctness contract, property-tested
+in ``tests/shard/``: for every serving method and any N, results,
+cascade/cache counters and join reports are *equal to the single-index
+oracle*.  The design choices that make that exact rather than
+approximate:
+
+* the router owns the result cache and all counters.  Shards are built
+  with ``cache_size=0`` and are driven through cache-free ``_shard_*``
+  entry points, so a probed shard can never mint a cache miss the
+  serial index would not have;
+* cascade counters are *summed shard deltas*.  The per-shard Lemma 6
+  windows partition the serial window (lengths don't overlap between a
+  record and itself), so candidates/pruned/verified tallies add up to
+  the oracle's exactly -- and a length-pruned shard would have
+  contributed an empty window slice, making the skip counter-neutral;
+* the top-k search (seeding, radius schedule, expansion memo) is
+  re-run *globally* at the router from merged per-shard overlap and
+  verification primitives, not approximated by merging per-shard top-k
+  answers;
+* metric-tree results are canonicalized to ``(distance, id)`` at the
+  serving layer (see ``SimilarityIndex._canonical_knn_topk``) because
+  the trees' traversal-order tie-break cannot survive a shard merge;
+* ``fuzzymatch`` scores depend on corpus-global token weights, so it is
+  served from one router-held global index rather than sharded;
+* the TSJ ``join`` runs over the global corpus through the existing
+  engine (whose ``engine=`` fan-out already scatters the join itself):
+  its signature partitioning is orthogonal to record placement, and
+  routing it globally keeps reports, counters and simulated seconds
+  byte-identical.
+
+Routing observability (``shards_probed`` / ``shards_pruned`` /
+``shards_total``) lives in the separate :attr:`routing` dict -- by
+construction it must NOT perturb :attr:`counters`, which equal the
+oracle's.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.candidates import COUNTER_CANDIDATES, COUNTER_VERIFIED, new_counters
+from repro.service.cache import COUNTER_CACHE_HITS, COUNTER_CACHE_MISSES, LRUCache
+from repro.service.index import _MIN_SEED_CAP, _SEED_FACTOR, SimilarityIndex
+from repro.shard.placement import build_placement
+from repro.tokenize import Tokenizer
+
+__all__ = ["ShardedIndex"]
+
+_MISS = object()
+
+
+def _shard_calls(payload):
+    """Pool-worker entry point: run a batch of router calls on one shard.
+
+    ``payload`` is ``(publish_token, [(method_name, args), ...])``; the
+    worker resolves its local snapshot copy, runs the calls in order and
+    returns the results plus the shard's counter delta (the cascade
+    tallies the calls produced), mirroring ``sharing._serve_chunk``.
+    """
+    from repro.service.sharing import resolve_snapshot
+
+    token, batch = payload
+    shard = resolve_snapshot(token)
+    before = dict(shard.counters)
+    results = [getattr(shard, method)(*args) for method, args in batch]
+    delta = {
+        name: value - before.get(name, 0)
+        for name, value in shard.counters.items()
+        if value != before.get(name, 0)
+    }
+    return results, delta
+
+
+class ShardedIndex:
+    """N-shard scatter-gather serving with the single-index surface.
+
+    Parameters
+    ----------
+    names:
+        The corpus; tokenized once at the router for placement/join and
+        once more inside each owning shard's build.
+    n_shards:
+        Number of :class:`SimilarityIndex` partitions.
+    placement:
+        ``"length"`` (Lemma 6 shard pruning; the default) or ``"hash"``
+        (uniform baseline) -- see :mod:`repro.shard.placement`.
+        Placement affects balance and pruning only, never results.
+    tokenizer / backend / cache_size:
+        As :class:`SimilarityIndex`.  ``cache_size`` bounds the
+        *router's* LRU; shards run cache-free.
+
+    Examples
+    --------
+    >>> index = ShardedIndex(
+    ...     ["barak obama", "borak obama", "john smith"], n_shards=2
+    ... )
+    >>> index.topk(["barak obana"], k=2)[0][0]
+    ('barak obama', 0.09523809523809523)
+    """
+
+    def __init__(
+        self,
+        names: Sequence[str] = (),
+        n_shards: int = 2,
+        placement: str = "length",
+        tokenizer: Tokenizer | None = None,
+        backend: str = "auto",
+        cache_size: int = 256,
+    ) -> None:
+        self.tokenizer = tokenizer or Tokenizer()
+        self.backend = backend
+        records = [self.tokenizer.tokenize(name) for name in names]
+        built = build_placement(
+            placement,
+            n_shards,
+            [record.aggregate_length for record in records],
+        )
+        shards = [
+            SimilarityIndex(tokenizer=self.tokenizer, backend=backend, cache_size=0)
+            for _ in range(built.n_shards)
+        ]
+        self._init_router_state(shards, built, cache_size)
+        if names:
+            self._place(names, records)
+
+    @classmethod
+    def from_shards(
+        cls,
+        shards: Sequence[SimilarityIndex],
+        placement,
+        shard_ids: Sequence[Sequence[int]],
+        tokenizer: Tokenizer | None = None,
+        backend: str = "auto",
+        cache_size: int = 256,
+    ) -> "ShardedIndex":
+        """Assemble a router over already-built shards (the store's path).
+
+        ``shard_ids[i]`` lists shard ``i``'s global record ids in local
+        order; the global views are rebuilt from the shards' own
+        records, so nothing is re-tokenized.
+        """
+        index = cls.__new__(cls)
+        index.tokenizer = tokenizer or Tokenizer()
+        index.backend = backend
+        index._init_router_state(list(shards), placement, cache_size)
+        total = sum(len(shard) for shard in shards)
+        index._names = [None] * total
+        index._records = [None] * total
+        index._locations = [None] * total
+        for shard_index, (shard, globals_) in enumerate(zip(shards, shard_ids)):
+            index._shard_ids[shard_index] = list(globals_)
+            for local_id, global_id in enumerate(globals_):
+                index._names[global_id] = shard.names[local_id]
+                index._records[global_id] = shard.records[local_id]
+                index._locations[global_id] = (shard_index, local_id)
+        return index
+
+    def _init_router_state(self, shards, placement, cache_size: int) -> None:
+        self.shards: list[SimilarityIndex] = shards
+        self.placement = placement
+        self._names: list[str] = []
+        self._records: list = []
+        #: global id -> ``(shard index, local id)``.
+        self._locations: list[tuple[int, int]] = []
+        #: shard index -> its global ids in local order (ascending).
+        self._shard_ids: list[list[int]] = [[] for _ in shards]
+        self._cache = LRUCache(cache_size)
+        #: Oracle-equal serving counters (cascade + router cache).
+        self.counters: dict[str, int] = new_counters()
+        self.counters[COUNTER_CACHE_HITS] = 0
+        self.counters[COUNTER_CACHE_MISSES] = 0
+        #: Scatter bookkeeping, deliberately *outside* :attr:`counters`:
+        #: per cascade ``within`` pass, every shard is tallied probed or
+        #: pruned (Lemma 6 window vs. the shard's actual length range).
+        self.routing: dict[str, int] = {
+            "shards_total": len(shards),
+            "shards_probed": 0,
+            "shards_pruned": 0,
+        }
+        #: The corpus-global fuzzymatch index (lazy; see module docs).
+        self._global_knn: dict[str, object] = {}
+
+    def _place(self, names: Sequence[str], records: Sequence) -> None:
+        """Route new records to their owners, preserving global order."""
+        batches: dict[int, list[str]] = {}
+        for name, record in zip(names, records):
+            global_id = len(self._records)
+            shard_index = self.placement.shard_of(
+                global_id, record.aggregate_length
+            )
+            shard_globals = self._shard_ids[shard_index]
+            self._locations.append((shard_index, len(shard_globals)))
+            shard_globals.append(global_id)
+            self._names.append(name)
+            self._records.append(record)
+            batches.setdefault(shard_index, []).append(name)
+        for shard_index, batch in batches.items():
+            self.shards[shard_index].append(batch)
+
+    # -- collection surface -----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    @property
+    def names(self) -> list[str]:
+        """The indexed raw names in global insertion order (do not mutate)."""
+        return self._names
+
+    @property
+    def records(self) -> list:
+        """The tokenized corpus, aligned with :attr:`names`."""
+        return self._records
+
+    @property
+    def result_cache(self) -> LRUCache:
+        """The router's bounded LRU result cache."""
+        return self._cache
+
+    def append(self, names: Sequence[str], base: int | None = None) -> None:
+        """Append routed to the owning shards; same idempotency contract
+        as :meth:`SimilarityIndex.append` (``base`` names the global
+        record count the caller saw; exact replays are no-ops)."""
+        if base is not None and self._check_append_base(names, base):
+            return
+        records = [self.tokenizer.tokenize(name) for name in names]
+        self._place(list(names), records)
+        if names:
+            self._cache.clear()
+            self._global_knn.clear()
+
+    # Same records/names shape as SimilarityIndex, so the replay check is
+    # shared verbatim rather than re-stated.
+    _check_append_base = SimilarityIndex._check_append_base
+
+    def stats(self) -> dict[str, int]:
+        """Aggregate size snapshot plus router-level cache size."""
+        totals = {
+            "records": len(self._records),
+            "distinct_tokens": 0,
+            "token_postings": 0,
+            "cached_results": len(self._cache),
+        }
+        for shard in self.shards:
+            shard_stats = shard.stats()
+            totals["distinct_tokens"] += shard_stats["distinct_tokens"]
+            totals["token_postings"] += shard_stats["token_postings"]
+        return totals
+
+    def shard_status(self) -> dict:
+        """The health/metrics shard block: layout, sizes, routing tallies."""
+        return {
+            "shards": len(self.shards),
+            "placement": self.placement.to_manifest(),
+            "sizes": [len(shard) for shard in self.shards],
+            "routing": dict(self.routing),
+        }
+
+    def prepare(self, *methods: str) -> "ShardedIndex":
+        """Eagerly build serving backends on every shard (and the global
+        fuzzymatch index); returns ``self`` for chaining."""
+        for method in methods:
+            if method == "fuzzymatch":
+                self._fuzzy_index()
+            elif method != "cascade":
+                for shard in self.shards:
+                    if len(shard):
+                        shard.prepare(method)
+        return self
+
+    def unpublish(self) -> None:
+        """Withdraw every shard's pool publication (see
+        :meth:`SimilarityIndex.unpublish`)."""
+        for shard in self.shards:
+            shard.unpublish()
+
+    # -- result cache (router-owned; keys identical to the serial index) --------
+
+    def _cache_get(self, key):
+        value = self._cache.get(key, _MISS)
+        if value is _MISS:
+            self.counters[COUNTER_CACHE_MISSES] += 1
+            return None
+        self.counters[COUNTER_CACHE_HITS] += 1
+        return value
+
+    def _cache_put(self, key, value) -> None:
+        self._cache.put(key, value)
+
+    # -- scatter-gather core -----------------------------------------------------
+
+    def _scatter(
+        self, calls: dict[int, list[tuple[str, tuple]]], processes: int
+    ) -> dict[int, list]:
+        """Run per-shard call batches, in-process or on the shared pool.
+
+        ``calls`` maps shard index -> ``[(method name, args), ...]``;
+        the return maps shard index -> the batch's results, and every
+        shard's counter delta is merged into :attr:`counters` (this is
+        what makes the summed cascade tallies oracle-equal).  Pooling
+        fans *shards* out per request -- the serve loop stays serial
+        over queries so router cache semantics match the serial index
+        exactly, duplicates and LRU recency included.
+        """
+        from repro.runtime.pool import in_worker_process, resilient_pool_map
+
+        items = [(index, batch) for index, batch in calls.items() if batch]
+        gathered: dict[int, list] = {}
+        if processes > 1 and len(items) > 1 and not in_worker_process():
+            payloads = [
+                (self.shards[index].ensure_published(), batch)
+                for index, batch in items
+            ]
+            outcomes = resilient_pool_map(
+                _shard_calls,
+                payloads,
+                min(processes, len(items)),
+                label="shard scatter",
+            )
+            for (index, _), (results, delta) in zip(items, outcomes):
+                gathered[index] = results
+                self._merge_delta(delta)
+            return gathered
+        for index, batch in items:
+            shard = self.shards[index]
+            before = dict(shard.counters)
+            gathered[index] = [
+                getattr(shard, method)(*args) for method, args in batch
+            ]
+            self._merge_delta(
+                {
+                    name: value - before.get(name, 0)
+                    for name, value in shard.counters.items()
+                    if value != before.get(name, 0)
+                }
+            )
+        return gathered
+
+    def _merge_delta(self, delta: dict[str, int]) -> None:
+        counters = self.counters
+        for name, value in delta.items():
+            counters[name] = counters.get(name, 0) + value
+
+    def _plan_within(self, aggregate_length: int, radius: float) -> list[int]:
+        """Shard indexes whose length range intersects the Lemma 6 window.
+
+        The pruning decision uses each shard's *actual* held range, not
+        the placement's nominal boundaries, so correctness is placement-
+        independent; a pruned shard's window slice would have been empty,
+        making the skip invisible to :attr:`counters`.  Every shard is
+        tallied probed or pruned in :attr:`routing` per pass.
+        """
+        if radius >= 1.0:
+            low, high = None, None
+        else:
+            low = math.floor((1.0 - radius) * aggregate_length)
+            high = math.ceil(aggregate_length / (1.0 - radius))
+        probed: list[int] = []
+        for index, shard in enumerate(self.shards):
+            held = shard.length_range()
+            if held is not None and (
+                low is None or (held[1] >= low and held[0] <= high)
+            ):
+                probed.append(index)
+                self.routing["shards_probed"] += 1
+            else:
+                self.routing["shards_pruned"] += 1
+        return probed
+
+    def _within_global(
+        self,
+        query: str,
+        radius: float,
+        known: dict[int, float] | None,
+        processes: int,
+    ) -> list[tuple[int, float]]:
+        """One global ``within`` pass: plan, scatter, merge.
+
+        Returns global ``(record id, distance)`` hits under the oracle's
+        ``(distance, id)`` order; when ``known`` is given (the top-k
+        expansion memo, global ids) it is sliced per shard on the way
+        out and extended with the fresh exact distances on the way back.
+        """
+        record = self.tokenizer.tokenize(query)
+        probed = self._plan_within(record.aggregate_length, radius)
+        locations = self._locations
+        calls: dict[int, list[tuple[str, tuple]]] = {}
+        for index in probed:
+            local_known = None
+            if known is not None:
+                local_known = {}
+                for global_id, distance in known.items():
+                    shard_index, local_id = locations[global_id]
+                    if shard_index == index:
+                        local_known[local_id] = distance
+            calls[index] = [("_shard_within", (query, radius, local_known))]
+        gathered = self._scatter(calls, processes)
+        merged: list[tuple[float, int]] = []
+        for index in probed:
+            hits, fresh = gathered[index][0]
+            globals_ = self._shard_ids[index]
+            merged.extend((distance, globals_[local]) for local, distance in hits)
+            if known is not None:
+                for local, distance in fresh.items():
+                    known[globals_[local]] = distance
+        merged.sort()
+        return [(global_id, distance) for distance, global_id in merged]
+
+    def _nonempty(self) -> list[int]:
+        return [index for index, shard in enumerate(self.shards) if len(shard)]
+
+    # -- serving ---------------------------------------------------------------
+
+    def topk(
+        self,
+        queries: Sequence[str] | str,
+        k: int = 5,
+        method: str = "cascade",
+        processes: int | None = None,
+    ) -> list[list[tuple[str, float]]]:
+        """As :meth:`SimilarityIndex.topk`, scatter-gathered.
+
+        ``processes > 1`` parallelizes each query's scatter *across
+        shards* on the shared pool (the serve loop stays serial over
+        queries -- see :meth:`_scatter`).
+        """
+        if k < 1:
+            raise ValueError("k must be positive")
+        if isinstance(queries, str):
+            queries = [queries]
+        return [self._topk_one(query, k, method, processes or 0) for query in queries]
+
+    def within(
+        self,
+        queries: Sequence[str] | str,
+        radius: float,
+        method: str = "cascade",
+        processes: int | None = None,
+    ) -> list[list[tuple[str, float]]]:
+        """As :meth:`SimilarityIndex.within`, scatter-gathered with
+        Lemma 6 shard pruning on the cascade path."""
+        if radius < 0:
+            raise ValueError("radius must be non-negative")
+        if method == "fuzzymatch":
+            raise ValueError("within() is not defined for the fuzzymatch method")
+        if isinstance(queries, str):
+            queries = [queries]
+        return [
+            self._within_one(query, radius, method, processes or 0)
+            for query in queries
+        ]
+
+    def join(
+        self,
+        threshold: float = 0.1,
+        max_token_frequency: int | None = 1000,
+        n_machines: int = 10,
+        engine: str = "auto",
+        **config_overrides,
+    ):
+        """TSJ self-join of the global corpus, byte-identical to
+        :meth:`SimilarityIndex.join` (same cache key, same report, same
+        counters and simulated seconds).  The join's signature
+        partitioning is orthogonal to record placement, so it runs over
+        the global record list and scatters through the existing TSJ
+        ``engine`` fan-out rather than per shard.
+        """
+        key = (
+            "join",
+            threshold,
+            max_token_frequency,
+            n_machines,
+            tuple(sorted(config_overrides.items())),
+        )
+        cached = self._cache_get(key)
+        if cached is not None:
+            return cached
+        from repro.core.api import join_records
+
+        report = join_records(
+            self._names,
+            self._records,
+            threshold=threshold,
+            max_token_frequency=max_token_frequency,
+            n_machines=n_machines,
+            engine=engine,
+            **config_overrides,
+        )
+        self._cache_put(key, report)
+        return report
+
+    # -- per-query routing ------------------------------------------------------
+
+    def _topk_one(
+        self, query: str, k: int, method: str, processes: int
+    ) -> list[tuple[str, float]]:
+        key = ("topk", method, query, k)
+        cached = self._cache_get(key)
+        if cached is not None:
+            return list(cached)
+        if method == "fuzzymatch":
+            result = self._fuzzy_topk(query, k)
+        elif method != "cascade":
+            result = self._knn_topk_global(query, k, method, processes)
+        else:
+            result = self._cascade_topk(query, k, processes)
+        self._cache_put(key, result)
+        return list(result)
+
+    def _within_one(
+        self, query: str, radius: float, method: str, processes: int
+    ) -> list[tuple[str, float]]:
+        key = ("within", method, query, radius)
+        cached = self._cache_get(key)
+        if cached is not None:
+            return list(cached)
+        if method != "cascade":
+            result = self._knn_within_global(query, radius, method, processes)
+        else:
+            result = [
+                (self._names[global_id], distance)
+                for global_id, distance in self._within_global(
+                    query, radius, None, processes
+                )
+            ]
+        self._cache_put(key, result)
+        return list(result)
+
+    def _cascade_topk(
+        self, query: str, k: int, processes: int
+    ) -> list[tuple[str, float]]:
+        """The serial top-k search re-run globally at the router.
+
+        Seeding (global overlap ranking, capped verification), the
+        radius schedule and the expansion memo are the serial
+        algorithm's, verbatim, over merged per-shard primitives -- which
+        is what makes results *and counters* oracle-equal rather than a
+        merge approximation.
+        """
+        k_effective = min(k, len(self._records))
+        if k_effective == 0:
+            return []
+        # Seed: merge the disjoint per-shard overlap tallies, rank by
+        # (-overlap, global id), verify the capped prefix where it lives.
+        nonempty = self._nonempty()
+        gathered = self._scatter(
+            {index: [("_shard_overlap", (query,))] for index in nonempty},
+            processes,
+        )
+        overlap: dict[int, int] = {}
+        for index in nonempty:
+            globals_ = self._shard_ids[index]
+            for local, count in gathered[index][0].items():
+                overlap[globals_[local]] = count
+        cap = max(_MIN_SEED_CAP, _SEED_FACTOR * k_effective)
+        ranked = sorted(overlap.items(), key=lambda item: (-item[1], item[0]))[:cap]
+        verify_calls: dict[int, list[tuple[str, tuple]]] = {}
+        locations = self._locations
+        by_shard: dict[int, list[int]] = {}
+        for global_id, _ in ranked:
+            shard_index, local_id = locations[global_id]
+            by_shard.setdefault(shard_index, []).append(local_id)
+        for shard_index, local_ids in by_shard.items():
+            verify_calls[shard_index] = [("_shard_verify", (query, local_ids))]
+        gathered = self._scatter(verify_calls, processes)
+        known: dict[int, float] = {}
+        for shard_index in by_shard:
+            globals_ = self._shard_ids[shard_index]
+            for local, distance in gathered[shard_index][0]:
+                known[globals_[local]] = distance
+        # The serial path charges candidates+verified per seed; the
+        # shard primitives are counter-free so the router charges here.
+        self.counters[COUNTER_CANDIDATES] += len(ranked)
+        self.counters[COUNTER_VERIFIED] += len(ranked)
+        if len(known) >= k_effective:
+            radius = sorted(known.values())[k_effective - 1]
+        else:
+            radius = 0.25
+        while True:
+            hits = self._within_global(query, radius, known, processes)
+            if len(hits) >= k_effective or radius >= 1.0:
+                break
+            radius = min(1.0, radius * 2.0)
+        return [
+            (self._names[global_id], distance)
+            for global_id, distance in hits[:k_effective]
+        ]
+
+    def _knn_topk_global(
+        self, query: str, k: int, method: str, processes: int
+    ) -> list[tuple[str, float]]:
+        """Merge per-shard canonical metric-tree top-k lists.
+
+        Each shard's canonical ``(distance, local id)`` top-k restricts
+        the global canonical order (local-id order equals global-id
+        order within a shard), so the global top-k is contained in the
+        union: sort the mapped union by ``(distance, global id)``, keep
+        ``k``.
+        """
+        nonempty = self._nonempty()
+        gathered = self._scatter(
+            {index: [("_shard_topk_knn", (query, k, method))] for index in nonempty},
+            processes,
+        )
+        merged: list[tuple[float, int]] = []
+        for index in nonempty:
+            globals_ = self._shard_ids[index]
+            merged.extend(
+                (distance, globals_[local]) for local, distance in gathered[index][0]
+            )
+        merged.sort()
+        return [
+            (self._names[global_id], distance)
+            for distance, global_id in merged[:k]
+        ]
+
+    def _knn_within_global(
+        self, query: str, radius: float, method: str, processes: int
+    ) -> list[tuple[str, float]]:
+        nonempty = self._nonempty()
+        gathered = self._scatter(
+            {
+                index: [("_shard_within_knn", (query, radius, method))]
+                for index in nonempty
+            },
+            processes,
+        )
+        merged: list[tuple[float, int]] = []
+        for index in nonempty:
+            globals_ = self._shard_ids[index]
+            merged.extend(
+                (distance, globals_[local]) for local, distance in gathered[index][0]
+            )
+        merged.sort()
+        return [
+            (self._names[global_id], distance) for distance, global_id in merged
+        ]
+
+    def _fuzzy_index(self):
+        built = self._global_knn.get("fuzzymatch")
+        if built is None:
+            from repro.knn import FuzzyMatchIndex
+
+            built = FuzzyMatchIndex(
+                [list(record.tokens) for record in self._records]
+            )
+            self._global_knn["fuzzymatch"] = built
+        return built
+
+    def _fuzzy_topk(self, query: str, k: int) -> list[tuple[str, float]]:
+        """FMS top-k from the corpus-global index (weights are corpus-
+        global, so fuzzymatch cannot shard; identical to the serial
+        index's fuzzymatch branch by construction)."""
+        built = self._fuzzy_index()
+        record = self.tokenizer.tokenize(query)
+        return [
+            (" ".join(tokens), score)
+            for tokens, score in built.query(list(record.tokens), k=k)
+        ]

@@ -1,0 +1,435 @@
+""":class:`ShardedSnapshotStore`: one directory, N shard snapshots, one WAL.
+
+The sharded twin of :class:`repro.store.SnapshotStore`, holding a
+:class:`repro.shard.ShardedIndex` durable under the same recovery
+contract::
+
+    store/
+        shards.manifest       layout: placement, shard -> global ids,
+                              generation, snapshot record count
+        shard-00-g3.snap      one atomic per-shard snapshot each
+        shard-01-g3.snap      (the ordinary section codec, reused)
+        index.wal             appends acknowledged since the manifest
+
+Two deliberate choices keep the unsharded guarantees intact:
+
+* **One global WAL, global ``base`` offsets.**  Appends log exactly the
+  bytes an unsharded store would log (the router owns global record
+  ids), so the WAL is byte-identical to :class:`SnapshotStore`'s for
+  the same append history, replay reuses the same skip/gap rules -- and
+  migrating a directory between sharded and unsharded layouts never
+  reinterprets the log.
+* **Generation-suffixed shard snapshots, manifest-flip publication.**
+  A snapshot of N shards is N files; writing them under the *next*
+  generation's names and then atomically publishing the manifest (the
+  same temp+fsync+rename container write, one section of JSON) means a
+  crash anywhere mid-save leaves the previous generation complete and
+  the manifest still pointing at it.  Old-generation files are removed
+  only after the flip; orphans from a crashed save are swept on the
+  next one.
+
+:meth:`open` adds one sharded-only degradation step before the rebuild
+of last resort: a directory holding an *unsharded* ``index.snap`` is
+migrated (load through :class:`SnapshotStore` -- same WAL file, same
+replay -- then saved sharded), and a manifest whose shard count or
+placement kind differs from what the boot requested is resharded from
+the loaded records.  Both preserve every acknowledged append; only
+actual damage costs records, exactly as unsharded.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.api.errors import CorruptSnapshotError, WalReplayError
+from repro.faults import FaultInjected, fault_point
+from repro.shard.index import ShardedIndex
+from repro.shard.placement import placement_from_manifest
+from repro.store.format import read_snapshot_file, write_snapshot_file
+from repro.store.snapshot import index_from_sections, index_to_sections
+from repro.store.store import SNAPSHOT_NAME, WAL_NAME
+from repro.store.wal import WriteAheadLog
+
+__all__ = ["ShardedSnapshotStore", "is_sharded_store"]
+
+MANIFEST_NAME = "shards.manifest"
+
+#: The manifest layout this build writes (inside the container's own
+#: versioned framing); bump on any key change.
+MANIFEST_VERSION = 1
+
+
+def is_sharded_store(directory: str) -> bool:
+    """Whether ``directory`` holds a sharded store layout."""
+    return os.path.exists(os.path.join(directory, MANIFEST_NAME))
+
+
+class ShardedSnapshotStore:
+    """Durable snapshot + WAL lifecycle for one :class:`ShardedIndex`.
+
+    Same write-path surface as :class:`repro.store.SnapshotStore`
+    (``log_append`` / ``maybe_compact`` / ``save`` / ``status``), so the
+    session's durability hooks drive either store unchanged.
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        *,
+        compact_after_records: int = 256,
+        compact_after_bytes: int = 1 << 20,
+    ) -> None:
+        os.makedirs(directory, exist_ok=True)
+        self.directory = directory
+        self.manifest_path = os.path.join(directory, MANIFEST_NAME)
+        self.wal = WriteAheadLog(os.path.join(directory, WAL_NAME))
+        self.compact_after_records = compact_after_records
+        self.compact_after_bytes = compact_after_bytes
+        self.rebuilds = 0
+        self.loaded_from_snapshot = False
+        #: Whether the last :meth:`open` changed the shard layout (an
+        #: unsharded migration or an N/placement reshard) -- data
+        #: preserved, so distinct from :attr:`rebuilds`.
+        self.resharded = False
+        self._wal_records = 0
+        self._generation = 0
+
+    def _shard_path(self, shard_index: int, generation: int) -> str:
+        return os.path.join(
+            self.directory, f"shard-{shard_index:02d}-g{generation}.snap"
+        )
+
+    # -- the write path ---------------------------------------------------------
+
+    def save(self, index: ShardedIndex) -> int:
+        """Atomically publish a full sharded snapshot; returns bytes written.
+
+        Per-shard snapshots land under the next generation's filenames
+        first; the manifest flip is the publication point; the WAL
+        empties and the previous generation is swept only after it.
+        """
+        generation = self._generation + 1
+        written = 0
+        for shard_index, shard in enumerate(index.shards):
+            written += write_snapshot_file(
+                self._shard_path(shard_index, generation),
+                index_to_sections(shard),
+            )
+        manifest = {
+            "version": MANIFEST_VERSION,
+            "generation": generation,
+            "snapshot_records": len(index),
+            "placement": index.placement.to_manifest(),
+            "shard_ids": [list(ids) for ids in index._shard_ids],
+            "cache_size": index.result_cache.capacity,
+        }
+        written += write_snapshot_file(
+            self.manifest_path,
+            {"manifest": json.dumps(manifest, ensure_ascii=False).encode("utf-8")},
+        )
+        self.wal.reset()
+        self._wal_records = 0
+        self._sweep(keep_generation=generation)
+        self._generation = generation
+        return written
+
+    def _sweep(self, keep_generation: int) -> None:
+        """Remove shard snapshots of any other generation (best effort):
+        the flipped manifest no longer references them, whether they are
+        the superseded set or orphans of a crashed save."""
+        for entry in os.listdir(self.directory):
+            if not (entry.startswith("shard-") and entry.endswith(".snap")):
+                continue
+            if f"-g{keep_generation}.snap" in entry:
+                continue
+            try:
+                os.remove(os.path.join(self.directory, entry))
+            except OSError:
+                pass
+
+    def log_append(self, names, base: int):
+        """Durably log one append (global ``base``) before the mutation."""
+        record = self.wal.append(names, base)
+        self._wal_records += 1
+        return record
+
+    def maybe_compact(self, index: ShardedIndex) -> bool:
+        """Cut a fresh sharded snapshot when the WAL outgrows its thresholds."""
+        if (
+            self._wal_records >= self.compact_after_records
+            or self.wal.size_bytes() >= self.compact_after_bytes
+        ):
+            self.save(index)
+            return True
+        return False
+
+    # -- the read path ----------------------------------------------------------
+
+    def load(self, cache_size: int | None = None) -> ShardedIndex:
+        """The strict load: manifest + shard snapshots + WAL replay.
+
+        Raises :class:`FileNotFoundError` when no manifest exists and
+        the typed snapshot/WAL errors on damage; a torn WAL tail is
+        truncated and the intact prefix served, exactly as unsharded.
+        """
+        manifest = self._read_manifest()
+        placement = placement_from_manifest(manifest["placement"])
+        shard_ids = manifest["shard_ids"]
+        shards = []
+        for shard_index in range(placement.n_shards):
+            path = self._shard_path(shard_index, manifest["generation"])
+            try:
+                sections = read_snapshot_file(path, what=f"shard snapshot {path!r}")
+            except FileNotFoundError:
+                raise CorruptSnapshotError(
+                    f"manifest generation {manifest['generation']} names "
+                    f"missing shard snapshot {path!r}"
+                ) from None
+            shards.append(index_from_sections(sections))
+        self._check_layout(manifest, shards, shard_ids)
+        index = ShardedIndex.from_shards(
+            shards,
+            placement,
+            shard_ids,
+            tokenizer=shards[0].tokenizer,
+            backend=shards[0].backend,
+            cache_size=(
+                manifest["cache_size"] if cache_size is None else cache_size
+            ),
+        )
+        index = self._replay_into(index, manifest["snapshot_records"])
+        self._generation = manifest["generation"]
+        self.loaded_from_snapshot = True
+        return index
+
+    def _replay_into(self, index: ShardedIndex, snapshot_records: int):
+        """WAL replay with the unsharded skip/gap rules, batched."""
+        records = self.wal.replay()
+        pending: list[str] = []
+        try:
+            for record in records:
+                fault_point("store.replay")
+                if record.base < snapshot_records:
+                    continue  # the snapshot generation already covers it
+                if record.base != snapshot_records + len(pending):
+                    raise WalReplayError(
+                        f"append log {self.wal.path!r} has a gap: record "
+                        f"expects {record.base} records, snapshot+replay "
+                        f"holds {snapshot_records + len(pending)}"
+                    )
+                pending.extend(record.names)
+        except FaultInjected as exc:
+            raise WalReplayError(f"replay failed: {exc}") from exc
+        if pending:
+            index.append(pending)
+        self._wal_records = len(records)
+        return index
+
+    def _read_manifest(self) -> dict:
+        sections = read_snapshot_file(
+            self.manifest_path, what=f"shard manifest {self.manifest_path!r}"
+        )
+
+        def fail(reason: str) -> CorruptSnapshotError:
+            return CorruptSnapshotError(
+                f"corrupt shard manifest {self.manifest_path!r}: {reason}"
+            )
+
+        payload = sections.get("manifest")
+        if payload is None:
+            raise fail("missing its manifest section")
+        try:
+            manifest = json.loads(payload.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise fail(f"undecodable: {exc}") from exc
+        if (
+            not isinstance(manifest, dict)
+            or manifest.get("version") != MANIFEST_VERSION
+            or not isinstance(manifest.get("generation"), int)
+            or not isinstance(manifest.get("snapshot_records"), int)
+            or manifest["snapshot_records"] < 0
+            or not isinstance(manifest.get("placement"), dict)
+            or not isinstance(manifest.get("shard_ids"), list)
+            or not isinstance(manifest.get("cache_size"), int)
+            or manifest["cache_size"] < 0
+        ):
+            raise fail("holds malformed fields")
+        return manifest
+
+    def _check_layout(self, manifest, shards, shard_ids) -> None:
+        """Cross-check manifest vs. restored shards: the id lists must be
+        a permutation of the global range and match shard sizes."""
+
+        def fail(reason: str) -> CorruptSnapshotError:
+            return CorruptSnapshotError(
+                f"corrupt sharded store {self.directory!r}: {reason}"
+            )
+
+        if len(shard_ids) != len(shards):
+            raise fail("manifest shard_ids and shard snapshots disagree on count")
+        total = sum(len(shard) for shard in shards)
+        if total != manifest["snapshot_records"]:
+            raise fail(
+                f"manifest claims {manifest['snapshot_records']} records, "
+                f"shard snapshots hold {total}"
+            )
+        seen: set[int] = set()
+        for shard, globals_ in zip(shards, shard_ids):
+            if not isinstance(globals_, list) or len(globals_) != len(shard):
+                raise fail("a shard's id list does not match its snapshot")
+            if globals_ != sorted(globals_):
+                raise fail("a shard's global ids are not ascending")
+            seen.update(globals_)
+        if seen != set(range(total)):
+            raise fail("shard id lists are not a permutation of the records")
+
+    def open(
+        self,
+        names=None,
+        *,
+        n_shards: int = 2,
+        placement: str = "length",
+        tokenizer=None,
+        backend: str = "auto",
+        cache_size: int = 256,
+    ) -> ShardedIndex:
+        """The serving load: use the store, migrate/reshard, or degrade.
+
+        In order of preference: load the sharded layout (resharding when
+        ``n_shards``/``placement`` differ from what is on disk); migrate
+        a directory still holding an unsharded ``index.snap`` (same WAL,
+        same replay -- nothing acknowledged is lost); first-boot build
+        from ``names``; and only for actual damage, the counted degraded
+        rebuild from the boot corpus.
+        """
+        self.resharded = False
+        try:
+            loaded = self.load(cache_size=cache_size)
+        except FileNotFoundError:
+            migrated = self._migrate_unsharded(
+                n_shards, placement, tokenizer, backend, cache_size
+            )
+            if migrated is not None:
+                return migrated
+            if self.wal.size_bytes():
+                return self._rebuild(
+                    names,
+                    CorruptSnapshotError(
+                        f"shard manifest {self.manifest_path!r} is missing "
+                        "but its append log is not"
+                    ),
+                    n_shards, placement, tokenizer, backend, cache_size,
+                )
+        except (CorruptSnapshotError, WalReplayError) as exc:
+            return self._rebuild(
+                names, exc, n_shards, placement, tokenizer, backend, cache_size
+            )
+        else:
+            if (
+                len(loaded.shards) != n_shards
+                or loaded.placement.kind != placement
+            ):
+                return self._reshard(
+                    loaded, n_shards, placement, tokenizer, backend, cache_size
+                )
+            return loaded
+        # First boot: nothing on disk yet.
+        index = ShardedIndex(
+            names or (),
+            n_shards=n_shards,
+            placement=placement,
+            tokenizer=tokenizer,
+            backend=backend,
+            cache_size=cache_size,
+        )
+        self.save(index)
+        return index
+
+    def _migrate_unsharded(
+        self, n_shards, placement, tokenizer, backend, cache_size
+    ):
+        """Adopt a directory written by the unsharded store, losslessly.
+
+        :class:`SnapshotStore` shares this directory's WAL file and
+        replay rules, so loading through it applies every acknowledged
+        append; saving sharded then retires ``index.snap``.
+        """
+        from repro.store import SnapshotStore
+
+        snapshot_path = os.path.join(self.directory, SNAPSHOT_NAME)
+        if not os.path.exists(snapshot_path):
+            return None
+        flat = SnapshotStore(self.directory).load()
+        index = ShardedIndex(
+            flat.names,
+            n_shards=n_shards,
+            placement=placement,
+            tokenizer=tokenizer or flat.tokenizer,
+            backend=backend,
+            cache_size=cache_size,
+        )
+        self.save(index)
+        try:
+            os.remove(snapshot_path)
+        except OSError:
+            pass
+        self.loaded_from_snapshot = True
+        self.resharded = True
+        return index
+
+    def _reshard(self, loaded, n_shards, placement, tokenizer, backend, cache_size):
+        """Re-partition a loaded corpus to the requested layout and save."""
+        index = ShardedIndex(
+            loaded.names,
+            n_shards=n_shards,
+            placement=placement,
+            tokenizer=tokenizer or loaded.tokenizer,
+            backend=backend,
+            cache_size=cache_size,
+        )
+        self.save(index)
+        self.resharded = True
+        return index
+
+    def _rebuild(
+        self, names, cause, n_shards, placement, tokenizer, backend, cache_size
+    ):
+        """Degrade: full rebuild from the boot corpus, counted."""
+        from repro.runtime import pool
+
+        if names is None:
+            raise cause
+        pool._bump("store_rebuilds")
+        self.rebuilds += 1
+        self.loaded_from_snapshot = False
+        index = ShardedIndex(
+            names,
+            n_shards=n_shards,
+            placement=placement,
+            tokenizer=tokenizer,
+            backend=backend,
+            cache_size=cache_size,
+        )
+        self.save(index)
+        return index
+
+    # -- observability -----------------------------------------------------------
+
+    def status(self) -> dict:
+        """The ``store`` block for ``/v1/health`` and ``/v1/metrics`` --
+        the unsharded keys plus the shard layout."""
+        try:
+            last_compaction = os.path.getmtime(self.manifest_path)
+        except OSError:
+            last_compaction = None
+        return {
+            "loaded": self.loaded_from_snapshot,
+            "wal_records": self._wal_records,
+            "last_compaction": last_compaction,
+            "torn_tail_truncated": self.wal.torn_tail_truncated,
+            "rebuilds": self.rebuilds,
+            "sharded": True,
+            "generation": self._generation,
+            "resharded": self.resharded,
+        }

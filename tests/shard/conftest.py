@@ -1,0 +1,25 @@
+"""Isolation for the sharded-serving suite.
+
+Sharded store tests drive the degraded rebuild path (which bumps the
+process-global ``store_rebuilds`` counter) and may arm fault plans;
+every test starts and ends clean so a leaked plan or counter cannot
+poison a later test.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import faults
+from repro.runtime import pool
+
+
+@pytest.fixture(autouse=True)
+def shard_isolation():
+    faults.clear()
+    faults._reset_for_tests()
+    pool.reset_runtime_counters()
+    yield
+    faults.clear()
+    faults._reset_for_tests()
+    pool.reset_runtime_counters()

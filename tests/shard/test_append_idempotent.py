@@ -1,0 +1,136 @@
+"""Idempotent appends: the ``base`` offset across every layer.
+
+``ServiceClient.append`` retries after a dropped acknowledgement could
+double-apply; ``base`` (the record total the caller last saw) makes the
+replay a no-op -- at the index, the session (where it must skip the WAL
+too), the HTTP route and the client SDK.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api import Session
+from repro.api.errors import ValidationError
+from repro.server import SimilarityService
+from repro.service import SimilarityIndex
+from repro.shard import ShardedIndex
+
+pytestmark = pytest.mark.tier1
+
+NAMES = ["barak obama", "borak obama", "john smith", "jon smiht", "ann lee"]
+
+
+@pytest.fixture(params=["flat", "sharded"])
+def index(request):
+    if request.param == "flat":
+        return SimilarityIndex(NAMES)
+    return ShardedIndex(NAMES, n_shards=2)
+
+
+class TestIndexContract:
+    def test_exact_replay_is_a_no_op(self, index):
+        index.append(["veronika dahl"], base=len(NAMES))
+        index.append(["veronika dahl"], base=len(NAMES))  # the retry
+        assert len(index) == len(NAMES) + 1
+        assert index.names.count("veronika dahl") == 1
+
+    def test_conflicting_replay_is_rejected(self, index):
+        index.append(["veronika dahl"], base=len(NAMES))
+        with pytest.raises(ValidationError):
+            index.append(["somebody else"], base=len(NAMES))
+
+    def test_base_ahead_of_the_corpus_is_rejected(self, index):
+        with pytest.raises(ValidationError):
+            index.append(["x"], base=len(NAMES) + 5)
+
+    def test_without_base_appends_are_at_least_once(self, index):
+        index.append(["veronika dahl"])
+        index.append(["veronika dahl"])
+        assert index.names.count("veronika dahl") == 2
+
+
+class TestSessionContract:
+    @pytest.fixture(params=[1, 2])
+    def session(self, request, tmp_path):
+        return Session(
+            NAMES, store_dir=str(tmp_path / "store"), shards=request.param
+        )
+
+    def test_replay_skips_the_wal(self, session):
+        assert session.append(["veronika dahl"], base=len(NAMES)) == 6
+        logged = session.store_status()["wal_records"]
+        assert session.append(["veronika dahl"], base=len(NAMES)) == 6
+        # The no-op replay must not grow the log either -- otherwise a
+        # warm restart would hit the replay gap check.
+        assert session.store_status()["wal_records"] == logged
+
+    def test_replayed_store_restarts_cleanly(self, session, tmp_path):
+        session.append(["veronika dahl"], base=len(NAMES))
+        session.append(["veronika dahl"], base=len(NAMES))
+        reborn = Session(store_dir=session._store.directory)
+        assert reborn._default_names.count("veronika dahl") == 1
+
+    def test_conflict_raises_and_logs_nothing(self, session):
+        session.append(["veronika dahl"], base=len(NAMES))
+        logged = session.store_status()["wal_records"]
+        with pytest.raises(ValidationError):
+            session.append(["somebody else"], base=len(NAMES))
+        assert session.store_status()["wal_records"] == logged
+
+
+class TestHttpRoute:
+    @pytest.fixture()
+    def service(self, tmp_path):
+        return SimilarityService(
+            Session(NAMES, store_dir=str(tmp_path / "store"))
+        )
+
+    def post(self, service, payload):
+        return service.handle(
+            "POST", "/v1/append", json.dumps(payload).encode("utf-8"), None
+        )
+
+    def test_replay_with_base_acknowledges_same_total(self, service):
+        first = self.post(
+            service, {"names": ["veronika dahl"], "base": len(NAMES)}
+        )
+        retry = self.post(
+            service, {"names": ["veronika dahl"], "base": len(NAMES)}
+        )
+        assert first == retry
+        assert retry[0] == 200
+        assert retry[1]["records"] == len(NAMES) + 1
+
+    def test_conflicting_base_is_a_400(self, service):
+        self.post(service, {"names": ["veronika dahl"], "base": len(NAMES)})
+        status, payload = self.post(
+            service, {"names": ["somebody else"], "base": len(NAMES)}
+        )
+        assert status == 400
+        assert payload["error"]["type"] == "validation"
+
+    def test_malformed_base_is_a_400(self, service):
+        status, payload = self.post(service, {"names": ["x"], "base": -3})
+        assert status == 400
+        assert payload["error"]["type"] == "validation"
+
+
+class TestClientWireFormat:
+    def test_append_sends_base_only_when_given(self):
+        from repro.client import ServiceClient
+
+        sent = []
+
+        class Recorder(ServiceClient):
+            def _request(self, method, path, payload=None):
+                sent.append(payload)
+                return {"records": 6, "appended": 1}
+
+        client = Recorder("http://127.0.0.1:1")
+        client.append(["veronika dahl"])
+        client.append(["veronika dahl"], base=5)
+        assert "base" not in sent[0]
+        assert sent[1]["base"] == 5

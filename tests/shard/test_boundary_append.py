@@ -1,0 +1,116 @@
+"""Lemma 6 window edges after ``append``: boundary records stay probed.
+
+The length placement cuts the corpus into aggregate-length ranges; a
+record appended *exactly on* a partition/shard boundary is the easy one
+to lose -- an off-by-one in either the placement's ``bisect`` or the
+router's window-overlap test would silently drop it from range queries
+whose Lemma 6 window ``[floor((1-r)L), ceil(L/(1-r))]`` touches the
+cut.  Property-tested against a brute-force NSLD oracle.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distances import nsld
+from repro.shard import ShardedIndex
+from repro.tokenize import tokenize
+
+pytestmark = pytest.mark.tier1
+
+#: Tiny alphabet so edits/collisions appear quickly; words >= 2 chars so
+#: single-char noise cannot vanish in tokenization.
+WORDS = ("ab", "abc", "abd", "bcd", "abcd", "abcde", "bcdef", "abcdefg")
+
+
+def names_strategy():
+    return st.lists(
+        st.lists(st.sampled_from(WORDS), min_size=1, max_size=4).map(" ".join),
+        min_size=6,
+        max_size=14,
+    )
+
+
+def brute_force_within(index, query: str, radius: float):
+    """The oracle: exact NSLD against every record, ``(distance, id)``
+    canonical order -- what any correct serving path must return."""
+    record = tokenize(query)
+    hits = []
+    for global_id, other in enumerate(index.records):
+        distance = nsld(record, other)
+        if distance <= radius:
+            hits.append((distance, global_id))
+    hits.sort()
+    return [(index.names[global_id], distance) for distance, global_id in hits]
+
+
+def boundary_name(boundary: int) -> str:
+    """A name whose aggregate token length is exactly ``boundary``."""
+    word = "ab"
+    full, rest = divmod(boundary, len(word))
+    tokens = [word] * full
+    if rest:
+        tokens.append("a" * rest)
+    name = " ".join(tokens)
+    assert tokenize(name).aggregate_length == boundary
+    return name
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    names=names_strategy(),
+    n_shards=st.integers(min_value=2, max_value=4),
+    boundary_index=st.integers(min_value=0, max_value=2),
+    radius=st.sampled_from([0.0, 0.1, 0.25, 0.5]),
+)
+def test_boundary_appends_answer_range_queries(
+    names, n_shards, boundary_index, radius
+):
+    index = ShardedIndex(names, n_shards=n_shards, placement="length")
+    boundaries = index.placement.boundaries
+    boundary = boundaries[boundary_index % len(boundaries)]
+    appended = boundary_name(boundary)
+    index.append([appended])
+
+    # The appended record answers its own exact-match query (the Lemma 6
+    # window collapses to [L, L] at radius 0 -- the sharpest edge).
+    exact = index.within([appended], 0.0)[0]
+    assert (appended, 0.0) in exact
+
+    # And the general property: every query agrees with brute force,
+    # probing from the boundary itself and from both adjacent lengths.
+    for query in (
+        appended,
+        boundary_name(boundary + 1),
+        boundary_name(max(1, boundary - 1)),
+        names[0],
+    ):
+        assert index.within([query], radius)[0] == brute_force_within(
+            index, query, radius
+        ), (query, radius)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    names=names_strategy(),
+    radius=st.sampled_from([0.1, 0.3]),
+)
+def test_window_endpoints_probe_the_owning_shard(names, radius):
+    """A query whose window *endpoint* lands exactly on a shard's held
+    length must still probe that shard: grow the corpus so some shard's
+    range starts at ``hi`` of the query's window, then check the hit."""
+    index = ShardedIndex(names, n_shards=2, placement="length")
+    boundary = index.placement.boundaries[0]
+    target = boundary_name(boundary)
+    index.append([target])
+    # A query at length floor((1-r) * boundary): its window's high
+    # endpoint is ceil(L / (1-r)) >= boundary, touching the cut.
+    length = max(1, math.floor((1.0 - radius) * boundary))
+    query = boundary_name(length)
+    assert index.within([query], radius)[0] == brute_force_within(
+        index, query, radius
+    )

@@ -1,0 +1,102 @@
+"""Placement value objects: routing rules, manifests, validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api.errors import ValidationError
+from repro.shard.placement import (
+    PLACEMENTS,
+    HashPlacement,
+    LengthPlacement,
+    build_placement,
+    placement_from_manifest,
+)
+
+pytestmark = pytest.mark.tier1
+
+
+class TestLengthPlacement:
+    def test_routes_by_boundary_ranges(self):
+        placement = LengthPlacement(3, (10, 20))
+        assert placement.shard_of(0, 5) == 0
+        assert placement.shard_of(1, 15) == 1
+        assert placement.shard_of(2, 25) == 2
+
+    def test_record_exactly_on_a_cut_belongs_to_the_lower_shard(self):
+        placement = LengthPlacement(3, (10, 20))
+        assert placement.shard_of(0, 10) == 0
+        assert placement.shard_of(0, 11) == 1
+        assert placement.shard_of(0, 20) == 1
+        assert placement.shard_of(0, 21) == 2
+
+    def test_from_lengths_cuts_at_quantiles(self):
+        placement = LengthPlacement.from_lengths(2, [4, 8, 12, 16])
+        assert len(placement.boundaries) == 1
+        assert 4 <= placement.boundaries[0] <= 16
+
+    def test_from_lengths_keeps_cuts_strictly_ascending(self):
+        # A corpus of identical lengths would yield duplicate quantiles;
+        # the cuts must still ascend (empty middle shards are fine).
+        placement = LengthPlacement.from_lengths(4, [7] * 20)
+        assert list(placement.boundaries) == sorted(set(placement.boundaries))
+
+    def test_empty_corpus_falls_back_to_a_ladder(self):
+        placement = LengthPlacement.from_lengths(3, [])
+        assert len(placement.boundaries) == 2
+        assert list(placement.boundaries) == sorted(placement.boundaries)
+
+    def test_wrong_boundary_count_rejected(self):
+        with pytest.raises(ValidationError):
+            LengthPlacement(3, (10,))
+
+    def test_unsorted_boundaries_rejected(self):
+        with pytest.raises(ValidationError):
+            LengthPlacement(3, (20, 10))
+
+
+class TestHashPlacement:
+    def test_deterministic_and_in_range(self):
+        placement = HashPlacement(4)
+        owners = [placement.shard_of(i, 99) for i in range(100)]
+        assert owners == [placement.shard_of(i, 0) for i in range(100)]
+        assert set(owners) <= set(range(4))
+
+    def test_spreads_ids_across_shards(self):
+        placement = HashPlacement(4)
+        owners = {placement.shard_of(i, 0) for i in range(64)}
+        assert owners == set(range(4))
+
+
+class TestBuildAndManifest:
+    def test_build_validates_kind(self):
+        with pytest.raises(ValidationError):
+            build_placement("nope", 2, [4, 8])
+
+    def test_build_validates_shard_count(self):
+        with pytest.raises(ValidationError):
+            build_placement("length", 0, [4, 8])
+
+    @pytest.mark.parametrize("kind", PLACEMENTS)
+    def test_manifest_round_trip(self, kind):
+        placement = build_placement(kind, 3, [4, 8, 12, 20])
+        reborn = placement_from_manifest(placement.to_manifest())
+        assert reborn.kind == placement.kind
+        assert reborn.n_shards == placement.n_shards
+        for global_id, length in enumerate([3, 5, 9, 13, 21]):
+            assert reborn.shard_of(global_id, length) == placement.shard_of(
+                global_id, length
+            )
+
+    @pytest.mark.parametrize(
+        "entry",
+        [
+            {},
+            {"kind": "nope", "n_shards": 2},
+            {"kind": "length", "n_shards": 0},
+            {"kind": "length", "n_shards": 2, "boundaries": "bad"},
+        ],
+    )
+    def test_malformed_manifest_entries_are_typed(self, entry):
+        with pytest.raises(ValidationError):
+            placement_from_manifest(entry)

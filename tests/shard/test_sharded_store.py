@@ -1,0 +1,172 @@
+"""The sharded store: per-shard snapshots, one global WAL, migrations.
+
+The recovery contract is the unsharded one: acknowledged appends
+survive any crash, a torn WAL tail truncates to the intact prefix,
+actual damage degrades to a counted rebuild -- plus the sharded-only
+moves: generation-flip publication, lossless unsharded migration and
+reshard-on-boot.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.api.errors import CorruptSnapshotError
+from repro.service import SimilarityIndex
+from repro.shard import ShardedIndex, ShardedSnapshotStore, is_sharded_store
+from repro.store import SnapshotStore
+
+pytestmark = pytest.mark.tier1
+
+NAMES = [
+    "barak obama",
+    "borak obama",
+    "john smith",
+    "jon smiht",
+    "ann lee",
+    "a much longer multi token name here",
+]
+
+
+@pytest.fixture()
+def store_dir(tmp_path):
+    return str(tmp_path / "store")
+
+
+class TestRoundTrip:
+    def test_save_load_serves_identically(self, store_dir):
+        index = ShardedIndex(NAMES, n_shards=3)
+        store = ShardedSnapshotStore(store_dir)
+        store.save(index)
+        assert is_sharded_store(store_dir)
+        reborn = ShardedSnapshotStore(store_dir).load()
+        assert reborn.names == list(NAMES)
+        assert reborn.topk(["barak obana"], k=2) == index.topk(
+            ["barak obana"], k=2
+        )
+        assert len(reborn.shards) == 3
+
+    def test_wal_replay_restores_appends(self, store_dir):
+        store = ShardedSnapshotStore(store_dir)
+        index = store.open(NAMES, n_shards=2)
+        store.log_append(["veronika dahl"], base=len(index))
+        index.append(["veronika dahl"])
+        reborn = ShardedSnapshotStore(store_dir)
+        loaded = reborn.open(n_shards=2)
+        assert loaded.names == list(NAMES) + ["veronika dahl"]
+        assert reborn.loaded_from_snapshot is True
+        assert reborn.status()["wal_records"] == 1
+
+    def test_generation_flip_sweeps_old_snapshots(self, store_dir):
+        store = ShardedSnapshotStore(store_dir)
+        index = store.open(NAMES, n_shards=2)
+        store.save(index)
+        store.save(index)
+        snaps = [
+            entry
+            for entry in os.listdir(store_dir)
+            if entry.startswith("shard-") and entry.endswith(".snap")
+        ]
+        assert len(snaps) == 2  # only the current generation's files
+        assert all(f"-g{store._generation}.snap" in entry for entry in snaps)
+
+
+class TestMigrations:
+    def test_unsharded_directory_migrates_losslessly(self, store_dir):
+        flat_store = SnapshotStore(store_dir)
+        flat_store.save(SimilarityIndex(NAMES))
+        flat_store.log_append(["veronika dahl"], base=len(NAMES))
+        store = ShardedSnapshotStore(store_dir)
+        index = store.open(n_shards=2)
+        assert index.names == list(NAMES) + ["veronika dahl"]
+        assert store.resharded is True
+        assert store.rebuilds == 0
+        assert not os.path.exists(os.path.join(store_dir, "index.snap"))
+        assert is_sharded_store(store_dir)
+
+    def test_reshard_on_boot_with_different_layout(self, store_dir):
+        ShardedSnapshotStore(store_dir).open(NAMES, n_shards=2)
+        store = ShardedSnapshotStore(store_dir)
+        index = store.open(n_shards=4, placement="hash")
+        assert len(index.shards) == 4
+        assert index.placement.kind == "hash"
+        assert index.names == list(NAMES)
+        assert store.resharded is True
+        assert store.rebuilds == 0
+
+    def test_matching_layout_does_not_reshard(self, store_dir):
+        ShardedSnapshotStore(store_dir).open(NAMES, n_shards=2)
+        store = ShardedSnapshotStore(store_dir)
+        store.open(n_shards=2)
+        assert store.resharded is False
+
+    def test_wal_is_byte_identical_to_unsharded(self, tmp_path):
+        """Same append history -> the same WAL bytes either layout."""
+        flat_dir, shard_dir = str(tmp_path / "flat"), str(tmp_path / "shard")
+        flat = SnapshotStore(flat_dir)
+        flat.save(SimilarityIndex(NAMES))
+        sharded = ShardedSnapshotStore(shard_dir)
+        sharded.open(NAMES, n_shards=3)
+        for batch in (["veronika dahl"], ["x", "y"]):
+            base = len(NAMES)
+            flat.log_append(batch, base=base)
+            sharded.log_append(batch, base=base)
+        with open(flat.wal.path, "rb") as handle:
+            flat_bytes = handle.read()
+        with open(sharded.wal.path, "rb") as handle:
+            shard_bytes = handle.read()
+        assert flat_bytes == shard_bytes
+
+
+class TestDamage:
+    def test_corrupt_manifest_rebuilds_counted(self, store_dir):
+        store = ShardedSnapshotStore(store_dir)
+        store.open(NAMES, n_shards=2)
+        with open(store.manifest_path, "r+b") as handle:
+            handle.seek(30)
+            handle.write(b"\xff\xff\xff")
+        reborn = ShardedSnapshotStore(store_dir)
+        index = reborn.open(NAMES, n_shards=2)
+        assert index.names == list(NAMES)
+        assert reborn.rebuilds == 1
+        assert reborn.status()["loaded"] is False
+
+    def test_missing_shard_snapshot_is_typed(self, store_dir):
+        store = ShardedSnapshotStore(store_dir)
+        store.open(NAMES, n_shards=2)
+        os.remove(store._shard_path(1, store._generation))
+        with pytest.raises(CorruptSnapshotError):
+            ShardedSnapshotStore(store_dir).load()
+
+    def test_damage_without_boot_corpus_raises(self, store_dir):
+        store = ShardedSnapshotStore(store_dir)
+        store.open(NAMES, n_shards=2)
+        os.remove(store._shard_path(0, store._generation))
+        with pytest.raises(CorruptSnapshotError):
+            ShardedSnapshotStore(store_dir).open(n_shards=2)
+
+    def test_wal_without_manifest_rebuilds(self, store_dir):
+        store = ShardedSnapshotStore(store_dir)
+        store.open(NAMES, n_shards=2)
+        store.log_append(["veronika dahl"], base=len(NAMES))
+        os.remove(store.manifest_path)
+        for entry in os.listdir(store_dir):
+            if entry.startswith("shard-"):
+                os.remove(os.path.join(store_dir, entry))
+        reborn = ShardedSnapshotStore(store_dir)
+        index = reborn.open(NAMES, n_shards=2)
+        assert index.names == list(NAMES)
+        assert reborn.rebuilds == 1
+
+
+class TestStatus:
+    def test_status_reports_shard_block(self, store_dir):
+        store = ShardedSnapshotStore(store_dir)
+        store.open(NAMES, n_shards=2)
+        status = store.status()
+        assert status["sharded"] is True
+        assert status["generation"] >= 1
+        assert status["rebuilds"] == 0
+        assert status["torn_tail_truncated"] is False
